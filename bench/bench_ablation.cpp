@@ -1,0 +1,108 @@
+// Ablations over the paper's tunable design choices:
+//
+//  (a) (1+eps)-MST bucketization (Section 5.1): quality of the maintained
+//      forest vs eps.  The approximation comes *only* from preprocessing
+//      buckets — the dynamic cycle/cut rules never lose more — so the
+//      measured ratio must stay within 1+eps and tighten as eps -> 0.
+//  (b) (2+eps) batch size Delta (Section 6): the schedulers simulate
+//      Delta operations per update cycle.  Smaller Delta means less work
+//      per cycle (smaller rounds' fan-out) but a larger backlog of
+//      temporarily-free vertices, i.e. a worse "almost" in
+//      almost-maximal.  This trade-off is the core of Charikar–Solomon's
+//      de-amortization.
+//  (c) (2+eps) level base gamma: more levels (smaller gamma) refine the
+//      support estimates but raise the subscheduler fan-out.
+#include <cmath>
+#include <cstdio>
+
+#include "core/cs_matching.hpp"
+#include "core/dyn_forest.hpp"
+#include "graph/update_stream.hpp"
+#include "oracle/oracles.hpp"
+
+namespace {
+
+using graph::Update;
+using graph::UpdateKind;
+
+void mst_eps_sweep() {
+  std::printf("--- (a) MST bucketization: quality vs eps ---\n");
+  const std::size_t n = 256;
+  const auto wedges =
+      graph::with_random_weights(graph::gnm(n, 4 * n, 7), 100000, 7);
+  graph::WeightedDynamicGraph shadow(n);
+  for (const auto& e : wedges) shadow.insert_edge(e.u, e.v, e.w);
+  const double exact = static_cast<double>(oracle::msf_weight(shadow));
+  for (const double eps : {1.0, 0.5, 0.25, 0.1, 0.01, 1e-9}) {
+    core::DynamicForest mst(
+        {.n = n, .m_cap = 8 * n, .weighted = true, .eps = eps});
+    mst.preprocess(wedges);
+    const double ours = static_cast<double>(mst.forest_weight());
+    std::printf("  eps=%-8.2g measured ratio=%.6f (bound %.6f)\n", eps,
+                ours / exact, 1.0 + eps);
+  }
+}
+
+void cs_delta_sweep() {
+  std::printf("\n--- (b) (2+eps) batch size Delta: backlog vs fan-out ---\n");
+  const std::size_t n = 512;
+  for (const std::size_t delta : {4u, 16u, 64u, 256u, 1024u}) {
+    core::CsMatching cs({.n = n, .eps = 0.2, .delta = delta, .seed = 9});
+    graph::DynamicGraph shadow(n);
+    auto stream = graph::random_stream(n, 600, 0.6, 9);
+    std::size_t max_pending = 0, max_violations = 0;
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        cs.insert(up.u, up.v);
+        shadow.insert_edge(up.u, up.v);
+      } else {
+        cs.erase(up.u, up.v);
+        shadow.delete_edge(up.u, up.v);
+      }
+      max_pending = std::max(max_pending, cs.pending_work());
+      max_violations = std::max(
+          max_violations,
+          oracle::count_augmenting_edges(shadow, cs.matching_snapshot()));
+    }
+    const auto& agg = cs.cluster().metrics().aggregate();
+    std::printf("  Delta=%-5zu worst machines/round=%3llu  max backlog=%3zu"
+                "  max augmenting edges=%3zu\n",
+                delta,
+                static_cast<unsigned long long>(agg.worst_active_machines),
+                max_pending, max_violations);
+  }
+}
+
+void cs_gamma_sweep() {
+  std::printf("\n--- (c) (2+eps) level base gamma: levels vs fan-out ---\n");
+  const std::size_t n = 512;
+  for (const double gamma : {2.0, 4.0, 8.0, 32.0}) {
+    core::CsMatching cs({.n = n, .eps = 0.2, .gamma = gamma, .seed = 11});
+    auto stream = graph::random_stream(n, 600, 0.6, 11);
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        cs.insert(up.u, up.v);
+      } else {
+        cs.erase(up.u, up.v);
+      }
+    }
+    const auto& agg = cs.cluster().metrics().aggregate();
+    std::printf("  gamma=%-5.0f levels=%2d  worst machines=%3llu  worst "
+                "comm=%4llu words\n",
+                gamma,
+                static_cast<int>(std::ceil(std::log(static_cast<double>(n)) /
+                                           std::log(gamma))),
+                static_cast<unsigned long long>(agg.worst_active_machines),
+                static_cast<unsigned long long>(agg.worst_comm_words));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablations over the paper's design choices\n\n");
+  mst_eps_sweep();
+  cs_delta_sweep();
+  cs_gamma_sweep();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the benchmark harness: pretty-printing the measured
+// DMPC complexity triples next to the paper's Table 1 bounds.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "dmpc/metrics.hpp"
+
+namespace bench {
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-28s %12s %12s %14s %10s   %s\n", "algorithm / workload",
+              "rounds(wc)", "machines(wc)", "comm/rnd(wc)", "mean rnds",
+              "paper bound");
+}
+
+inline void print_row(const std::string& name,
+                      const dmpc::UpdateAggregate& agg,
+                      const char* paper_bound) {
+  std::printf("%-28s %12llu %12llu %14llu %10.2f   %s\n", name.c_str(),
+              static_cast<unsigned long long>(agg.worst_rounds),
+              static_cast<unsigned long long>(agg.worst_active_machines),
+              static_cast<unsigned long long>(agg.worst_comm_words),
+              agg.mean_rounds(), paper_bound);
+}
+
+}  // namespace bench

@@ -1,0 +1,127 @@
+// The headline claim of Sections 1-2: a dynamic DMPC algorithm updates
+// the solution with polynomially fewer resources than recomputing it
+// with the static MPC algorithm.  For each N this harness compares the
+// worst-case *per-update* cost of the dynamic algorithms against the
+// *per-recomputation* cost of the static baselines (contraction
+// connectivity, Israeli-Itai matching, Boruvka MSF).
+#include <cmath>
+#include <cstdio>
+
+#include "core/dyn_forest.hpp"
+#include "core/maximal_matching.hpp"
+#include "core/static_baselines.hpp"
+#include "graph/update_stream.hpp"
+
+namespace {
+
+using graph::Update;
+using graph::UpdateKind;
+
+bool base_has(const graph::EdgeList& edges, graph::VertexId u,
+              graph::VertexId v) {
+  for (auto [a, b] : edges) {
+    if (graph::EdgeKey(a, b) == graph::EdgeKey(u, v)) return true;
+  }
+  return false;
+}
+
+void print_cmp(const char* problem, std::size_t n,
+               const dmpc::UpdateAggregate& dyn,
+               const core::StaticRunStats& stat) {
+  std::printf("%-14s n=%6zu | dynamic/update: rounds=%3llu machines=%5llu "
+              "comm=%7llu | static/recompute: rounds=%3llu machines=%5llu "
+              "comm=%8llu | comm ratio=%6.1fx\n",
+              problem, n, static_cast<unsigned long long>(dyn.worst_rounds),
+              static_cast<unsigned long long>(dyn.worst_active_machines),
+              static_cast<unsigned long long>(dyn.worst_comm_words),
+              static_cast<unsigned long long>(stat.rounds),
+              static_cast<unsigned long long>(stat.active_machines),
+              static_cast<unsigned long long>(stat.comm_words),
+              static_cast<double>(stat.comm_words) /
+                  std::max<double>(1.0, static_cast<double>(
+                                            dyn.worst_comm_words)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Dynamic per-update cost vs static recompute-from-scratch\n");
+  for (const std::size_t n : {1024u, 4096u, 16384u}) {
+    const std::size_t m_cap = 4 * n;
+    const auto base_edges = graph::gnm(n, 2 * n, 1);
+
+    {  // Connectivity: preprocess the arbitrary graph, then hammer its
+       // bridges (path edges) with delete/re-insert pairs.
+      core::DynamicForest forest({.n = n, .m_cap = m_cap});
+      forest.preprocess(base_edges);
+      forest.cluster().metrics().reset();
+      for (std::size_t i = 0; i < 100; ++i) {
+        const graph::VertexId u =
+            static_cast<graph::VertexId>((i * 37) % (n - 1));
+        if (!base_has(base_edges, u, u + 1)) {
+          forest.insert(u, u + 1);
+          forest.erase(u, u + 1);
+        } else {
+          forest.erase(u, u + 1);
+          forest.insert(u, u + 1);
+        }
+      }
+      dmpc::Cluster stat_cluster(forest.num_machines(), 1ull << 40);
+      std::vector<graph::VertexId> labels;
+      const auto stat = core::static_connected_components(
+          stat_cluster, n, base_edges, &labels);
+      print_cmp("connectivity", n, forest.cluster().metrics().aggregate(),
+                stat);
+    }
+    {  // Maximal matching.
+      core::MaximalMatching mm({.n = n, .m_cap = m_cap});
+      mm.preprocess({});
+      // Build a perfect-matching backbone, then delete/re-insert matched
+      // edges; only the adversarial phase is measured.
+      for (graph::VertexId u = 0; u + 1 < static_cast<graph::VertexId>(n);
+           u += 2) {
+        mm.insert(u, u + 1);
+      }
+      mm.cluster().metrics().reset();
+      for (std::size_t i = 0; i < 100; ++i) {
+        const graph::VertexId u =
+            static_cast<graph::VertexId>(((i * 61) % (n / 2)) * 2);
+        mm.erase(u, u + 1);
+        mm.insert(u, u + 1);
+      }
+      dmpc::Cluster stat_cluster(mm.cluster().size(), 1ull << 40);
+      oracle::Matching m;
+      const auto stat =
+          core::static_maximal_matching(stat_cluster, n, base_edges, &m);
+      print_cmp("matching", n, mm.cluster().metrics().aggregate(), stat);
+    }
+    {  // MSF.
+      const auto wedges = graph::with_random_weights(base_edges, 100000, 4);
+      core::DynamicForest mst(
+          {.n = n, .m_cap = m_cap, .weighted = true, .eps = 0.1});
+      mst.preprocess(wedges);
+      mst.cluster().metrics().reset();
+      for (std::size_t i = 0; i < 100; ++i) {
+        const graph::VertexId u =
+            static_cast<graph::VertexId>((i * 41) % (n - 1));
+        if (!base_has(base_edges, u, u + 1)) {
+          mst.insert(u, u + 1, 1 + static_cast<graph::Weight>(i));
+          mst.erase(u, u + 1);
+        } else {
+          mst.erase(u, u + 1);
+          mst.insert(u, u + 1, 1 + static_cast<graph::Weight>(i));
+        }
+      }
+      dmpc::Cluster stat_cluster(mst.num_machines(), 1ull << 40);
+      graph::Weight w = 0;
+      const auto stat = core::static_msf(stat_cluster, n, wedges, &w);
+      print_cmp("MSF", n, mst.cluster().metrics().aggregate(), stat);
+    }
+    std::printf("\n");
+  }
+  std::printf("The comm ratio (static recompute / dynamic update) grows\n"
+              "with N: the dynamic algorithms move O(sqrt N) words per\n"
+              "update while a recompute shuffles Omega(N) words per round\n"
+              "for Theta(log n) rounds.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The Section 8 entropy metric: the paper proposes measuring the Shannon
+// entropy of the per-(sender,receiver) communication distribution to
+// quantify how concentrated an algorithm's traffic is.  Coordinator-based
+// algorithms (maximal matching: everything flows through MC) should score
+// far below symmetric ones (connectivity: broadcasts between all pairs
+// rooted differently per update... still star-shaped from the ingress,
+// but the replies spread over all machines), and both below the
+// theoretical maximum log2(#pairs).
+#include <cmath>
+#include <cstdio>
+
+#include "core/cs_matching.hpp"
+#include "core/dyn_forest.hpp"
+#include "core/maximal_matching.hpp"
+#include "graph/update_stream.hpp"
+
+namespace {
+
+using graph::Update;
+using graph::UpdateKind;
+
+template <typename Alg>
+void drive(Alg& alg, const graph::UpdateStream& stream) {
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      alg.insert(up.u, up.v);
+    } else {
+      alg.erase(up.u, up.v);
+    }
+  }
+}
+
+void report(const char* name, const dmpc::Cluster& cluster) {
+  const double h = cluster.metrics().pair_entropy_bits();
+  const double pairs =
+      static_cast<double>(cluster.metrics().pair_traffic().size());
+  // The model's maximum: traffic uniform over all ordered machine pairs.
+  const double h_max =
+      2.0 * std::log2(static_cast<double>(cluster.size()));
+  std::printf("%-24s machines=%5zu  pairs-used=%7.0f  entropy=%6.2f bits  "
+              "max(model)=%5.2f  normalized=%4.2f\n",
+              name, cluster.size(), pairs, h, h_max, h / h_max);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 2048;
+  const std::size_t m_cap = 4 * n;
+  std::printf("Section 8 communication-entropy metric (n=%zu)\n\n", n);
+  {
+    core::MaximalMatching mm({.n = n, .m_cap = m_cap});
+    mm.preprocess({});
+    mm.cluster().metrics().reset();
+    drive(mm, graph::random_stream(n, 400, 0.6, 1));
+    report("maximal matching (coord)", mm.cluster());
+  }
+  {
+    core::DynamicForest forest({.n = n, .m_cap = m_cap});
+    forest.preprocess(graph::cycle(n));
+    forest.cluster().metrics().reset();
+    drive(forest, graph::clean_stream(
+                      n, graph::bridge_adversary_stream(n, 400, n / 4, 2)));
+    report("connectivity", forest.cluster());
+  }
+  {
+    core::CsMatching cs({.n = n, .eps = 0.2, .seed = 3});
+    drive(cs, graph::random_stream(n, 400, 0.6, 3));
+    report("(2+eps) matching", cs.cluster());
+  }
+  std::printf(
+      "\nReading: the coordinator algorithm concentrates traffic on\n"
+      "MC<->machine pairs (entropy close to log2(#machines) at best),\n"
+      "while update-dependent fan-outs use more distinct pairs.  This is\n"
+      "the bottleneck/vulnerability discussion of Section 8 made\n"
+      "quantitative.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Wall-clock microbenchmarks (google-benchmark): per-update simulator
+// latency of each dynamic algorithm and the sequential substrate.  Not a
+// paper artifact (the paper reports no wall-clock numbers) — this guards
+// the simulator's own performance.
+#include <benchmark/benchmark.h>
+
+#include "core/cs_matching.hpp"
+#include "graph/graph.hpp"
+#include "core/dyn_forest.hpp"
+#include "core/maximal_matching.hpp"
+#include "graph/update_stream.hpp"
+#include "seq/hdt.hpp"
+
+namespace {
+
+using graph::Update;
+using graph::UpdateKind;
+
+void BM_DynForestUpdate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::cycle(n));
+  auto stream = graph::clean_stream(
+      n, graph::bridge_adversary_stream(n, 4096, n / 4, 1));
+  graph::DynamicGraph shadow(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Update& up = stream[i++ % stream.size()];
+    // The stream wraps around, so guard against replayed duplicates.
+    if (up.kind == UpdateKind::kInsert) {
+      if (!shadow.insert_edge(up.u, up.v)) continue;
+      forest.insert(up.u, up.v);
+    } else {
+      if (!shadow.delete_edge(up.u, up.v)) continue;
+      forest.erase(up.u, up.v);
+    }
+  }
+}
+BENCHMARK(BM_DynForestUpdate)->Arg(256)->Arg(1024);
+
+void BM_MaximalMatchingUpdate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::MaximalMatching mm({.n = n, .m_cap = 4 * n});
+  mm.preprocess({});
+  auto stream = graph::clean_stream(
+      n, graph::matched_edge_adversary_stream(n, 4096, 2));
+  graph::DynamicGraph shadow(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Update& up = stream[i++ % stream.size()];
+    // The stream wraps around, so guard against replayed duplicates.
+    if (up.kind == UpdateKind::kInsert) {
+      if (!shadow.insert_edge(up.u, up.v)) continue;
+      mm.insert(up.u, up.v);
+    } else {
+      if (!shadow.delete_edge(up.u, up.v)) continue;
+      mm.erase(up.u, up.v);
+    }
+  }
+}
+BENCHMARK(BM_MaximalMatchingUpdate)->Arg(256)->Arg(1024);
+
+void BM_CsMatchingUpdate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::CsMatching cs({.n = n, .seed = 3});
+  auto stream = graph::random_stream(n, 4096, 0.6, 3);
+  graph::DynamicGraph shadow(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Update& up = stream[i++ % stream.size()];
+    // The stream wraps around, so guard against replayed duplicates.
+    if (up.kind == UpdateKind::kInsert) {
+      if (!shadow.insert_edge(up.u, up.v)) continue;
+      cs.insert(up.u, up.v);
+    } else {
+      if (!shadow.delete_edge(up.u, up.v)) continue;
+      cs.erase(up.u, up.v);
+    }
+  }
+}
+BENCHMARK(BM_CsMatchingUpdate)->Arg(256)->Arg(1024);
+
+void BM_HdtSequentialUpdate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  seq::AccessCounter counter;
+  seq::HdtConnectivity hdt(n, counter);
+  auto stream = graph::random_stream(n, 8192, 0.6, 4);
+  graph::DynamicGraph shadow(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Update& up = stream[i++ % stream.size()];
+    // The stream wraps around, so guard against replayed duplicates.
+    if (up.kind == UpdateKind::kInsert) {
+      if (!shadow.insert_edge(up.u, up.v)) continue;
+      hdt.insert(up.u, up.v);
+    } else {
+      if (!shadow.delete_edge(up.u, up.v)) continue;
+      hdt.erase(up.u, up.v);
+    }
+  }
+}
+BENCHMARK(BM_HdtSequentialUpdate)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Reproduces Figures 1 and 2 of the paper verbatim: the E-tour index
+// representation of a forest and its transformation under re-rooting,
+// edge insertion (tree merge) and edge deletion (tree split).  Vertices
+// a..g are 0..6.  Compare the printed tours with the figures.
+#include <cstdio>
+
+#include "etour/euler_forest.hpp"
+
+namespace {
+
+constexpr graph::VertexId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6;
+
+std::vector<graph::VertexId> tour_of(const char* s) {
+  std::vector<graph::VertexId> out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    out.push_back(static_cast<graph::VertexId>(*p - 'a'));
+  }
+  return out;
+}
+
+void print_tour(const char* label, const etour::EulerForest& forest,
+                graph::VertexId v) {
+  std::printf("%s [", label);
+  const auto seq = forest.tour(v);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    std::printf("%s%c", i == 0 ? "" : ",",
+                static_cast<char>('a' + seq[i]));
+  }
+  std::printf("]\n");
+}
+
+void print_brackets(const etour::EulerForest& forest) {
+  for (graph::VertexId v = 0; v < 7; ++v) {
+    std::printf("  %c:[%lld,%lld]", static_cast<char>('a' + v),
+                static_cast<long long>(forest.first_index(v)),
+                static_cast<long long>(forest.last_index(v)));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1 ===\n");
+  etour::EulerForest f1(7);
+  f1.add_tree_from_tour(tour_of("bccddccbbeeb"));
+  f1.add_tree_from_tour(tour_of("affggffa"));
+  print_tour("(i)   tour 1:", f1, b);
+  print_tour("      tour 2:", f1, a);
+  print_brackets(f1);
+
+  f1.reroot(e);
+  print_tour("(ii)  after reroot(e):", f1, e);
+  print_brackets(f1);
+
+  f1.link(g, e);  // the paper's insert(e,g)
+  print_tour("(iii) after insert(e,g):", f1, a);
+  print_brackets(f1);
+
+  std::printf("\n=== Figure 2 ===\n");
+  etour::EulerForest f2(7);
+  f2.add_tree_from_tour(tour_of("abbccddccbbeebbaaffggffa"));
+  print_tour("(i)   tour:", f2, a);
+  print_brackets(f2);
+
+  f2.cut(a, b, /*new_comp=*/100);
+  print_tour("(iii) after delete(a,b), tour 1:", f2, b);
+  print_tour("      tour 2:", f2, a);
+  print_brackets(f2);
+
+  std::printf("\nCompare with the paper: Fig 1(iii) = "
+              "[a,f,f,g,g,e,e,b,b,c,c,d,d,c,c,b,b,e,e,g,g,f,f,a]\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Road network under construction (another workload from the paper's
+// introduction): a city grid whose road segments open and close, with a
+// (1+eps)-approximate minimum spanning tree maintained as the backbone
+// (e.g. for maintenance routing), plus connectivity queries.
+#include <cstdio>
+#include <random>
+
+#include "core/dyn_forest.hpp"
+#include "graph/generators.hpp"
+#include "oracle/oracles.hpp"
+
+int main() {
+  const std::size_t rows = 16, cols = 16;
+  const std::size_t n = rows * cols;
+  const auto roads = graph::with_random_weights(graph::grid(rows, cols),
+                                                1000, 23);
+  std::printf("road grid: %zux%zu intersections, %zu segments\n", rows, cols,
+              roads.size());
+
+  const double eps = 0.1;
+  core::DynamicForest mst(
+      {.n = n, .m_cap = 4 * roads.size(), .weighted = true, .eps = eps});
+  mst.preprocess(roads);
+
+  graph::WeightedDynamicGraph shadow(n);
+  for (const auto& e : roads) shadow.insert_edge(e.u, e.v, e.w);
+  std::printf("initial backbone weight: %lld (exact MSF %lld, within "
+              "(1+%.2f))\n",
+              static_cast<long long>(mst.forest_weight()),
+              static_cast<long long>(oracle::msf_weight(shadow)), eps);
+
+  // Construction season: close random segments, open a few diagonals.
+  std::mt19937_64 rng(24);
+  for (int event = 0; event < 120; ++event) {
+    if (rng() % 3 != 0) {
+      const auto edges = shadow.unweighted().edge_list();
+      const auto [u, v] = edges[rng() % edges.size()];
+      shadow.delete_edge(u, v);
+      mst.erase(u, v);
+    } else {
+      const graph::VertexId u = static_cast<graph::VertexId>(rng() % n);
+      const graph::VertexId v = static_cast<graph::VertexId>(rng() % n);
+      if (u == v || shadow.has_edge(u, v)) continue;
+      const graph::Weight w = 1 + static_cast<graph::Weight>(rng() % 1000);
+      shadow.insert_edge(u, v, w);
+      mst.insert(u, v, w);
+    }
+  }
+
+  const auto exact = oracle::msf_weight(shadow);
+  const auto ours = mst.forest_weight();
+  std::printf("after construction season: backbone %lld vs exact %lld "
+              "(ratio %.4f)\n",
+              static_cast<long long>(ours), static_cast<long long>(exact),
+              static_cast<double>(ours) / static_cast<double>(exact));
+  std::printf("corner-to-corner reachable: %d\n",
+              mst.connected(0, static_cast<graph::VertexId>(n - 1)));
+  const auto& agg = mst.cluster().metrics().aggregate();
+  std::printf("per closure/opening: worst %llu rounds, %llu machines, "
+              "%llu words\n",
+              static_cast<unsigned long long>(agg.worst_rounds),
+              static_cast<unsigned long long>(agg.worst_active_machines),
+              static_cast<unsigned long long>(agg.worst_comm_words));
+  return 0;
+}

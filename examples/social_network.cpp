@@ -1,0 +1,75 @@
+// Evolving social network (the paper's introduction motivates dynamic
+// algorithms with exactly this workload): users arrive by preferential
+// attachment, friendships churn, and the application continuously needs
+// (a) community connectivity and (b) a pairing of free users (maximal
+// matching as a stand-in for e.g. chat-partner or ad-slot pairing).
+#include <cstdio>
+#include <random>
+
+#include "core/maximal_matching.hpp"
+#include "core/dyn_forest.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "oracle/oracles.hpp"
+
+int main() {
+  const std::size_t n = 512;
+  const auto base = graph::preferential_attachment(n, 3, 17);
+  std::printf("social graph: %zu users, %zu initial friendships\n", n,
+              base.size());
+
+  core::DynamicForest comms({.n = n, .m_cap = 8 * n});
+  comms.preprocess(base);
+  core::MaximalMatching pairs({.n = n, .m_cap = 8 * n});
+  pairs.preprocess(base);
+
+  graph::DynamicGraph shadow(n);
+  for (auto [u, v] : base) shadow.insert_edge(u, v);
+
+  // Churn: friendships form near high-degree users and dissolve at random.
+  std::mt19937_64 rng(18);
+  std::size_t formed = 0, dissolved = 0;
+  for (int step = 0; step < 600; ++step) {
+    const bool form = (rng() % 100) < 55 || shadow.num_edges() == 0;
+    if (form) {
+      const graph::VertexId u = static_cast<graph::VertexId>(rng() % n);
+      const graph::VertexId v = static_cast<graph::VertexId>(rng() % n);
+      if (u == v || shadow.has_edge(u, v)) continue;
+      shadow.insert_edge(u, v);
+      comms.insert(u, v);
+      pairs.insert(u, v);
+      ++formed;
+    } else {
+      const auto edges = shadow.edge_list();
+      const auto [u, v] = edges[rng() % edges.size()];
+      shadow.delete_edge(u, v);
+      comms.erase(u, v);
+      pairs.erase(u, v);
+      ++dissolved;
+    }
+  }
+
+  // Report.
+  const auto labels = comms.component_snapshot();
+  std::size_t num_comps = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (labels[v] == static_cast<graph::VertexId>(v)) ++num_comps;
+  }
+  const auto m = pairs.matching_snapshot();
+  std::printf("after %zu formations and %zu dissolutions:\n", formed,
+              dissolved);
+  std::printf("  communities: %zu components\n", num_comps);
+  std::printf("  paired users: %zu (matching valid=%d maximal=%d)\n",
+              2 * oracle::matching_size(m),
+              oracle::matching_is_valid(shadow, m),
+              oracle::matching_is_maximal(shadow, m));
+  const auto& agg_c = comms.cluster().metrics().aggregate();
+  const auto& agg_p = pairs.cluster().metrics().aggregate();
+  std::printf("  connectivity per update: worst %llu rounds, %llu machines\n",
+              static_cast<unsigned long long>(agg_c.worst_rounds),
+              static_cast<unsigned long long>(agg_c.worst_active_machines));
+  std::printf("  matching per update:     worst %llu rounds, %llu machines\n",
+              static_cast<unsigned long long>(agg_p.worst_rounds),
+              static_cast<unsigned long long>(agg_p.worst_active_machines));
+  return 0;
+}

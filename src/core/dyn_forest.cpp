@@ -1,0 +1,916 @@
+#include "core/dyn_forest.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "dmpc/primitives.hpp"
+#include "etour/tour_builder.hpp"
+#include "oracle/dsu.hpp"
+
+namespace core {
+namespace {
+
+// Protocol message tags.
+enum Tag : Word {
+  kPrepare = 1,
+  kPrepReply,
+  kDirQuery,
+  kDirReply,
+  kMergeBcast,
+  kSplitBcast,
+  kPathMaxBcast,
+  kProposal,
+  kNewRecord,
+  kDeleteRecord,
+  kDirUpdate,
+  kPromote,
+  kQuery,
+  kQueryReply,
+};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+DynamicForest::DynamicForest(const DynForestConfig& config)
+    : config_(config), next_comp_id_(static_cast<Word>(config.n)) {
+  const double N = static_cast<double>(config_.n + config_.m_cap);
+  const std::size_t mu =
+      std::max<std::size_t>(4, static_cast<std::size_t>(std::ceil(std::sqrt(N))));
+  const dmpc::WordCount S = static_cast<dmpc::WordCount>(
+      config_.memory_slack * std::sqrt(N) + 256.0);
+  cluster_ = std::make_unique<dmpc::Cluster>(mu, S);
+  machines_.resize(mu);
+  // Vertex records: comp(v) = v, no tour index yet.
+  for (VertexId v = 0; v < static_cast<VertexId>(config_.n); ++v) {
+    MachineState& ms = machines_[vertex_machine(v)];
+    ms.vertices[v] = VertexRec{v, etour::kNoIndex};
+    cluster_->memory(vertex_machine(v)).charge(kVertexRecWords);
+    machines_[dir_machine(v)].comp_sizes[v] = 1;
+    cluster_->memory(dir_machine(v)).charge(kDirRecWords);
+  }
+}
+
+std::size_t DynamicForest::num_machines() const { return machines_.size(); }
+
+std::uint64_t DynamicForest::edge_key(VertexId u, VertexId v) const {
+  const EdgeKey k(u, v);
+  return static_cast<std::uint64_t>(k.u) * config_.n +
+         static_cast<std::uint64_t>(k.v);
+}
+
+MachineId DynamicForest::edge_machine(VertexId u, VertexId v) const {
+  return static_cast<MachineId>(splitmix64(edge_key(u, v)) %
+                                machines_.size());
+}
+
+void DynamicForest::charge_edge_record(MachineId m) {
+  cluster_->memory(m).charge(kEdgeRecWords);
+}
+
+void DynamicForest::release_edge_record(MachineId m) {
+  cluster_->memory(m).release(kEdgeRecWords);
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing (Section 5 "Preprocessing" + 5.1 bucketization)
+// ---------------------------------------------------------------------------
+
+void DynamicForest::preprocess(const graph::EdgeList& edges) {
+  graph::WeightedEdgeList wl;
+  wl.reserve(edges.size());
+  for (auto [u, v] : edges) wl.push_back({u, v, 1});
+  preprocess(wl);
+}
+
+void DynamicForest::preprocess(const graph::WeightedEdgeList& edges) {
+  // Select the spanning forest.  The MST variant considers edges bucket by
+  // bucket in increasing (1+eps) weight classes — exactly the paper's
+  // bucketization, which is what makes the result a (1+eps)-approximate
+  // MSF rather than an exact one.
+  std::vector<std::size_t> order(edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (config_.weighted) {
+    const double log_base = std::log1p(config_.eps);
+    auto bucket = [&](Weight w) {
+      return static_cast<long>(std::floor(
+          std::log(static_cast<double>(std::max<Weight>(w, 1))) / log_base));
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return bucket(edges[a].w) < bucket(edges[b].w);
+                     });
+  }
+  oracle::Dsu dsu(config_.n);
+  std::vector<bool> is_tree(edges.size(), false);
+  std::vector<std::vector<VertexId>> tree_adj(config_.n);
+  for (std::size_t i : order) {
+    const auto& e = edges[i];
+    if (dsu.unite(static_cast<std::size_t>(e.u),
+                  static_cast<std::size_t>(e.v))) {
+      is_tree[i] = true;
+      tree_adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+      tree_adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+    }
+  }
+
+  // Build one E-tour per non-singleton component, rooted at the smallest
+  // vertex, and record every vertex's component id and first appearance.
+  std::vector<Word> comp_of(config_.n);
+  std::vector<Word> first_idx(config_.n, etour::kNoIndex);
+  std::map<EdgeKey, etour::EdgeIndexes> tree_idx;
+  std::map<Word, Word> comp_size;
+  for (VertexId v = 0; v < static_cast<VertexId>(config_.n); ++v) {
+    const std::size_t root = dsu.find(static_cast<std::size_t>(v));
+    comp_of[static_cast<std::size_t>(v)] = static_cast<Word>(root);
+  }
+  for (VertexId root = 0; root < static_cast<VertexId>(config_.n); ++root) {
+    if (comp_of[static_cast<std::size_t>(root)] != root) continue;
+    const auto tour = etour::build_tour(tree_adj, root);
+    if (tour.empty()) {
+      comp_size[root] = 1;
+      continue;
+    }
+    for (const auto& [key, idx] : etour::indexes_from_tour(tour)) {
+      tree_idx[key] = idx;
+    }
+    std::set<VertexId> members(tour.begin(), tour.end());
+    for (const auto& [w, fi] : etour::first_indexes_of_tour(tour)) {
+      first_idx[static_cast<std::size_t>(w)] = fi;
+    }
+    comp_size[root] = static_cast<Word>(members.size());
+  }
+
+  // Distribute the records (memory-charged), replacing the initial
+  // singleton directory.
+  for (VertexId v = 0; v < static_cast<VertexId>(config_.n); ++v) {
+    const std::size_t sv = static_cast<std::size_t>(v);
+    VertexRec& rec = machines_[vertex_machine(v)].vertices[v];
+    rec.comp = comp_of[sv];
+    rec.cached_idx = first_idx[sv];
+    auto& dir = machines_[dir_machine(v)].comp_sizes;
+    if (comp_of[sv] != v) {
+      dir.erase(v);
+      cluster_->memory(dir_machine(v)).release(kDirRecWords);
+    }
+  }
+  for (const auto& [comp, size] : comp_size) {
+    machines_[dir_machine(comp)].comp_sizes[comp] = size;
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& e = edges[i];
+    const EdgeKey key(e.u, e.v);
+    EdgeRec rec;
+    rec.u = key.u;
+    rec.v = key.v;
+    rec.comp = comp_of[static_cast<std::size_t>(key.u)];
+    rec.tree = is_tree[i];
+    rec.w = e.w;
+    if (rec.tree) {
+      const etour::EdgeIndexes& idx = tree_idx.at(key);
+      rec.iu1 = idx.u1;
+      rec.iu2 = idx.u2;
+      rec.iv1 = idx.v1;
+      rec.iv2 = idx.v2;
+    } else {
+      rec.iu1 = first_idx[static_cast<std::size_t>(key.u)];
+      rec.iv1 = first_idx[static_cast<std::size_t>(key.v)];
+    }
+    const MachineId m = edge_machine(key.u, key.v);
+    machines_[m].edges[edge_key(key.u, key.v)] = rec;
+    charge_edge_record(m);
+  }
+
+  // Charge the O(log n)-round, all-machines, O(N)-communication cost of
+  // the contraction-based preprocessing the paper builds on ([3] plus the
+  // Section 5 parallel tour merge).
+  const std::uint64_t rounds = static_cast<std::uint64_t>(
+      std::ceil(std::log2(std::max<std::size_t>(config_.n, 2))));
+  const dmpc::WordCount words =
+      kEdgeRecWords * edges.size() + kVertexRecWords * config_.n;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    dmpc::RoundRecord rec;
+    rec.active_machines = machines_.size();
+    rec.comm_words = words;
+    rec.messages = machines_.size();
+    cluster_->charge_round(rec);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prepare phase (rounds 1-4 of every update)
+// ---------------------------------------------------------------------------
+
+DynamicForest::Prep DynamicForest::prepare(VertexId x, VertexId y) {
+  // Round 1: ingress broadcasts the touched endpoints to all machines.
+  dmpc::broadcast(*cluster_, 0, kPrepare, {x, y});
+
+  // Round 2: every machine owning relevant state replies: local f/l
+  // contributions from tree-edge records touching x or y, the endpoints'
+  // component ids from their home machines, and the (x,y) record itself
+  // from its edge machine.
+  Prep p;
+  bool have_x = false, have_y = false;
+  std::vector<MachineId> senders;
+  std::vector<std::vector<Word>> payloads;
+  const MachineId em = edge_machine(x, y);
+  for (MachineId m = 0; m < machines_.size(); ++m) {
+    const MachineState& ms = machines_[m];
+    std::vector<Word> reply;
+    Word fx = 0, lx = 0, fy = 0, ly = 0;
+    bool mx = false, my = false;
+    for (const auto& [key, rec] : ms.edges) {
+      if (!rec.tree) continue;
+      auto touch = [&](VertexId side, Word i1, Word i2) {
+        if (side == x) {
+          fx = mx ? std::min(fx, std::min(i1, i2)) : std::min(i1, i2);
+          lx = mx ? std::max(lx, std::max(i1, i2)) : std::max(i1, i2);
+          mx = true;
+        } else if (side == y) {
+          fy = my ? std::min(fy, std::min(i1, i2)) : std::min(i1, i2);
+          ly = my ? std::max(ly, std::max(i1, i2)) : std::max(i1, i2);
+          my = true;
+        }
+      };
+      touch(rec.u, rec.iu1, rec.iu2);
+      touch(rec.v, rec.iv1, rec.iv2);
+    }
+    if (mx) {
+      reply.insert(reply.end(), {1, fx, lx});
+      if (!have_x || fx < p.fx) p.fx = have_x ? std::min(p.fx, fx) : fx;
+      p.lx = have_x ? std::max(p.lx, lx) : lx;
+      have_x = true;
+    }
+    if (my) {
+      reply.insert(reply.end(), {2, fy, ly});
+      if (!have_y || fy < p.fy) p.fy = have_y ? std::min(p.fy, fy) : fy;
+      p.ly = have_y ? std::max(p.ly, ly) : ly;
+      have_y = true;
+    }
+    if (m == vertex_machine(x)) {
+      p.cx = ms.vertices.at(x).comp;
+      reply.insert(reply.end(), {3, p.cx});
+    }
+    if (m == vertex_machine(y)) {
+      p.cy = ms.vertices.at(y).comp;
+      reply.insert(reply.end(), {4, p.cy});
+    }
+    if (m == em) {
+      const auto it = ms.edges.find(edge_key(x, y));
+      if (it != ms.edges.end()) {
+        p.edge_exists = true;
+        p.edge = it->second;
+        reply.insert(reply.end(),
+                     {5, it->second.tree ? 1 : 0, it->second.w,
+                      it->second.iu1, it->second.iu2, it->second.iv1,
+                      it->second.iv2});
+      }
+    }
+    if (!reply.empty()) {
+      senders.push_back(m);
+      payloads.push_back(std::move(reply));
+    }
+  }
+  dmpc::gather(*cluster_, senders, 0, kPrepReply, payloads);
+  if (!have_x) p.fx = p.lx = etour::kNoIndex;
+  if (!have_y) p.fy = p.ly = etour::kNoIndex;
+
+  // Round 3: directory query; round 4: size replies.
+  cluster_->send(0, dir_machine(p.cx), kDirQuery, {p.cx});
+  if (p.cy != p.cx) cluster_->send(0, dir_machine(p.cy), kDirQuery, {p.cy});
+  cluster_->finish_round();
+  p.size_cx = machines_[dir_machine(p.cx)].comp_sizes.at(p.cx);
+  p.size_cy = p.cy == p.cx
+                  ? p.size_cx
+                  : machines_[dir_machine(p.cy)].comp_sizes.at(p.cy);
+  cluster_->send(dir_machine(p.cx), 0, kDirReply, {p.cx, p.size_cx});
+  if (p.cy != p.cx) {
+    cluster_->send(dir_machine(p.cy), 0, kDirReply, {p.cy, p.size_cy});
+  }
+  cluster_->finish_round();
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Local transform application
+// ---------------------------------------------------------------------------
+
+void DynamicForest::apply_merge_local(MachineState& ms, const MergeBcast& mb) {
+  const etour::RerootParams rp{mb.elen_ty, mb.reroot_l_y};
+  const etour::MergeParams mp{mb.f_x, mb.elen_ty};
+  auto ty_xform = [&](Word i) {
+    if (i == etour::kNoIndex) return i;
+    const Word r = mb.reroot ? etour::reroot_index(i, rp) : i;
+    return etour::merge_shift_ty(r, mp);
+  };
+  auto tx_xform = [&](Word i) {
+    return i == etour::kNoIndex ? i : etour::merge_shift_tx(i, mp);
+  };
+  for (auto& [key, rec] : ms.edges) {
+    if (rec.crossing && mb.resolve_crossing) {
+      rec.iu1 = rec.u_in_subtree ? ty_xform(rec.iu1) : tx_xform(rec.iu1);
+      rec.iv1 = rec.v_in_subtree ? ty_xform(rec.iv1) : tx_xform(rec.iv1);
+      // Endpoints that were singletons before this merge (kNoIndex cached)
+      // gain their first appearances now; the broadcast carries them.
+      if (rec.u == mb.x) rec.iu1 = mb.cached_x;
+      if (rec.u == mb.y) rec.iu1 = mb.cached_y;
+      if (rec.v == mb.x) rec.iv1 = mb.cached_x;
+      if (rec.v == mb.y) rec.iv1 = mb.cached_y;
+      rec.comp = mb.cx;
+      rec.crossing = false;
+      rec.u_in_subtree = rec.v_in_subtree = false;
+      continue;
+    }
+    if (rec.comp == mb.cy) {
+      rec.iu1 = ty_xform(rec.iu1);
+      rec.iu2 = rec.tree ? ty_xform(rec.iu2) : rec.iu2;
+      rec.iv1 = ty_xform(rec.iv1);
+      rec.iv2 = rec.tree ? ty_xform(rec.iv2) : rec.iv2;
+      rec.comp = mb.cx;
+    } else if (rec.comp == mb.cx) {
+      rec.iu1 = tx_xform(rec.iu1);
+      rec.iu2 = rec.tree ? tx_xform(rec.iu2) : rec.iu2;
+      rec.iv1 = tx_xform(rec.iv1);
+      rec.iv2 = rec.tree ? tx_xform(rec.iv2) : rec.iv2;
+    }
+  }
+  for (auto& [v, rec] : ms.vertices) {
+    if (rec.comp == mb.cy) {
+      rec.cached_idx = ty_xform(rec.cached_idx);
+      rec.comp = mb.cx;
+    } else if (rec.comp == mb.cx) {
+      rec.cached_idx = tx_xform(rec.cached_idx);
+    }
+    if (v == mb.x) rec.cached_idx = mb.cached_x;
+    if (v == mb.y) rec.cached_idx = mb.cached_y;
+  }
+}
+
+void DynamicForest::apply_split_local(MachineState& ms, const SplitBcast& sb) {
+  const etour::SplitParams sp{sb.f_c, sb.l_c};
+  const std::uint64_t cut_key = edge_key(sb.parent, sb.child);
+  auto xform = [&](Word i) {
+    if (i == etour::kNoIndex) return i;
+    return etour::split_in_subtree(i, sp) ? etour::split_shift_subtree(i, sp)
+                                          : etour::split_shift_rest(i, sp);
+  };
+  for (auto& [key, rec] : ms.edges) {
+    if (rec.comp != sb.comp) continue;
+    if (key == cut_key) continue;  // deleted by an explicit message next round
+    if (rec.tree) {
+      const bool inside = etour::split_in_subtree(rec.iu1, sp);
+      rec.iu1 = xform(rec.iu1);
+      rec.iu2 = xform(rec.iu2);
+      rec.iv1 = xform(rec.iv1);
+      rec.iv2 = xform(rec.iv2);
+      if (inside) rec.comp = sb.new_comp;
+    } else {
+      const bool su = etour::split_in_subtree(rec.iu1, sp);
+      const bool sv = etour::split_in_subtree(rec.iv1, sp);
+      rec.iu1 = xform(rec.iu1);
+      rec.iv1 = xform(rec.iv1);
+      // Cached indexes that were copies of the cut edge's own entries
+      // became stale; the broadcast carries fresh appearances for the two
+      // endpoints.
+      if (rec.u == sb.parent) rec.iu1 = sb.cached_parent;
+      if (rec.u == sb.child) rec.iu1 = sb.cached_child;
+      if (rec.v == sb.parent) rec.iv1 = sb.cached_parent;
+      if (rec.v == sb.child) rec.iv1 = sb.cached_child;
+      if (su == sv) {
+        if (su) rec.comp = sb.new_comp;
+      } else {
+        rec.crossing = true;
+        rec.u_in_subtree = su;
+        rec.v_in_subtree = sv;
+      }
+    }
+  }
+  for (auto& [v, rec] : ms.vertices) {
+    if (rec.comp != sb.comp) continue;
+    if (v == sb.parent) {
+      rec.cached_idx = sb.cached_parent;
+    } else if (v == sb.child) {
+      rec.cached_idx = sb.cached_child;
+      rec.comp = sb.new_comp;
+    } else if (etour::split_in_subtree(rec.cached_idx, sp)) {
+      rec.cached_idx = etour::split_shift_subtree(rec.cached_idx, sp);
+      rec.comp = sb.new_comp;
+    } else {
+      rec.cached_idx = etour::split_shift_rest(rec.cached_idx, sp);
+    }
+  }
+}
+
+void DynamicForest::run_merge(const MergeBcast& mb) {
+  const std::vector<Word> payload = {
+      mb.cx,          mb.cy,       mb.x,
+      mb.y,           mb.reroot,   mb.reroot_l_y,
+      mb.elen_ty,     mb.f_x,      mb.cached_x,
+      mb.cached_y,    mb.resolve_crossing ? 1 : 0};
+  dmpc::broadcast(*cluster_, 0, kMergeBcast, payload);
+  for (auto& ms : machines_) apply_merge_local(ms, mb);
+}
+
+void DynamicForest::run_split(const SplitBcast& sb) {
+  const std::vector<Word> payload = {sb.comp, sb.new_comp, sb.parent,
+                                     sb.child, sb.f_c, sb.l_c,
+                                     sb.cached_parent, sb.cached_child};
+  dmpc::broadcast(*cluster_, 0, kSplitBcast, payload);
+  for (auto& ms : machines_) apply_split_local(ms, sb);
+}
+
+// ---------------------------------------------------------------------------
+// Update protocols
+// ---------------------------------------------------------------------------
+
+void DynamicForest::insert_nontree_record(const Prep& p, VertexId x,
+                                          VertexId y, Weight w) {
+  const EdgeKey key(x, y);
+  EdgeRec rec;
+  rec.u = key.u;
+  rec.v = key.v;
+  rec.comp = p.cx;
+  rec.tree = false;
+  rec.w = w;
+  rec.iu1 = key.u == x ? p.fx : p.fy;
+  rec.iv1 = key.v == y ? p.fy : p.fx;
+  const MachineId m = edge_machine(x, y);
+  cluster_->send(0, m, kNewRecord,
+                 {rec.u, rec.v, rec.comp, rec.w, rec.iu1, rec.iv1});
+  cluster_->finish_round();
+  machines_[m].edges[edge_key(x, y)] = rec;
+  charge_edge_record(m);
+}
+
+void DynamicForest::link_components(const Prep& p, VertexId x, VertexId y,
+                                    Weight w) {
+  MergeBcast mb;
+  mb.cx = p.cx;
+  mb.cy = p.cy;
+  mb.x = x;
+  mb.y = y;
+  mb.elen_ty = etour::elength(p.size_cy);
+  mb.reroot = p.size_cy > 1 && p.ly != mb.elen_ty;
+  mb.reroot_l_y = p.ly;
+  mb.f_x = etour::merge_splice(p.fx, etour::elength(p.size_cx));
+  const etour::MergeNewIndexes ni =
+      etour::merge_new_indexes({mb.f_x, mb.elen_ty});
+  mb.cached_x = ni.x_enter;
+  mb.cached_y = ni.y_enter;
+  mb.resolve_crossing = false;
+  run_merge(mb);
+
+  // Record round: create the tree edge record, update the directory.
+  const EdgeKey key(x, y);
+  EdgeRec rec;
+  rec.u = key.u;
+  rec.v = key.v;
+  rec.comp = p.cx;
+  rec.tree = true;
+  rec.w = w;
+  if (key.u == x) {
+    rec.iu1 = ni.x_enter;
+    rec.iu2 = ni.x_exit;
+    rec.iv1 = ni.y_enter;
+    rec.iv2 = ni.y_exit;
+  } else {
+    rec.iu1 = ni.y_enter;
+    rec.iu2 = ni.y_exit;
+    rec.iv1 = ni.x_enter;
+    rec.iv2 = ni.x_exit;
+  }
+  const MachineId em = edge_machine(x, y);
+  cluster_->send(0, em, kNewRecord,
+                 {rec.u, rec.v, rec.comp, rec.w, rec.iu1, rec.iu2, rec.iv1,
+                  rec.iv2});
+  cluster_->send(0, dir_machine(p.cx), kDirUpdate,
+                 {p.cx, p.size_cx + p.size_cy});
+  cluster_->send(0, dir_machine(p.cy), kDirUpdate, {p.cy, 0});
+  cluster_->finish_round();
+  machines_[em].edges[edge_key(x, y)] = rec;
+  charge_edge_record(em);
+  machines_[dir_machine(p.cx)].comp_sizes[p.cx] = p.size_cx + p.size_cy;
+  machines_[dir_machine(p.cy)].comp_sizes.erase(p.cy);
+  cluster_->memory(dir_machine(p.cy)).release(kDirRecWords);
+}
+
+void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
+                                     bool demote) {
+  // Identify the child endpoint: it owns the inner pair of the edge's
+  // four indexes.
+  const EdgeKey key(x, y);
+  const EdgeRec& e = p.edge;
+  const Word u_lo = std::min(e.iu1, e.iu2), u_hi = std::max(e.iu1, e.iu2);
+  const Word v_lo = std::min(e.iv1, e.iv2), v_hi = std::max(e.iv1, e.iv2);
+  VertexId child, parent;
+  etour::SplitParams sp{};
+  if (u_lo > v_lo && u_hi < v_hi) {
+    child = key.u;
+    parent = key.v;
+    sp = {u_lo, u_hi};
+  } else {
+    child = key.v;
+    parent = key.u;
+    sp = {v_lo, v_hi};
+  }
+  // f/l of parent from the prepare results.
+  const Word f_p = parent == x ? p.fx : p.fy;
+  const Word l_p = parent == x ? p.lx : p.ly;
+
+  SplitBcast sb;
+  sb.comp = p.cx;
+  sb.new_comp = next_comp_id_++;
+  sb.parent = parent;
+  sb.child = child;
+  sb.f_c = sp.f_c;
+  sb.l_c = sp.l_c;
+  const Word sub_elen = etour::split_subtree_elength(sp);
+  const Word sub_size = etour::tree_size(sub_elen);
+  const Word rest_size = p.size_cx - sub_size;
+  // Parent: reuse a surviving appearance (f or l), mapped through the
+  // rest-side shift; both removed means the parent becomes a singleton.
+  if (f_p < sp.f_c - 1) {
+    sb.cached_parent = etour::split_shift_rest(f_p, sp);
+  } else if (l_p > sp.l_c + 1) {
+    sb.cached_parent = etour::split_shift_rest(l_p, sp);
+  } else {
+    sb.cached_parent = etour::kNoIndex;
+  }
+  // Child: it becomes the root of the split-off tree (f = 1), or a
+  // singleton.
+  sb.cached_child = sub_size > 1 ? 1 : etour::kNoIndex;
+  run_split(sb);
+
+  // Record round: delete (or, for the cycle rule, demote to non-tree) the
+  // cut edge's record, and update the directory.
+  const MachineId em = edge_machine(x, y);
+  if (demote) {
+    cluster_->send(0, em, kDeleteRecord,
+                   {key.u, key.v, 1, sb.cached_parent, sb.cached_child});
+  } else {
+    cluster_->send(0, em, kDeleteRecord, {key.u, key.v, 0});
+  }
+  cluster_->send(0, dir_machine(p.cx), kDirUpdate, {p.cx, rest_size});
+  cluster_->send(0, dir_machine(sb.new_comp), kDirUpdate,
+                 {sb.new_comp, sub_size});
+  cluster_->finish_round();
+  if (demote) {
+    // The displaced edge stays in the graph as a crossing non-tree record:
+    // its endpoints now straddle the split, so it is itself a candidate in
+    // the replacement search below.
+    EdgeRec& rec = machines_[em].edges.at(edge_key(x, y));
+    rec.tree = false;
+    rec.crossing = true;
+    rec.u_in_subtree = rec.u == child;
+    rec.v_in_subtree = rec.v == child;
+    rec.iu1 = rec.u == child ? sb.cached_child : sb.cached_parent;
+    rec.iv1 = rec.v == child ? sb.cached_child : sb.cached_parent;
+    rec.iu2 = rec.iv2 = etour::kNoIndex;
+  } else {
+    machines_[em].edges.erase(edge_key(x, y));
+    release_edge_record(em);
+  }
+  machines_[dir_machine(p.cx)].comp_sizes[p.cx] = rest_size;
+  machines_[dir_machine(sb.new_comp)].comp_sizes[sb.new_comp] = sub_size;
+  cluster_->memory(dir_machine(sb.new_comp)).charge(kDirRecWords);
+
+  // Replacement search: every machine proposes its best (min-weight)
+  // crossing candidate to the ingress.
+  std::vector<MachineId> senders;
+  std::vector<std::vector<Word>> payloads;
+  std::optional<EdgeRec> best;
+  for (MachineId m = 0; m < machines_.size(); ++m) {
+    const EdgeRec* local_best = nullptr;
+    for (const auto& [k, rec] : machines_[m].edges) {
+      if (!rec.crossing) continue;
+      if (local_best == nullptr || rec.w < local_best->w) local_best = &rec;
+    }
+    if (local_best == nullptr) continue;
+    senders.push_back(m);
+    payloads.push_back({local_best->u, local_best->v, local_best->w,
+                        local_best->u_in_subtree ? 1 : 0});
+    if (!best.has_value() || local_best->w < best->w) best = *local_best;
+  }
+  dmpc::gather(*cluster_, senders, 0, kProposal, payloads);
+  if (!best.has_value()) return;  // genuinely disconnected
+
+  // Reconnect: the subtree side plays Ty.  A fresh prepare fetches the
+  // post-split f/l of the replacement endpoints.
+  const VertexId a = best->u_in_subtree ? best->v : best->u;  // rest side
+  const VertexId b = best->u_in_subtree ? best->u : best->v;  // subtree side
+  Prep rp = prepare(a, b);
+  MergeBcast mb;
+  mb.cx = rp.cx;  // rest component (kept the old id)
+  mb.cy = rp.cy;  // the split-off subtree (sb.new_comp)
+  mb.x = a;
+  mb.y = b;
+  mb.elen_ty = etour::elength(rp.size_cy);
+  mb.reroot = rp.size_cy > 1 && rp.ly != mb.elen_ty;
+  mb.reroot_l_y = rp.ly;
+  mb.f_x = etour::merge_splice(rp.fx, etour::elength(rp.size_cx));
+  const etour::MergeNewIndexes ni =
+      etour::merge_new_indexes({mb.f_x, mb.elen_ty});
+  mb.cached_x = ni.x_enter;
+  mb.cached_y = ni.y_enter;
+  mb.resolve_crossing = true;
+  run_merge(mb);
+
+  // Promotion round: the replacement record becomes a tree edge; the
+  // directory reflects the re-merge.
+  const EdgeKey rkey(a, b);
+  const MachineId rm = edge_machine(a, b);
+  EdgeRec& rrec = machines_[rm].edges.at(edge_key(a, b));
+  cluster_->send(0, rm, kPromote,
+                 {rkey.u, rkey.v, ni.x_enter, ni.x_exit, ni.y_enter,
+                  ni.y_exit});
+  cluster_->send(0, dir_machine(rp.cx), kDirUpdate,
+                 {rp.cx, rp.size_cx + rp.size_cy});
+  cluster_->send(0, dir_machine(rp.cy), kDirUpdate, {rp.cy, 0});
+  cluster_->finish_round();
+  rrec.tree = true;
+  rrec.comp = rp.cx;
+  rrec.crossing = false;
+  rrec.u_in_subtree = rrec.v_in_subtree = false;
+  if (rkey.u == a) {
+    rrec.iu1 = ni.x_enter;
+    rrec.iu2 = ni.x_exit;
+    rrec.iv1 = ni.y_enter;
+    rrec.iv2 = ni.y_exit;
+  } else {
+    rrec.iu1 = ni.y_enter;
+    rrec.iu2 = ni.y_exit;
+    rrec.iv1 = ni.x_enter;
+    rrec.iv2 = ni.x_exit;
+  }
+  machines_[dir_machine(rp.cx)].comp_sizes[rp.cx] = rp.size_cx + rp.size_cy;
+  machines_[dir_machine(rp.cy)].comp_sizes.erase(rp.cy);
+  cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
+}
+
+void DynamicForest::insert(VertexId x, VertexId y, Weight w) {
+  cluster_->begin_update();
+  Prep p = prepare(x, y);
+  if (p.edge_exists) {
+    cluster_->end_update();
+    return;  // duplicate insertion is a no-op
+  }
+  if (p.cx != p.cy) {
+    link_components(p, x, y, w);
+    cluster_->end_update();
+    return;
+  }
+  if (!config_.weighted) {
+    insert_nontree_record(p, x, y, w);
+    cluster_->end_update();
+    return;
+  }
+  // MST cycle rule: find the maximum-weight tree edge on the x..y path.
+  // Broadcast the endpoints' intervals; every machine tests its local
+  // tree records with the ancestor-XOR criterion and proposes its local
+  // maximum.
+  dmpc::broadcast(*cluster_, 0, kPathMaxBcast, {p.cx, p.fx, p.lx, p.fy, p.ly});
+  std::vector<MachineId> senders;
+  std::vector<std::vector<Word>> payloads;
+  std::optional<EdgeRec> heaviest;
+  for (MachineId m = 0; m < machines_.size(); ++m) {
+    const EdgeRec* local_best = nullptr;
+    for (const auto& [k, rec] : machines_[m].edges) {
+      if (!rec.tree || rec.comp != p.cx) continue;
+      // Child endpoint owns the inner index pair.
+      const Word u_lo = std::min(rec.iu1, rec.iu2);
+      const Word u_hi = std::max(rec.iu1, rec.iu2);
+      const Word v_lo = std::min(rec.iv1, rec.iv2);
+      const Word v_hi = std::max(rec.iv1, rec.iv2);
+      Word f_c, l_c;
+      if (u_lo > v_lo) {
+        f_c = u_lo;
+        l_c = u_hi;
+      } else {
+        f_c = v_lo;
+        l_c = v_hi;
+      }
+      const bool anc_x = f_c <= p.fx && p.lx <= l_c;
+      const bool anc_y = f_c <= p.fy && p.ly <= l_c;
+      if (anc_x == anc_y) continue;  // not on the tree path
+      if (local_best == nullptr || rec.w > local_best->w) local_best = &rec;
+    }
+    if (local_best == nullptr) continue;
+    senders.push_back(m);
+    payloads.push_back({local_best->u, local_best->v, local_best->w});
+    if (!heaviest.has_value() || local_best->w > heaviest->w) {
+      heaviest = *local_best;
+    }
+  }
+  dmpc::gather(*cluster_, senders, 0, kProposal, payloads);
+
+  if (!heaviest.has_value() || heaviest->w <= w) {
+    insert_nontree_record(p, x, y, w);
+    cluster_->end_update();
+    return;
+  }
+  // The new edge displaces the heaviest path edge: record (x,y) as
+  // non-tree first, then run the standard tree-edge deletion, whose
+  // min-weight replacement search (the cut rule) re-links the parts —
+  // possibly through (x,y) itself, or through an even lighter crossing
+  // edge.
+  insert_nontree_record(p, x, y, w);
+  Prep hp = prepare(heaviest->u, heaviest->v);
+  delete_tree_edge(hp, heaviest->u, heaviest->v, /*demote=*/true);
+  cluster_->end_update();
+}
+
+void DynamicForest::erase(VertexId x, VertexId y) {
+  cluster_->begin_update();
+  Prep p = prepare(x, y);
+  if (!p.edge_exists) {
+    cluster_->end_update();
+    return;
+  }
+  if (!p.edge.tree) {
+    const MachineId em = edge_machine(x, y);
+    cluster_->send(0, em, kDeleteRecord, {EdgeKey(x, y).u, EdgeKey(x, y).v});
+    cluster_->finish_round();
+    machines_[em].edges.erase(edge_key(x, y));
+    release_edge_record(em);
+    cluster_->end_update();
+    return;
+  }
+  delete_tree_edge(p, x, y);
+  cluster_->end_update();
+}
+
+bool DynamicForest::connected(VertexId u, VertexId v) {
+  cluster_->begin_update();
+  cluster_->send(0, vertex_machine(u), kQuery, {u});
+  if (vertex_machine(v) != vertex_machine(u)) {
+    cluster_->send(0, vertex_machine(v), kQuery, {v});
+  }
+  cluster_->finish_round();
+  const Word cu = machines_[vertex_machine(u)].vertices.at(u).comp;
+  const Word cv = machines_[vertex_machine(v)].vertices.at(v).comp;
+  cluster_->send(vertex_machine(u), 0, kQueryReply, {u, cu});
+  if (vertex_machine(v) != vertex_machine(u)) {
+    cluster_->send(vertex_machine(v), 0, kQueryReply, {v, cv});
+  }
+  cluster_->finish_round();
+  cluster_->end_update();
+  return cu == cv;
+}
+
+// ---------------------------------------------------------------------------
+// Driver-side introspection
+// ---------------------------------------------------------------------------
+
+std::vector<VertexId> DynamicForest::component_snapshot() const {
+  std::vector<Word> raw(config_.n);
+  for (const auto& ms : machines_) {
+    for (const auto& [v, rec] : ms.vertices) {
+      raw[static_cast<std::size_t>(v)] = rec.comp;
+    }
+  }
+  // Canonicalize to the smallest member vertex id.
+  std::map<Word, VertexId> smallest;
+  for (std::size_t v = 0; v < raw.size(); ++v) {
+    auto [it, inserted] =
+        smallest.emplace(raw[v], static_cast<VertexId>(v));
+    if (!inserted) it->second = std::min(it->second, static_cast<VertexId>(v));
+  }
+  std::vector<VertexId> out(config_.n);
+  for (std::size_t v = 0; v < raw.size(); ++v) out[v] = smallest[raw[v]];
+  return out;
+}
+
+Weight DynamicForest::forest_weight() const {
+  Weight total = 0;
+  for (const auto& ms : machines_) {
+    for (const auto& [k, rec] : ms.edges) {
+      if (rec.tree) total += rec.w;
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<VertexId, VertexId>> DynamicForest::tree_edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  for (const auto& ms : machines_) {
+    for (const auto& [k, rec] : ms.edges) {
+      if (rec.tree) out.emplace_back(rec.u, rec.v);
+    }
+  }
+  return out;
+}
+
+bool DynamicForest::validate(std::string* why) const {
+  auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // Collect per-component tree indexes and vertex data.
+  std::map<Word, std::map<EdgeKey, etour::EdgeIndexes>> comp_edges;
+  std::map<Word, std::set<VertexId>> comp_members;
+  std::map<VertexId, VertexRec> vrecs;
+  std::map<Word, Word> dir;
+  for (const auto& ms : machines_) {
+    for (const auto& [k, rec] : ms.edges) {
+      if (rec.crossing) return fail("unresolved crossing record");
+      if (rec.tree) {
+        comp_edges[rec.comp][EdgeKey(rec.u, rec.v)] =
+            etour::EdgeIndexes{rec.iu1, rec.iu2, rec.iv1, rec.iv2};
+      }
+    }
+    for (const auto& [v, rec] : ms.vertices) {
+      vrecs[v] = rec;
+      comp_members[rec.comp].insert(v);
+    }
+    for (const auto& [c, s] : ms.comp_sizes) dir[c] = s;
+  }
+  std::map<VertexId, std::set<Word>> global_appearances;
+  for (const auto& [comp, members] : comp_members) {
+    const auto dit = dir.find(comp);
+    if (dit == dir.end()) return fail("missing directory entry");
+    if (dit->second != static_cast<Word>(members.size())) {
+      return fail("directory size mismatch for component " +
+                  std::to_string(comp));
+    }
+    const Word elen = etour::elength(static_cast<Word>(members.size()));
+    std::map<Word, VertexId> tour;
+    std::set<Word> vertex_indexes_seen;
+    const auto eit = comp_edges.find(comp);
+    if (members.size() == 1) {
+      if (eit != comp_edges.end()) return fail("singleton with tree edges");
+      const VertexRec& vr = vrecs.at(*members.begin());
+      if (vr.cached_idx != etour::kNoIndex) {
+        return fail("singleton with a cached tour index");
+      }
+      continue;
+    }
+    if (eit == comp_edges.end()) return fail("component without tree edges");
+    std::map<VertexId, std::set<Word>> appearances;
+    for (const auto& [key, idx] : eit->second) {
+      for (auto [w, i] : {std::pair{key.u, idx.u1}, std::pair{key.u, idx.u2},
+                          std::pair{key.v, idx.v1}, std::pair{key.v, idx.v2}}) {
+        if (i < 1 || i > elen) return fail("tour index out of range");
+        if (!tour.emplace(i, w).second) return fail("duplicate tour index");
+        appearances[w].insert(i);
+      }
+    }
+    if (static_cast<Word>(tour.size()) != elen) {
+      return fail("tour incomplete for component " + std::to_string(comp));
+    }
+    // Closed-walk property.
+    std::vector<VertexId> seq;
+    seq.reserve(static_cast<std::size_t>(elen));
+    for (const auto& [i, w] : tour) seq.push_back(w);
+    if (seq.front() != seq.back()) return fail("tour not closed");
+    for (std::size_t k = 1; 2 * k < seq.size(); ++k) {
+      if (seq[2 * k - 1] != seq[2 * k]) return fail("tour walk broken");
+    }
+    for (std::size_t k = 0; 2 * k + 1 < seq.size(); ++k) {
+      const EdgeKey kk(seq[2 * k], seq[2 * k + 1]);
+      if (eit->second.count(kk) == 0) {
+        return fail("tour traverses a non-tree edge");
+      }
+    }
+    // Every member vertex appears, and cached indexes are genuine
+    // appearances.
+    for (VertexId v : members) {
+      const auto ait = appearances.find(v);
+      if (ait == appearances.end()) {
+        return fail("vertex " + std::to_string(v) + " missing from tour");
+      }
+      const VertexRec& vr = vrecs.at(v);
+      if (ait->second.count(vr.cached_idx) == 0) {
+        return fail("stale cached index for vertex " + std::to_string(v));
+      }
+      global_appearances[v] = ait->second;
+    }
+  }
+  // Non-tree records: component consistency and cached-appearance checks
+  // (a stale cached index would silently corrupt a future split's
+  // crossing detection, so this is the load-bearing invariant).
+  for (const auto& ms : machines_) {
+    for (const auto& [k, rec] : ms.edges) {
+      if (rec.tree) continue;
+      if (vrecs.at(rec.u).comp != rec.comp || vrecs.at(rec.v).comp != rec.comp) {
+        return fail("non-tree record with inconsistent component");
+      }
+      if (global_appearances[rec.u].count(rec.iu1) == 0 ||
+          global_appearances[rec.v].count(rec.iv1) == 0) {
+        return fail("stale cached index on non-tree edge (" +
+                    std::to_string(rec.u) + "," + std::to_string(rec.v) + ")");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace core

@@ -1,0 +1,220 @@
+// Fully-dynamic connected components and (1+eps)-approximate MST in the
+// DMPC model (paper, Section 5 and 5.1).
+//
+// State distribution (vertex/edge partitioned, all O(sqrt N) per machine):
+//   * every graph edge (tree or non-tree) has one record on machine
+//     hash(edge) % mu holding: component id, tree flag, weight, and tour
+//     indexes — for tree edges the 4 appearances the edge owns, for
+//     non-tree edges one *cached* tour index per endpoint (any appearance
+//     of that endpoint; a subtree occupies a contiguous index interval, so
+//     any single index decides subtree membership — the paper's trick for
+//     avoiding O(N) neighbour refresh traffic);
+//   * every vertex has a record on machine (v % mu) holding its component
+//     id and one cached tour index;
+//   * every component has a directory record on machine (comp % mu)
+//     holding its size (hence ELength = 4(size-1));
+//   * machine 0 is the ingress: updates enter there and it orchestrates
+//     the O(1)-round protocols (it is the paper's "messages from x and y
+//     to all other machines" sender).
+//
+// Per-update protocol shapes (all O(1) rounds, O(sqrt N) active machines,
+// O(sqrt N) words per round — Table 1 rows "Connected comps" and
+// "(1+eps)-MST"):
+//   insert(x,y), different components:    prepare (4 rounds: broadcast,
+//     f/l+component replies, directory query, reply) then one merge
+//     broadcast round applying reroot+splice transforms locally on every
+//     machine, then one record/directory round.
+//   insert(x,y), same component (MST):    prepare, path-max search
+//     (broadcast + proposals), then a combined swap broadcast performing
+//     split+merge in one local pass if the cycle rule fires.
+//   delete tree edge:                     prepare, split broadcast,
+//     crossing-candidate gather, optional replacement merge (its own
+//     prepare + broadcast).
+//
+// Preprocessing ("starts from an arbitrary graph") computes a spanning
+// forest — bucketed by (1+eps) weight classes for the MST variant — builds
+// each tree's E-tour, distributes the records, and charges the O(log n)
+// rounds / O(N) words of the contraction algorithm the paper builds on
+// ([3] + the Section 5 parallel merge; see DESIGN.md on charged rounds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dmpc/cluster.hpp"
+#include "etour/transforms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace core {
+
+using dmpc::MachineId;
+using dmpc::VertexId;
+using dmpc::Word;
+using graph::EdgeKey;
+using graph::Weight;
+
+struct DynForestConfig {
+  std::size_t n = 0;         ///< number of vertices
+  std::size_t m_cap = 0;     ///< maximum number of edges over the run
+  bool weighted = false;     ///< MST variant if true
+  double eps = 0.1;          ///< MST approximation slack (bucketing)
+  double memory_slack = 32;  ///< S = slack * sqrt(N) words per machine
+};
+
+class DynamicForest {
+ public:
+  explicit DynamicForest(const DynForestConfig& config);
+
+  /// Loads an initial graph, builds the spanning forest (bucketed for the
+  /// MST variant) and its E-tours, distributes all records, and charges
+  /// the O(log n)-round preprocessing cost.
+  void preprocess(const graph::WeightedEdgeList& edges);
+  void preprocess(const graph::EdgeList& edges);
+
+  /// Fully-dynamic updates; each runs the O(1)-round protocol and is
+  /// wrapped in begin_update()/end_update() for metrics.
+  void insert(VertexId x, VertexId y, Weight w = 1);
+  void erase(VertexId x, VertexId y);
+
+  /// Connectivity query (2 rounds through the ingress).
+  bool connected(VertexId u, VertexId v);
+
+  [[nodiscard]] std::size_t num_machines() const;
+  [[nodiscard]] dmpc::Cluster& cluster() { return *cluster_; }
+  [[nodiscard]] const dmpc::Cluster& cluster() const { return *cluster_; }
+
+  // --- driver-side introspection for tests and oracles (does not touch
+  // --- the cluster's accounting) -----------------------------------------
+
+  /// Component label of every vertex, canonicalized to the smallest
+  /// vertex id per component.
+  [[nodiscard]] std::vector<VertexId> component_snapshot() const;
+
+  /// Total weight of the maintained spanning forest (MST variant).
+  [[nodiscard]] Weight forest_weight() const;
+
+  /// All maintained tree edges.
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> tree_edges() const;
+
+  /// Structural validation: rebuilds every component's tour from the
+  /// distributed records and checks the E-tour invariants, the cached
+  /// vertex indexes, and the directory sizes.  Returns false + reason on
+  /// violation.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+
+ private:
+  struct EdgeRec {
+    VertexId u = dmpc::kNoVertex;  // canonical u < v
+    VertexId v = dmpc::kNoVertex;
+    Word comp = -1;
+    bool tree = false;
+    Weight w = 1;
+    // Tree edges: the 4 tour indexes the edge owns (two per endpoint).
+    // Non-tree edges: iu1 / iv1 cache one tour index per endpoint.
+    Word iu1 = 0, iu2 = 0, iv1 = 0, iv2 = 0;
+    // Crossing bookkeeping during a split: which endpoints landed in the
+    // split-off subtree.
+    bool crossing = false;
+    bool u_in_subtree = false;
+    bool v_in_subtree = false;
+  };
+
+  struct VertexRec {
+    Word comp = -1;
+    Word cached_idx = etour::kNoIndex;
+  };
+
+  struct MachineState {
+    std::unordered_map<std::uint64_t, EdgeRec> edges;
+    std::unordered_map<VertexId, VertexRec> vertices;
+    std::unordered_map<Word, Word> comp_sizes;  // directory shard
+  };
+
+  // Result of the prepare phase for an update touching (x, y).
+  struct Prep {
+    Word cx = -1, cy = -1;
+    Word fx = 0, lx = 0, fy = 0, ly = 0;
+    Word size_cx = 1, size_cy = 1;
+    bool edge_exists = false;
+    EdgeRec edge;  // valid if edge_exists
+  };
+
+  // Parameters of a merge broadcast: link (x, y) where y's tree becomes
+  // the spliced subtree.
+  struct MergeBcast {
+    Word cx, cy;
+    VertexId x, y;
+    bool reroot;       // y was not the root of its tree
+    Word reroot_l_y;   // l(y) before rerooting
+    Word elen_ty;      // ELength of y's tree (= l(y) after reroot)
+    Word f_x;          // f(x) (0 when x is a singleton)
+    Word cached_x;     // new cached index for x's vertex record
+    Word cached_y;     // ... and y's
+    bool resolve_crossing;  // clear crossing marks into comp cx
+  };
+
+  // Parameters of a split broadcast: cut tree edge (parent, child).
+  struct SplitBcast {
+    Word comp;       // the component being split
+    Word new_comp;   // id assigned to the subtree side
+    VertexId parent, child;
+    Word f_c, l_c;   // the subtree interval
+    Word cached_parent, cached_child;  // refreshed cached indexes
+  };
+
+  [[nodiscard]] std::uint64_t edge_key(VertexId u, VertexId v) const;
+  [[nodiscard]] MachineId edge_machine(VertexId u, VertexId v) const;
+  [[nodiscard]] MachineId vertex_machine(VertexId v) const {
+    return static_cast<MachineId>(static_cast<std::uint64_t>(v) %
+                                  machines_.size());
+  }
+  [[nodiscard]] MachineId dir_machine(Word comp) const {
+    return static_cast<MachineId>(static_cast<std::uint64_t>(comp) %
+                                  machines_.size());
+  }
+
+  /// Rounds 1-4 of every update: broadcast (x,y), gather f/l + component
+  /// replies, query the directory, gather sizes.
+  Prep prepare(VertexId x, VertexId y);
+
+  /// One broadcast round applying the merge transform on every machine.
+  void run_merge(const MergeBcast& mb);
+  /// One broadcast round applying the split transform on every machine.
+  void run_split(const SplitBcast& sb);
+
+  /// Applies the merge/split index transforms to one machine's state.
+  /// (The MST cycle-rule swap composes these two: the displaced edge is
+  /// demoted to a crossing non-tree record and the replacement search
+  /// re-links the parts — see delete_tree_edge.)
+  void apply_merge_local(MachineState& ms, const MergeBcast& mb);
+  void apply_split_local(MachineState& ms, const SplitBcast& sb);
+
+  void insert_nontree_record(const Prep& p, VertexId x, VertexId y, Weight w);
+  void link_components(const Prep& p, VertexId x, VertexId y, Weight w);
+  /// Cuts tree edge (x, y), searches for a replacement, re-links if one
+  /// exists.  With `demote` (the MST cycle rule) the edge stays in the
+  /// graph as a non-tree record and competes in the replacement search;
+  /// otherwise its record is deleted.
+  void delete_tree_edge(const Prep& p, VertexId x, VertexId y,
+                        bool demote = false);
+
+  /// Memory accounting helpers.
+  void charge_edge_record(MachineId m);
+  void release_edge_record(MachineId m);
+
+  DynForestConfig config_;
+  std::unique_ptr<dmpc::Cluster> cluster_;
+  std::vector<MachineState> machines_;
+  Word next_comp_id_;  // ingress-local state (machine 0)
+
+  static constexpr Word kEdgeRecWords = 12;
+  static constexpr Word kVertexRecWords = 3;
+  static constexpr Word kDirRecWords = 2;
+};
+
+}  // namespace core

@@ -1,0 +1,173 @@
+#include "core/static_baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+#include "oracle/dsu.hpp"
+
+namespace core {
+namespace {
+
+void charge_iteration(dmpc::Cluster& cluster, dmpc::WordCount words,
+                      StaticRunStats& stats) {
+  dmpc::RoundRecord rec;
+  rec.active_machines = cluster.size();
+  rec.comm_words = words;
+  rec.messages = cluster.size();
+  cluster.charge_round(rec);
+  ++stats.rounds;
+  stats.active_machines = cluster.size();
+  stats.comm_words = std::max(stats.comm_words, words);
+}
+
+}  // namespace
+
+StaticRunStats static_connected_components(dmpc::Cluster& cluster,
+                                           std::size_t n,
+                                           const graph::EdgeList& edges,
+                                           std::vector<graph::VertexId>* out,
+                                           std::uint64_t seed) {
+  StaticRunStats stats;
+  std::mt19937_64 rng(seed);
+  std::vector<graph::VertexId> label(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    label[v] = static_cast<graph::VertexId>(v);
+  }
+  // Iterative random-coin star contraction: heads-labelled components
+  // hook onto adjacent tails; O(log n) iterations with high probability.
+  for (;;) {
+    bool merged_any = false;
+    std::vector<bool> heads(n);
+    for (std::size_t v = 0; v < n; ++v) heads[v] = (rng() & 1) != 0;
+    std::vector<graph::VertexId> hook(n, dmpc::kNoVertex);
+    for (auto [u, v] : edges) {
+      const auto lu = static_cast<std::size_t>(label[static_cast<std::size_t>(u)]);
+      const auto lv = static_cast<std::size_t>(label[static_cast<std::size_t>(v)]);
+      if (lu == lv) continue;
+      if (heads[lu] && !heads[lv]) hook[lu] = static_cast<graph::VertexId>(lv);
+      if (heads[lv] && !heads[lu]) hook[lv] = static_cast<graph::VertexId>(lu);
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      if (hook[c] != dmpc::kNoVertex) merged_any = true;
+    }
+    charge_iteration(cluster, 2 * edges.size() + n, stats);
+    if (!merged_any) break;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto l = static_cast<std::size_t>(label[v]);
+      if (hook[l] != dmpc::kNoVertex) label[v] = hook[l];
+    }
+    // Pointer-jump once per iteration to keep labels shallow.
+    for (std::size_t v = 0; v < n; ++v) {
+      label[v] = label[static_cast<std::size_t>(label[v])];
+    }
+  }
+  // Canonicalize to smallest member id.
+  oracle::Dsu dsu(n);
+  for (auto [u, v] : edges) {
+    dsu.unite(static_cast<std::size_t>(u), static_cast<std::size_t>(v));
+  }
+  std::vector<graph::VertexId> smallest(n, dmpc::kNoVertex);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t r = dsu.find(v);
+    if (smallest[r] == dmpc::kNoVertex) {
+      smallest[r] = static_cast<graph::VertexId>(v);
+    }
+  }
+  if (out != nullptr) {
+    out->resize(n);
+    for (std::size_t v = 0; v < n; ++v) (*out)[v] = smallest[dsu.find(v)];
+  }
+  return stats;
+}
+
+StaticRunStats static_maximal_matching(dmpc::Cluster& cluster, std::size_t n,
+                                       const graph::EdgeList& edges,
+                                       oracle::Matching* out,
+                                       std::uint64_t seed) {
+  StaticRunStats stats;
+  std::mt19937_64 rng(seed);
+  oracle::Matching mate(n, dmpc::kNoVertex);
+  std::vector<char> alive(edges.size(), 1);
+  bool any_alive = true;
+  while (any_alive) {
+    // Israeli–Itai round: every live edge proposes with a random value;
+    // a vertex accepts its best proposal; mutually accepted edges join
+    // the matching; saturated edges die.
+    std::vector<std::pair<std::uint64_t, std::size_t>> best(
+        n, {std::numeric_limits<std::uint64_t>::max(), SIZE_MAX});
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      const std::uint64_t r = rng();
+      const auto u = static_cast<std::size_t>(edges[i].first);
+      const auto v = static_cast<std::size_t>(edges[i].second);
+      if (r < best[u].first) best[u] = {r, i};
+      if (r < best[v].first) best[v] = {r, i};
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t i = best[v].second;
+      if (i == SIZE_MAX || !alive[i]) continue;
+      const auto a = static_cast<std::size_t>(edges[i].first);
+      const auto b = static_cast<std::size_t>(edges[i].second);
+      if (best[a].second == i && best[b].second == i &&
+          mate[a] == dmpc::kNoVertex && mate[b] == dmpc::kNoVertex) {
+        mate[a] = static_cast<graph::VertexId>(b);
+        mate[b] = static_cast<graph::VertexId>(a);
+      }
+    }
+    any_alive = false;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      const auto u = static_cast<std::size_t>(edges[i].first);
+      const auto v = static_cast<std::size_t>(edges[i].second);
+      if (mate[u] != dmpc::kNoVertex || mate[v] != dmpc::kNoVertex) {
+        alive[i] = 0;
+      } else {
+        any_alive = true;
+      }
+    }
+    charge_iteration(cluster, 2 * edges.size() + n, stats);
+  }
+  if (out != nullptr) *out = std::move(mate);
+  return stats;
+}
+
+StaticRunStats static_msf(dmpc::Cluster& cluster, std::size_t n,
+                          const graph::WeightedEdgeList& edges,
+                          graph::Weight* out_weight) {
+  StaticRunStats stats;
+  oracle::Dsu dsu(n);
+  graph::Weight total = 0;
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Boruvka iteration: each component selects its minimum outgoing
+    // edge; all selected edges are contracted simultaneously.
+    std::vector<std::size_t> best(n, SIZE_MAX);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const std::size_t ru = dsu.find(static_cast<std::size_t>(edges[i].u));
+      const std::size_t rv = dsu.find(static_cast<std::size_t>(edges[i].v));
+      if (ru == rv) continue;
+      for (std::size_t r : {ru, rv}) {
+        if (best[r] == SIZE_MAX || edges[i].w < edges[best[r]].w ||
+            (edges[i].w == edges[best[r]].w && i < best[r])) {
+          best[r] = i;
+        }
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t i = best[r];
+      if (i == SIZE_MAX) continue;
+      if (dsu.unite(static_cast<std::size_t>(edges[i].u),
+                    static_cast<std::size_t>(edges[i].v))) {
+        total += edges[i].w;
+        merged = true;
+      }
+    }
+    charge_iteration(cluster, 3 * edges.size() + n, stats);
+  }
+  if (out_weight != nullptr) *out_weight = total;
+  return stats;
+}
+
+}  // namespace core

@@ -1,0 +1,100 @@
+#include "dmpc/cluster.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace dmpc {
+
+Cluster::Cluster(std::size_t num_machines, WordCount words_per_machine)
+    : capacity_(words_per_machine),
+      memories_(num_machines, MemoryMeter(words_per_machine)),
+      inboxes_(num_machines) {}
+
+void Cluster::check_machine(MachineId m, const char* what) const {
+  if (m >= memories_.size()) {
+    throw std::out_of_range(std::string(what) + ": machine id " +
+                            std::to_string(m) + " out of range (cluster has " +
+                            std::to_string(memories_.size()) + " machines)");
+  }
+}
+
+void Cluster::send(MachineId from, MachineId to, Message msg) {
+  check_machine(from, "send(from)");
+  check_machine(to, "send(to)");
+  msg.from = from;
+  msg.to = to;
+  staged_.push_back(std::move(msg));
+}
+
+void Cluster::send(MachineId from, MachineId to, Word tag,
+                   std::vector<Word> payload) {
+  Message msg;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  send(from, to, std::move(msg));
+}
+
+RoundRecord Cluster::finish_round() {
+  // Per-machine sent/received word counts for the cap check.
+  std::vector<WordCount> sent(memories_.size(), 0);
+  std::vector<WordCount> received(memories_.size(), 0);
+  std::set<MachineId> active;
+
+  RoundRecord rec;
+  for (auto& in : inboxes_) in.clear();
+
+  for (Message& msg : staged_) {
+    const WordCount cost = msg.cost_words();
+    sent[msg.from] += cost;
+    received[msg.to] += cost;
+    active.insert(msg.from);
+    active.insert(msg.to);
+    rec.comm_words += cost;
+    ++rec.messages;
+    metrics_.record_pair_traffic(msg.from, msg.to, cost);
+    inboxes_[msg.to].push_back(std::move(msg));
+  }
+  staged_.clear();
+
+  for (MachineId m = 0; m < memories_.size(); ++m) {
+    if (sent[m] > capacity_) {
+      throw CommOverflowError("machine " + std::to_string(m) + " sent " +
+                              std::to_string(sent[m]) + " words in one round (cap " +
+                              std::to_string(capacity_) + ")");
+    }
+    if (received[m] > capacity_) {
+      throw CommOverflowError("machine " + std::to_string(m) + " received " +
+                              std::to_string(received[m]) +
+                              " words in one round (cap " +
+                              std::to_string(capacity_) + ")");
+    }
+  }
+
+  rec.active_machines = active.size();
+  metrics_.record_round(rec);
+  return rec;
+}
+
+const std::vector<Message>& Cluster::inbox(MachineId m) const {
+  check_machine(m, "inbox");
+  return inboxes_[m];
+}
+
+MemoryMeter& Cluster::memory(MachineId m) {
+  check_machine(m, "memory");
+  return memories_[m];
+}
+
+const MemoryMeter& Cluster::memory(MachineId m) const {
+  check_machine(m, "memory");
+  return memories_[m];
+}
+
+WordCount Cluster::max_memory_high_water() const {
+  WordCount hw = 0;
+  for (const auto& mem : memories_) hw = std::max(hw, mem.high_water());
+  return hw;
+}
+
+}  // namespace dmpc

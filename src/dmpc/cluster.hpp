@@ -1,0 +1,91 @@
+// The DMPC cluster: mu machines with S words of memory each, communicating
+// in synchronous rounds (paper, Section 2).
+//
+// Usage pattern of an algorithm step:
+//   cluster.begin_update();
+//   cluster.send(a, b, msg); cluster.send(c, d, msg2);   // stage round 1
+//   cluster.finish_round();                              // deliver + account
+//   ... read inboxes, stage round 2 ...
+//   cluster.finish_round();
+//   cluster.end_update();
+//
+// The cluster enforces the model's communication cap: each machine may send
+// and receive at most S words per round.  A machine is "active" in a round
+// iff it sends or receives at least one message.  Machine-local algorithm
+// state lives outside the cluster (in the algorithm's own per-machine
+// structures) but must be charged against the machine's MemoryMeter via
+// memory(m).charge()/release().
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dmpc/memory.hpp"
+#include "dmpc/message.hpp"
+#include "dmpc/metrics.hpp"
+#include "dmpc/types.hpp"
+
+namespace dmpc {
+
+class CommOverflowError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Cluster {
+ public:
+  /// Creates `num_machines` machines with `words_per_machine` memory each.
+  Cluster(std::size_t num_machines, WordCount words_per_machine);
+
+  [[nodiscard]] std::size_t size() const { return memories_.size(); }
+  [[nodiscard]] WordCount machine_capacity() const { return capacity_; }
+
+  /// Stage a message for delivery at the end of the current round.
+  void send(MachineId from, MachineId to, Message msg);
+
+  /// Convenience: tag-only or tag+payload staging.
+  void send(MachineId from, MachineId to, Word tag, std::vector<Word> payload);
+
+  /// Deliver all staged messages, enforce per-machine send/receive caps,
+  /// record the round in the metrics, and make messages available in the
+  /// recipients' inboxes (replacing the previous round's inboxes).
+  RoundRecord finish_round();
+
+  /// Inbox of machine `m`: the messages delivered at the last
+  /// finish_round().  Cleared by the next finish_round().
+  [[nodiscard]] const std::vector<Message>& inbox(MachineId m) const;
+
+  /// Records a synthetic round without simulating its individual messages.
+  /// Used only by the primitives layer for operations the paper cites as
+  /// O(1)-round black boxes (sorting, searching, prefix sums; Goodrich et
+  /// al. [19]); the caller supplies the round's activity and traffic so the
+  /// accounting stays honest.
+  void charge_round(const RoundRecord& rec) { metrics_.record_round(rec); }
+
+  /// Memory meter of machine `m`.
+  MemoryMeter& memory(MachineId m);
+  [[nodiscard]] const MemoryMeter& memory(MachineId m) const;
+
+  void begin_update() { metrics_.begin_update(); }
+  UpdateRecord end_update() { return metrics_.end_update(); }
+
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  Metrics& metrics() { return metrics_; }
+
+  /// Highest memory high-water mark across machines (model compliance
+  /// checks in tests).
+  [[nodiscard]] WordCount max_memory_high_water() const;
+
+ private:
+  void check_machine(MachineId m, const char* what) const;
+
+  WordCount capacity_;
+  std::vector<MemoryMeter> memories_;
+  std::vector<Message> staged_;
+  std::vector<std::vector<Message>> inboxes_;
+  Metrics metrics_;
+};
+
+}  // namespace dmpc

@@ -1,0 +1,57 @@
+// Per-machine memory accounting.
+//
+// The DMPC model's defining restriction is that each machine holds at most
+// S = O(sqrt(N)) words (paper, Section 2).  Algorithms charge the words
+// they store on a machine against that machine's MemoryMeter; exceeding the
+// cap throws, so the test suite can prove that every algorithm fits.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "dmpc/types.hpp"
+
+namespace dmpc {
+
+class MemoryOverflowError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class MemoryMeter {
+ public:
+  MemoryMeter() = default;
+  explicit MemoryMeter(WordCount capacity_words)
+      : capacity_(capacity_words) {}
+
+  /// Charge `words` of storage.  Throws MemoryOverflowError when the
+  /// machine would exceed its capacity.
+  void charge(WordCount words) {
+    used_ += words;
+    if (used_ > capacity_) {
+      throw MemoryOverflowError("machine memory overflow: used " +
+                                std::to_string(used_) + " of " +
+                                std::to_string(capacity_) + " words");
+    }
+    if (used_ > high_water_) high_water_ = used_;
+  }
+
+  /// Release previously charged storage.
+  void release(WordCount words) {
+    used_ = words > used_ ? 0 : used_ - words;
+  }
+
+  [[nodiscard]] WordCount used() const { return used_; }
+  [[nodiscard]] WordCount capacity() const { return capacity_; }
+  [[nodiscard]] WordCount high_water() const { return high_water_; }
+  [[nodiscard]] WordCount free() const {
+    return used_ >= capacity_ ? 0 : capacity_ - used_;
+  }
+
+ private:
+  WordCount capacity_ = 0;
+  WordCount used_ = 0;
+  WordCount high_water_ = 0;
+};
+
+}  // namespace dmpc

@@ -1,0 +1,47 @@
+// Messages exchanged between DMPC machines.
+//
+// A message carries a small integer tag (protocol step discriminator) and a
+// payload of words.  Its communication cost is `payload.size() + 1`: the tag
+// travels in one header word, matching the paper's convention that an O(1)
+// size message costs O(1) communication.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dmpc/types.hpp"
+
+namespace dmpc {
+
+struct Message {
+  MachineId from = kNoMachine;
+  MachineId to = kNoMachine;
+  Word tag = 0;
+  std::vector<Word> payload;
+
+  [[nodiscard]] WordCount cost_words() const { return payload.size() + 1; }
+};
+
+/// Incrementally builds a message payload.  Keeps call sites terse:
+///   cluster.send(a, b, MsgBuilder{kTagX}.add(u).add(v).take());
+class MsgBuilder {
+ public:
+  explicit MsgBuilder(Word tag) { msg_.tag = tag; }
+
+  MsgBuilder& add(Word w) {
+    msg_.payload.push_back(w);
+    return *this;
+  }
+
+  MsgBuilder& add_range(const std::vector<Word>& ws) {
+    msg_.payload.insert(msg_.payload.end(), ws.begin(), ws.end());
+    return *this;
+  }
+
+  [[nodiscard]] Message take() && { return std::move(msg_); }
+
+ private:
+  Message msg_;
+};
+
+}  // namespace dmpc

@@ -1,0 +1,30 @@
+#include "dmpc/metrics.hpp"
+
+#include <cmath>
+
+namespace dmpc {
+
+double Metrics::pair_entropy_bits() const {
+  WordCount total = 0;
+  for (const auto& [pair, words] : pair_traffic_) total += words;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [pair, words] : pair_traffic_) {
+    if (words == 0) continue;
+    const double p =
+        static_cast<double>(words) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+void Metrics::reset() {
+  rounds_.clear();
+  current_ = UpdateRecord{};
+  last_update_ = UpdateRecord{};
+  in_update_ = false;
+  aggregate_ = UpdateAggregate{};
+  pair_traffic_.clear();
+}
+
+}  // namespace dmpc

@@ -1,0 +1,139 @@
+// Complexity accounting for the DMPC model.
+//
+// The paper (Section 2) characterizes a dynamic DMPC algorithm by three
+// per-update quantities, all of which we record exactly:
+//   (1) the number of rounds required to update the solution,
+//   (2) the number of machines that are active per round,
+//   (3) the total amount of data communicated per round.
+// Section 8 additionally proposes an entropy metric over the distribution
+// of communicated words across (sender, receiver) machine pairs; we record
+// the per-pair histogram so benches can compute it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "dmpc/types.hpp"
+
+namespace dmpc {
+
+/// Accounting for one synchronous communication round.
+struct RoundRecord {
+  std::uint64_t active_machines = 0;  ///< machines sending or receiving
+  WordCount comm_words = 0;           ///< total words moved this round
+  std::uint64_t messages = 0;         ///< number of messages delivered
+};
+
+/// Accounting for one update operation (a group of rounds).
+struct UpdateRecord {
+  std::uint64_t rounds = 0;
+  std::uint64_t max_active_machines = 0;  ///< max over the update's rounds
+  WordCount max_comm_words = 0;           ///< max over the update's rounds
+  WordCount total_comm_words = 0;
+};
+
+/// Aggregate over a sequence of updates: worst-case and totals, which is
+/// what Table 1's worst-case bounds talk about.
+struct UpdateAggregate {
+  std::uint64_t updates = 0;
+  std::uint64_t worst_rounds = 0;
+  std::uint64_t worst_active_machines = 0;
+  WordCount worst_comm_words = 0;
+  std::uint64_t total_rounds = 0;
+  WordCount total_comm_words = 0;
+
+  void absorb(const UpdateRecord& u) {
+    ++updates;
+    if (u.rounds > worst_rounds) worst_rounds = u.rounds;
+    if (u.max_active_machines > worst_active_machines) {
+      worst_active_machines = u.max_active_machines;
+    }
+    if (u.max_comm_words > worst_comm_words) {
+      worst_comm_words = u.max_comm_words;
+    }
+    total_rounds += u.rounds;
+    total_comm_words += u.total_comm_words;
+  }
+
+  [[nodiscard]] double mean_rounds() const {
+    return updates == 0 ? 0.0
+                        : static_cast<double>(total_rounds) /
+                              static_cast<double>(updates);
+  }
+};
+
+/// Full metrics stream attached to a Cluster.
+class Metrics {
+ public:
+  void begin_update() {
+    current_ = UpdateRecord{};
+    in_update_ = true;
+  }
+
+  UpdateRecord end_update() {
+    in_update_ = false;
+    aggregate_.absorb(current_);
+    last_update_ = current_;
+    return current_;
+  }
+
+  void record_round(const RoundRecord& r) { record_rounds(r, 1); }
+
+  /// Records `count` identical rounds at once (the Section 7 reduction
+  /// charges one round per memory access, which can be thousands per
+  /// update; only one representative entry is kept in the round list).
+  void record_rounds(const RoundRecord& r, std::uint64_t count) {
+    if (count == 0) return;
+    rounds_.push_back(r);
+    if (in_update_) {
+      current_.rounds += count;
+      if (r.active_machines > current_.max_active_machines) {
+        current_.max_active_machines = r.active_machines;
+      }
+      if (r.comm_words > current_.max_comm_words) {
+        current_.max_comm_words = r.comm_words;
+      }
+      current_.total_comm_words += r.comm_words * count;
+    }
+  }
+
+  void record_pair_traffic(MachineId from, MachineId to, WordCount words) {
+    pair_traffic_[{from, to}] += words;
+  }
+
+  [[nodiscard]] const std::vector<RoundRecord>& rounds() const {
+    return rounds_;
+  }
+  [[nodiscard]] const UpdateAggregate& aggregate() const { return aggregate_; }
+  [[nodiscard]] const UpdateRecord& last_update() const {
+    return last_update_;
+  }
+  [[nodiscard]] const std::map<std::pair<MachineId, MachineId>, WordCount>&
+  pair_traffic() const {
+    return pair_traffic_;
+  }
+
+  /// Shannon entropy (bits) of the normalized per-(sender,receiver)
+  /// communication distribution — the Section 8 metric.  Higher means the
+  /// traffic is spread more uniformly across machine pairs; coordinator
+  /// algorithms concentrate traffic and score lower relative to the
+  /// maximum attainable entropy log2(#pairs-used).
+  [[nodiscard]] double pair_entropy_bits() const;
+
+  /// Resets the per-update aggregate and pair traffic (keeps nothing).
+  /// Used by benches to separate the preprocessing phase from the update
+  /// phase.
+  void reset();
+
+ private:
+  std::vector<RoundRecord> rounds_;
+  UpdateRecord current_{};
+  UpdateRecord last_update_{};
+  bool in_update_ = false;
+  UpdateAggregate aggregate_{};
+  std::map<std::pair<MachineId, MachineId>, WordCount> pair_traffic_;
+};
+
+}  // namespace dmpc

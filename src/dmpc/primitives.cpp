@@ -1,0 +1,56 @@
+#include "dmpc/primitives.hpp"
+
+namespace dmpc {
+
+RoundRecord broadcast(Cluster& cluster, MachineId from, Word tag,
+                      const std::vector<Word>& payload) {
+  for (MachineId m = 0; m < cluster.size(); ++m) {
+    if (m == from) continue;
+    cluster.send(from, m, tag, payload);
+  }
+  return cluster.finish_round();
+}
+
+RoundRecord broadcast_to(Cluster& cluster, MachineId from, Word tag,
+                         const std::vector<Word>& payload,
+                         const std::vector<MachineId>& targets) {
+  for (MachineId m : targets) {
+    if (m == from) continue;
+    cluster.send(from, m, tag, payload);
+  }
+  return cluster.finish_round();
+}
+
+RoundRecord gather(Cluster& cluster, const std::vector<MachineId>& senders,
+                   MachineId root, Word tag,
+                   const std::vector<std::vector<Word>>& payloads) {
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    if (payloads[i].empty()) continue;
+    cluster.send(senders[i], root, tag, payloads[i]);
+  }
+  return cluster.finish_round();
+}
+
+void charge_sort(Cluster& cluster, std::uint64_t machines,
+                 WordCount total_words) {
+  for (std::uint64_t r = 0; r < kSortRounds; ++r) {
+    RoundRecord rec;
+    rec.active_machines = machines;
+    rec.comm_words = total_words;
+    rec.messages = machines;
+    cluster.charge_round(rec);
+  }
+}
+
+void charge_prefix_sum(Cluster& cluster, std::uint64_t machines) {
+  RoundRecord rec;
+  rec.active_machines = machines;
+  rec.comm_words = 2 * machines * machines >
+                           cluster.machine_capacity() * machines
+                       ? cluster.machine_capacity() * machines
+                       : 2 * machines * machines;
+  rec.messages = machines * machines;
+  cluster.charge_round(rec);
+}
+
+}  // namespace dmpc

@@ -1,0 +1,53 @@
+// MPC communication primitives over a Cluster.
+//
+// These are the building blocks the paper uses implicitly: one-to-all
+// broadcast of O(1) words, all-to-one gather of one short message per
+// machine, and the O(1)-round sort / prefix-sum primitives it cites from
+// Goodrich, Sitchinava and Zhang [19].  Each primitive performs real
+// message traffic (and hence real accounting) except where noted.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dmpc/cluster.hpp"
+
+namespace dmpc {
+
+/// One machine sends the same O(1)-size payload to every other machine
+/// (1 round; `from` plus all recipients are active; O(#machines) words).
+/// Returns the round record.
+RoundRecord broadcast(Cluster& cluster, MachineId from, Word tag,
+                      const std::vector<Word>& payload);
+
+/// Broadcast to an explicit subset of machines.
+RoundRecord broadcast_to(Cluster& cluster, MachineId from, Word tag,
+                         const std::vector<Word>& payload,
+                         const std::vector<MachineId>& targets);
+
+/// Every machine in `senders` sends its (short) payload to `root`
+/// (1 round).  `payloads[i]` goes with `senders[i]`; empty payloads are
+/// skipped entirely, so machines with nothing to report stay inactive —
+/// this is what keeps replacement-edge searches within the comm cap.
+RoundRecord gather(Cluster& cluster, const std::vector<MachineId>& senders,
+                   MachineId root, Word tag,
+                   const std::vector<std::vector<Word>>& payloads);
+
+/// Charges the round cost of sorting `total_words` of data distributed
+/// over `machines` machines.  The paper treats MPC sorting as an O(1)
+/// round primitive [19]; we charge `kSortRounds` rounds in which all the
+/// involved machines are active and all the data is shuffled once per
+/// round.  The actual reordering of the caller's data is done by the
+/// caller (driver side) — only the accounting flows through here.
+inline constexpr std::uint64_t kSortRounds = 3;
+void charge_sort(Cluster& cluster, std::uint64_t machines,
+                 WordCount total_words);
+
+/// Charges the round cost of a parallel prefix sum over one short value
+/// per machine (1 round, all-to-all of O(1)-size messages; the paper's
+/// preprocessing in Section 5 uses exactly this pattern:
+/// "Each machine sends a message of constant size to each other machine.
+/// Hence, all messages can be sent in one round.").
+void charge_prefix_sum(Cluster& cluster, std::uint64_t machines);
+
+}  // namespace dmpc

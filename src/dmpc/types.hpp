@@ -1,0 +1,34 @@
+// Fundamental identifier and unit types of the DMPC model.
+//
+// The DMPC model (paper, Section 2) measures memory and communication in
+// machine words.  A word holds any O(1)-size value used by the algorithms:
+// a vertex id, a tour index, an edge weight, a component id.  We fix a word
+// to a signed 64-bit integer so that index arithmetic (which is modular and
+// may transiently go negative during the Euler-tour transformations) is
+// exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace dmpc {
+
+/// Index of a machine in the cluster.  Machine 0 conventionally acts as the
+/// coordinator for algorithms that use one (paper, Section 2, "Use of a
+/// coordinator").
+using MachineId = std::uint32_t;
+
+/// One machine word: the unit of memory and of communication.
+using Word = std::int64_t;
+
+/// Counts of words (memory capacities, communication volumes).
+using WordCount = std::uint64_t;
+
+/// Vertex identifiers.  The paper assumes vertices carry ids in [0, n).
+using VertexId = std::int64_t;
+
+inline constexpr MachineId kNoMachine = std::numeric_limits<MachineId>::max();
+inline constexpr VertexId kNoVertex = -1;
+
+}  // namespace dmpc

@@ -1,0 +1,330 @@
+#include "etour/euler_forest.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace etour {
+namespace {
+
+std::string edge_str(VertexId u, VertexId v) {
+  return "(" + std::to_string(u) + "," + std::to_string(v) + ")";
+}
+
+}  // namespace
+
+EulerForest::EulerForest(std::size_t n) : comp_(n), tree_adj_(n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    comp_[v] = static_cast<Word>(v);
+    comp_size_[static_cast<Word>(v)] = 1;
+  }
+}
+
+Word EulerForest::component_size(VertexId v) const {
+  return comp_size_.at(component(v));
+}
+
+std::vector<Word> EulerForest::indexes_of(VertexId v) const {
+  std::vector<Word> out;
+  for (VertexId nb : tree_adj_[static_cast<std::size_t>(v)]) {
+    const EdgeKey key(v, nb);
+    const EdgeIndexes& idx = edges_.at(key);
+    if (key.u == v) {
+      out.push_back(idx.u1);
+      out.push_back(idx.u2);
+    } else {
+      out.push_back(idx.v1);
+      out.push_back(idx.v2);
+    }
+  }
+  return out;
+}
+
+Word EulerForest::first_index(VertexId v) const {
+  const auto idx = indexes_of(v);
+  return idx.empty() ? kNoIndex : *std::min_element(idx.begin(), idx.end());
+}
+
+Word EulerForest::last_index(VertexId v) const {
+  const auto idx = indexes_of(v);
+  return idx.empty() ? kNoIndex : *std::max_element(idx.begin(), idx.end());
+}
+
+template <typename Fn>
+void EulerForest::transform_component(Word c, Fn&& fn) {
+  for (auto& [key, idx] : edges_) {
+    if (comp_[static_cast<std::size_t>(key.u)] != c) continue;
+    idx.u1 = fn(idx.u1);
+    idx.u2 = fn(idx.u2);
+    idx.v1 = fn(idx.v1);
+    idx.v2 = fn(idx.v2);
+  }
+}
+
+void EulerForest::reroot(VertexId y) {
+  const Word size = component_size(y);
+  if (size <= 1) return;
+  const Word l_y = last_index(y);
+  const Word elen = elength(size);
+  if (l_y == elen) return;  // y is already the root
+  const RerootParams p{elen, l_y};
+  transform_component(component(y),
+                      [&p](Word i) { return reroot_index(i, p); });
+}
+
+void EulerForest::link(VertexId x, VertexId y) {
+  if (connected(x, y)) {
+    throw std::logic_error("link" + edge_str(x, y) +
+                           ": endpoints already connected");
+  }
+  reroot(y);
+  const Word cx = component(x);
+  const Word cy = component(y);
+  const Word size_y = comp_size_.at(cy);
+  const Word splice = merge_splice(first_index(x), elength(comp_size_.at(cx)));
+  const MergeParams p{splice, elength(size_y)};
+
+  transform_component(cy, [&p](Word i) { return merge_shift_ty(i, p); });
+  transform_component(cx, [&p](Word i) { return merge_shift_tx(i, p); });
+
+  const MergeNewIndexes ni = merge_new_indexes(p);
+  const EdgeKey key(x, y);
+  EdgeIndexes idx;
+  if (key.u == x) {
+    idx = {ni.x_enter, ni.x_exit, ni.y_enter, ni.y_exit};
+  } else {
+    idx = {ni.y_enter, ni.y_exit, ni.x_enter, ni.x_exit};
+  }
+  edges_[key] = idx;
+  tree_adj_[static_cast<std::size_t>(x)].push_back(y);
+  tree_adj_[static_cast<std::size_t>(y)].push_back(x);
+
+  // The merged component keeps x's id.
+  for (std::size_t v = 0; v < comp_.size(); ++v) {
+    if (comp_[v] == cy) comp_[v] = cx;
+  }
+  comp_size_[cx] += size_y;
+  comp_size_.erase(cy);
+}
+
+VertexId EulerForest::cut(VertexId u, VertexId v, Word new_comp) {
+  const EdgeKey key(u, v);
+  const auto it = edges_.find(key);
+  if (it == edges_.end()) {
+    throw std::logic_error("cut" + edge_str(u, v) + ": not a tree edge");
+  }
+  const EdgeIndexes idx = it->second;
+
+  // The child endpoint owns the inner pair of the edge's four indexes.
+  const Word u_lo = std::min(idx.u1, idx.u2), u_hi = std::max(idx.u1, idx.u2);
+  const Word v_lo = std::min(idx.v1, idx.v2), v_hi = std::max(idx.v1, idx.v2);
+  VertexId child;
+  SplitParams p{};
+  if (u_lo > v_lo && u_hi < v_hi) {
+    child = key.u;
+    p = {u_lo, u_hi};
+  } else if (v_lo > u_lo && v_hi < u_hi) {
+    child = key.v;
+    p = {v_lo, v_hi};
+  } else {
+    throw std::logic_error("cut" + edge_str(u, v) +
+                           ": inconsistent edge indexes");
+  }
+
+  const Word old_comp = component(u);
+  const Word old_size = comp_size_.at(old_comp);
+
+  // Decide membership before transforming: any remaining index inside
+  // [f_c, l_c] marks a subtree vertex; the child itself is in the subtree
+  // by definition (it may have no remaining indexes if it becomes a
+  // singleton).
+  std::vector<VertexId> subtree;
+  for (std::size_t w = 0; w < comp_.size(); ++w) {
+    if (comp_[w] != old_comp) continue;
+    const VertexId wid = static_cast<VertexId>(w);
+    if (wid == child) {
+      subtree.push_back(wid);
+      continue;
+    }
+    if (wid == u || wid == v) {
+      if (wid != child) continue;  // the parent stays in the old component
+    }
+    bool inside = false;
+    for (Word i : indexes_of(wid)) {
+      // Skip the indexes owned by the edge being cut (they belong to u/v
+      // only, already excluded above).
+      if (split_in_subtree(i, p)) {
+        inside = true;
+        break;
+      }
+    }
+    if (inside) subtree.push_back(wid);
+  }
+
+  edges_.erase(it);
+  auto& au = tree_adj_[static_cast<std::size_t>(u)];
+  au.erase(std::find(au.begin(), au.end(), v));
+  auto& av = tree_adj_[static_cast<std::size_t>(v)];
+  av.erase(std::find(av.begin(), av.end(), u));
+
+  transform_component(old_comp, [&p](Word i) {
+    return split_in_subtree(i, p) ? split_shift_subtree(i, p)
+                                  : split_shift_rest(i, p);
+  });
+
+  for (VertexId w : subtree) comp_[static_cast<std::size_t>(w)] = new_comp;
+  const Word sub_size = static_cast<Word>(subtree.size());
+  comp_size_[new_comp] = sub_size;
+  comp_size_[old_comp] = old_size - sub_size;
+  return child;
+}
+
+std::vector<VertexId> EulerForest::tour(VertexId v) const {
+  const Word c = component(v);
+  const Word elen = elength(comp_size_.at(c));
+  std::vector<VertexId> seq(static_cast<std::size_t>(elen), dmpc::kNoVertex);
+  auto place = [&seq, elen](Word i, VertexId w) {
+    if (i < 1 || i > elen) {
+      throw std::logic_error("tour index " + std::to_string(i) +
+                             " out of range [1," + std::to_string(elen) + "]");
+    }
+    auto& slot = seq[static_cast<std::size_t>(i - 1)];
+    if (slot != dmpc::kNoVertex) {
+      throw std::logic_error("duplicate tour index " + std::to_string(i));
+    }
+    slot = w;
+  };
+  for (const auto& [key, idx] : edges_) {
+    if (comp_[static_cast<std::size_t>(key.u)] != c) continue;
+    place(idx.u1, key.u);
+    place(idx.u2, key.u);
+    place(idx.v1, key.v);
+    place(idx.v2, key.v);
+  }
+  for (VertexId w : seq) {
+    if (w == dmpc::kNoVertex) {
+      throw std::logic_error("tour has unassigned index");
+    }
+  }
+  return seq;
+}
+
+void EulerForest::add_tree_from_tour(const std::vector<VertexId>& tour_seq) {
+  const std::size_t len = tour_seq.size();
+  if (len == 0 || len % 4 != 0) {
+    throw std::invalid_argument("tour length must be a positive multiple of 4");
+  }
+  if (tour_seq.front() != tour_seq.back()) {
+    throw std::invalid_argument("tour must start and end at the root");
+  }
+  // Verify all involved vertices are singletons.
+  std::set<VertexId> vertices(tour_seq.begin(), tour_seq.end());
+  for (VertexId v : vertices) {
+    if (component_size(v) != 1) {
+      throw std::invalid_argument("vertex " + std::to_string(v) +
+                                  " is not a singleton");
+    }
+  }
+  // Walk consistency: the entry closing one traversal starts the next.
+  for (std::size_t k = 1; 2 * k < len; ++k) {
+    if (tour_seq[2 * k - 1] != tour_seq[2 * k]) {
+      throw std::invalid_argument("tour is not a closed walk");
+    }
+  }
+  // Collect each edge's four indexes.
+  std::map<EdgeKey, std::vector<std::pair<VertexId, Word>>> entries;
+  for (std::size_t k = 0; 2 * k + 1 < len; ++k) {
+    const VertexId a = tour_seq[2 * k];
+    const VertexId b = tour_seq[2 * k + 1];
+    if (a == b) throw std::invalid_argument("self-loop traversal in tour");
+    const EdgeKey key(a, b);
+    entries[key].push_back({a, static_cast<Word>(2 * k + 1)});
+    entries[key].push_back({b, static_cast<Word>(2 * k + 2)});
+  }
+  const Word root_comp = comp_[static_cast<std::size_t>(tour_seq.front())];
+  for (const auto& [key, list] : entries) {
+    if (list.size() != 4) {
+      throw std::invalid_argument("edge traversed " +
+                                  std::to_string(list.size() / 2) +
+                                  " times (expected 2)");
+    }
+    EdgeIndexes idx;
+    int u_seen = 0, v_seen = 0;
+    for (const auto& [w, i] : list) {
+      if (w == key.u) {
+        (u_seen++ == 0 ? idx.u1 : idx.u2) = i;
+      } else {
+        (v_seen++ == 0 ? idx.v1 : idx.v2) = i;
+      }
+    }
+    if (u_seen != 2 || v_seen != 2) {
+      throw std::invalid_argument("unbalanced edge traversals");
+    }
+    edges_[key] = idx;
+    tree_adj_[static_cast<std::size_t>(key.u)].push_back(key.v);
+    tree_adj_[static_cast<std::size_t>(key.v)].push_back(key.u);
+  }
+  for (VertexId v : vertices) {
+    comp_size_.erase(comp_[static_cast<std::size_t>(v)]);
+    comp_[static_cast<std::size_t>(v)] = root_comp;
+  }
+  comp_size_[root_comp] = static_cast<Word>(vertices.size());
+}
+
+bool EulerForest::validate(std::string* why) const {
+  auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // Component sizes must partition the vertex set.
+  std::map<Word, Word> counted;
+  for (std::size_t v = 0; v < comp_.size(); ++v) ++counted[comp_[v]];
+  if (counted != comp_size_) return fail("component size table inconsistent");
+
+  for (const auto& [c, size] : comp_size_) {
+    // Pick any member vertex.
+    VertexId member = dmpc::kNoVertex;
+    for (std::size_t v = 0; v < comp_.size(); ++v) {
+      if (comp_[v] == c) {
+        member = static_cast<VertexId>(v);
+        break;
+      }
+    }
+    if (member == dmpc::kNoVertex) return fail("empty component");
+    if (size == 1) {
+      if (!tree_adj_[static_cast<std::size_t>(member)].empty()) {
+        return fail("singleton with tree edges");
+      }
+      continue;
+    }
+    std::vector<VertexId> seq;
+    try {
+      seq = tour(member);
+    } catch (const std::logic_error& e) {
+      return fail(std::string("tour reconstruction failed: ") + e.what());
+    }
+    if (seq.front() != seq.back()) return fail("tour not closed at root");
+    for (std::size_t k = 1; 2 * k < seq.size(); ++k) {
+      if (seq[2 * k - 1] != seq[2 * k]) return fail("tour walk broken");
+    }
+    // Every pair must be a stored tree edge traversed exactly twice.
+    std::map<EdgeKey, int> traversals;
+    for (std::size_t k = 0; 2 * k + 1 < seq.size(); ++k) {
+      const EdgeKey key(seq[2 * k], seq[2 * k + 1]);
+      if (edges_.count(key) == 0) return fail("tour uses a non-tree edge");
+      ++traversals[key];
+    }
+    for (const auto& [key, count] : traversals) {
+      if (count != 2) return fail("tree edge not traversed exactly twice");
+    }
+    // The tour must span the whole component.
+    std::set<VertexId> seen(seq.begin(), seq.end());
+    if (static_cast<Word>(seen.size()) != size) {
+      return fail("tour does not span the component");
+    }
+  }
+  return true;
+}
+
+}  // namespace etour

@@ -1,0 +1,106 @@
+// Sequential reference implementation of the paper's indexed Euler-tour
+// forest (Section 5).  It stores exactly what the distributed algorithm
+// stores — four tour indexes per tree edge, a component id per vertex —
+// and applies exactly the transforms of transforms.hpp, but does so over
+// in-process containers.  It serves three purposes:
+//   * a correctness oracle for the distributed implementation,
+//   * the golden-test vehicle for Figures 1 and 2,
+//   * documentation-by-code of the index algebra.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "etour/transforms.hpp"
+#include "graph/graph.hpp"
+
+namespace etour {
+
+using graph::EdgeKey;
+using graph::VertexId;
+
+/// Tour indexes a tree edge owns: two appearances per endpoint.
+struct EdgeIndexes {
+  // Indexes of the appearances owned by the endpoint with the smaller id
+  // (EdgeKey::u) and the larger id (EdgeKey::v).
+  Word u1 = kNoIndex, u2 = kNoIndex;
+  Word v1 = kNoIndex, v2 = kNoIndex;
+};
+
+class EulerForest {
+ public:
+  explicit EulerForest(std::size_t n);
+
+  [[nodiscard]] std::size_t num_vertices() const { return comp_.size(); }
+
+  /// Component id of v (initially v itself).
+  [[nodiscard]] Word component(VertexId v) const {
+    return comp_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] bool connected(VertexId u, VertexId v) const {
+    return component(u) == component(v);
+  }
+
+  /// Number of vertices in v's component.
+  [[nodiscard]] Word component_size(VertexId v) const;
+
+  /// First / last appearance of v in its tree's tour (kNoIndex for
+  /// singletons).
+  [[nodiscard]] Word first_index(VertexId v) const;
+  [[nodiscard]] Word last_index(VertexId v) const;
+
+  [[nodiscard]] bool is_tree_edge(VertexId u, VertexId v) const {
+    return edges_.count(EdgeKey(u, v)) > 0;
+  }
+
+  /// Makes y the root of its tree (no-op for roots and singletons).
+  void reroot(VertexId y);
+
+  /// Links two distinct trees with edge (x, y): y's tree is re-rooted at y
+  /// and spliced into x's tour after f(x).  The merged component keeps
+  /// x's component id.  Precondition: !connected(x, y).
+  void link(VertexId x, VertexId y);
+
+  /// Cuts tree edge (u, v).  The subtree below the child endpoint becomes
+  /// a new component with id `new_comp`.  Returns the child endpoint (the
+  /// root of the split-off tree).  Precondition: is_tree_edge(u, v).
+  VertexId cut(VertexId u, VertexId v, Word new_comp);
+
+  /// The tour of v's component as a vertex sequence (empty for
+  /// singletons).  Rebuilding it from the stored per-edge indexes also
+  /// verifies they form a permutation of 1..ELength.
+  [[nodiscard]] std::vector<VertexId> tour(VertexId v) const;
+
+  /// Seeds one tree from an explicit tour sequence (golden tests build the
+  /// paper's figures verbatim).  The vertices must currently be
+  /// singletons; the sequence must be a valid E-tour.
+  void add_tree_from_tour(const std::vector<VertexId>& tour_seq);
+
+  /// Full structural validation of every component's tour: indexes form
+  /// 1..ELength, consecutive pairs are edge traversals, the walk is
+  /// closed and covers each tree edge exactly twice.  Returns false (and
+  /// fills `why`) on any violation.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+
+  [[nodiscard]] const std::map<EdgeKey, EdgeIndexes>& tree_edges() const {
+    return edges_;
+  }
+
+ private:
+  /// All stored indexes of vertex v, via its incident tree edges.
+  [[nodiscard]] std::vector<Word> indexes_of(VertexId v) const;
+
+  /// Applies `fn` to every stored index of every tree edge in component c
+  /// (both endpoints' entries).
+  template <typename Fn>
+  void transform_component(Word c, Fn&& fn);
+
+  std::vector<Word> comp_;                    // vertex -> component id
+  std::map<Word, Word> comp_size_;            // component id -> #vertices
+  std::map<EdgeKey, EdgeIndexes> edges_;      // tree edges and their indexes
+  std::vector<std::vector<VertexId>> tree_adj_;  // tree adjacency
+};
+
+}  // namespace etour

@@ -1,0 +1,99 @@
+#include "etour/tour_builder.hpp"
+
+#include <stdexcept>
+
+namespace etour {
+
+std::vector<VertexId> build_tour(
+    const std::vector<std::vector<VertexId>>& tree_adj, VertexId root) {
+  std::vector<VertexId> seq;
+  // Iterative DFS emitting the two endpoints of every edge traversal.
+  struct Frame {
+    VertexId v;
+    VertexId parent;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, dmpc::kNoVertex, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& nbrs = tree_adj[static_cast<std::size_t>(f.v)];
+    bool descended = false;
+    while (f.next_child < nbrs.size()) {
+      const VertexId c = nbrs[f.next_child++];
+      if (c == f.parent) continue;
+      seq.push_back(f.v);
+      seq.push_back(c);
+      stack.push_back({c, f.v, 0});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    // Done with v's children: emit the upward traversal (unless root).
+    const VertexId parent = f.parent;
+    const VertexId v = f.v;
+    stack.pop_back();
+    if (parent != dmpc::kNoVertex) {
+      seq.push_back(v);
+      seq.push_back(parent);
+    }
+  }
+  return seq;
+}
+
+std::map<EdgeKey, EdgeIndexes> indexes_from_tour(
+    const std::vector<VertexId>& tour_seq) {
+  const std::size_t len = tour_seq.size();
+  if (len % 4 != 0) {
+    throw std::invalid_argument("tour length must be a multiple of 4");
+  }
+  if (len == 0) return {};
+  if (tour_seq.front() != tour_seq.back()) {
+    throw std::invalid_argument("tour must start and end at the root");
+  }
+  for (std::size_t k = 1; 2 * k < len; ++k) {
+    if (tour_seq[2 * k - 1] != tour_seq[2 * k]) {
+      throw std::invalid_argument("tour is not a closed walk");
+    }
+  }
+  std::map<EdgeKey, std::vector<std::pair<VertexId, Word>>> entries;
+  for (std::size_t k = 0; 2 * k + 1 < len; ++k) {
+    const VertexId a = tour_seq[2 * k];
+    const VertexId b = tour_seq[2 * k + 1];
+    if (a == b) throw std::invalid_argument("self-loop traversal in tour");
+    const EdgeKey key(a, b);
+    entries[key].push_back({a, static_cast<Word>(2 * k + 1)});
+    entries[key].push_back({b, static_cast<Word>(2 * k + 2)});
+  }
+  std::map<EdgeKey, EdgeIndexes> out;
+  for (const auto& [key, list] : entries) {
+    if (list.size() != 4) {
+      throw std::invalid_argument("edge not traversed exactly twice");
+    }
+    EdgeIndexes idx;
+    int u_seen = 0, v_seen = 0;
+    for (const auto& [w, i] : list) {
+      if (w == key.u) {
+        (u_seen++ == 0 ? idx.u1 : idx.u2) = i;
+      } else {
+        (v_seen++ == 0 ? idx.v1 : idx.v2) = i;
+      }
+    }
+    if (u_seen != 2 || v_seen != 2) {
+      throw std::invalid_argument("unbalanced edge traversals");
+    }
+    out[key] = idx;
+  }
+  return out;
+}
+
+std::map<VertexId, Word> first_indexes_of_tour(
+    const std::vector<VertexId>& tour_seq) {
+  std::map<VertexId, Word> out;
+  for (std::size_t i = 0; i < tour_seq.size(); ++i) {
+    out.emplace(tour_seq[i], static_cast<Word>(i + 1));  // keeps the first
+  }
+  return out;
+}
+
+}  // namespace etour

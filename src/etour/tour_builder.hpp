@@ -1,0 +1,28 @@
+// Construction of E-tours from scratch (preprocessing) and parsing of tour
+// sequences into per-edge index quadruples.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "etour/euler_forest.hpp"
+
+namespace etour {
+
+/// Builds the E-tour entry sequence of the tree containing `root`, given a
+/// tree adjacency structure.  The sequence starts and ends at `root` and
+/// has length 4(|T|-1); returns an empty sequence for a singleton.
+std::vector<VertexId> build_tour(
+    const std::vector<std::vector<VertexId>>& tree_adj, VertexId root);
+
+/// Parses a tour sequence into the per-edge index quadruples that both the
+/// reference EulerForest and the distributed algorithm store.  Throws on a
+/// malformed tour.
+std::map<EdgeKey, EdgeIndexes> indexes_from_tour(
+    const std::vector<VertexId>& tour_seq);
+
+/// First appearance of every vertex in a tour sequence (1-based indexes).
+std::map<VertexId, Word> first_indexes_of_tour(
+    const std::vector<VertexId>& tour_seq);
+
+}  // namespace etour

@@ -1,0 +1,142 @@
+// The Euler-tour index transformations of Section 5.
+//
+// An E-tour of a tree T is the closed walk from the root traversing each
+// edge twice, written as the sequence of endpoints of the traversed edges;
+// its length is ELength_T = 4(|T|-1) (each edge contributes 4 entries: two
+// per direction).  Every vertex appearance is an entry owned by one
+// incident tree edge, so the whole tour is representable as 4 indexes per
+// tree edge — which is exactly how both the reference structure and the
+// distributed algorithm store it.
+//
+// The paper's key observation is that re-rooting, merging (edge insertion
+// across trees) and splitting (tree-edge deletion) all transform every
+// stored index by a piecewise-affine function parameterized by O(1)
+// values (f/l of the two endpoints, the tour length).  Broadcasting those
+// O(1) words lets every machine update its indexes locally.  These pure
+// functions are that algebra.
+//
+// Figure-validated correction: for the merge, the paper writes the shift
+// of the remaining Tx indexes as "i + 4*ELength_Ty"; the arithmetic
+// consistent with its own Figure 1(iii) (and with ELength = 4(|T|-1)) is
+// "i + ELength_Ty + 4" — the tour grows by the inserted tour plus the 4
+// new entries of the linking edge.  We implement the corrected form and
+// pin Figure 1 in a golden test.
+#pragma once
+
+#include "dmpc/types.hpp"
+
+namespace etour {
+
+using dmpc::Word;
+
+/// Sentinel for "vertex has no tour index" (singleton component).
+inline constexpr Word kNoIndex = 0;
+
+/// E-tour length of a tree with `size` vertices.
+constexpr Word elength(Word size) { return size <= 1 ? 0 : 4 * (size - 1); }
+
+/// Number of vertices of a tree whose E-tour has length `elen`.
+constexpr Word tree_size(Word elen) { return elen == 0 ? 1 : elen / 4 + 1; }
+
+// ---------------------------------------------------------------------------
+// Re-rooting (paper: "make y the root of its E-tree").
+// Precondition: y is not already the root (its last appearance l_y < elen),
+// the tree is not a singleton.  The new tour starts with the traversal of
+// the edge from y to its former parent.
+// ---------------------------------------------------------------------------
+struct RerootParams {
+  Word elen;  ///< ELength of y's tree
+  Word l_y;   ///< last appearance of y in the old tour
+};
+
+constexpr Word reroot_index(Word i, const RerootParams& p) {
+  return ((i + p.elen - p.l_y) % p.elen) + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Merge: insert edge (x, y) where y is the root of its tree Ty (after a
+// reroot) and x belongs to a different tree Tx.  Ty's tour is spliced into
+// Tx's tour right after f(x); the new edge contributes 4 entries.
+// For a singleton x, use f_x = 0 (the merged tour then starts at x).
+// For a singleton y, use elen_ty = 0.
+// ---------------------------------------------------------------------------
+struct MergeParams {
+  Word f_x;      ///< splice position in Tx's tour (see merge_splice; 0 if x
+                 ///< is a singleton)
+  Word elen_ty;  ///< ELength of Ty (= l(y) after the reroot; 0 if singleton)
+};
+
+/// Where Ty is spliced into Tx's tour.  The paper says "after the first
+/// appearance of x", which is an even position (the tour *entering* x) for
+/// every non-root x — splicing there keeps the (odd, even) pair structure
+/// intact.  When x is the root of Tx, f(x) = 1 is odd and splicing there
+/// would break the tour, so we splice after x's closing appearance at
+/// position ELength(Tx) instead (also an appearance of x; the "i > f_x"
+/// shift then moves nothing, correctly).  A singleton x splices at 0.
+constexpr Word merge_splice(Word f_x, Word elen_tx) {
+  if (f_x == kNoIndex) return 0;     // singleton x
+  return f_x == 1 ? elen_tx : f_x;   // root x appends at the tour end
+}
+
+/// New index for an old index of a vertex in Ty.
+constexpr Word merge_shift_ty(Word i, const MergeParams& p) {
+  return i + p.f_x + 2;
+}
+
+/// New index for an old index of a vertex in Tx (only indexes > f_x move).
+constexpr Word merge_shift_tx(Word i, const MergeParams& p) {
+  return i > p.f_x ? i + p.elen_ty + 4 : i;
+}
+
+/// The 4 new entries owned by the inserted edge (x, y):
+/// x gains {f_x + 1, f_x + elen_ty + 4}; y gains {f_x + 2, f_x + elen_ty + 3}.
+struct MergeNewIndexes {
+  Word x_enter, x_exit;  ///< x's two new appearances
+  Word y_enter, y_exit;  ///< y's two new appearances
+};
+
+constexpr MergeNewIndexes merge_new_indexes(const MergeParams& p) {
+  return {p.f_x + 1, p.f_x + p.elen_ty + 4, p.f_x + 2, p.f_x + p.elen_ty + 3};
+}
+
+// ---------------------------------------------------------------------------
+// Split: delete tree edge (p, c) where p is the ancestor endpoint.  The
+// subtree rooted at c (tour interval [f_c, l_c]) becomes its own tree; the
+// edge's 4 entries (p at f_c - 1 and l_c + 1, c at f_c and l_c) disappear.
+// ---------------------------------------------------------------------------
+struct SplitParams {
+  Word f_c;  ///< first appearance of the child endpoint c
+  Word l_c;  ///< last appearance of the child endpoint c
+};
+
+/// True iff tour index i lies in the subtree interval being split off.
+constexpr bool split_in_subtree(Word i, const SplitParams& p) {
+  return i >= p.f_c && i <= p.l_c;
+}
+
+/// New index for an old subtree index (the subtree tour is renumbered to
+/// start at 1; c's own boundary entries f_c and l_c are removed, not
+/// shifted).
+constexpr Word split_shift_subtree(Word i, const SplitParams& p) {
+  return i - p.f_c;
+}
+
+/// New index for an old index of the remaining tree (only indexes > l_c
+/// move; p's boundary entries f_c - 1 and l_c + 1 are removed, not
+/// shifted).
+constexpr Word split_shift_rest(Word i, const SplitParams& p) {
+  return i > p.l_c ? i - (p.l_c - p.f_c + 3) : i;
+}
+
+/// ELength of the split-off subtree.
+constexpr Word split_subtree_elength(const SplitParams& p) {
+  return p.l_c - p.f_c - 1;
+}
+
+/// Ancestor test from tour indexes: u is a (weak) ancestor of v in their
+/// common tree iff u's appearance interval contains v's.
+constexpr bool is_ancestor(Word f_u, Word l_u, Word f_v, Word l_v) {
+  return f_u <= f_v && l_v <= l_u;
+}
+
+}  // namespace etour

@@ -1,0 +1,133 @@
+#include "graph/generators.hpp"
+
+#include <numeric>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace graph {
+
+EdgeList gnm(std::size_t n, std::size_t m, std::uint64_t seed) {
+  const std::size_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("gnm: m exceeds the number of vertex pairs");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> dist(0,
+                                               static_cast<VertexId>(n) - 1);
+  std::set<EdgeKey> chosen;
+  EdgeList out;
+  out.reserve(m);
+  while (out.size() < m) {
+    VertexId u = dist(rng);
+    VertexId v = dist(rng);
+    if (u == v) continue;
+    EdgeKey k(u, v);
+    if (!chosen.insert(k).second) continue;
+    out.emplace_back(k.u, k.v);
+  }
+  return out;
+}
+
+EdgeList grid(std::size_t rows, std::size_t cols) {
+  EdgeList out;
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) out.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) out.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return out;
+}
+
+EdgeList path(std::size_t n) {
+  EdgeList out;
+  for (VertexId u = 0; u + 1 < static_cast<VertexId>(n); ++u) {
+    out.emplace_back(u, u + 1);
+  }
+  return out;
+}
+
+EdgeList cycle(std::size_t n) {
+  EdgeList out = path(n);
+  if (n >= 3) out.emplace_back(static_cast<VertexId>(n) - 1, 0);
+  return out;
+}
+
+EdgeList star(std::size_t n) {
+  EdgeList out;
+  for (VertexId u = 1; u < static_cast<VertexId>(n); ++u) {
+    out.emplace_back(0, u);
+  }
+  return out;
+}
+
+EdgeList preferential_attachment(std::size_t n, std::size_t k,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  EdgeList out;
+  std::vector<VertexId> endpoint_pool;  // vertex repeated once per degree
+  std::set<EdgeKey> present;
+  for (VertexId v = 1; v < static_cast<VertexId>(n); ++v) {
+    const std::size_t attach = std::min<std::size_t>(k, v);
+    std::set<VertexId> targets;
+    while (targets.size() < attach) {
+      VertexId t;
+      if (endpoint_pool.empty()) {
+        t = 0;
+      } else {
+        // Mix uniform and degree-proportional choice (the +1 smoothing).
+        std::uniform_int_distribution<std::size_t> pick(
+            0, endpoint_pool.size() + static_cast<std::size_t>(v) - 1);
+        std::size_t i = pick(rng);
+        t = i < endpoint_pool.size()
+                ? endpoint_pool[i]
+                : static_cast<VertexId>(i - endpoint_pool.size());
+      }
+      if (t == v) continue;
+      targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      EdgeKey key(v, t);
+      if (!present.insert(key).second) continue;
+      out.emplace_back(key.u, key.v);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return out;
+}
+
+EdgeList disjoint_components(std::size_t k, std::size_t n_per,
+                             std::size_t m_per, std::uint64_t seed) {
+  EdgeList out;
+  for (std::size_t c = 0; c < k; ++c) {
+    EdgeList comp = gnm(n_per, m_per, seed + c);
+    const VertexId base = static_cast<VertexId>(c * n_per);
+    for (auto [u, v] : comp) out.emplace_back(base + u, base + v);
+  }
+  return out;
+}
+
+WeightedEdgeList with_random_weights(const EdgeList& edges, Weight max_weight,
+                                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Distinct weights: draw a random permutation-ish injection by shuffling
+  // the range [1, max(max_weight, |E|)].
+  const Weight range =
+      std::max<Weight>(max_weight, static_cast<Weight>(edges.size()));
+  std::vector<Weight> weights(static_cast<std::size_t>(range));
+  std::iota(weights.begin(), weights.end(), Weight{1});
+  std::shuffle(weights.begin(), weights.end(), rng);
+  WeightedEdgeList out;
+  out.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    out.push_back({edges[i].first, edges[i].second, weights[i]});
+  }
+  return out;
+}
+
+}  // namespace graph

@@ -1,0 +1,53 @@
+// Static graph generators used for preprocessing inputs ("starts from an
+// arbitrary graph" in Table 1) and for example workloads.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace graph {
+
+using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+struct WeightedEdge {
+  VertexId u;
+  VertexId v;
+  Weight w;
+};
+using WeightedEdgeList = std::vector<WeightedEdge>;
+
+/// Erdos–Renyi G(n, m): m distinct uniformly random edges.
+EdgeList gnm(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// 2-D grid graph on rows x cols vertices (vertex r*cols + c).
+EdgeList grid(std::size_t rows, std::size_t cols);
+
+/// Simple path 0-1-2-...-(n-1).
+EdgeList path(std::size_t n);
+
+/// Cycle over n vertices.
+EdgeList cycle(std::size_t n);
+
+/// Star centered at vertex 0 (a maximum-degree stress case: the paper's
+/// Section 3 explicitly supports neighborhoods larger than one machine).
+EdgeList star(std::size_t n);
+
+/// Preferential-attachment graph: each new vertex attaches `k` edges to
+/// earlier vertices chosen proportionally to degree (+1).  Produces heavy
+/// (high-degree) vertices, the regime that distinguishes the paper's
+/// heavy/light matching machinery.
+EdgeList preferential_attachment(std::size_t n, std::size_t k,
+                                 std::uint64_t seed);
+
+/// `k` disjoint G(n_i, m_i) components of equal size (connectivity tests).
+EdgeList disjoint_components(std::size_t k, std::size_t n_per,
+                             std::size_t m_per, std::uint64_t seed);
+
+/// Assigns distinct pseudo-random weights in [1, max_weight] to an edge
+/// list (distinct weights make the exact MST unique, simplifying oracles).
+WeightedEdgeList with_random_weights(const EdgeList& edges, Weight max_weight,
+                                     std::uint64_t seed);
+
+}  // namespace graph

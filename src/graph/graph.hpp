@@ -1,0 +1,119 @@
+// Dynamic graph containers used as ground-truth inputs and by oracles.
+//
+// The DMPC algorithms never see these directly — they receive update
+// streams — but tests, oracles and generators operate on them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "dmpc/types.hpp"
+
+namespace graph {
+
+using dmpc::VertexId;
+using Weight = std::int64_t;
+
+/// Canonical undirected edge key with u <= v.
+struct EdgeKey {
+  VertexId u;
+  VertexId v;
+
+  EdgeKey(VertexId a, VertexId b) : u(std::min(a, b)), v(std::max(a, b)) {}
+  auto operator<=>(const EdgeKey&) const = default;
+};
+
+/// A fully-dynamic undirected graph over vertices [0, n).
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(std::size_t n) : adj_(n) {}
+
+  [[nodiscard]] std::size_t num_vertices() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return edges_.count(EdgeKey(u, v)) > 0;
+  }
+
+  /// Inserts edge (u,v); returns false if it was already present.
+  bool insert_edge(VertexId u, VertexId v) {
+    if (u == v) throw std::invalid_argument("self loops not supported");
+    if (!edges_.insert(EdgeKey(u, v)).second) return false;
+    adj_[u].insert(v);
+    adj_[v].insert(u);
+    return true;
+  }
+
+  /// Deletes edge (u,v); returns false if it was not present.
+  bool delete_edge(VertexId u, VertexId v) {
+    if (edges_.erase(EdgeKey(u, v)) == 0) return false;
+    adj_[u].erase(v);
+    adj_[v].erase(u);
+    return true;
+  }
+
+  [[nodiscard]] const std::set<VertexId>& neighbors(VertexId u) const {
+    return adj_[static_cast<std::size_t>(u)];
+  }
+
+  [[nodiscard]] std::size_t degree(VertexId u) const {
+    return adj_[static_cast<std::size_t>(u)].size();
+  }
+
+  [[nodiscard]] const std::set<EdgeKey>& edges() const { return edges_; }
+
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edge_list() const {
+    std::vector<std::pair<VertexId, VertexId>> out;
+    out.reserve(edges_.size());
+    for (const auto& e : edges_) out.emplace_back(e.u, e.v);
+    return out;
+  }
+
+ private:
+  std::vector<std::set<VertexId>> adj_;
+  std::set<EdgeKey> edges_;
+};
+
+/// A fully-dynamic weighted undirected graph (for MST).
+class WeightedDynamicGraph {
+ public:
+  explicit WeightedDynamicGraph(std::size_t n) : g_(n) {}
+
+  [[nodiscard]] std::size_t num_vertices() const { return g_.num_vertices(); }
+  [[nodiscard]] std::size_t num_edges() const { return g_.num_edges(); }
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return g_.has_edge(u, v);
+  }
+
+  bool insert_edge(VertexId u, VertexId v, Weight w) {
+    if (!g_.insert_edge(u, v)) return false;
+    weights_[EdgeKey(u, v)] = w;
+    return true;
+  }
+
+  bool delete_edge(VertexId u, VertexId v) {
+    if (!g_.delete_edge(u, v)) return false;
+    weights_.erase(EdgeKey(u, v));
+    return true;
+  }
+
+  [[nodiscard]] Weight weight(VertexId u, VertexId v) const {
+    return weights_.at(EdgeKey(u, v));
+  }
+
+  [[nodiscard]] const DynamicGraph& unweighted() const { return g_; }
+  [[nodiscard]] const std::map<EdgeKey, Weight>& weights() const {
+    return weights_;
+  }
+
+ private:
+  DynamicGraph g_;
+  std::map<EdgeKey, Weight> weights_;
+};
+
+}  // namespace graph

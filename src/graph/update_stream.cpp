@@ -1,0 +1,189 @@
+#include "graph/update_stream.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
+namespace graph {
+namespace {
+
+/// Draws a uniformly random pair (u,v), u != v.
+std::pair<VertexId, VertexId> random_pair(std::mt19937_64& rng,
+                                          std::size_t n) {
+  std::uniform_int_distribution<VertexId> dist(
+      0, static_cast<VertexId>(n) - 1);
+  VertexId u = dist(rng);
+  VertexId v = dist(rng);
+  while (v == u) v = dist(rng);
+  return {u, v};
+}
+
+Weight random_weight(std::mt19937_64& rng, Weight max_weight) {
+  std::uniform_int_distribution<Weight> dist(1, max_weight);
+  return dist(rng);
+}
+
+}  // namespace
+
+UpdateStream random_stream(std::size_t n, std::size_t length, double p_insert,
+                           std::uint64_t seed, bool weighted,
+                           Weight max_weight) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::set<EdgeKey> present;
+  std::vector<EdgeKey> present_list;  // for O(1) random choice of deletions
+  UpdateStream out;
+  out.reserve(length);
+
+  auto push_present = [&](EdgeKey k) {
+    present.insert(k);
+    present_list.push_back(k);
+  };
+  auto pop_present = [&](std::size_t idx) {
+    EdgeKey k = present_list[idx];
+    present_list[idx] = present_list.back();
+    present_list.pop_back();
+    present.erase(k);
+    return k;
+  };
+
+  while (out.size() < length) {
+    const bool do_insert = present.empty() || coin(rng) < p_insert;
+    if (do_insert) {
+      // Retry a few times to find an absent edge; dense graphs fall back
+      // to deletion.
+      bool inserted = false;
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        auto [u, v] = random_pair(rng, n);
+        EdgeKey k(u, v);
+        if (present.count(k)) continue;
+        push_present(k);
+        out.push_back({UpdateKind::kInsert, k.u, k.v,
+                       weighted ? random_weight(rng, max_weight) : 0});
+        inserted = true;
+        break;
+      }
+      if (inserted) continue;
+      if (present.empty()) continue;  // extremely unlikely; retry
+    }
+    std::uniform_int_distribution<std::size_t> pick(0,
+                                                    present_list.size() - 1);
+    EdgeKey k = pop_present(pick(rng));
+    out.push_back({UpdateKind::kDelete, k.u, k.v, 0});
+  }
+  return out;
+}
+
+UpdateStream sliding_window_stream(std::size_t n, std::size_t length,
+                                   std::size_t window, std::uint64_t seed,
+                                   bool weighted, Weight max_weight) {
+  std::mt19937_64 rng(seed);
+  std::set<EdgeKey> present;
+  std::deque<EdgeKey> order;
+  UpdateStream out;
+  out.reserve(length);
+
+  while (out.size() < length) {
+    bool inserted = false;
+    for (int attempt = 0; attempt < 64 && !inserted; ++attempt) {
+      auto [u, v] = random_pair(rng, n);
+      EdgeKey k(u, v);
+      if (present.count(k)) continue;
+      present.insert(k);
+      order.push_back(k);
+      out.push_back({UpdateKind::kInsert, k.u, k.v,
+                     weighted ? random_weight(rng, max_weight) : 0});
+      inserted = true;
+    }
+    if (!inserted) break;
+    if (order.size() > window && out.size() < length) {
+      EdgeKey k = order.front();
+      order.pop_front();
+      present.erase(k);
+      out.push_back({UpdateKind::kDelete, k.u, k.v, 0});
+    }
+  }
+  return out;
+}
+
+UpdateStream matched_edge_adversary_stream(std::size_t n, std::size_t length,
+                                           std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  UpdateStream out;
+  out.reserve(length);
+  // Perfect matching backbone: (0,1), (2,3), ...
+  std::vector<EdgeKey> backbone;
+  for (VertexId u = 0; u + 1 < static_cast<VertexId>(n); u += 2) {
+    backbone.emplace_back(u, u + 1);
+    out.push_back({UpdateKind::kInsert, u, u + 1, 0});
+  }
+  // Chords so freed endpoints have alternative mates to search through.
+  std::set<EdgeKey> present(backbone.begin(), backbone.end());
+  const std::size_t chords = std::min(length / 4, 2 * n);
+  for (std::size_t i = 0; i < chords && out.size() < length; ++i) {
+    auto [u, v] = random_pair(rng, n);
+    EdgeKey k(u, v);
+    if (present.count(k)) continue;
+    present.insert(k);
+    out.push_back({UpdateKind::kInsert, k.u, k.v, 0});
+  }
+  // Alternate delete/re-insert of backbone (matched) edges.
+  std::uniform_int_distribution<std::size_t> pick(0, backbone.size() - 1);
+  while (out.size() + 1 < length) {
+    EdgeKey k = backbone[pick(rng)];
+    out.push_back({UpdateKind::kDelete, k.u, k.v, 0});
+    out.push_back({UpdateKind::kInsert, k.u, k.v, 0});
+  }
+  return out;
+}
+
+UpdateStream bridge_adversary_stream(std::size_t n, std::size_t length,
+                                     std::size_t chords, std::uint64_t seed,
+                                     bool weighted, Weight max_weight) {
+  std::mt19937_64 rng(seed);
+  UpdateStream out;
+  out.reserve(length);
+  std::set<EdgeKey> present;
+  // Long path: every edge is a spanning-forest (indeed bridge) edge.
+  for (VertexId u = 0; u + 1 < static_cast<VertexId>(n); ++u) {
+    EdgeKey k(u, u + 1);
+    present.insert(k);
+    out.push_back({UpdateKind::kInsert, k.u, k.v,
+                   weighted ? random_weight(rng, max_weight) : 0});
+  }
+  for (std::size_t i = 0; i < chords && out.size() < length; ++i) {
+    auto [u, v] = random_pair(rng, n);
+    EdgeKey k(u, v);
+    if (present.count(k)) continue;
+    present.insert(k);
+    out.push_back({UpdateKind::kInsert, k.u, k.v,
+                   weighted ? random_weight(rng, max_weight) : 0});
+  }
+  std::uniform_int_distribution<VertexId> pick(
+      0, static_cast<VertexId>(n) - 2);
+  while (out.size() + 1 < length) {
+    VertexId u = pick(rng);
+    EdgeKey k(u, u + 1);
+    out.push_back({UpdateKind::kDelete, k.u, k.v, 0});
+    out.push_back({UpdateKind::kInsert, k.u, k.v,
+                   weighted ? random_weight(rng, max_weight) : 0});
+  }
+  return out;
+}
+
+UpdateStream clean_stream(std::size_t n, const UpdateStream& stream) {
+  DynamicGraph g(n);
+  UpdateStream out;
+  out.reserve(stream.size());
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      if (g.insert_edge(up.u, up.v)) out.push_back(up);
+    } else {
+      if (g.delete_edge(up.u, up.v)) out.push_back(up);
+    }
+  }
+  return out;
+}
+
+}  // namespace graph

@@ -1,0 +1,64 @@
+// Update streams: the sequences of edge insertions/deletions fed to the
+// dynamic algorithms.  The paper's bounds are worst-case per update, so the
+// generators below include adversarial streams that deliberately hit the
+// expensive paths (deleting matched edges, deleting spanning-tree edges).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace graph {
+
+enum class UpdateKind : std::uint8_t { kInsert, kDelete };
+
+struct Update {
+  UpdateKind kind;
+  VertexId u;
+  VertexId v;
+  Weight w = 0;  ///< only meaningful for weighted streams
+};
+
+using UpdateStream = std::vector<Update>;
+
+/// Uniformly random stream: at each step, with probability `p_insert`
+/// insert a uniformly random absent edge, otherwise delete a uniformly
+/// random present edge (no-ops are skipped by retrying).  Deterministic
+/// for a fixed seed.
+UpdateStream random_stream(std::size_t n, std::size_t length, double p_insert,
+                           std::uint64_t seed, bool weighted = false,
+                           Weight max_weight = 1000);
+
+/// Sliding-window stream: inserts edges of a random sequence and, once the
+/// window is full, deletes the oldest edge per insertion.  Models the
+/// "evolving web / social network" motivation of the paper's introduction.
+UpdateStream sliding_window_stream(std::size_t n, std::size_t length,
+                                   std::size_t window, std::uint64_t seed,
+                                   bool weighted = false,
+                                   Weight max_weight = 1000);
+
+/// Matching-adversarial stream: first builds a perfect-ish matching-shaped
+/// graph, then alternates deleting an edge currently likely in any
+/// maximal matching (an edge of the initial perfect matching) and
+/// re-inserting it.  Exercises the "deleted matched edge" path that
+/// dominates the matching algorithms' update cost.
+UpdateStream matched_edge_adversary_stream(std::size_t n, std::size_t length,
+                                           std::uint64_t seed);
+
+/// Tree-adversarial stream: builds a graph with a long path (so every path
+/// edge is a bridge in the spanning forest) plus random chords, then
+/// alternates deleting/reinserting path edges.  Forces the connectivity
+/// algorithm through tree splits and replacement-edge searches.
+UpdateStream bridge_adversary_stream(std::size_t n, std::size_t length,
+                                     std::size_t chords, std::uint64_t seed,
+                                     bool weighted = false,
+                                     Weight max_weight = 1000);
+
+/// Applies a stream to a DynamicGraph, dropping no-op updates (inserting a
+/// present edge / deleting an absent one) and returning the cleaned stream
+/// that performs exactly the remaining operations.
+UpdateStream clean_stream(std::size_t n, const UpdateStream& stream);
+
+}  // namespace graph

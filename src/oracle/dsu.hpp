@@ -1,0 +1,46 @@
+// Union-find with path compression + union by size.  Ground-truth
+// connectivity oracle for incremental phases and Kruskal.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "dmpc/types.hpp"
+
+namespace oracle {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the two sets were distinct (i.e. a merge happened).
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace oracle

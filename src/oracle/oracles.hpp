@@ -1,0 +1,55 @@
+// Ground-truth oracles for validating the dynamic DMPC algorithms:
+// connectivity labelings, exact MST weight, matching validity/maximality,
+// augmenting-path detection and exact maximum matching (blossom).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace oracle {
+
+using graph::DynamicGraph;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDynamicGraph;
+
+/// Component label for every vertex (labels are canonical: the smallest
+/// vertex id in the component), computed from scratch.
+std::vector<VertexId> connected_components(const DynamicGraph& g);
+
+/// True iff u and v are in the same component.
+bool same_component(const DynamicGraph& g, VertexId u, VertexId v);
+
+/// Exact minimum-spanning-forest weight via Kruskal.
+Weight msf_weight(const WeightedDynamicGraph& g);
+
+/// A matching as a mate array: mate[v] == kNoVertex means free.
+using Matching = std::vector<VertexId>;
+
+/// Validates structural soundness: symmetric, only over existing edges.
+bool matching_is_valid(const DynamicGraph& g, const Matching& m);
+
+/// True iff no edge has both endpoints free (2-approximation guarantee).
+bool matching_is_maximal(const DynamicGraph& g, const Matching& m);
+
+/// Number of edges whose endpoints are both free — the "violations" an
+/// almost-maximal ((2+eps)-approximate) matching is allowed to have few of.
+std::size_t count_augmenting_edges(const DynamicGraph& g, const Matching& m);
+
+/// True iff the matching admits no augmenting path of length 3, which
+/// combined with maximality yields the 3/2 approximation (Section 4 uses
+/// the Hopcroft–Karp bound with k = 2).
+bool has_length3_augmenting_path(const DynamicGraph& g, const Matching& m);
+
+/// Size (number of matched edges) of a matching.
+std::size_t matching_size(const Matching& m);
+
+/// Exact maximum matching cardinality on general graphs (blossom
+/// algorithm, O(V^3)); intended for small test instances.
+std::size_t maximum_matching_size(const DynamicGraph& g);
+
+}  // namespace oracle

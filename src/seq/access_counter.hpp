@@ -1,0 +1,29 @@
+// Memory-access counting for the Section 7 reduction.
+//
+// The reduction maps every memory access of a sequential dynamic
+// algorithm to one DMPC round in which the compute machine exchanges O(1)
+// words with the memory machine holding the accessed cell.  The
+// sequential algorithms in this directory charge an AccessCounter on
+// every structural memory touch; the reduction harness then converts the
+// per-update access count into charged rounds.
+#pragma once
+
+#include <cstdint>
+
+namespace seq {
+
+class AccessCounter {
+ public:
+  void touch(std::uint64_t words = 1) { count_ += words; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  std::uint64_t take() {
+    const std::uint64_t c = count_;
+    count_ = 0;
+    return c;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace seq

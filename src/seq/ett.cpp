@@ -1,0 +1,263 @@
+#include "seq/ett.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace seq {
+
+EulerTourTrees::EulerTourTrees(std::size_t n, AccessCounter& counter,
+                               std::uint64_t seed)
+    : n_(n), counter_(counter), rng_state_(seed * 2654435769ULL + 12345) {
+  nodes_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    Node& nd = nodes_[v];
+    nd.vertex = static_cast<VertexId>(v);
+    nd.arc_to = -1;
+    nd.prio = next_prio();
+    nd.count = 1;
+    nd.vertex_count = 1;
+  }
+}
+
+std::uint32_t EulerTourTrees::next_prio() {
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return static_cast<std::uint32_t>(rng_state_);
+}
+
+int EulerTourTrees::new_arc(VertexId u, VertexId v) {
+  int id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[static_cast<std::size_t>(id)] = Node{};
+  } else {
+    id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& nd = nodes_[static_cast<std::size_t>(id)];
+  nd.vertex = u;
+  nd.arc_to = v;
+  nd.prio = next_prio();
+  nd.count = 1;
+  nd.vertex_count = 0;
+  arc_nodes_[arc_key(u, v)] = id;
+  counter_.touch();
+  return id;
+}
+
+void EulerTourTrees::free_arc(int node) {
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  arc_nodes_.erase(arc_key(nd.vertex, nd.arc_to));
+  free_list_.push_back(node);
+  counter_.touch();
+}
+
+void EulerTourTrees::pull(int t) {
+  Node& nd = nodes_[static_cast<std::size_t>(t)];
+  counter_.touch();
+  nd.count = 1;
+  nd.vertex_count = nd.arc_to < 0 ? 1u : 0u;
+  nd.sub_vflag = nd.vflag;
+  nd.sub_eflag = nd.eflag;
+  for (int c : {nd.left, nd.right}) {
+    if (c < 0) continue;
+    Node& ch = nodes_[static_cast<std::size_t>(c)];
+    nd.count += ch.count;
+    nd.vertex_count += ch.vertex_count;
+    nd.sub_vflag = nd.sub_vflag || ch.sub_vflag;
+    nd.sub_eflag = nd.sub_eflag || ch.sub_eflag;
+    ch.parent = t;
+  }
+}
+
+int EulerTourTrees::merge(int a, int b) {
+  if (a < 0) {
+    if (b >= 0) nodes_[static_cast<std::size_t>(b)].parent = -1;
+    return b;
+  }
+  if (b < 0) {
+    nodes_[static_cast<std::size_t>(a)].parent = -1;
+    return a;
+  }
+  counter_.touch();
+  if (nodes_[static_cast<std::size_t>(a)].prio <
+      nodes_[static_cast<std::size_t>(b)].prio) {
+    nodes_[static_cast<std::size_t>(a)].right =
+        merge(nodes_[static_cast<std::size_t>(a)].right, b);
+    pull(a);
+    nodes_[static_cast<std::size_t>(a)].parent = -1;
+    return a;
+  }
+  nodes_[static_cast<std::size_t>(b)].left =
+      merge(a, nodes_[static_cast<std::size_t>(b)].left);
+  pull(b);
+  nodes_[static_cast<std::size_t>(b)].parent = -1;
+  return b;
+}
+
+std::pair<int, int> EulerTourTrees::split(int t, std::uint32_t k) {
+  if (t < 0) return {-1, -1};
+  counter_.touch();
+  Node& nd = nodes_[static_cast<std::size_t>(t)];
+  const std::uint32_t left_count = count_of(nd.left);
+  if (k <= left_count) {
+    auto [a, b] = split(nd.left, k);
+    nd.left = b;
+    pull(t);
+    nd.parent = -1;
+    if (a >= 0) nodes_[static_cast<std::size_t>(a)].parent = -1;
+    return {a, t};
+  }
+  auto [a, b] = split(nd.right, k - left_count - 1);
+  nd.right = a;
+  pull(t);
+  nd.parent = -1;
+  if (b >= 0) nodes_[static_cast<std::size_t>(b)].parent = -1;
+  return {t, b};
+}
+
+int EulerTourTrees::root_of(int t) {
+  while (nodes_[static_cast<std::size_t>(t)].parent >= 0) {
+    counter_.touch();
+    t = nodes_[static_cast<std::size_t>(t)].parent;
+  }
+  return t;
+}
+
+std::uint32_t EulerTourTrees::position(int t) {
+  std::uint32_t pos = count_of(nodes_[static_cast<std::size_t>(t)].left);
+  int cur = t;
+  while (nodes_[static_cast<std::size_t>(cur)].parent >= 0) {
+    counter_.touch();
+    const int p = nodes_[static_cast<std::size_t>(cur)].parent;
+    if (nodes_[static_cast<std::size_t>(p)].right == cur) {
+      pos += count_of(nodes_[static_cast<std::size_t>(p)].left) + 1;
+    }
+    cur = p;
+  }
+  return pos;
+}
+
+void EulerTourTrees::bubble(int t) {
+  while (t >= 0) {
+    pull(t);
+    t = nodes_[static_cast<std::size_t>(t)].parent;
+  }
+}
+
+int EulerTourTrees::reroot(VertexId v) {
+  const int sv = self_node(v);
+  const int root = root_of(sv);
+  const std::uint32_t k = position(sv);
+  if (k == 0) return root;
+  auto [a, b] = split(root, k);
+  return merge(b, a);
+}
+
+bool EulerTourTrees::connected(VertexId u, VertexId v) {
+  if (u == v) return true;
+  return root_of(self_node(u)) == root_of(self_node(v));
+}
+
+std::size_t EulerTourTrees::component_size(VertexId v) {
+  const int root = root_of(self_node(v));
+  return nodes_[static_cast<std::size_t>(root)].vertex_count;
+}
+
+bool EulerTourTrees::has_edge(VertexId u, VertexId v) const {
+  return arc_nodes_.count(arc_key(u, v)) > 0;
+}
+
+void EulerTourTrees::link(VertexId u, VertexId v) {
+  const int ru = reroot(u);
+  const int rv = reroot(v);
+  const int uv = new_arc(u, v);
+  const int vu = new_arc(v, u);
+  merge(merge(merge(ru, uv), rv), vu);
+}
+
+void EulerTourTrees::cut(VertexId u, VertexId v) {
+  const auto it_uv = arc_nodes_.find(arc_key(u, v));
+  const auto it_vu = arc_nodes_.find(arc_key(v, u));
+  if (it_uv == arc_nodes_.end() || it_vu == arc_nodes_.end()) {
+    throw std::logic_error("cut of a non-tree edge");
+  }
+  const int a = it_uv->second;
+  const int b = it_vu->second;
+  const int root = root_of(a);
+  std::uint32_t pa = position(a);
+  std::uint32_t pb = position(b);
+  int first = a, second = b;
+  if (pa > pb) {
+    std::swap(pa, pb);
+    std::swap(first, second);
+  }
+  // Sequence = A ++ [first] ++ M ++ [second] ++ C.
+  auto [left, rest] = split(root, pa);
+  auto [first_node, rest2] = split(rest, 1);
+  auto [middle, rest3] = split(rest2, pb - pa - 1);
+  auto [second_node, tail] = split(rest3, 1);
+  (void)first_node;
+  (void)second_node;
+  merge(left, tail);
+  (void)middle;  // the split-off component's sequence stands alone
+  free_arc(a);
+  free_arc(b);
+}
+
+void EulerTourTrees::set_vertex_flag(VertexId v, bool on) {
+  Node& nd = nodes_[static_cast<std::size_t>(self_node(v))];
+  if (nd.vflag == on) return;
+  nd.vflag = on;
+  bubble(self_node(v));
+}
+
+void EulerTourTrees::set_edge_flag(VertexId u, VertexId v, bool on) {
+  const VertexId a = std::min(u, v), b = std::max(u, v);
+  const auto it = arc_nodes_.find(arc_key(a, b));
+  if (it == arc_nodes_.end()) throw std::logic_error("flag on non-tree edge");
+  Node& nd = nodes_[static_cast<std::size_t>(it->second)];
+  if (nd.eflag == on) return;
+  nd.eflag = on;
+  bubble(it->second);
+}
+
+std::optional<int> EulerTourTrees::find_flagged_node(int root,
+                                                     bool edge_flag) {
+  int t = root;
+  if (t < 0) return std::nullopt;
+  const Node& rt = nodes_[static_cast<std::size_t>(t)];
+  if (edge_flag ? !rt.sub_eflag : !rt.sub_vflag) return std::nullopt;
+  for (;;) {
+    counter_.touch();
+    const Node& nd = nodes_[static_cast<std::size_t>(t)];
+    if (edge_flag ? nd.eflag : nd.vflag) return t;
+    if (nd.left >= 0) {
+      const Node& l = nodes_[static_cast<std::size_t>(nd.left)];
+      if (edge_flag ? l.sub_eflag : l.sub_vflag) {
+        t = nd.left;
+        continue;
+      }
+    }
+    t = nd.right;
+    if (t < 0) return std::nullopt;  // defensive; ORs said it exists
+  }
+}
+
+std::optional<VertexId> EulerTourTrees::find_flagged_vertex(VertexId v) {
+  const auto node = find_flagged_node(root_of(self_node(v)), false);
+  if (!node.has_value()) return std::nullopt;
+  return nodes_[static_cast<std::size_t>(*node)].vertex;
+}
+
+std::optional<std::pair<VertexId, VertexId>> EulerTourTrees::find_flagged_edge(
+    VertexId v) {
+  const auto node = find_flagged_node(root_of(self_node(v)), true);
+  if (!node.has_value()) return std::nullopt;
+  const Node& nd = nodes_[static_cast<std::size_t>(*node)];
+  return std::make_pair(nd.vertex, nd.arc_to);
+}
+
+}  // namespace seq

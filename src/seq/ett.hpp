@@ -1,0 +1,99 @@
+// Sequential Euler-tour trees over treaps (Henzinger–King style), the
+// substrate of the HDT dynamic connectivity algorithm [21] used by the
+// Section 7 reduction.
+//
+// The Euler tour of a tree is kept as a balanced sequence containing one
+// *self node* per vertex and one node per directed arc of each tree edge:
+//   tour(T rooted at r) = [self(r), arc(r,c1), tour(c1), arc(c1,r), ...]
+// link/cut/connected/size run in O(log n) expected; every treap node
+// visited charges the AccessCounter, so the DMPC rounds measured by the
+// reduction track the algorithm's true memory-access complexity.
+//
+// HDT augmentation: each self node carries a "vertex has non-tree edges
+// at this level" flag and each canonical arc node a "tree edge at this
+// level" flag, with subtree ORs, so components can be searched for
+// flagged items in O(log n) per item.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dmpc/types.hpp"
+#include "seq/access_counter.hpp"
+
+namespace seq {
+
+using dmpc::VertexId;
+
+class EulerTourTrees {
+ public:
+  EulerTourTrees(std::size_t n, AccessCounter& counter, std::uint64_t seed);
+
+  [[nodiscard]] bool connected(VertexId u, VertexId v);
+  /// Number of vertices in v's tree.
+  [[nodiscard]] std::size_t component_size(VertexId v);
+
+  void link(VertexId u, VertexId v);  // precondition: !connected(u, v)
+  void cut(VertexId u, VertexId v);   // precondition: (u,v) is a tree edge
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Flags a vertex as having >= 1 non-tree edge at this structure's
+  /// level (HDT augmentation).
+  void set_vertex_flag(VertexId v, bool on);
+  /// Flags tree edge (u, v) as having its level equal to this
+  /// structure's level.
+  void set_edge_flag(VertexId u, VertexId v, bool on);
+
+  /// Any flagged vertex in v's component, or nullopt.
+  std::optional<VertexId> find_flagged_vertex(VertexId v);
+  /// Any flagged tree edge in v's component, or nullopt.
+  std::optional<std::pair<VertexId, VertexId>> find_flagged_edge(VertexId v);
+
+ private:
+  struct Node {
+    int left = -1, right = -1, parent = -1;
+    std::uint32_t prio = 0;
+    std::uint32_t count = 1;         // nodes in subtree (this included)
+    std::uint32_t vertex_count = 0;  // self nodes in subtree
+    VertexId vertex = -1;            // self node: the vertex; arc: tail
+    VertexId arc_to = -1;            // arc head, or -1 for self nodes
+    bool vflag = false, eflag = false;
+    bool sub_vflag = false, sub_eflag = false;
+  };
+
+  [[nodiscard]] int self_node(VertexId v) const {
+    return static_cast<int>(v);
+  }
+  [[nodiscard]] std::uint64_t arc_key(VertexId u, VertexId v) const {
+    return static_cast<std::uint64_t>(u) * n_ + static_cast<std::uint64_t>(v);
+  }
+
+  int new_arc(VertexId u, VertexId v);
+  void free_arc(int node);
+
+  [[nodiscard]] std::uint32_t count_of(int t) const {
+    return t < 0 ? 0 : nodes_[static_cast<std::size_t>(t)].count;
+  }
+  void pull(int t);
+  int merge(int a, int b);
+  std::pair<int, int> split(int t, std::uint32_t k);  // [0,k) and [k,..)
+  [[nodiscard]] int root_of(int t);
+  [[nodiscard]] std::uint32_t position(int t);  // 0-based in its sequence
+  void bubble(int t);
+  /// Rotates v's sequence so it starts at self(v); returns the new root.
+  int reroot(VertexId v);
+  std::optional<int> find_flagged_node(int root, bool edge_flag);
+
+  std::size_t n_;
+  AccessCounter& counter_;
+  std::vector<Node> nodes_;
+  std::vector<int> free_list_;
+  std::unordered_map<std::uint64_t, int> arc_nodes_;
+  std::uint64_t rng_state_;
+  std::uint32_t next_prio();
+};
+
+}  // namespace seq

@@ -1,0 +1,135 @@
+#include "seq/hdt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace seq {
+
+HdtConnectivity::HdtConnectivity(std::size_t n, AccessCounter& counter,
+                                 std::uint64_t seed)
+    : n_(n), counter_(counter) {
+  levels_ = 1 + static_cast<int>(
+                    std::ceil(std::log2(std::max<std::size_t>(n, 2))));
+  forests_.reserve(static_cast<std::size_t>(levels_));
+  adj_.resize(static_cast<std::size_t>(levels_));
+  for (int i = 0; i < levels_; ++i) {
+    forests_.push_back(std::make_unique<EulerTourTrees>(
+        n, counter, seed + static_cast<std::uint64_t>(i)));
+    adj_[static_cast<std::size_t>(i)].resize(n);
+  }
+}
+
+bool HdtConnectivity::connected(VertexId u, VertexId v) {
+  return forests_[0]->connected(u, v);
+}
+
+void HdtConnectivity::add_nontree(VertexId u, VertexId v, int level) {
+  auto& au = adj_[static_cast<std::size_t>(level)][static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(level)][static_cast<std::size_t>(v)];
+  counter_.touch(2);
+  au.insert(v);
+  av.insert(u);
+  if (au.size() == 1) forests_[static_cast<std::size_t>(level)]->set_vertex_flag(u, true);
+  if (av.size() == 1) forests_[static_cast<std::size_t>(level)]->set_vertex_flag(v, true);
+}
+
+void HdtConnectivity::remove_nontree(VertexId u, VertexId v, int level) {
+  auto& au = adj_[static_cast<std::size_t>(level)][static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(level)][static_cast<std::size_t>(v)];
+  counter_.touch(2);
+  au.erase(v);
+  av.erase(u);
+  if (au.empty()) forests_[static_cast<std::size_t>(level)]->set_vertex_flag(u, false);
+  if (av.empty()) forests_[static_cast<std::size_t>(level)]->set_vertex_flag(v, false);
+}
+
+void HdtConnectivity::insert(VertexId u, VertexId v) {
+  const std::uint64_t k = key(u, v);
+  if (edge_level_.count(k) > 0) {
+    throw std::logic_error("insert of a present edge");
+  }
+  edge_level_[k] = 0;
+  counter_.touch();
+  if (!forests_[0]->connected(u, v)) {
+    forests_[0]->link(u, v);
+    forests_[0]->set_edge_flag(u, v, true);  // tree edge of level 0
+    edge_tree_[k] = true;
+  } else {
+    edge_tree_[k] = false;
+    add_nontree(u, v, 0);
+  }
+}
+
+void HdtConnectivity::erase(VertexId u, VertexId v) {
+  const std::uint64_t k = key(u, v);
+  const auto it = edge_level_.find(k);
+  if (it == edge_level_.end()) {
+    throw std::logic_error("erase of an absent edge");
+  }
+  const int level = it->second;
+  const bool was_tree = edge_tree_.at(k);
+  edge_level_.erase(it);
+  edge_tree_.erase(k);
+  counter_.touch(2);
+  if (!was_tree) {
+    remove_nontree(u, v, level);
+    return;
+  }
+  // Remove the tree edge from every forest it participates in
+  // (F_0 .. F_level) and look for a replacement from the highest level
+  // downward.
+  forests_[static_cast<std::size_t>(level)]->set_edge_flag(u, v, false);
+  for (int i = 0; i <= level; ++i) {
+    forests_[static_cast<std::size_t>(i)]->cut(u, v);
+  }
+  for (int i = level; i >= 0; --i) {
+    EulerTourTrees& f = *forests_[static_cast<std::size_t>(i)];
+    // Work on the smaller side (the amortization argument's pivot).
+    VertexId small = u, big = v;
+    if (f.component_size(u) > f.component_size(v)) {
+      small = v;
+      big = u;
+    }
+    // 1. Raise all level-i tree edges of the small side to level i+1.
+    if (i + 1 < levels_) {
+      while (auto e = f.find_flagged_edge(small)) {
+        const auto [a, b] = *e;
+        f.set_edge_flag(a, b, false);
+        edge_level_[key(a, b)] = i + 1;
+        forests_[static_cast<std::size_t>(i + 1)]->link(a, b);
+        forests_[static_cast<std::size_t>(i + 1)]->set_edge_flag(a, b, true);
+      }
+    }
+    // 2. Scan level-i non-tree edges incident to the small side.
+    while (auto x = f.find_flagged_vertex(small)) {
+      auto& ax = adj_[static_cast<std::size_t>(i)][static_cast<std::size_t>(*x)];
+      while (!ax.empty()) {
+        const VertexId y = *ax.begin();
+        counter_.touch();
+        if (f.connected(y, big)) {
+          // Replacement found: it becomes a tree edge at level i.
+          remove_nontree(*x, y, i);
+          edge_tree_[key(*x, y)] = true;
+          for (int j = 0; j <= i; ++j) {
+            forests_[static_cast<std::size_t>(j)]->link(*x, y);
+          }
+          forests_[static_cast<std::size_t>(i)]->set_edge_flag(*x, y, true);
+          return;
+        }
+        // Both endpoints in the small side: raise to level i+1.
+        const VertexId xx = *x;
+        remove_nontree(xx, y, i);
+        if (i + 1 < levels_) {
+          edge_level_[key(xx, y)] = i + 1;
+          add_nontree(xx, y, i + 1);
+        } else {
+          edge_level_[key(xx, y)] = i;  // top level: stays (cannot raise)
+          add_nontree(xx, y, i);
+          break;  // avoid an infinite loop at the top level
+        }
+      }
+    }
+  }
+}
+
+}  // namespace seq

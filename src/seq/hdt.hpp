@@ -1,0 +1,50 @@
+// Sequential fully-dynamic connectivity of Holm, de Lichtenberg and
+// Thorup [21] (amortized O(log^2 n) per update), built on the level-
+// decomposed Euler-tour forests of ett.hpp.  This is the algorithm the
+// paper's Section 7 reduction converts into an ~O(1)-machine DMPC
+// algorithm with amortized O~(1) rounds per update (Table 1, bottom
+// rows: connected components and MST via [21]).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "seq/ett.hpp"
+
+namespace seq {
+
+class HdtConnectivity {
+ public:
+  HdtConnectivity(std::size_t n, AccessCounter& counter,
+                  std::uint64_t seed = 42);
+
+  [[nodiscard]] bool connected(VertexId u, VertexId v);
+  void insert(VertexId u, VertexId v);  // precondition: edge absent
+  void erase(VertexId u, VertexId v);   // precondition: edge present
+
+  [[nodiscard]] std::size_t num_edges() const { return edge_level_.size(); }
+  [[nodiscard]] AccessCounter& counter() { return counter_; }
+
+ private:
+  [[nodiscard]] std::uint64_t key(VertexId u, VertexId v) const {
+    const VertexId a = std::min(u, v), b = std::max(u, v);
+    return static_cast<std::uint64_t>(a) * n_ + static_cast<std::uint64_t>(b);
+  }
+
+  /// Adds (u,v) to the level-i non-tree adjacency and maintains flags.
+  void add_nontree(VertexId u, VertexId v, int level);
+  void remove_nontree(VertexId u, VertexId v, int level);
+
+  std::size_t n_;
+  AccessCounter& counter_;
+  int levels_;
+  std::vector<std::unique_ptr<EulerTourTrees>> forests_;  // F_0 .. F_L
+  // Non-tree adjacency per level.
+  std::vector<std::vector<std::set<VertexId>>> adj_;
+  std::unordered_map<std::uint64_t, int> edge_level_;  // all edges
+  std::unordered_map<std::uint64_t, bool> edge_tree_;
+};
+
+}  // namespace seq

@@ -1,0 +1,96 @@
+#include "seq/ns_matching.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace seq {
+
+NsMatching::NsMatching(std::size_t n, std::size_t m_cap,
+                       AccessCounter& counter)
+    : heavy_thresh_(static_cast<std::size_t>(
+          std::ceil(2.0 * std::sqrt(static_cast<double>(m_cap) + 1.0)))),
+      alive_cap_(static_cast<std::size_t>(
+          std::ceil(std::sqrt(2.0 * static_cast<double>(m_cap) + 1.0)))),
+      counter_(counter),
+      adj_(n),
+      mate_(n, dmpc::kNoVertex) {}
+
+std::optional<VertexId> NsMatching::free_neighbor(VertexId v) {
+  const auto& nbs = adj_[static_cast<std::size_t>(v)];
+  const std::size_t limit = is_heavy(v) ? alive_cap_ : nbs.size();
+  std::size_t scanned = 0;
+  for (VertexId nb : nbs) {
+    if (scanned++ >= limit) break;
+    counter_.touch();
+    if (mate_[static_cast<std::size_t>(nb)] == dmpc::kNoVertex) return nb;
+  }
+  return std::nullopt;
+}
+
+std::optional<VertexId> NsMatching::light_mated_neighbor(VertexId v) {
+  const auto& nbs = adj_[static_cast<std::size_t>(v)];
+  std::size_t scanned = 0;
+  for (VertexId nb : nbs) {
+    if (scanned++ >= alive_cap_) break;
+    counter_.touch();
+    const VertexId m = mate_[static_cast<std::size_t>(nb)];
+    if (m != dmpc::kNoVertex && !is_heavy(m)) return nb;
+  }
+  return std::nullopt;
+}
+
+void NsMatching::rematch(VertexId z) {
+  counter_.touch();
+  if (mate_[static_cast<std::size_t>(z)] != dmpc::kNoVertex) return;
+  if (const auto f = free_neighbor(z)) {
+    mate_[static_cast<std::size_t>(z)] = *f;
+    mate_[static_cast<std::size_t>(*f)] = z;
+    counter_.touch(2);
+    return;
+  }
+  if (!is_heavy(z)) return;
+  // Invariant 3.1 steal (the degree-sum argument guarantees a candidate).
+  const auto w = light_mated_neighbor(z);
+  if (!w.has_value()) return;
+  const VertexId wm = mate_[static_cast<std::size_t>(*w)];
+  mate_[static_cast<std::size_t>(z)] = *w;
+  mate_[static_cast<std::size_t>(*w)] = z;
+  mate_[static_cast<std::size_t>(wm)] = dmpc::kNoVertex;
+  counter_.touch(3);
+  rematch(wm);  // wm is light: terminates after a free-neighbour scan
+}
+
+void NsMatching::insert(VertexId u, VertexId v) {
+  counter_.touch(2);
+  if (!adj_[static_cast<std::size_t>(u)].insert(v).second) {
+    throw std::logic_error("insert of a present edge");
+  }
+  adj_[static_cast<std::size_t>(v)].insert(u);
+  const bool u_free = mate_[static_cast<std::size_t>(u)] == dmpc::kNoVertex;
+  const bool v_free = mate_[static_cast<std::size_t>(v)] == dmpc::kNoVertex;
+  counter_.touch(2);
+  if (u_free && v_free) {
+    mate_[static_cast<std::size_t>(u)] = v;
+    mate_[static_cast<std::size_t>(v)] = u;
+    counter_.touch(2);
+    return;
+  }
+  if (u_free && is_heavy(u)) rematch(u);
+  if (v_free && is_heavy(v)) rematch(v);
+}
+
+void NsMatching::erase(VertexId u, VertexId v) {
+  counter_.touch(2);
+  if (adj_[static_cast<std::size_t>(u)].erase(v) == 0) {
+    throw std::logic_error("erase of an absent edge");
+  }
+  adj_[static_cast<std::size_t>(v)].erase(u);
+  if (mate_[static_cast<std::size_t>(u)] != v) return;
+  mate_[static_cast<std::size_t>(u)] = dmpc::kNoVertex;
+  mate_[static_cast<std::size_t>(v)] = dmpc::kNoVertex;
+  counter_.touch(2);
+  rematch(u);
+  rematch(v);
+}
+
+}  // namespace seq

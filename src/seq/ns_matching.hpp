@@ -1,0 +1,51 @@
+// Sequential fully-dynamic maximal matching in the style of Neiman and
+// Solomon [30]: deterministic O(sqrt m) worst-case time per update via
+// the same heavy/light threshold argument the paper's Section 3 adapts
+// to the DMPC model.  Used by the Section 7 reduction (Table 1's bottom
+// "Maximal matching" row) and as a sequential twin of the distributed
+// algorithm in differential tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "oracle/oracles.hpp"
+#include "seq/access_counter.hpp"
+
+namespace seq {
+
+using dmpc::VertexId;
+
+class NsMatching {
+ public:
+  NsMatching(std::size_t n, std::size_t m_cap, AccessCounter& counter);
+
+  void insert(VertexId u, VertexId v);  // precondition: edge absent
+  void erase(VertexId u, VertexId v);   // precondition: edge present
+
+  [[nodiscard]] VertexId mate(VertexId v) const {
+    return mate_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] oracle::Matching matching() const { return mate_; }
+  [[nodiscard]] bool is_heavy(VertexId v) const {
+    return adj_[static_cast<std::size_t>(v)].size() >= heavy_thresh_;
+  }
+
+ private:
+  /// Scans for a free neighbour: light vertices scan their whole list,
+  /// heavy vertices their first sqrt(2m) ("alive") neighbours.
+  [[nodiscard]] std::optional<VertexId> free_neighbor(VertexId v);
+  /// Among the alive neighbours of heavy v: one whose mate is light.
+  [[nodiscard]] std::optional<VertexId> light_mated_neighbor(VertexId v);
+  void rematch(VertexId z);
+
+  std::size_t heavy_thresh_;
+  std::size_t alive_cap_;
+  AccessCounter& counter_;
+  std::vector<std::set<VertexId>> adj_;
+  oracle::Matching mate_;
+};
+
+}  // namespace seq

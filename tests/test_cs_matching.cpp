@@ -1,0 +1,145 @@
+// Tests for the Section 6 (2+eps)-approximate matching: structural
+// invariants (a)-(d), almost-maximality (bounded augmenting edges, full
+// maximality after the schedulers drain), approximation ratio vs the
+// blossom oracle, and the O~(1) machines/communication profile that
+// distinguishes this algorithm from the sqrt(N)-profile ones.
+#include <gtest/gtest.h>
+
+#include "core/cs_matching.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "oracle/oracles.hpp"
+
+namespace {
+
+using core::CsMatching;
+using graph::DynamicGraph;
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+
+TEST(CsMatchingBasic, MatchesFreePairsImmediately) {
+  CsMatching cs({.n = 6});
+  cs.insert(0, 1);
+  EXPECT_EQ(cs.matching_snapshot()[0], 1);
+  EXPECT_EQ(cs.level_of(0), 0);
+  EXPECT_TRUE(cs.validate());
+}
+
+TEST(CsMatchingBasic, DeletionQueuesAndDrains) {
+  CsMatching cs({.n = 6});
+  cs.insert(0, 1);
+  cs.insert(1, 2);
+  cs.erase(0, 1);
+  cs.idle_cycles(8);
+  // After draining, 1 must be re-matched with its free neighbour 2.
+  EXPECT_EQ(cs.matching_snapshot()[1], 2);
+  EXPECT_EQ(cs.pending_work(), 0u);
+  EXPECT_TRUE(cs.validate());
+}
+
+TEST(CsMatchingBasic, ValidAndAlmostMaximalThroughout) {
+  const std::size_t n = 24;
+  CsMatching cs({.n = n, .seed = 5});
+  DynamicGraph shadow(n);
+  auto stream = graph::random_stream(n, 250, 0.6, 5);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      cs.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      cs.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    const auto m = cs.matching_snapshot();
+    ASSERT_TRUE(oracle::matching_is_valid(shadow, m)) << "step " << step;
+    // Almost-maximality: augmenting edges are bounded by the in-flight
+    // work (each pending vertex can shield at most its own edges).
+    const std::size_t violations = oracle::count_augmenting_edges(shadow, m);
+    ASSERT_LE(violations, 4 * (cs.pending_work() + 1)) << "step " << step;
+    std::string why;
+    ASSERT_TRUE(cs.validate(&why)) << "step " << step << ": " << why;
+    ++step;
+  }
+  // Once drained, the matching is fully maximal.
+  cs.idle_cycles(2 * n);
+  const auto m = cs.matching_snapshot();
+  EXPECT_TRUE(oracle::matching_is_maximal(shadow, m));
+}
+
+class CsMatchingStreamTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CsMatchingStreamTest, DrainedRatioWithinTwoPlusEps) {
+  const std::size_t n = 20;
+  const double eps = 0.2;
+  CsMatching cs({.n = n, .eps = eps, .seed = GetParam()});
+  DynamicGraph shadow(n);
+  auto stream = graph::random_stream(n, 200, 0.65, GetParam());
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      cs.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      cs.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+  }
+  cs.idle_cycles(4 * n);
+  const auto m = cs.matching_snapshot();
+  ASSERT_TRUE(oracle::matching_is_valid(shadow, m));
+  ASSERT_TRUE(oracle::matching_is_maximal(shadow, m));
+  const std::size_t ours = oracle::matching_size(m);
+  const std::size_t best = oracle::maximum_matching_size(shadow);
+  // Maximal implies 2-approximation; the almost-maximal slack adds eps.
+  EXPECT_GE(static_cast<double>(ours) * (2.0 + eps),
+            static_cast<double>(best));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsMatchingStreamTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(CsMatchingBounds, PolylogMachinesAndComm) {
+  // The defining Table 1 profile: active machines and communication per
+  // round must stay polylogarithmic — i.e. essentially flat while the
+  // vertex count (and hence sqrt N) quadruples.
+  std::uint64_t mach_small = 0, mach_large = 0;
+  dmpc::WordCount comm_small = 0, comm_large = 0;
+  for (const std::size_t n : {256u, 4096u}) {
+    CsMatching cs({.n = n, .seed = 3});
+    auto stream = graph::random_stream(n, 300, 0.6, 3);
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        cs.insert(up.u, up.v);
+      } else {
+        cs.erase(up.u, up.v);
+      }
+    }
+    const auto& agg = cs.cluster().metrics().aggregate();
+    EXPECT_LE(agg.worst_rounds, 8u) << "n=" << n;  // O(1) rounds
+    (n == 256 ? mach_small : mach_large) = agg.worst_active_machines;
+    (n == 256 ? comm_small : comm_large) = agg.worst_comm_words;
+  }
+  // sqrt(N) grew 4x; polylog growth must be far smaller.
+  EXPECT_LT(static_cast<double>(mach_large),
+            2.0 * static_cast<double>(mach_small) + 16.0);
+  EXPECT_LT(static_cast<double>(comm_large),
+            2.0 * static_cast<double>(comm_small) + 64.0);
+}
+
+TEST(CsMatchingInvariants, SupportRecordsExistForMatchedEdges) {
+  CsMatching cs({.n = 12, .seed = 9});
+  auto stream = graph::random_stream(12, 120, 0.7, 9);
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      cs.insert(up.u, up.v);
+    } else {
+      cs.erase(up.u, up.v);
+    }
+    std::string why;
+    ASSERT_TRUE(cs.validate(&why)) << why;
+  }
+}
+
+}  // namespace

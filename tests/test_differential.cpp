@@ -1,0 +1,167 @@
+// Differential tests: every distributed algorithm has a sequential twin
+// in this repository, and on identical update sequences they must agree.
+//
+//   DynamicForest (Section 5)  <->  etour::EulerForest (reference)
+//   DynamicForest (Section 5)  <->  seq::HdtConnectivity
+//   MaximalMatching (Section 3) <-> seq::NsMatching (both maintain *some*
+//       maximal matching: sizes may differ, maximality may not)
+//
+// These catch divergence bugs that a single oracle can miss (e.g. a
+// correct-but-different component labelling hiding a stale tour index).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/dyn_forest.hpp"
+#include "core/maximal_matching.hpp"
+#include "etour/euler_forest.hpp"
+#include "graph/update_stream.hpp"
+#include "oracle/oracles.hpp"
+#include "seq/hdt.hpp"
+#include "seq/ns_matching.hpp"
+
+namespace {
+
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+
+/// Same-partition check: two component labelings agree iff they induce
+/// the same equivalence classes.
+bool same_partition(const std::vector<VertexId>& a,
+                    const std::vector<VertexId>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<VertexId, VertexId> a2b, b2a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    auto [it1, fresh1] = a2b.emplace(a[v], b[v]);
+    if (!fresh1 && it1->second != b[v]) return false;
+    auto [it2, fresh2] = b2a.emplace(b[v], a[v]);
+    if (!fresh2 && it2->second != a[v]) return false;
+  }
+  return true;
+}
+
+class ForestVsHdtTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForestVsHdtTest, IdenticalConnectivityOnRandomStreams) {
+  const std::size_t n = 32;
+  auto stream = graph::random_stream(n, 300, 0.58, GetParam());
+  core::DynamicForest forest({.n = n, .m_cap = 700});
+  forest.preprocess(graph::EdgeList{});
+  seq::AccessCounter c;
+  seq::HdtConnectivity hdt(n, c);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      forest.insert(up.u, up.v);
+      hdt.insert(up.u, up.v);
+    } else {
+      forest.erase(up.u, up.v);
+      hdt.erase(up.u, up.v);
+    }
+    if (step % 7 == 0) {
+      const auto labels = forest.component_snapshot();
+      for (std::size_t x = 0; x < n; x += 2) {
+        for (std::size_t y = x + 1; y < n; y += 3) {
+          ASSERT_EQ(labels[x] == labels[y],
+                    hdt.connected(static_cast<VertexId>(x),
+                                  static_cast<VertexId>(y)))
+              << "step " << step;
+        }
+      }
+    }
+    ++step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestVsHdtTest,
+                         ::testing::Values(101, 102, 103, 104));
+
+class ForestVsReferenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ForestVsReferenceTest, TreeEdgeSetStaysConsistent) {
+  // Drive the distributed forest and the reference Euler forest with the
+  // same link/cut decisions (the reference is told exactly which tree
+  // edges the distributed algorithm chose) and compare the component
+  // partitions — this cross-checks the index algebra end to end.
+  const std::size_t n = 24;
+  std::mt19937_64 rng(GetParam());
+  core::DynamicForest forest({.n = n, .m_cap = 600});
+  forest.preprocess(graph::EdgeList{});
+  graph::DynamicGraph shadow(n);
+  std::size_t step = 0;
+  for (int i = 0; i < 250; ++i) {
+    const VertexId u = static_cast<VertexId>(rng() % n);
+    const VertexId v = static_cast<VertexId>(rng() % n);
+    if (u == v) continue;
+    if (!shadow.has_edge(u, v) && (rng() % 100 < 60)) {
+      forest.insert(u, v);
+      shadow.insert_edge(u, v);
+    } else if (shadow.has_edge(u, v)) {
+      forest.erase(u, v);
+      shadow.delete_edge(u, v);
+    } else {
+      continue;
+    }
+    // Rebuild a reference forest from the distributed tree edges: it must
+    // validate as a spanning forest of the same partition.
+    etour::EulerForest ref(n);
+    for (auto [a, b] : forest.tree_edges()) ref.link(a, b);
+    std::string why;
+    ASSERT_TRUE(ref.validate(&why)) << "step " << step << ": " << why;
+    std::vector<VertexId> ref_labels(n);
+    for (std::size_t x = 0; x < n; ++x) {
+      ref_labels[x] = static_cast<VertexId>(
+          ref.component(static_cast<VertexId>(x)));
+    }
+    ASSERT_TRUE(same_partition(forest.component_snapshot(), ref_labels))
+        << "step " << step;
+    ASSERT_TRUE(same_partition(forest.component_snapshot(),
+                               oracle::connected_components(shadow)))
+        << "step " << step;
+    ++step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestVsReferenceTest,
+                         ::testing::Values(201, 202, 203));
+
+class MatchingTwinsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingTwinsTest, BothMaximalAndWithinFactor2OfEachOther) {
+  const std::size_t n = 24;
+  auto stream = graph::random_stream(n, 250, 0.6, GetParam());
+  core::MaximalMatching dist({.n = n, .m_cap = 700});
+  dist.preprocess({});
+  seq::AccessCounter c;
+  seq::NsMatching ns(n, 700, c);
+  graph::DynamicGraph shadow(n);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      dist.insert(up.u, up.v);
+      ns.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      dist.erase(up.u, up.v);
+      ns.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    const auto md = dist.matching_snapshot();
+    const auto ms = ns.matching();
+    ASSERT_TRUE(oracle::matching_is_maximal(shadow, md)) << "step " << step;
+    ASSERT_TRUE(oracle::matching_is_maximal(shadow, ms)) << "step " << step;
+    // Two maximal matchings of the same graph are within factor 2.
+    const std::size_t sd = oracle::matching_size(md);
+    const std::size_t ss = oracle::matching_size(ms);
+    ASSERT_LE(sd, 2 * ss) << "step " << step;
+    ASSERT_LE(ss, 2 * sd) << "step " << step;
+    ++step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingTwinsTest,
+                         ::testing::Values(301, 302, 303, 304));
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Unit tests for the DMPC round simulator: round semantics, activity and
+// communication accounting, memory/communication caps, update grouping,
+// and the Section 8 entropy metric.
+#include <gtest/gtest.h>
+
+#include "dmpc/cluster.hpp"
+#include "dmpc/memory.hpp"
+#include "dmpc/primitives.hpp"
+
+namespace {
+
+using dmpc::Cluster;
+using dmpc::MemoryMeter;
+using dmpc::Message;
+using dmpc::RoundRecord;
+using dmpc::Word;
+
+TEST(MemoryMeter, ChargesAndReleases) {
+  MemoryMeter meter(100);
+  meter.charge(40);
+  EXPECT_EQ(meter.used(), 40u);
+  EXPECT_EQ(meter.free(), 60u);
+  meter.charge(60);
+  EXPECT_EQ(meter.used(), 100u);
+  meter.release(30);
+  EXPECT_EQ(meter.used(), 70u);
+  EXPECT_EQ(meter.high_water(), 100u);
+}
+
+TEST(MemoryMeter, ThrowsOnOverflow) {
+  MemoryMeter meter(10);
+  meter.charge(10);
+  EXPECT_THROW(meter.charge(1), dmpc::MemoryOverflowError);
+}
+
+TEST(MemoryMeter, ReleaseClampsAtZero) {
+  MemoryMeter meter(10);
+  meter.charge(5);
+  meter.release(50);
+  EXPECT_EQ(meter.used(), 0u);
+}
+
+TEST(Cluster, DeliversMessagesAtRoundEnd) {
+  Cluster c(4, 100);
+  c.send(0, 2, 7, {1, 2, 3});
+  EXPECT_TRUE(c.inbox(2).empty());  // nothing delivered mid-round
+  RoundRecord rec = c.finish_round();
+  ASSERT_EQ(c.inbox(2).size(), 1u);
+  EXPECT_EQ(c.inbox(2)[0].tag, 7);
+  EXPECT_EQ(c.inbox(2)[0].payload, (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(c.inbox(2)[0].from, 0u);
+  EXPECT_EQ(rec.active_machines, 2u);
+  EXPECT_EQ(rec.comm_words, 4u);  // 3 payload + 1 tag word
+}
+
+TEST(Cluster, InboxClearedByNextRound) {
+  Cluster c(2, 100);
+  c.send(0, 1, 1, {});
+  c.finish_round();
+  EXPECT_EQ(c.inbox(1).size(), 1u);
+  c.finish_round();
+  EXPECT_TRUE(c.inbox(1).empty());
+}
+
+TEST(Cluster, ActiveMachinesCountsSendersAndReceivers) {
+  Cluster c(6, 100);
+  c.send(0, 1, 1, {});
+  c.send(2, 3, 1, {});
+  c.send(0, 3, 1, {});  // 0 and 3 already counted
+  RoundRecord rec = c.finish_round();
+  EXPECT_EQ(rec.active_machines, 4u);
+  EXPECT_EQ(rec.messages, 3u);
+}
+
+TEST(Cluster, SelfMessageActivatesOneMachine) {
+  Cluster c(2, 100);
+  c.send(1, 1, 1, {42});
+  RoundRecord rec = c.finish_round();
+  EXPECT_EQ(rec.active_machines, 1u);
+}
+
+TEST(Cluster, EnforcesPerMachineSendCap) {
+  Cluster c(3, 4);
+  c.send(0, 1, 1, {1, 2, 3, 4});  // 5 words > cap 4
+  EXPECT_THROW(c.finish_round(), dmpc::CommOverflowError);
+}
+
+TEST(Cluster, EnforcesPerMachineReceiveCap) {
+  Cluster c(3, 4);
+  // Each message costs 3 words; machine 2 receives 6 > 4.
+  c.send(0, 2, 1, {1, 2});
+  c.send(1, 2, 1, {1, 2});
+  EXPECT_THROW(c.finish_round(), dmpc::CommOverflowError);
+}
+
+TEST(Cluster, UpdateGroupingTracksWorstRound) {
+  Cluster c(4, 100);
+  c.begin_update();
+  c.send(0, 1, 1, {1, 2, 3});
+  c.finish_round();
+  c.send(0, 1, 1, {});
+  c.send(2, 3, 1, {});
+  c.finish_round();
+  auto rec = c.end_update();
+  EXPECT_EQ(rec.rounds, 2u);
+  EXPECT_EQ(rec.max_active_machines, 4u);
+  EXPECT_EQ(rec.max_comm_words, 4u);
+  EXPECT_EQ(rec.total_comm_words, 6u);
+}
+
+TEST(Cluster, AggregateAbsorbsWorstCase) {
+  Cluster c(4, 100);
+  for (int i = 0; i < 3; ++i) {
+    c.begin_update();
+    for (int r = 0; r <= i; ++r) {
+      c.send(0, 1, 1, std::vector<Word>(static_cast<std::size_t>(i), 9));
+      c.finish_round();
+    }
+    c.end_update();
+  }
+  const auto& agg = c.metrics().aggregate();
+  EXPECT_EQ(agg.updates, 3u);
+  EXPECT_EQ(agg.worst_rounds, 3u);
+  EXPECT_EQ(agg.worst_comm_words, 3u);
+  EXPECT_NEAR(agg.mean_rounds(), 2.0, 1e-9);
+}
+
+TEST(Cluster, RejectsOutOfRangeMachine) {
+  Cluster c(2, 10);
+  EXPECT_THROW(c.send(0, 5, 1, {}), std::out_of_range);
+  EXPECT_THROW(c.memory(9), std::out_of_range);
+}
+
+TEST(Primitives, BroadcastReachesEveryoneOnce) {
+  Cluster c(5, 100);
+  auto rec = dmpc::broadcast(c, 2, 9, {7});
+  EXPECT_EQ(rec.active_machines, 5u);
+  EXPECT_EQ(rec.messages, 4u);
+  for (dmpc::MachineId m = 0; m < 5; ++m) {
+    if (m == 2) {
+      EXPECT_TRUE(c.inbox(m).empty());
+    } else {
+      ASSERT_EQ(c.inbox(m).size(), 1u);
+      EXPECT_EQ(c.inbox(m)[0].payload[0], 7);
+    }
+  }
+}
+
+TEST(Primitives, GatherSkipsEmptyPayloads) {
+  Cluster c(4, 100);
+  auto rec = dmpc::gather(c, {1, 2, 3}, 0, 5, {{1}, {}, {3}});
+  EXPECT_EQ(c.inbox(0).size(), 2u);
+  EXPECT_EQ(rec.active_machines, 3u);  // 1, 3, and the root
+}
+
+TEST(Metrics, EntropyZeroForSinglePair) {
+  Cluster c(4, 100);
+  c.send(0, 1, 1, {1, 2});
+  c.finish_round();
+  EXPECT_NEAR(c.metrics().pair_entropy_bits(), 0.0, 1e-12);
+}
+
+TEST(Metrics, EntropyMaxForUniformPairs) {
+  Cluster c(4, 100);
+  // Four distinct pairs, equal traffic: entropy = log2(4) = 2 bits.
+  c.send(0, 1, 1, {1});
+  c.send(1, 2, 1, {1});
+  c.send(2, 3, 1, {1});
+  c.send(3, 0, 1, {1});
+  c.finish_round();
+  EXPECT_NEAR(c.metrics().pair_entropy_bits(), 2.0, 1e-12);
+}
+
+TEST(Metrics, CoordinatorPatternHasLowerEntropyThanUniform) {
+  // A coordinator talking to k machines yields entropy log2(k); the same
+  // volume spread over k^2/2 distinct pairs yields more — the Section 8
+  // argument in miniature.
+  Cluster coord(9, 1000);
+  for (dmpc::MachineId m = 1; m < 9; ++m) coord.send(0, m, 1, {1});
+  coord.finish_round();
+  Cluster spread(9, 1000);
+  for (dmpc::MachineId a = 0; a < 9; ++a) {
+    for (dmpc::MachineId b = a + 1; b < 9; ++b) spread.send(a, b, 1, {1});
+  }
+  spread.finish_round();
+  EXPECT_LT(coord.metrics().pair_entropy_bits(),
+            spread.metrics().pair_entropy_bits());
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Cluster c(2, 100);
+  c.begin_update();
+  c.send(0, 1, 1, {1});
+  c.finish_round();
+  c.end_update();
+  c.metrics().reset();
+  EXPECT_EQ(c.metrics().aggregate().updates, 0u);
+  EXPECT_TRUE(c.metrics().rounds().empty());
+  EXPECT_NEAR(c.metrics().pair_entropy_bits(), 0.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,276 @@
+// Integration and property tests for the distributed dynamic
+// connectivity / (1+eps)-MST algorithm (paper, Sections 5 and 5.1).
+//
+// Every test maintains a shadow DynamicGraph and checks after each update:
+//  * component labels equal the oracle's,
+//  * the distributed E-tour invariants hold (DynamicForest::validate),
+//  * the Table 1 complexity bounds hold: O(1) rounds per update, and
+//    communication within the O(sqrt N) machine-count regime.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/dyn_forest.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "oracle/oracles.hpp"
+
+namespace {
+
+using core::DynamicForest;
+using core::DynForestConfig;
+using graph::DynamicGraph;
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+using graph::WeightedDynamicGraph;
+
+// Worst-case rounds any single update is allowed to take.  The protocol
+// uses a bounded constant number of phases (prepare, broadcast, record,
+// search, replacement prepare/merge; the MST swap path chains two of
+// these), so 40 is a safe constant that does not grow with N.
+constexpr std::uint64_t kRoundCap = 40;
+
+void expect_components_match(const DynamicForest& forest,
+                             const DynamicGraph& shadow,
+                             const std::string& where) {
+  const auto got = forest.component_snapshot();
+  const auto want = oracle::connected_components(shadow);
+  ASSERT_EQ(got, want) << where;
+}
+
+TEST(DynForestBasic, EmptyGraphIsAllSingletons) {
+  DynamicForest forest({.n = 8, .m_cap = 16});
+  forest.preprocess(graph::EdgeList{});
+  const auto labels = forest.component_snapshot();
+  for (std::size_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(labels[v], static_cast<VertexId>(v));
+  }
+  EXPECT_TRUE(forest.validate());
+}
+
+TEST(DynForestBasic, PreprocessArbitraryGraph) {
+  const auto edges = graph::gnm(40, 80, 3);
+  DynamicForest forest({.n = 40, .m_cap = 200});
+  forest.preprocess(edges);
+  DynamicGraph shadow(40);
+  for (auto [u, v] : edges) shadow.insert_edge(u, v);
+  expect_components_match(forest, shadow, "after preprocess");
+  std::string why;
+  EXPECT_TRUE(forest.validate(&why)) << why;
+}
+
+TEST(DynForestBasic, InsertLinksComponents) {
+  DynamicForest forest({.n = 4, .m_cap = 8});
+  forest.preprocess(graph::EdgeList{});
+  forest.insert(0, 1);
+  forest.insert(2, 3);
+  EXPECT_TRUE(forest.connected(0, 1));
+  EXPECT_FALSE(forest.connected(1, 2));
+  forest.insert(1, 2);
+  EXPECT_TRUE(forest.connected(0, 3));
+  EXPECT_TRUE(forest.validate());
+}
+
+TEST(DynForestBasic, DeleteTreeEdgeUsesReplacement) {
+  // Cycle: deleting one edge must keep everything connected via the
+  // replacement search.
+  DynamicForest forest({.n = 6, .m_cap = 12});
+  forest.preprocess(graph::cycle(6));
+  forest.erase(0, 1);
+  EXPECT_TRUE(forest.connected(0, 1));
+  EXPECT_TRUE(forest.validate());
+  // A second deletion on the now-path graph disconnects it.
+  forest.erase(3, 4);
+  EXPECT_FALSE(forest.connected(3, 4));
+  EXPECT_TRUE(forest.validate());
+}
+
+TEST(DynForestBasic, DuplicateInsertAndMissingDeleteAreNoOps) {
+  DynamicForest forest({.n = 4, .m_cap = 8});
+  forest.preprocess(graph::path(4));
+  forest.insert(0, 1);  // already present
+  forest.erase(0, 3);   // absent
+  DynamicGraph shadow(4);
+  for (auto [u, v] : graph::path(4)) shadow.insert_edge(u, v);
+  expect_components_match(forest, shadow, "after no-ops");
+  EXPECT_TRUE(forest.validate());
+}
+
+TEST(DynForestBasic, StarCenterDeletions) {
+  // The star stresses a single heavy vertex whose edges spread over many
+  // machines.
+  DynamicForest forest({.n = 32, .m_cap = 64});
+  forest.preprocess(graph::star(32));
+  DynamicGraph shadow(32);
+  for (auto [u, v] : graph::star(32)) shadow.insert_edge(u, v);
+  for (VertexId v = 1; v < 32; v += 2) {
+    forest.erase(0, v);
+    shadow.delete_edge(0, v);
+    std::string why;
+    ASSERT_TRUE(forest.validate(&why)) << "leaf " << v << ": " << why;
+  }
+  expect_components_match(forest, shadow, "after star deletions");
+}
+
+struct StreamCase {
+  const char* name;
+  std::size_t n;
+  graph::UpdateStream stream;
+};
+
+class DynForestStreamTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(DynForestStreamTest, AgreesWithOracleThroughout) {
+  const auto [kind, seed] = GetParam();
+  const std::size_t n = 28;
+  graph::UpdateStream stream;
+  switch (kind) {
+    case 0:
+      stream = graph::random_stream(n, 220, 0.6, seed);
+      break;
+    case 1:
+      stream = graph::sliding_window_stream(n, 220, 40, seed);
+      break;
+    default:
+      stream = graph::clean_stream(
+          n, graph::bridge_adversary_stream(n, 220, 12, seed));
+      break;
+  }
+  DynamicForest forest({.n = n, .m_cap = 600});
+  forest.preprocess(graph::EdgeList{});
+  DynamicGraph shadow(n);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      forest.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      forest.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    const auto& last = forest.cluster().metrics().last_update();
+    ASSERT_LE(last.rounds, kRoundCap) << "update " << step;
+    if (step % 10 == 0) {
+      std::string why;
+      ASSERT_TRUE(forest.validate(&why)) << "update " << step << ": " << why;
+      expect_components_match(forest, shadow,
+                              "update " + std::to_string(step));
+    }
+    ++step;
+  }
+  std::string why;
+  ASSERT_TRUE(forest.validate(&why)) << why;
+  expect_components_match(forest, shadow, "final");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, DynForestStreamTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(DynForestBounds, RoundsStayConstantAcrossSizes) {
+  // The Table 1 "O(1) rounds" column: worst-case rounds per update must
+  // not grow with N.
+  std::uint64_t worst_small = 0, worst_large = 0;
+  for (const std::size_t n : {64u, 1024u}) {
+    DynamicForest forest({.n = n, .m_cap = 4 * n});
+    forest.preprocess(graph::cycle(n));
+    forest.cluster().metrics().reset();
+    std::mt19937_64 rng(5);
+    auto stream = graph::clean_stream(
+        n, graph::bridge_adversary_stream(n, 120, n / 4, 5));
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        forest.insert(up.u, up.v);
+      } else {
+        forest.erase(up.u, up.v);
+      }
+    }
+    const auto worst = forest.cluster().metrics().aggregate().worst_rounds;
+    (n == 64 ? worst_small : worst_large) = worst;
+  }
+  EXPECT_LE(worst_large, kRoundCap);
+  // Constant across a 16x size change (allowing for which code paths the
+  // streams happen to hit).
+  EXPECT_LE(worst_large, worst_small + 4);
+}
+
+TEST(DynForestBounds, MemoryFitsInMachineCap) {
+  const std::size_t n = 256;
+  const auto edges = graph::gnm(n, 3 * n, 9);
+  DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(edges);
+  // No machine ever exceeded its O(sqrt N) capacity (charge() would have
+  // thrown), and the high-water mark is genuinely sublinear.
+  const auto hw = forest.cluster().max_memory_high_water();
+  EXPECT_LE(hw, forest.cluster().machine_capacity());
+  EXPECT_LT(hw, static_cast<dmpc::WordCount>(n + 4 * n));  // << N words
+}
+
+TEST(DynMstBasic, MaintainsExactMsfWeightWithTinyEps) {
+  // With distinct weights and eps small enough that every weight lands in
+  // its own bucket, the maintained forest must be the exact MSF.
+  const std::size_t n = 24;
+  auto wedges = graph::with_random_weights(graph::cycle(n), 1000, 13);
+  DynamicForest forest({.n = n, .m_cap = 200, .weighted = true, .eps = 1e-9});
+  forest.preprocess(wedges);
+  WeightedDynamicGraph shadow(n);
+  for (const auto& e : wedges) shadow.insert_edge(e.u, e.v, e.w);
+  EXPECT_EQ(forest.forest_weight(), oracle::msf_weight(shadow));
+  // The cycle rule: inserting a light chord displaces the heaviest cycle
+  // edge.
+  forest.insert(0, n / 2, 1);
+  shadow.insert_edge(0, n / 2, 1);
+  EXPECT_EQ(forest.forest_weight(), oracle::msf_weight(shadow));
+  EXPECT_TRUE(forest.validate());
+}
+
+class DynMstRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynMstRandomTest, TracksExactMsfUnderUpdates) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 20;
+  DynamicForest forest({.n = n, .m_cap = 500, .weighted = true, .eps = 1e-9});
+  forest.preprocess(graph::WeightedEdgeList{});
+  WeightedDynamicGraph shadow(n);
+  auto stream = graph::random_stream(n, 160, 0.65, seed, /*weighted=*/true);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      forest.insert(up.u, up.v, up.w);
+      shadow.insert_edge(up.u, up.v, up.w);
+    } else {
+      forest.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    ASSERT_EQ(forest.forest_weight(), oracle::msf_weight(shadow))
+        << "step " << step;
+    if (step % 10 == 0) {
+      std::string why;
+      ASSERT_TRUE(forest.validate(&why)) << "step " << step << ": " << why;
+    }
+    ++step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynMstRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DynMstApprox, BucketedPreprocessingWithinOnePlusEps) {
+  const std::size_t n = 60;
+  const double eps = 0.25;
+  auto wedges = graph::with_random_weights(graph::gnm(n, 180, 7), 5000, 7);
+  DynamicForest forest({.n = n, .m_cap = 400, .weighted = true, .eps = eps});
+  forest.preprocess(wedges);
+  WeightedDynamicGraph shadow(n);
+  for (const auto& e : wedges) shadow.insert_edge(e.u, e.v, e.w);
+  const auto exact = oracle::msf_weight(shadow);
+  const auto approx = forest.forest_weight();
+  EXPECT_GE(approx, exact);
+  EXPECT_LE(static_cast<double>(approx),
+            (1.0 + eps) * static_cast<double>(exact) + 1e-9);
+}
+
+}  // namespace

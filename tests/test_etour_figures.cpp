@@ -1,0 +1,147 @@
+// Golden tests reproducing Figures 1 and 2 of the paper verbatim.
+//
+// Vertices a..g are mapped to 0..6.  The figures illustrate the three
+// E-tour index transformations (reroot, merge on insertion, split on
+// deletion); these tests pin the exact tours the paper prints, which also
+// pins our correction of the paper's "+4*ELength" typo (see
+// etour/transforms.hpp).
+#include <gtest/gtest.h>
+
+#include "etour/euler_forest.hpp"
+#include "etour/tour_builder.hpp"
+
+namespace {
+
+using etour::EulerForest;
+using graph::VertexId;
+
+constexpr VertexId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6;
+
+std::vector<VertexId> tour_of(const char* s) {
+  std::vector<VertexId> out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    out.push_back(static_cast<VertexId>(*p - 'a'));
+  }
+  return out;
+}
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    forest_ = std::make_unique<EulerForest>(7);
+    // Figure 1(i): tour 1 = [b,c,c,d,d,c,c,b,b,e,e,b],
+    //              tour 2 = [a,f,f,g,g,f,f,a].
+    forest_->add_tree_from_tour(tour_of("bccddccbbeeb"));
+    forest_->add_tree_from_tour(tour_of("affggffa"));
+    ASSERT_TRUE(forest_->validate());
+  }
+
+  std::unique_ptr<EulerForest> forest_;
+};
+
+TEST_F(Figure1Test, InitialBracketsMatchFigure) {
+  // Figure 1(i) brackets: b:[1,12], c:[2,7], d:[4,5], e:[10,11];
+  // a:[1,8], f:[2,7], g:[4,5].
+  EXPECT_EQ(forest_->first_index(b), 1);
+  EXPECT_EQ(forest_->last_index(b), 12);
+  EXPECT_EQ(forest_->first_index(c), 2);
+  EXPECT_EQ(forest_->last_index(c), 7);
+  EXPECT_EQ(forest_->first_index(d), 4);
+  EXPECT_EQ(forest_->last_index(d), 5);
+  EXPECT_EQ(forest_->first_index(e), 10);
+  EXPECT_EQ(forest_->last_index(e), 11);
+  EXPECT_EQ(forest_->first_index(a), 1);
+  EXPECT_EQ(forest_->last_index(a), 8);
+  EXPECT_EQ(forest_->first_index(f), 2);
+  EXPECT_EQ(forest_->last_index(f), 7);
+  EXPECT_EQ(forest_->first_index(g), 4);
+  EXPECT_EQ(forest_->last_index(g), 5);
+}
+
+TEST_F(Figure1Test, RerootAtEMatchesFigure1ii) {
+  forest_->reroot(e);
+  // Figure 1(ii): tour 1 = [e,b,b,c,c,d,d,c,c,b,b,e].
+  EXPECT_EQ(forest_->tour(e), tour_of("ebbccddccbbe"));
+  EXPECT_TRUE(forest_->validate());
+  // Brackets from the figure: e:[1,12], b:[2,11], c:[4,9], d:[6,7].
+  EXPECT_EQ(forest_->first_index(e), 1);
+  EXPECT_EQ(forest_->last_index(e), 12);
+  EXPECT_EQ(forest_->first_index(b), 2);
+  EXPECT_EQ(forest_->last_index(b), 11);
+  EXPECT_EQ(forest_->first_index(c), 4);
+  EXPECT_EQ(forest_->last_index(c), 9);
+  EXPECT_EQ(forest_->first_index(d), 6);
+  EXPECT_EQ(forest_->last_index(d), 7);
+}
+
+TEST_F(Figure1Test, InsertEGMatchesFigure1iii) {
+  // insert(e,g): e's tree is re-rooted at e and spliced after f(g) in the
+  // other tree.  Figure 1(iii):
+  // [a,f,f,g,g,e,e,b,b,c,c,d,d,c,c,b,b,e,e,g,g,f,f,a].
+  forest_->link(g, e);
+  EXPECT_EQ(forest_->tour(a), tour_of("affggeebbccddccbbeeggffa"));
+  EXPECT_TRUE(forest_->validate());
+  // Brackets from the figure: a:[1,24], f:[2,23], g:[4,21], e:[6,19],
+  // b:[8,17], c:[10,15], d:[12,13].
+  EXPECT_EQ(forest_->first_index(a), 1);
+  EXPECT_EQ(forest_->last_index(a), 24);
+  EXPECT_EQ(forest_->first_index(f), 2);
+  EXPECT_EQ(forest_->last_index(f), 23);
+  EXPECT_EQ(forest_->first_index(g), 4);
+  EXPECT_EQ(forest_->last_index(g), 21);
+  EXPECT_EQ(forest_->first_index(e), 6);
+  EXPECT_EQ(forest_->last_index(e), 19);
+  EXPECT_EQ(forest_->first_index(b), 8);
+  EXPECT_EQ(forest_->last_index(b), 17);
+  EXPECT_EQ(forest_->first_index(c), 10);
+  EXPECT_EQ(forest_->last_index(c), 15);
+  EXPECT_EQ(forest_->first_index(d), 12);
+  EXPECT_EQ(forest_->last_index(d), 13);
+  EXPECT_TRUE(forest_->connected(a, d));
+}
+
+TEST(Figure2Test, DeleteABMatchesFigure2iii) {
+  EulerForest forest(7);
+  // Figure 2(i): one tree with tour
+  // [a,b,b,c,c,d,d,c,c,b,b,e,e,b,b,a,a,f,f,g,g,f,f,a], brackets
+  // a:[1,24], b:[2,15], c:[4,9], d:[6,7], e:[12,13], f:[18,23], g:[20,21].
+  forest.add_tree_from_tour(tour_of("abbccddccbbeebbaaffggffa"));
+  ASSERT_TRUE(forest.validate());
+  ASSERT_EQ(forest.first_index(b), 2);
+  ASSERT_EQ(forest.last_index(b), 15);
+
+  // Figure 2(iii): deleting (a,b) splits into
+  // tour 1 = [b,c,c,d,d,c,c,b,b,e,e,b] and tour 2 = [a,f,f,g,g,f,f,a].
+  const VertexId child = forest.cut(a, b, /*new_comp=*/100);
+  EXPECT_EQ(child, b);
+  EXPECT_TRUE(forest.validate());
+  EXPECT_FALSE(forest.connected(a, b));
+  EXPECT_EQ(forest.tour(b), tour_of("bccddccbbeeb"));
+  EXPECT_EQ(forest.tour(a), tour_of("affggffa"));
+  // Post-split brackets from the figure: b:[1,12], c:[2,7], d:[4,5],
+  // e:[10,11]; a:[1,8], f:[2,7], g:[4,5].
+  EXPECT_EQ(forest.first_index(b), 1);
+  EXPECT_EQ(forest.last_index(b), 12);
+  EXPECT_EQ(forest.first_index(c), 2);
+  EXPECT_EQ(forest.last_index(c), 7);
+  EXPECT_EQ(forest.first_index(e), 10);
+  EXPECT_EQ(forest.last_index(e), 11);
+  EXPECT_EQ(forest.first_index(a), 1);
+  EXPECT_EQ(forest.last_index(a), 8);
+  EXPECT_EQ(forest.first_index(f), 2);
+  EXPECT_EQ(forest.last_index(f), 7);
+  EXPECT_EQ(forest.first_index(g), 4);
+  EXPECT_EQ(forest.last_index(g), 5);
+}
+
+TEST(FigureRoundTrip, DeleteThenReinsertRestoresConnectivity) {
+  EulerForest forest(7);
+  forest.add_tree_from_tour(tour_of("abbccddccbbeebbaaffggffa"));
+  forest.cut(a, b, 100);
+  ASSERT_FALSE(forest.connected(d, g));
+  forest.link(a, b);
+  EXPECT_TRUE(forest.connected(d, g));
+  EXPECT_TRUE(forest.validate());
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Property tests for the pure Euler-tour index transformations of
+// Section 5 (etour/transforms.hpp): algebraic identities that must hold
+// for every tree shape, checked over exhaustive small parameter sweeps
+// and random trees.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "etour/euler_forest.hpp"
+#include "etour/tour_builder.hpp"
+#include "etour/transforms.hpp"
+
+namespace {
+
+using etour::Word;
+using graph::VertexId;
+
+TEST(TransformAlgebra, ElengthAndTreeSizeAreInverse) {
+  for (Word size = 1; size <= 200; ++size) {
+    EXPECT_EQ(etour::tree_size(etour::elength(size)), size);
+  }
+}
+
+TEST(TransformAlgebra, RerootIsAPermutationOfIndexRange) {
+  // For every tour length and every pivot l_y, the reroot map must be a
+  // bijection of [1, elen] onto itself.
+  for (Word size = 2; size <= 12; ++size) {
+    const Word elen = etour::elength(size);
+    for (Word l_y = 1; l_y < elen; ++l_y) {  // l_y = elen means "is root"
+      const etour::RerootParams p{elen, l_y};
+      std::set<Word> image;
+      for (Word i = 1; i <= elen; ++i) {
+        const Word j = etour::reroot_index(i, p);
+        EXPECT_GE(j, 1);
+        EXPECT_LE(j, elen);
+        EXPECT_TRUE(image.insert(j).second) << "collision at i=" << i;
+      }
+    }
+  }
+}
+
+TEST(TransformAlgebra, RerootMovesPivotToFront) {
+  // The entry at the pivot position l_y must land at position 1: the new
+  // tour starts with the edge from the new root to its former parent.
+  const etour::RerootParams p{12, 11};
+  EXPECT_EQ(etour::reroot_index(11, p), 1);
+  EXPECT_EQ(etour::reroot_index(12, p), 2);
+}
+
+TEST(TransformAlgebra, MergeCoversTargetRangeExactly) {
+  // After merging Ty (elen_ty) into Tx (elen_tx) at any even splice
+  // position, the union of shifted Tx indexes, shifted Ty indexes and the
+  // four new edge entries must be exactly [1, elen_tx + elen_ty + 4].
+  for (Word size_x = 2; size_x <= 7; ++size_x) {
+    for (Word size_y = 1; size_y <= 7; ++size_y) {
+      const Word elen_tx = etour::elength(size_x);
+      const Word elen_ty = etour::elength(size_y);
+      for (Word f_x = 2; f_x <= elen_tx; f_x += 2) {
+        const etour::MergeParams p{f_x, elen_ty};
+        std::set<Word> image;
+        for (Word i = 1; i <= elen_tx; ++i) {
+          EXPECT_TRUE(image.insert(etour::merge_shift_tx(i, p)).second);
+        }
+        for (Word i = 1; i <= elen_ty; ++i) {
+          EXPECT_TRUE(image.insert(etour::merge_shift_ty(i, p)).second);
+        }
+        const auto ni = etour::merge_new_indexes(p);
+        for (Word i : {ni.x_enter, ni.x_exit, ni.y_enter, ni.y_exit}) {
+          EXPECT_TRUE(image.insert(i).second) << "new index " << i;
+        }
+        EXPECT_EQ(static_cast<Word>(image.size()), elen_tx + elen_ty + 4);
+        EXPECT_EQ(*image.begin(), 1);
+        EXPECT_EQ(*image.rbegin(), elen_tx + elen_ty + 4);
+      }
+    }
+  }
+}
+
+TEST(TransformAlgebra, SplitUndoesMerge) {
+  // Splitting immediately after a merge must renumber both sides back to
+  // 1..elen: split(merge(i)) == i for every index of both trees.
+  const Word elen_tx = 12, elen_ty = 8;
+  for (Word f_x = 2; f_x <= elen_tx; f_x += 2) {
+    const etour::MergeParams mp{f_x, elen_ty};
+    const auto ni = etour::merge_new_indexes(mp);
+    // The spliced subtree occupies [y_enter, y_exit] in the merged tour.
+    const etour::SplitParams sp{ni.y_enter, ni.y_exit};
+    for (Word i = 1; i <= elen_ty; ++i) {
+      const Word merged = etour::merge_shift_ty(i, mp);
+      ASSERT_TRUE(etour::split_in_subtree(merged, sp));
+      EXPECT_EQ(etour::split_shift_subtree(merged, sp), i);
+    }
+    for (Word i = 1; i <= elen_tx; ++i) {
+      const Word merged = etour::merge_shift_tx(i, mp);
+      ASSERT_FALSE(etour::split_in_subtree(merged, sp));
+      EXPECT_EQ(etour::split_shift_rest(merged, sp), i);
+    }
+    EXPECT_EQ(etour::split_subtree_elength(sp), elen_ty);
+  }
+}
+
+TEST(TransformAlgebra, MergeSpliceChoosesValidEvenPosition) {
+  // Non-root x: f(x) itself (always even).  Root x: the tour end.
+  EXPECT_EQ(etour::merge_splice(4, 12), 4);
+  EXPECT_EQ(etour::merge_splice(1, 12), 12);          // root
+  EXPECT_EQ(etour::merge_splice(etour::kNoIndex, 0), 0);  // singleton
+}
+
+TEST(TransformAlgebra, AncestorTestMatchesIntervalContainment) {
+  EXPECT_TRUE(etour::is_ancestor(1, 24, 8, 17));
+  EXPECT_FALSE(etour::is_ancestor(8, 17, 1, 24));
+  EXPECT_TRUE(etour::is_ancestor(8, 17, 8, 17));  // weak (self)
+  EXPECT_FALSE(etour::is_ancestor(2, 7, 10, 15)); // disjoint intervals
+}
+
+class RandomTreeTransformTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeTransformTest, RandomLinkRerootCutSequencesStayValid) {
+  // Long randomized churn over the reference forest: after every single
+  // operation the full structural validator must pass.  This is the
+  // widest net for index-arithmetic bugs.
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = 18;
+  etour::EulerForest forest(n);
+  std::vector<std::pair<VertexId, VertexId>> links;
+  for (int step = 0; step < 400; ++step) {
+    const int dice = static_cast<int>(rng() % 100);
+    if (dice < 45 || links.empty()) {
+      const VertexId u = static_cast<VertexId>(rng() % n);
+      const VertexId v = static_cast<VertexId>(rng() % n);
+      if (u == v || forest.connected(u, v)) continue;
+      forest.link(u, v);
+      links.emplace_back(u, v);
+    } else if (dice < 75) {
+      const std::size_t i = rng() % links.size();
+      auto [u, v] = links[i];
+      forest.cut(u, v, static_cast<Word>(10000 + step));
+      links[i] = links.back();
+      links.pop_back();
+    } else {
+      forest.reroot(static_cast<VertexId>(rng() % n));
+    }
+    std::string why;
+    ASSERT_TRUE(forest.validate(&why)) << "step " << step << ": " << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeTransformTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Tests for the graph containers, generators and update streams.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/update_stream.hpp"
+
+namespace {
+
+using graph::DynamicGraph;
+using graph::EdgeKey;
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+using graph::WeightedDynamicGraph;
+
+TEST(DynamicGraph, InsertDeleteRoundTrip) {
+  DynamicGraph g(4);
+  EXPECT_TRUE(g.insert_edge(0, 1));
+  EXPECT_FALSE(g.insert_edge(1, 0));  // same undirected edge
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_TRUE(g.delete_edge(0, 1));
+  EXPECT_FALSE(g.delete_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DynamicGraph, RejectsSelfLoop) {
+  DynamicGraph g(3);
+  EXPECT_THROW(g.insert_edge(1, 1), std::invalid_argument);
+}
+
+TEST(WeightedDynamicGraph, TracksWeights) {
+  WeightedDynamicGraph g(3);
+  g.insert_edge(0, 1, 42);
+  EXPECT_EQ(g.weight(1, 0), 42);
+  g.delete_edge(0, 1);
+  EXPECT_THROW(g.weight(0, 1), std::out_of_range);
+}
+
+TEST(Generators, GnmProducesDistinctEdges) {
+  const auto edges = graph::gnm(50, 200, 7);
+  EXPECT_EQ(edges.size(), 200u);
+  std::set<EdgeKey> seen;
+  for (auto [u, v] : edges) {
+    EXPECT_NE(u, v);
+    EXPECT_TRUE(seen.insert(EdgeKey(u, v)).second);
+  }
+}
+
+TEST(Generators, GnmRejectsTooManyEdges) {
+  EXPECT_THROW(graph::gnm(4, 7, 1), std::invalid_argument);
+}
+
+TEST(Generators, GnmIsDeterministicPerSeed) {
+  EXPECT_EQ(graph::gnm(30, 60, 5), graph::gnm(30, 60, 5));
+  EXPECT_NE(graph::gnm(30, 60, 5), graph::gnm(30, 60, 6));
+}
+
+TEST(Generators, GridHasExpectedEdgeCount) {
+  // rows*(cols-1) + (rows-1)*cols edges.
+  const auto edges = graph::grid(4, 5);
+  EXPECT_EQ(edges.size(), 4u * 4 + 3 * 5);
+}
+
+TEST(Generators, PathCycleStarShapes) {
+  EXPECT_EQ(graph::path(6).size(), 5u);
+  EXPECT_EQ(graph::cycle(6).size(), 6u);
+  const auto st = graph::star(6);
+  EXPECT_EQ(st.size(), 5u);
+  for (auto [u, v] : st) EXPECT_EQ(u, 0);
+}
+
+TEST(Generators, PreferentialAttachmentCreatesHeavyVertices) {
+  const auto edges = graph::preferential_attachment(200, 3, 11);
+  DynamicGraph g(200);
+  for (auto [u, v] : edges) g.insert_edge(u, v);
+  std::size_t max_deg = 0;
+  for (VertexId v = 0; v < 200; ++v) max_deg = std::max(max_deg, g.degree(v));
+  // Degree skew: some vertex far above the mean degree.
+  EXPECT_GT(max_deg, 12u);
+}
+
+TEST(Generators, DisjointComponentsDoNotTouch) {
+  const auto edges = graph::disjoint_components(3, 10, 15, 21);
+  for (auto [u, v] : edges) EXPECT_EQ(u / 10, v / 10);
+}
+
+TEST(Generators, RandomWeightsAreDistinct) {
+  const auto edges = graph::gnm(40, 100, 3);
+  const auto weighted = graph::with_random_weights(edges, 1000, 9);
+  std::set<graph::Weight> seen;
+  for (const auto& e : weighted) EXPECT_TRUE(seen.insert(e.w).second);
+}
+
+TEST(UpdateStream, RandomStreamIsReplayable) {
+  const auto stream = graph::random_stream(30, 500, 0.6, 17);
+  EXPECT_EQ(stream.size(), 500u);
+  DynamicGraph g(30);
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      EXPECT_TRUE(g.insert_edge(up.u, up.v)) << "double insert";
+    } else {
+      EXPECT_TRUE(g.delete_edge(up.u, up.v)) << "delete of absent edge";
+    }
+  }
+}
+
+TEST(UpdateStream, SlidingWindowBoundsLiveEdges) {
+  const auto stream = graph::sliding_window_stream(40, 600, 50, 23);
+  DynamicGraph g(40);
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      ASSERT_TRUE(g.insert_edge(up.u, up.v));
+    } else {
+      ASSERT_TRUE(g.delete_edge(up.u, up.v));
+    }
+    EXPECT_LE(g.num_edges(), 51u);
+  }
+}
+
+TEST(UpdateStream, MatchedAdversaryTargetsBackbone) {
+  const auto stream = graph::matched_edge_adversary_stream(20, 300, 31);
+  DynamicGraph g(20);
+  std::size_t deletions = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      ASSERT_TRUE(g.insert_edge(up.u, up.v));
+    } else {
+      ASSERT_TRUE(g.delete_edge(up.u, up.v));
+      ++deletions;
+      // Adversary only deletes backbone (perfect matching) edges.
+      EXPECT_EQ(up.v, up.u + 1);
+      EXPECT_EQ(up.u % 2, 0);
+    }
+  }
+  EXPECT_GT(deletions, 50u);
+}
+
+TEST(UpdateStream, BridgeAdversaryDeletesPathEdges) {
+  const auto stream = graph::bridge_adversary_stream(25, 200, 10, 41);
+  DynamicGraph g(25);
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      ASSERT_TRUE(g.insert_edge(up.u, up.v));
+    } else {
+      ASSERT_TRUE(g.delete_edge(up.u, up.v));
+      EXPECT_EQ(up.v, up.u + 1);  // a path edge
+    }
+  }
+}
+
+TEST(UpdateStream, CleanStreamDropsNoOps) {
+  graph::UpdateStream dirty = {
+      {UpdateKind::kInsert, 0, 1, 0}, {UpdateKind::kInsert, 0, 1, 0},
+      {UpdateKind::kDelete, 2, 3, 0}, {UpdateKind::kDelete, 0, 1, 0},
+      {UpdateKind::kDelete, 0, 1, 0},
+  };
+  const auto clean = graph::clean_stream(5, dirty);
+  ASSERT_EQ(clean.size(), 2u);
+  EXPECT_EQ(clean[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(clean[1].kind, UpdateKind::kDelete);
+}
+
+}  // namespace

@@ -1,0 +1,280 @@
+// Integration and property tests for the Section 3 fully-dynamic maximal
+// matching: maximality and validity after every update (vs a shadow
+// graph), Invariant 3.1, heavy/light storage shape, and the Table 1
+// complexity bounds (O(1) rounds, O(1) active machines, O(sqrt N) comm).
+#include <gtest/gtest.h>
+
+#include "core/maximal_matching.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "oracle/oracles.hpp"
+
+namespace {
+
+using core::MaximalMatching;
+using graph::DynamicGraph;
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+
+constexpr std::uint64_t kRoundCap = 64;
+
+void check_matching(const MaximalMatching& mm, const DynamicGraph& shadow,
+                    const std::string& where) {
+  const auto m = mm.matching_snapshot();
+  ASSERT_TRUE(oracle::matching_is_valid(shadow, m)) << where;
+  ASSERT_TRUE(oracle::matching_is_maximal(shadow, m)) << where;
+}
+
+TEST(MaximalMatchingBasic, EmptyPreprocess) {
+  MaximalMatching mm({.n = 8, .m_cap = 32});
+  mm.preprocess({});
+  const auto m = mm.matching_snapshot();
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(m[v], dmpc::kNoVertex);
+  EXPECT_TRUE(mm.validate());
+}
+
+TEST(MaximalMatchingBasic, PreprocessArbitraryGraph) {
+  const auto edges = graph::gnm(30, 70, 3);
+  MaximalMatching mm({.n = 30, .m_cap = 200});
+  mm.preprocess(edges);
+  DynamicGraph shadow(30);
+  for (auto [u, v] : edges) shadow.insert_edge(u, v);
+  check_matching(mm, shadow, "after preprocess");
+  std::string why;
+  EXPECT_TRUE(mm.validate(&why)) << why;
+}
+
+TEST(MaximalMatchingBasic, InsertMatchesFreePair) {
+  MaximalMatching mm({.n = 4, .m_cap = 16});
+  mm.preprocess({});
+  mm.insert(0, 1);
+  EXPECT_EQ(mm.matching_snapshot()[0], 1);
+  mm.insert(1, 2);  // 1 already matched: nothing changes
+  EXPECT_EQ(mm.matching_snapshot()[0], 1);
+  EXPECT_EQ(mm.matching_snapshot()[2], dmpc::kNoVertex);
+  mm.insert(2, 3);
+  EXPECT_EQ(mm.matching_snapshot()[2], 3);
+  EXPECT_TRUE(mm.validate());
+}
+
+TEST(MaximalMatchingBasic, DeleteMatchedEdgeRematches) {
+  // Path 0-1-2-3 with (1,2) matched; deleting it must rematch both
+  // endpoints with their free neighbours.
+  MaximalMatching mm({.n = 4, .m_cap = 16});
+  mm.preprocess({});
+  mm.insert(1, 2);
+  mm.insert(0, 1);
+  mm.insert(2, 3);
+  ASSERT_EQ(mm.matching_snapshot()[1], 2);
+  mm.erase(1, 2);
+  const auto m = mm.matching_snapshot();
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[2], 3);
+  EXPECT_TRUE(mm.validate());
+}
+
+TEST(MaximalMatchingBasic, StarBecomesHeavyCenter) {
+  const std::size_t n = 40;
+  MaximalMatching mm({.n = n, .m_cap = 2 * n});
+  mm.preprocess({});
+  DynamicGraph shadow(n);
+  for (VertexId v = 1; v < static_cast<VertexId>(n); ++v) {
+    mm.insert(0, v);
+    shadow.insert_edge(0, v);
+    std::string why;
+    ASSERT_TRUE(mm.validate(&why)) << "leaf " << v << ": " << why;
+  }
+  EXPECT_TRUE(mm.is_heavy(0));
+  check_matching(mm, shadow, "star built");
+  // Deleting the center's matched edge must rematch the center
+  // immediately (Invariant 3.1).
+  const VertexId mate = mm.matching_snapshot()[0];
+  ASSERT_NE(mate, dmpc::kNoVertex);
+  mm.erase(0, mate);
+  shadow.delete_edge(0, mate);
+  EXPECT_NE(mm.matching_snapshot()[0], dmpc::kNoVertex);
+  check_matching(mm, shadow, "after center deletion");
+  // Shrink the star below the threshold: the center must demote cleanly.
+  for (VertexId v = 1; v < static_cast<VertexId>(n); ++v) {
+    if (!shadow.has_edge(0, v)) continue;
+    mm.erase(0, v);
+    shadow.delete_edge(0, v);
+  }
+  EXPECT_FALSE(mm.is_heavy(0));
+  EXPECT_EQ(mm.degree_of(0), 0u);
+  std::string why;
+  EXPECT_TRUE(mm.validate(&why)) << why;
+}
+
+TEST(MaximalMatchingBasic, HeavyInvariantOnInsert) {
+  // Make vertex 0 heavy and unmatched-with-matched-neighbours, then watch
+  // an insertion restore Invariant 3.1 via the steal step.
+  const std::size_t n = 32;
+  MaximalMatching mm({.n = n, .m_cap = 2 * n});
+  mm.preprocess({});
+  DynamicGraph shadow(n);
+  // Matched backbone among 1..n-1 so all of 0's neighbours are taken.
+  for (VertexId v = 1; v + 1 < static_cast<VertexId>(n); v += 2) {
+    mm.insert(v, v + 1);
+    shadow.insert_edge(v, v + 1);
+  }
+  for (VertexId v = 1; v < static_cast<VertexId>(n); ++v) {
+    mm.insert(0, v);
+    shadow.insert_edge(0, v);
+    check_matching(mm, shadow, "attach " + std::to_string(v));
+  }
+  // 0 is heavy by now and must be matched (all neighbours were matched,
+  // so only the steal step can have achieved this).
+  ASSERT_TRUE(mm.is_heavy(0));
+  EXPECT_NE(mm.matching_snapshot()[0], dmpc::kNoVertex);
+}
+
+TEST(MaximalMatchingBasic, MateQueryRoundTrip) {
+  MaximalMatching mm({.n = 4, .m_cap = 8});
+  mm.preprocess({});
+  mm.insert(2, 3);
+  EXPECT_EQ(mm.mate_of(2), 3);
+  EXPECT_EQ(mm.mate_of(0), dmpc::kNoVertex);
+}
+
+class MaximalMatchingStreamTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MaximalMatchingStreamTest, MaximalAfterEveryUpdate) {
+  const auto [kind, seed] = GetParam();
+  const std::size_t n = 26;
+  graph::UpdateStream stream;
+  switch (kind) {
+    case 0:
+      stream = graph::random_stream(n, 200, 0.6, seed);
+      break;
+    case 1:
+      stream = graph::clean_stream(
+          n, graph::matched_edge_adversary_stream(n, 200, seed));
+      break;
+    default:
+      stream = graph::sliding_window_stream(n, 200, 30, seed);
+      break;
+  }
+  MaximalMatching mm({.n = n, .m_cap = 800});
+  mm.preprocess({});
+  DynamicGraph shadow(n);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      mm.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      mm.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    check_matching(mm, shadow, "step " + std::to_string(step));
+    ASSERT_LE(mm.cluster().metrics().last_update().rounds, kRoundCap)
+        << "step " << step;
+    if (step % 20 == 0) {
+      std::string why;
+      ASSERT_TRUE(mm.validate(&why)) << "step " << step << ": " << why;
+    }
+    ++step;
+  }
+  std::string why;
+  EXPECT_TRUE(mm.validate(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, MaximalMatchingStreamTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(MaximalMatchingStream, PreprocessedGraphThenUpdates) {
+  const std::size_t n = 30;
+  const auto initial = graph::preferential_attachment(n, 4, 9);
+  MaximalMatching mm({.n = n, .m_cap = 900});
+  mm.preprocess(initial);
+  DynamicGraph shadow(n);
+  for (auto [u, v] : initial) shadow.insert_edge(u, v);
+  check_matching(mm, shadow, "preprocess");
+  auto stream = graph::random_stream(n, 150, 0.4, 7);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    const bool is_ins = up.kind == UpdateKind::kInsert;
+    // The stream generator does not know the preprocessed edges; apply
+    // only effective operations.
+    if (is_ins) {
+      if (shadow.has_edge(up.u, up.v)) continue;
+      mm.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      if (!shadow.has_edge(up.u, up.v)) continue;
+      mm.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    check_matching(mm, shadow, "step " + std::to_string(step));
+    ++step;
+  }
+}
+
+TEST(MaximalMatchingBounds, ConstantActiveMachinesPerRound) {
+  // Table 1's defining column for this algorithm: O(1) active machines
+  // per round, independent of N.
+  std::uint64_t worst_small = 0, worst_large = 0;
+  for (const std::size_t n : {32u, 512u}) {
+    MaximalMatching mm({.n = n, .m_cap = 4 * n});
+    mm.preprocess({});
+    auto stream = graph::random_stream(n, 150, 0.6, 13);
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        mm.insert(up.u, up.v);
+      } else {
+        mm.erase(up.u, up.v);
+      }
+    }
+    const auto& agg = mm.cluster().metrics().aggregate();
+    (n == 32 ? worst_small : worst_large) = agg.worst_active_machines;
+    EXPECT_LE(agg.worst_rounds, kRoundCap) << "n=" << n;
+  }
+  EXPECT_LE(worst_large, 8u);  // a genuine constant
+  EXPECT_LE(worst_large, worst_small + 2);
+}
+
+TEST(MaximalMatchingBounds, MemoryStaysWithinMachineCap) {
+  const std::size_t n = 128;
+  const auto edges = graph::preferential_attachment(n, 6, 5);
+  MaximalMatching mm({.n = n, .m_cap = 4 * n});
+  mm.preprocess(edges);
+  EXPECT_LE(mm.cluster().max_memory_high_water(),
+            mm.cluster().machine_capacity());
+}
+
+}  // namespace
+
+namespace {
+
+TEST(MaximalMatchingBounds, MachinePoolSurvivesLongChurn) {
+  // Regression: light machines emptied by deletions must return to the
+  // pool (Lemma 3.2's bound on used machines), or long build/teardown
+  // cycles exhaust it.
+  const std::size_t n = 64;
+  core::MaximalMatching mm({.n = n, .m_cap = 4 * n});
+  mm.preprocess({});
+  graph::DynamicGraph shadow(n);
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    const auto edges = graph::gnm(n, 2 * n, 1000 + cycle);
+    for (auto [u, v] : edges) {
+      if (shadow.has_edge(u, v)) continue;
+      mm.insert(u, v);
+      shadow.insert_edge(u, v);
+    }
+    for (auto [u, v] : shadow.edge_list()) {
+      mm.erase(u, v);
+      shadow.delete_edge(u, v);
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(mm.validate(&why)) << why;
+  const auto m = mm.matching_snapshot();
+  EXPECT_TRUE(oracle::matching_is_valid(shadow, m));
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Model-compliance sweeps: every algorithm must respect the DMPC model's
+// resource caps on every graph family — per-machine memory within the
+// O(sqrt N) capacity (MemoryMeter throws on violation, so completing a
+// run is itself an assertion; we additionally check the high-water marks
+// are genuinely sublinear), per-round communication within the machine
+// cap (Cluster throws), and clean failure on precondition violations.
+#include <gtest/gtest.h>
+
+#include "core/cs_matching.hpp"
+#include "core/dyn_forest.hpp"
+#include "core/maximal_matching.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "etour/euler_forest.hpp"
+#include "seq/hdt.hpp"
+#include "seq/ns_matching.hpp"
+
+namespace {
+
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+
+graph::EdgeList family(int kind, std::size_t n) {
+  switch (kind) {
+    case 0:
+      return graph::gnm(n, 3 * n, 5);
+    case 1:
+      return graph::star(n);  // one machine-spilling heavy vertex
+    case 2:
+      return graph::grid(n / 16, 16);
+    default:
+      return graph::preferential_attachment(n, 4, 5);
+  }
+}
+
+class MemoryComplianceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MemoryComplianceTest, HighWaterStaysSublinear) {
+  const auto [algo, fam] = GetParam();
+  const std::size_t n = 256;
+  const std::size_t m_cap = 4 * n;
+  const auto edges = family(fam, n);
+  auto stream = graph::random_stream(n, 150, 0.5, 77);
+
+  dmpc::WordCount high_water = 0, capacity = 0;
+  if (algo == 0) {
+    core::DynamicForest forest({.n = n, .m_cap = m_cap});
+    forest.preprocess(edges);
+    graph::DynamicGraph shadow(n);
+    for (auto [u, v] : edges) shadow.insert_edge(u, v);
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        if (!shadow.insert_edge(up.u, up.v)) continue;
+        forest.insert(up.u, up.v);
+      } else {
+        if (!shadow.delete_edge(up.u, up.v)) continue;
+        forest.erase(up.u, up.v);
+      }
+    }
+    high_water = forest.cluster().max_memory_high_water();
+    capacity = forest.cluster().machine_capacity();
+  } else {
+    core::MaximalMatching mm({.n = n, .m_cap = m_cap});
+    mm.preprocess(edges);
+    graph::DynamicGraph shadow(n);
+    for (auto [u, v] : edges) shadow.insert_edge(u, v);
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        if (!shadow.insert_edge(up.u, up.v)) continue;
+        mm.insert(up.u, up.v);
+      } else {
+        if (!shadow.delete_edge(up.u, up.v)) continue;
+        mm.erase(up.u, up.v);
+      }
+    }
+    high_water = mm.cluster().max_memory_high_water();
+    capacity = mm.cluster().machine_capacity();
+  }
+  EXPECT_LE(high_water, capacity);
+  // Genuinely O(sqrt N): within a constant of sqrt(N) words (the
+  // coordinator's update-history window alone is ~40 sqrt(N)), far from
+  // the N words it would take to hold the input on one machine.
+  const double sqrt_n = std::sqrt(static_cast<double>(n + m_cap));
+  EXPECT_LT(static_cast<double>(high_water), 128.0 * sqrt_n + 1024.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndFamilies, MemoryComplianceTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(PreconditionFailures, ThrowCleanly) {
+  // The public contracts reject malformed operations instead of
+  // corrupting state.
+  core::CsMatching cs({.n = 4});
+  cs.insert(0, 1);
+  EXPECT_THROW(cs.insert(0, 1), std::logic_error);
+  EXPECT_THROW(cs.erase(2, 3), std::logic_error);
+
+  seq::AccessCounter c;
+  seq::HdtConnectivity hdt(4, c);
+  hdt.insert(0, 1);
+  EXPECT_THROW(hdt.insert(1, 0), std::logic_error);
+  EXPECT_THROW(hdt.erase(2, 3), std::logic_error);
+
+  seq::NsMatching ns(4, 16, c);
+  ns.insert(0, 1);
+  EXPECT_THROW(ns.insert(0, 1), std::logic_error);
+  EXPECT_THROW(ns.erase(1, 2), std::logic_error);
+}
+
+TEST(PreconditionFailures, EulerForestGuards) {
+  etour::EulerForest forest(4);
+  forest.link(0, 1);
+  EXPECT_THROW(forest.link(0, 1), std::logic_error);
+  EXPECT_THROW(forest.cut(2, 3, 9), std::logic_error);
+  EXPECT_THROW(forest.add_tree_from_tour({0, 1, 1}), std::invalid_argument);
+}
+
+TEST(CommCaps, TinyMachinesRejectOversizeProtocols) {
+  // A cluster sized below the protocol's needs must fail loudly (comm
+  // overflow), not silently undercount.
+  dmpc::Cluster c(4, 3);
+  for (dmpc::MachineId m = 1; m < 4; ++m) {
+    c.send(0, m, 1, {1, 2, 3});  // 4 words per message, cap 3
+  }
+  EXPECT_THROW(c.finish_round(), dmpc::CommOverflowError);
+}
+
+TEST(ClusterDeterminism, IdenticalRunsProduceIdenticalMetrics) {
+  // The whole simulator is deterministic: same seed, same stream, same
+  // metrics — the property that makes EXPERIMENTS.md reproducible.
+  auto run = [] {
+    core::DynamicForest forest({.n = 64, .m_cap = 256});
+    forest.preprocess(graph::cycle(64));
+    forest.cluster().metrics().reset();
+    auto stream = graph::clean_stream(
+        64, graph::bridge_adversary_stream(64, 300, 16, 3));
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        forest.insert(up.u, up.v);
+      } else {
+        forest.erase(up.u, up.v);
+      }
+    }
+    const auto& a = forest.cluster().metrics().aggregate();
+    return std::tuple{a.updates, a.worst_rounds, a.worst_active_machines,
+                      a.worst_comm_words, a.total_comm_words};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Tests for the sequential substrate (Euler-tour trees, HDT connectivity,
+// Neiman–Solomon matching) and the Section 7 black-box reduction.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "oracle/oracles.hpp"
+#include "seq/ett.hpp"
+#include "seq/hdt.hpp"
+#include "seq/ns_matching.hpp"
+
+namespace {
+
+using graph::DynamicGraph;
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+
+TEST(EttBasic, LinkCutConnected) {
+  seq::AccessCounter c;
+  seq::EulerTourTrees ett(6, c, 1);
+  EXPECT_FALSE(ett.connected(0, 1));
+  ett.link(0, 1);
+  ett.link(1, 2);
+  EXPECT_TRUE(ett.connected(0, 2));
+  EXPECT_EQ(ett.component_size(0), 3u);
+  ett.cut(0, 1);
+  EXPECT_FALSE(ett.connected(0, 2));
+  EXPECT_TRUE(ett.connected(1, 2));
+  EXPECT_EQ(ett.component_size(0), 1u);
+  EXPECT_EQ(ett.component_size(2), 2u);
+}
+
+TEST(EttBasic, FlagsAreSearchable) {
+  seq::AccessCounter c;
+  seq::EulerTourTrees ett(8, c, 2);
+  for (VertexId v = 0; v + 1 < 8; ++v) ett.link(v, v + 1);
+  EXPECT_FALSE(ett.find_flagged_vertex(0).has_value());
+  ett.set_vertex_flag(5, true);
+  auto fv = ett.find_flagged_vertex(0);
+  ASSERT_TRUE(fv.has_value());
+  EXPECT_EQ(*fv, 5);
+  ett.set_vertex_flag(5, false);
+  EXPECT_FALSE(ett.find_flagged_vertex(0).has_value());
+
+  ett.set_edge_flag(2, 3, true);
+  auto fe = ett.find_flagged_edge(7);
+  ASSERT_TRUE(fe.has_value());
+  EXPECT_EQ(graph::EdgeKey(fe->first, fe->second), graph::EdgeKey(2, 3));
+}
+
+TEST(EttRandom, MatchesDsuOracle) {
+  std::mt19937_64 rng(7);
+  const std::size_t n = 32;
+  seq::AccessCounter c;
+  seq::EulerTourTrees ett(n, c, 3);
+  DynamicGraph shadow(n);
+  std::vector<std::pair<VertexId, VertexId>> tree_edges;
+  for (int step = 0; step < 500; ++step) {
+    if (tree_edges.empty() || rng() % 100 < 60) {
+      const VertexId u = static_cast<VertexId>(rng() % n);
+      const VertexId v = static_cast<VertexId>(rng() % n);
+      if (u == v || ett.connected(u, v)) continue;
+      ett.link(u, v);
+      shadow.insert_edge(u, v);
+      tree_edges.emplace_back(u, v);
+    } else {
+      const std::size_t i = rng() % tree_edges.size();
+      auto [u, v] = tree_edges[i];
+      ett.cut(u, v);
+      shadow.delete_edge(u, v);
+      tree_edges[i] = tree_edges.back();
+      tree_edges.pop_back();
+    }
+    const auto labels = oracle::connected_components(shadow);
+    for (std::size_t a = 0; a < n; a += 4) {
+      for (std::size_t b = a + 1; b < n; b += 5) {
+        ASSERT_EQ(ett.connected(static_cast<VertexId>(a),
+                                static_cast<VertexId>(b)),
+                  labels[a] == labels[b])
+            << "step " << step;
+      }
+    }
+  }
+}
+
+TEST(HdtBasic, ReplacementThroughNonTreeEdge) {
+  seq::AccessCounter c;
+  seq::HdtConnectivity hdt(4, c);
+  hdt.insert(0, 1);
+  hdt.insert(1, 2);
+  hdt.insert(2, 0);  // non-tree
+  hdt.erase(0, 1);   // replacement via (2,0)
+  EXPECT_TRUE(hdt.connected(0, 1));
+  hdt.erase(1, 2);
+  EXPECT_FALSE(hdt.connected(1, 2));
+  EXPECT_TRUE(hdt.connected(0, 2));
+}
+
+class HdtRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HdtRandomTest, MatchesOracleOnRandomStreams) {
+  const std::size_t n = 28;
+  auto stream = graph::random_stream(n, 400, 0.55, GetParam());
+  seq::AccessCounter c;
+  seq::HdtConnectivity hdt(n, c);
+  DynamicGraph shadow(n);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      hdt.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      hdt.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    const auto labels = oracle::connected_components(shadow);
+    for (std::size_t a = 0; a < n; a += 3) {
+      for (std::size_t b = a + 1; b < n; b += 4) {
+        ASSERT_EQ(hdt.connected(static_cast<VertexId>(a),
+                                static_cast<VertexId>(b)),
+                  labels[a] == labels[b])
+            << "step " << step;
+      }
+    }
+    ++step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HdtRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(HdtComplexity, AmortizedAccessesArePolylog) {
+  // The HDT bound: amortized O(log^2 n) accesses per update.  Measured
+  // mean accesses must stay far below the sqrt(m) of naive rescans.
+  const std::size_t n = 256;
+  auto stream = graph::clean_stream(
+      n, graph::bridge_adversary_stream(n, 2000, n / 2, 11));
+  seq::AccessCounter c;
+  seq::HdtConnectivity hdt(n, c);
+  std::uint64_t total = 0;
+  std::size_t updates = 0;
+  for (const Update& up : stream) {
+    c.take();
+    if (up.kind == UpdateKind::kInsert) {
+      hdt.insert(up.u, up.v);
+    } else {
+      hdt.erase(up.u, up.v);
+    }
+    total += c.take();
+    ++updates;
+  }
+  const double mean = static_cast<double>(total) / updates;
+  const double log2n = std::log2(static_cast<double>(n));
+  EXPECT_LT(mean, 40.0 * log2n * log2n);
+}
+
+TEST(NsMatchingBasic, MaximalUnderUpdates) {
+  const std::size_t n = 24;
+  auto stream = graph::random_stream(n, 300, 0.6, 9);
+  seq::AccessCounter c;
+  seq::NsMatching ns(n, 600, c);
+  DynamicGraph shadow(n);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      ns.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      ns.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    const auto m = ns.matching();
+    ASSERT_TRUE(oracle::matching_is_valid(shadow, m)) << "step " << step;
+    ASSERT_TRUE(oracle::matching_is_maximal(shadow, m)) << "step " << step;
+    ++step;
+  }
+}
+
+TEST(Reduction, ConstantMachinesAndCommPerRound) {
+  const std::size_t n = 64;
+  core::DmpcSimulation<seq::HdtConnectivity> sim(n * 8, n);
+  auto stream = graph::random_stream(n, 200, 0.6, 4);
+  for (const Update& up : stream) {
+    sim.update([&](seq::HdtConnectivity& hdt) {
+      if (up.kind == UpdateKind::kInsert) {
+        hdt.insert(up.u, up.v);
+      } else {
+        hdt.erase(up.u, up.v);
+      }
+    });
+  }
+  const auto& agg = sim.cluster().metrics().aggregate();
+  EXPECT_EQ(agg.worst_active_machines, 2u);  // O(1) machines
+  EXPECT_EQ(agg.worst_comm_words, 4u);       // O(1) words per round
+  EXPECT_GT(agg.worst_rounds, 1u);           // rounds = memory accesses
+}
+
+TEST(Reduction, RoundsTrackSequentialComplexity) {
+  // Amortized rounds per update of the reduced HDT algorithm must grow
+  // like log^2 n, not like sqrt(N): quadrupling n should far less than
+  // double the mean rounds.
+  double mean_small = 0, mean_large = 0;
+  for (const std::size_t n : {128u, 512u}) {
+    core::DmpcSimulation<seq::HdtConnectivity> sim(n * 8, n);
+    auto stream = graph::random_stream(n, 400, 0.6, 21);
+    for (const Update& up : stream) {
+      sim.update([&](seq::HdtConnectivity& hdt) {
+        if (up.kind == UpdateKind::kInsert) {
+          hdt.insert(up.u, up.v);
+        } else {
+          hdt.erase(up.u, up.v);
+        }
+      });
+    }
+    (n == 128 ? mean_small : mean_large) =
+        sim.cluster().metrics().aggregate().mean_rounds();
+  }
+  EXPECT_LT(mean_large, 2.5 * mean_small);
+}
+
+TEST(Reduction, QueriesGoThroughTheHarnessToo) {
+  core::DmpcSimulation<seq::HdtConnectivity> sim(64, 16);
+  sim.update([](seq::HdtConnectivity& h) { h.insert(3, 4); });
+  const bool conn = sim.update(
+      [](seq::HdtConnectivity& h) { return h.connected(3, 4); });
+  EXPECT_TRUE(conn);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Tests for the static MPC baselines: correctness against the oracles and
+// the O(log n) round profile that the dynamic algorithms beat.
+#include <gtest/gtest.h>
+
+#include "core/static_baselines.hpp"
+#include "graph/generators.hpp"
+#include "oracle/oracles.hpp"
+
+namespace {
+
+using graph::DynamicGraph;
+using graph::VertexId;
+using graph::WeightedDynamicGraph;
+
+TEST(StaticConnectivity, MatchesOracle) {
+  const std::size_t n = 60;
+  const auto edges = graph::disjoint_components(3, 20, 30, 7);
+  dmpc::Cluster cluster(16, 1 << 20);
+  std::vector<VertexId> labels;
+  const auto stats =
+      core::static_connected_components(cluster, n, edges, &labels);
+  DynamicGraph shadow(n);
+  for (auto [u, v] : edges) shadow.insert_edge(u, v);
+  EXPECT_EQ(labels, oracle::connected_components(shadow));
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_EQ(stats.active_machines, 16u);
+}
+
+TEST(StaticConnectivity, RoundsGrowLogarithmically) {
+  // Path graphs are the contraction worst case; rounds must stay near
+  // log2(n), nowhere near n.
+  const std::size_t n = 1024;
+  dmpc::Cluster cluster(16, 1 << 22);
+  std::vector<VertexId> labels;
+  const auto stats = core::static_connected_components(
+      cluster, n, graph::path(n), &labels);
+  EXPECT_LE(stats.rounds, 8 * 10u);  // c * log2(1024)
+  EXPECT_GE(stats.rounds, 5u);
+  for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(labels[v], 0);
+}
+
+TEST(StaticMatching, MaximalOnRandomGraphs) {
+  const std::size_t n = 50;
+  const auto edges = graph::gnm(n, 140, 3);
+  dmpc::Cluster cluster(16, 1 << 20);
+  oracle::Matching m;
+  const auto stats = core::static_maximal_matching(cluster, n, edges, &m);
+  DynamicGraph shadow(n);
+  for (auto [u, v] : edges) shadow.insert_edge(u, v);
+  EXPECT_TRUE(oracle::matching_is_valid(shadow, m));
+  EXPECT_TRUE(oracle::matching_is_maximal(shadow, m));
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_LE(stats.rounds, 60u);  // O(log n) whp
+}
+
+TEST(StaticMsf, MatchesKruskal) {
+  const std::size_t n = 40;
+  const auto wedges =
+      graph::with_random_weights(graph::gnm(n, 120, 9), 10000, 9);
+  dmpc::Cluster cluster(16, 1 << 20);
+  graph::Weight w = 0;
+  const auto stats = core::static_msf(cluster, n, wedges, &w);
+  WeightedDynamicGraph shadow(n);
+  for (const auto& e : wedges) shadow.insert_edge(e.u, e.v, e.w);
+  EXPECT_EQ(w, oracle::msf_weight(shadow));
+  EXPECT_LE(stats.rounds, 12u);  // Boruvka: log2(n) iterations
+}
+
+TEST(StaticMsf, ForestInputTerminatesQuickly) {
+  const std::size_t n = 30;
+  const auto wedges = graph::with_random_weights(graph::path(n), 100, 2);
+  dmpc::Cluster cluster(8, 1 << 20);
+  graph::Weight w = 0;
+  core::static_msf(cluster, n, wedges, &w);
+  WeightedDynamicGraph shadow(n);
+  for (const auto& e : wedges) shadow.insert_edge(e.u, e.v, e.w);
+  EXPECT_EQ(w, oracle::msf_weight(shadow));
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Tests for the Section 4 fully-dynamic 3/2-approximate matching: after
+// every update the matching must be valid, maximal, have no length-3
+// augmenting path, and hence be within 3/2 of the exact maximum (checked
+// against the blossom oracle).  Free-neighbour counters are validated
+// against ground truth, and the Table 1 bounds are asserted.
+#include <gtest/gtest.h>
+
+#include "core/three_halves_matching.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "oracle/oracles.hpp"
+
+namespace {
+
+using core::ThreeHalvesMatching;
+using graph::DynamicGraph;
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+
+void check_three_halves(const ThreeHalvesMatching& mm,
+                        const DynamicGraph& shadow, const std::string& where,
+                        bool check_ratio) {
+  const auto m = mm.matching_snapshot();
+  ASSERT_TRUE(oracle::matching_is_valid(shadow, m)) << where;
+  ASSERT_TRUE(oracle::matching_is_maximal(shadow, m)) << where;
+  ASSERT_FALSE(oracle::has_length3_augmenting_path(shadow, m)) << where;
+  if (check_ratio) {
+    const std::size_t ours = oracle::matching_size(m);
+    const std::size_t best = oracle::maximum_matching_size(shadow);
+    // |M*| <= (3/2) |M|.
+    ASSERT_GE(3 * ours, 2 * best) << where;
+  }
+}
+
+void check_counters(ThreeHalvesMatching& mm, const DynamicGraph& shadow,
+                    const std::string& where) {
+  const auto m = mm.matching_snapshot();
+  for (VertexId v = 0; v < static_cast<VertexId>(shadow.num_vertices());
+       ++v) {
+    std::size_t truth = 0;
+    for (VertexId nb : shadow.neighbors(v)) {
+      if (m[static_cast<std::size_t>(nb)] == dmpc::kNoVertex) ++truth;
+    }
+    ASSERT_EQ(mm.free_neighbor_count(v), truth)
+        << where << " vertex " << v;
+  }
+}
+
+TEST(ThreeHalvesBasic, PathAugmentationOnDelete) {
+  // Path 0-1-2-3: deleting matched (1,2) leaves 0-1 and 2-3 matched; the
+  // final matching has size 2 (= maximum), not 1.
+  ThreeHalvesMatching mm({.n = 4, .m_cap = 16});
+  mm.preprocess_empty();
+  DynamicGraph shadow(4);
+  for (auto [u, v] : {std::pair{1, 2}, {0, 1}, {2, 3}}) {
+    mm.insert(u, v);
+    shadow.insert_edge(u, v);
+    check_three_halves(mm, shadow, "insert", true);
+    check_counters(mm, shadow, "insert");
+  }
+  // Inserting (0,1) with 1 matched and 0 free must already have augmented
+  // the path: matching size is 2.
+  EXPECT_EQ(oracle::matching_size(mm.matching_snapshot()), 2u);
+}
+
+TEST(ThreeHalvesBasic, InsertEliminatesLength3Path) {
+  // Build 1-2 matched, then hang free vertices 0 and 3 off each side.
+  ThreeHalvesMatching mm({.n = 6, .m_cap = 24});
+  mm.preprocess_empty();
+  DynamicGraph shadow(6);
+  auto apply = [&](VertexId u, VertexId v) {
+    mm.insert(u, v);
+    shadow.insert_edge(u, v);
+    check_three_halves(mm, shadow, "apply", true);
+    check_counters(mm, shadow, "apply");
+  };
+  apply(1, 2);
+  apply(0, 1);  // length-3 path 0-1-2-? not yet (no free nb of 2)
+  apply(2, 3);  // would create 0-1-2-3: must be augmented away
+  const auto m = mm.matching_snapshot();
+  EXPECT_EQ(oracle::matching_size(m), 2u);
+}
+
+TEST(ThreeHalvesBasic, CountersTrackEdgeDeletions) {
+  ThreeHalvesMatching mm({.n = 5, .m_cap = 20});
+  mm.preprocess_empty();
+  DynamicGraph shadow(5);
+  auto ins = [&](VertexId u, VertexId v) {
+    mm.insert(u, v);
+    shadow.insert_edge(u, v);
+  };
+  ins(0, 1);
+  ins(0, 2);
+  ins(0, 3);
+  check_counters(mm, shadow, "after inserts");
+  mm.erase(0, 2);
+  shadow.delete_edge(0, 2);
+  check_counters(mm, shadow, "after delete");
+  check_three_halves(mm, shadow, "after delete", true);
+}
+
+class ThreeHalvesStreamTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ThreeHalvesStreamTest, NoLength3PathsEver) {
+  const auto [kind, seed] = GetParam();
+  const std::size_t n = 20;
+  graph::UpdateStream stream;
+  switch (kind) {
+    case 0:
+      stream = graph::random_stream(n, 160, 0.6, seed);
+      break;
+    case 1:
+      stream = graph::clean_stream(
+          n, graph::matched_edge_adversary_stream(n, 160, seed));
+      break;
+    default:
+      stream = graph::sliding_window_stream(n, 160, 24, seed);
+      break;
+  }
+  ThreeHalvesMatching mm({.n = n, .m_cap = 700});
+  mm.preprocess_empty();
+  DynamicGraph shadow(n);
+  std::size_t step = 0;
+  for (const Update& up : stream) {
+    if (up.kind == UpdateKind::kInsert) {
+      mm.insert(up.u, up.v);
+      shadow.insert_edge(up.u, up.v);
+    } else {
+      mm.erase(up.u, up.v);
+      shadow.delete_edge(up.u, up.v);
+    }
+    check_three_halves(mm, shadow, "step " + std::to_string(step),
+                       step % 5 == 0);
+    check_counters(mm, shadow, "step " + std::to_string(step));
+    ++step;
+  }
+  std::string why;
+  EXPECT_TRUE(mm.validate(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, ThreeHalvesStreamTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(ThreeHalvesBounds, RoundsConstantCommScalesLikeSqrtN) {
+  // Quadrupling N must leave rounds flat and roughly double (not
+  // quadruple) the worst per-round communication — the O(sqrt N) column
+  // of Table 1.
+  std::uint64_t rounds_small = 0, rounds_large = 0;
+  dmpc::WordCount comm_small = 0, comm_large = 0;
+  for (const std::size_t n : {128u, 512u}) {
+    ThreeHalvesMatching mm({.n = n, .m_cap = 4 * n});
+    mm.preprocess_empty();
+    auto stream = graph::random_stream(n, 200, 0.6, 3);
+    for (const Update& up : stream) {
+      if (up.kind == UpdateKind::kInsert) {
+        mm.insert(up.u, up.v);
+      } else {
+        mm.erase(up.u, up.v);
+      }
+    }
+    const auto& agg = mm.cluster().metrics().aggregate();
+    (n == 128 ? rounds_small : rounds_large) = agg.worst_rounds;
+    (n == 128 ? comm_small : comm_large) = agg.worst_comm_words;
+    EXPECT_LE(mm.cluster().max_memory_high_water(),
+              mm.cluster().machine_capacity());
+  }
+  EXPECT_LE(rounds_large, 80u);
+  EXPECT_LE(rounds_large, rounds_small + 4);  // O(1) rounds
+  EXPECT_LT(static_cast<double>(comm_large),
+            3.0 * static_cast<double>(comm_small));  // ~2x for sqrt(N)
+}
+
+}  // namespace
