@@ -6,6 +6,7 @@
 #include <string>
 
 #include "dmpc/metrics.hpp"
+#include "harness/driver.hpp"
 
 namespace bench {
 
@@ -24,6 +25,19 @@ inline void print_row(const std::string& name,
               static_cast<unsigned long long>(agg.worst_active_machines),
               static_cast<unsigned long long>(agg.worst_comm_words),
               agg.mean_rounds(), paper_bound);
+}
+
+/// Prints the row of an algorithm registered with a harness::Driver,
+/// using the driver's per-update aggregate (which, unlike the cluster's
+/// own aggregate, never includes preprocessing rounds).
+inline void print_row(const harness::DriverReport& report,
+                      const std::string& name, const char* paper_bound) {
+  const harness::AlgorithmStats* stats = report.find(name);
+  if (stats == nullptr) {
+    std::printf("%-28s (not registered with the driver)\n", name.c_str());
+    return;
+  }
+  print_row(name, stats->agg, paper_bound);
 }
 
 }  // namespace bench

@@ -13,21 +13,21 @@
 #include "core/dyn_forest.hpp"
 #include "core/maximal_matching.hpp"
 #include "graph/update_stream.hpp"
+#include "harness/driver.hpp"
 
 namespace {
 
-using graph::Update;
-using graph::UpdateKind;
+// Per-update metrics are irrelevant here (the entropy reads the whole
+// pair-traffic histogram), so checkpoints run only at the end.
+const harness::DriverConfig kBenchConfig{.checkpoint_every = 0};
 
 template <typename Alg>
-void drive(Alg& alg, const graph::UpdateStream& stream) {
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      alg.insert(up.u, up.v);
-    } else {
-      alg.erase(up.u, up.v);
-    }
-  }
+void drive(Alg& alg, std::size_t n, const graph::UpdateStream& stream,
+           const graph::EdgeList& preprocessed = {}) {
+  harness::Driver driver(n, kBenchConfig);
+  driver.add("alg", alg);
+  driver.seed(preprocessed);
+  driver.run(stream);
 }
 
 void report(const char* name, const dmpc::Cluster& cluster) {
@@ -52,20 +52,23 @@ int main() {
     core::MaximalMatching mm({.n = n, .m_cap = m_cap});
     mm.preprocess({});
     mm.cluster().metrics().reset();
-    drive(mm, graph::random_stream(n, 400, 0.6, 1));
+    drive(mm, n, graph::random_stream(n, 400, 0.6, 1));
     report("maximal matching (coord)", mm.cluster());
   }
   {
     core::DynamicForest forest({.n = n, .m_cap = m_cap});
     forest.preprocess(graph::cycle(n));
     forest.cluster().metrics().reset();
-    drive(forest, graph::clean_stream(
-                      n, graph::bridge_adversary_stream(n, 400, n / 4, 2)));
+    // The stream must outlast the adversary's build phase (n-1 path edges
+    // duplicating the preprocessed cycle, dropped by the driver, plus the
+    // chords) so the measured traffic covers splits and replacements.
+    drive(forest, n, graph::bridge_adversary_stream(n, 2 * n + 400, n / 4, 2),
+          graph::cycle(n));
     report("connectivity", forest.cluster());
   }
   {
     core::CsMatching cs({.n = n, .eps = 0.2, .seed = 3});
-    drive(cs, graph::random_stream(n, 400, 0.6, 3));
+    drive(cs, n, graph::random_stream(n, 400, 0.6, 3));
     report("(2+eps) matching", cs.cluster());
   }
   std::printf(

@@ -14,23 +14,24 @@
 #include "core/maximal_matching.hpp"
 #include "core/three_halves_matching.hpp"
 #include "graph/update_stream.hpp"
+#include "harness/driver.hpp"
 
 namespace {
 
-using graph::Update;
-using graph::UpdateKind;
-
 constexpr std::size_t kStream = 250;
 
+/// Runs the stream through the harness Driver and returns the driver's
+/// per-update aggregate (free of preprocessing rounds by construction).
 template <typename Alg>
-void drive(Alg& alg, const graph::UpdateStream& stream) {
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      alg.insert(up.u, up.v);
-    } else {
-      alg.erase(up.u, up.v);
-    }
-  }
+dmpc::UpdateAggregate drive(Alg& alg, std::size_t n,
+                            const graph::UpdateStream& stream,
+                            const graph::EdgeList& preprocessed = {},
+                            bool weighted = false) {
+  harness::Driver driver(
+      n, harness::DriverConfig{.checkpoint_every = 0, .weighted = weighted});
+  driver.add("alg", alg);
+  driver.seed(preprocessed);
+  return driver.run(stream).find("alg")->agg;
 }
 
 void print_series(const char* name, std::size_t n,
@@ -56,42 +57,41 @@ int main() {
     {
       core::DynamicForest forest({.n = n, .m_cap = m_cap});
       forest.preprocess(graph::cycle(n));
-      forest.cluster().metrics().reset();
-      drive(forest, graph::clean_stream(
-                        n, graph::bridge_adversary_stream(n, 2 * n + kStream,
-                                                          n / 4, 11)));
-      print_series("connectivity", n, forest.cluster().metrics().aggregate());
+      print_series("connectivity", n,
+                   drive(forest, n,
+                         graph::bridge_adversary_stream(n, 2 * n + kStream,
+                                                        n / 4, 11),
+                         graph::cycle(n)));
     }
     {
       core::DynamicForest mst(
           {.n = n, .m_cap = m_cap, .weighted = true, .eps = 0.1});
       mst.preprocess(
           graph::with_random_weights(graph::cycle(n), 100000, 12));
-      mst.cluster().metrics().reset();
-      drive(mst, graph::clean_stream(
-                     n, graph::bridge_adversary_stream(n, 2 * n + kStream, n / 4,
-                                                       12, true)));
-      print_series("(1+eps)-MST", n, mst.cluster().metrics().aggregate());
+      print_series("(1+eps)-MST", n,
+                   drive(mst, n,
+                         graph::bridge_adversary_stream(n, 2 * n + kStream,
+                                                        n / 4, 12, true),
+                         graph::cycle(n), /*weighted=*/true));
     }
     {
       core::MaximalMatching mm({.n = n, .m_cap = m_cap});
       mm.preprocess({});
-      drive(mm, graph::clean_stream(
-                    n, graph::matched_edge_adversary_stream(n, n + kStream, 13)));
-      print_series("maximal matching", n, mm.cluster().metrics().aggregate());
+      print_series(
+          "maximal matching", n,
+          drive(mm, n, graph::matched_edge_adversary_stream(n, n + kStream, 13)));
     }
     {
       core::ThreeHalvesMatching th({.n = n, .m_cap = m_cap});
       th.preprocess_empty();
-      drive(th, graph::clean_stream(
-                    n, graph::matched_edge_adversary_stream(n, n + kStream, 14)));
-      print_series("3/2-approx matching", n,
-                   th.cluster().metrics().aggregate());
+      print_series(
+          "3/2-approx matching", n,
+          drive(th, n, graph::matched_edge_adversary_stream(n, n + kStream, 14)));
     }
     {
       core::CsMatching cs({.n = n, .eps = 0.2, .seed = 15});
-      drive(cs, graph::random_stream(n, kStream, 0.6, 15));
-      print_series("(2+eps)-approx", n, cs.cluster().metrics().aggregate());
+      print_series("(2+eps)-approx", n,
+                   drive(cs, n, graph::random_stream(n, kStream, 0.6, 15)));
     }
     std::printf("\n");
   }

@@ -10,6 +10,11 @@
 //   connected components  O(1) rounds, O(sqrt N) machines, O(sqrt N) comm
 //   (1+eps)-MST           O(1) rounds, O(sqrt N) machines, O(sqrt N) comm
 //   reduction rows        rounds = seq update time, O(1) machines/comm
+//
+// Every workload runs through the harness Driver: it drops the stream
+// prefixes that duplicate preprocessed edges, and its per-algorithm
+// aggregate contains only per-update rounds, so no manual metrics reset
+// after preprocess() is needed.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -19,28 +24,18 @@
 #include "core/reduction.hpp"
 #include "core/three_halves_matching.hpp"
 #include "graph/update_stream.hpp"
+#include "harness/driver.hpp"
 #include "seq/hdt.hpp"
 #include "seq/ns_matching.hpp"
 
 namespace {
 
-using graph::Update;
-using graph::UpdateKind;
-
 constexpr std::size_t kN = 1024;
 constexpr std::size_t kMCap = 4 * kN;
 constexpr std::size_t kStream = 400;  // updates beyond the build phase
 
-template <typename Alg>
-void drive(Alg& alg, const graph::UpdateStream& stream) {
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      alg.insert(up.u, up.v);
-    } else {
-      alg.erase(up.u, up.v);
-    }
-  }
-}
+// Checkpoints (validate() sweeps) only at the end of the run.
+const harness::DriverConfig kBenchConfig{.checkpoint_every = 0};
 
 }  // namespace
 
@@ -54,84 +49,71 @@ int main() {
   {  // Maximal matching: matched-edge adversary.
     core::MaximalMatching mm({.n = kN, .m_cap = kMCap});
     mm.preprocess({});
-    auto stream = graph::clean_stream(
-        kN, graph::matched_edge_adversary_stream(kN, kN + kStream, 1));
-    drive(mm, stream);
-    bench::print_row("maximal matching", mm.cluster().metrics().aggregate(),
+    harness::Driver driver(kN, kBenchConfig);
+    driver.add("maximal matching", mm);
+    driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 1));
+    bench::print_row(driver.report(), "maximal matching",
                      "O(1) | O(1) | O(sqrtN)");
   }
   {  // 3/2-approximate matching.
     core::ThreeHalvesMatching th({.n = kN, .m_cap = kMCap});
     th.preprocess_empty();
-    auto stream = graph::clean_stream(
-        kN, graph::matched_edge_adversary_stream(kN, kN + kStream, 2));
-    drive(th, stream);
-    bench::print_row("3/2-approx matching",
-                     th.cluster().metrics().aggregate(),
+    harness::Driver driver(kN, kBenchConfig);
+    driver.add("3/2-approx matching", th);
+    driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 2));
+    bench::print_row(driver.report(), "3/2-approx matching",
                      "O(1) | O(n/sqrtN) | O(sqrtN)");
   }
   {  // (2+eps)-approximate matching.
     core::CsMatching cs({.n = kN, .eps = 0.2, .seed = 3});
-    auto stream = graph::random_stream(kN, kStream, 0.6, 3);
-    drive(cs, stream);
-    bench::print_row("(2+eps)-approx matching",
-                     cs.cluster().metrics().aggregate(),
+    harness::Driver driver(kN, kBenchConfig);
+    driver.add("(2+eps)-approx matching", cs);
+    driver.run(graph::random_stream(kN, kStream, 0.6, 3));
+    bench::print_row(driver.report(), "(2+eps)-approx matching",
                      "O(1) | O~(1) | O~(1)");
   }
   {  // Connected components: bridge adversary forces splits+replacements.
     core::DynamicForest forest({.n = kN, .m_cap = kMCap});
     forest.preprocess(graph::cycle(kN));
-    forest.cluster().metrics().reset();
-    auto stream = graph::clean_stream(
-        kN, graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 4));
-    drive(forest, stream);
-    bench::print_row("connected components",
-                     forest.cluster().metrics().aggregate(),
+    harness::Driver driver(kN, kBenchConfig);
+    driver.add("connected components", forest);
+    driver.seed(graph::cycle(kN));
+    driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 4));
+    bench::print_row(driver.report(), "connected components",
                      "O(1) | O(sqrtN) | O(sqrtN)");
   }
   {  // (1+eps)-MST.
+    const auto initial =
+        graph::with_random_weights(graph::cycle(kN), 100000, 5);
     core::DynamicForest mst(
         {.n = kN, .m_cap = kMCap, .weighted = true, .eps = 0.1});
-    mst.preprocess(graph::with_random_weights(graph::cycle(kN), 100000, 5));
-    mst.cluster().metrics().reset();
-    auto stream = graph::clean_stream(
-        kN, graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 5, true));
-    drive(mst, stream);
-    bench::print_row("(1+eps)-MST", mst.cluster().metrics().aggregate(),
+    mst.preprocess(initial);
+    harness::DriverConfig config = kBenchConfig;
+    config.weighted = true;
+    harness::Driver driver(kN, config);
+    driver.add("(1+eps)-MST", mst);
+    driver.seed(initial);
+    driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 5,
+                                              /*weighted=*/true));
+    bench::print_row(driver.report(), "(1+eps)-MST",
                      "O(1) | O(sqrtN) | O(sqrtN)");
   }
 
   bench::print_header("Section 7 reduction rows (amortized)");
   {
     core::DmpcSimulation<seq::NsMatching> sim(kN + kMCap, kN, kMCap);
-    auto stream = graph::random_stream(kN, kStream, 0.6, 6);
-    for (const Update& up : stream) {
-      sim.update([&](seq::NsMatching& a) {
-        if (up.kind == UpdateKind::kInsert) {
-          a.insert(up.u, up.v);
-        } else {
-          a.erase(up.u, up.v);
-        }
-      });
-    }
-    bench::print_row("maximal matching (red.)",
-                     sim.cluster().metrics().aggregate(),
+    harness::Driver driver(kN, kBenchConfig);
+    driver.add("maximal matching (red.)", sim);
+    driver.run(graph::random_stream(kN, kStream, 0.6, 6));
+    bench::print_row(driver.report(), "maximal matching (red.)",
                      "O(1) amort. | O(1) | O(1)");
   }
   {
     core::DmpcSimulation<seq::HdtConnectivity> sim(kN + kMCap, kN);
-    auto stream = graph::random_stream(kN, kStream, 0.6, 7);
-    for (const Update& up : stream) {
-      sim.update([&](seq::HdtConnectivity& a) {
-        if (up.kind == UpdateKind::kInsert) {
-          a.insert(up.u, up.v);
-        } else {
-          a.erase(up.u, up.v);
-        }
-      });
-    }
-    bench::print_row("connectivity/MST (red.)",
-                     sim.cluster().metrics().aggregate(),
+    harness::Driver driver(kN, kBenchConfig);
+    driver.add("connectivity/MST (red.)", sim);
+    driver.run(graph::random_stream(kN, kStream, 0.6, 7));
+    bench::print_row(driver.report(), "connectivity/MST (red.)",
                      "O~(1) amort. | O(1) | O(1)");
   }
   std::printf(

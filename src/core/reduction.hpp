@@ -44,7 +44,21 @@ class DmpcSimulation {
   Alg& algorithm() { return alg_; }
   const Alg& algorithm() const { return alg_; }
   dmpc::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const dmpc::Cluster& cluster() const { return cluster_; }
   seq::AccessCounter& counter() { return counter_; }
+
+  // --- harness adapter: when the wrapped algorithm is itself dynamic,
+  // --- the simulation is one too, so the Driver can feed it directly ----
+  void insert(dmpc::VertexId u, dmpc::VertexId v)
+    requires requires(Alg& a) { a.insert(u, v); }
+  {
+    update([&](Alg& a) { a.insert(u, v); });
+  }
+  void erase(dmpc::VertexId u, dmpc::VertexId v)
+    requires requires(Alg& a) { a.erase(u, v); }
+  {
+    update([&](Alg& a) { a.erase(u, v); });
+  }
 
   /// Runs one update of the wrapped algorithm and charges one round per
   /// memory access: 2 active machines (compute + the memory machine),

@@ -172,16 +172,17 @@ UpdateStream bridge_adversary_stream(std::size_t n, std::size_t length,
   return out;
 }
 
+bool apply_update(DynamicGraph& g, const Update& up) {
+  return up.kind == UpdateKind::kInsert ? g.insert_edge(up.u, up.v)
+                                        : g.delete_edge(up.u, up.v);
+}
+
 UpdateStream clean_stream(std::size_t n, const UpdateStream& stream) {
   DynamicGraph g(n);
   UpdateStream out;
   out.reserve(stream.size());
   for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      if (g.insert_edge(up.u, up.v)) out.push_back(up);
-    } else {
-      if (g.delete_edge(up.u, up.v)) out.push_back(up);
-    }
+    if (apply_update(g, up)) out.push_back(up);
   }
   return out;
 }

@@ -56,6 +56,12 @@ UpdateStream bridge_adversary_stream(std::size_t n, std::size_t length,
                                      bool weighted = false,
                                      Weight max_weight = 1000);
 
+/// Applies one update to g; returns false if it was a no-op (insert of a
+/// present edge / delete of an absent one).  The dynamic algorithms'
+/// insert/erase preconditions forbid no-ops, so shadow-graph consumers
+/// (harness::Driver, clean_stream, test replay loops) gate on this.
+bool apply_update(DynamicGraph& g, const Update& up);
+
 /// Applies a stream to a DynamicGraph, dropping no-op updates (inserting a
 /// present edge / deleting an absent one) and returning the cleaned stream
 /// that performs exactly the remaining operations.

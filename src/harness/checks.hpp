@@ -1,0 +1,78 @@
+// Ready-made checkpoint callbacks for Driver::on_checkpoint: oracle
+// cross-checks comparing an algorithm's reported solution against a
+// from-scratch recomputation on the driver's shadow graph.  Each factory
+// captures the algorithm by reference and returns a CheckpointFn that
+// throws ValidationError (with the step number) on divergence.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "harness/driver.hpp"
+#include "oracle/oracles.hpp"
+
+namespace harness {
+
+/// Algorithms exposing a component labeling (DynamicForest,
+/// etour::EulerForest via a wrapper, ...).
+template <typename A>
+concept ComponentReporting = requires(const A a) {
+  { a.component_snapshot() } ->
+      std::convertible_to<std::vector<dmpc::VertexId>>;
+};
+
+/// Algorithms exposing a mate array via matching_snapshot()
+/// (MaximalMatching, ThreeHalvesMatching, CsMatching).  seq::NsMatching
+/// exposes matching() instead and does NOT satisfy this; check it with a
+/// hand-written callback (see MatchingTwinsTest).
+template <typename A>
+concept MatchingReporting = requires(const A a) {
+  { a.matching_snapshot() } -> std::convertible_to<oracle::Matching>;
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const std::string& name, std::size_t step,
+                              const char* what) {
+  throw ValidationError("check '" + name + "' failed at step " +
+                        std::to_string(step) + ": " + what);
+}
+}  // namespace detail
+
+/// The algorithm's component partition must equal the oracle's (labels
+/// may differ; the induced equivalence classes may not).
+template <ComponentReporting A>
+CheckpointFn components_match_oracle(const A& alg, std::string name) {
+  return [&alg, name = std::move(name)](const Checkpoint& cp) {
+    if (!oracle::same_partition(alg.component_snapshot(),
+                                oracle::connected_components(cp.shadow))) {
+      detail::fail(name, cp.step, "component partition diverged from oracle");
+    }
+  };
+}
+
+/// The matching must be structurally valid (symmetric, over live edges).
+template <MatchingReporting A>
+CheckpointFn matching_valid(const A& alg, std::string name) {
+  return [&alg, name = std::move(name)](const Checkpoint& cp) {
+    if (!oracle::matching_is_valid(cp.shadow, alg.matching_snapshot())) {
+      detail::fail(name, cp.step, "matching is not valid on the shadow graph");
+    }
+  };
+}
+
+/// The matching must additionally be maximal (no edge with both endpoints
+/// free) — the Section 3 guarantee.
+template <MatchingReporting A>
+CheckpointFn matching_maximal(const A& alg, std::string name) {
+  return [&alg, name = std::move(name)](const Checkpoint& cp) {
+    const oracle::Matching m = alg.matching_snapshot();
+    if (!oracle::matching_is_valid(cp.shadow, m)) {
+      detail::fail(name, cp.step, "matching is not valid on the shadow graph");
+    }
+    if (!oracle::matching_is_maximal(cp.shadow, m)) {
+      detail::fail(name, cp.step, "matching is not maximal");
+    }
+  };
+}
+
+}  // namespace harness

@@ -1,0 +1,82 @@
+#include "harness/driver.hpp"
+
+namespace harness {
+
+const AlgorithmStats* DriverReport::find(std::string_view name) const {
+  for (const auto& a : algorithms) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+Driver::Driver(std::size_t n, DriverConfig config)
+    : config_(config), shadow_(n) {}
+
+void Driver::seed(const graph::EdgeList& edges) {
+  for (auto [u, v] : edges) shadow_.insert_edge(u, v);
+}
+
+void Driver::seed(const graph::WeightedEdgeList& edges) {
+  for (const auto& e : edges) shadow_.insert_edge(e.u, e.v);
+}
+
+void Driver::run_checkpoint() {
+  for (const Handle& h : handles_) {
+    if (!h.validate) continue;
+    std::string why;
+    if (!h.validate(&why)) {
+      throw ValidationError("algorithm '" + h.name + "' failed validate() at step " +
+                            std::to_string(report_.applied) + ": " + why);
+    }
+  }
+  const Checkpoint cp{report_.applied, shadow_};
+  for (const CheckpointFn& fn : checkpoint_fns_) fn(cp);
+  ++report_.checkpoints;
+}
+
+const DriverReport& Driver::run(const graph::UpdateStream& stream) {
+  while (report_.algorithms.size() < handles_.size()) {
+    const Handle& h = handles_[report_.algorithms.size()];
+    report_.algorithms.push_back({h.name, static_cast<bool>(h.last_update), {}});
+  }
+  std::size_t in_batch = 0;
+  std::size_t batches_since_checkpoint = 0;
+  // True while the current state has already been checkpointed, so the
+  // final checkpoint is skipped when the last batch landed on a
+  // checkpoint boundary (no duplicate oracle sweeps on identical state).
+  bool at_checkpoint = false;
+  const auto close_batch = [&] {
+    in_batch = 0;
+    ++report_.batches;
+    for (const auto& fn : batch_end_fns_) fn();
+    if (config_.checkpoint_every != 0 &&
+        ++batches_since_checkpoint >= config_.checkpoint_every) {
+      batches_since_checkpoint = 0;
+      run_checkpoint();
+      at_checkpoint = true;
+    }
+  };
+  for (const graph::Update& up : stream) {
+    // Enforce the algorithms' preconditions against the shadow: inserts of
+    // present edges and deletes of absent ones are no-ops and are dropped.
+    if (!graph::apply_update(shadow_, up)) {
+      ++report_.skipped;
+      continue;
+    }
+    std::size_t i = 0;
+    for (const Handle& h : handles_) {
+      h.apply(up);
+      if (h.last_update) report_.algorithms[i].agg.absorb(h.last_update());
+      ++i;
+    }
+    ++report_.applied;
+    at_checkpoint = false;
+    if (++in_batch == config_.batch_size) close_batch();
+    if (stop_when_ && at_checkpoint && stop_when_()) return report_;
+  }
+  if (in_batch != 0) close_batch();
+  if (config_.final_checkpoint && !at_checkpoint) run_checkpoint();
+  return report_;
+}
+
+}  // namespace harness

@@ -1,0 +1,195 @@
+// The unified dynamic-algorithm harness.
+//
+// Every consumer of the dynamic algorithms — differential tests, model
+// benches, examples — used to hand-roll the same loop: keep a shadow
+// DynamicGraph, skip no-op updates (the algorithms' insert/erase have
+// strict present/absent preconditions), feed each update to one or more
+// algorithms, periodically cross-check invariants, and read the DMPC
+// metrics off each cluster.  The Driver centralizes that loop.
+//
+// Any type with `insert(u, v)` / `erase(u, v)` (the DynamicAlgorithm
+// concept below) can be registered: the distributed algorithms
+// (DynamicForest, MaximalMatching, ThreeHalvesMatching, CsMatching) and
+// their sequential twins (seq::HdtConnectivity, seq::NsMatching) all
+// qualify.  Registration inspects the type:
+//   * a weighted insert overload is used when the driver is configured
+//     weighted (DynamicForest's MST variant);
+//   * `validate(std::string*)` is called at every checkpoint and a
+//     ValidationError is thrown on failure;
+//   * a `cluster()` accessor makes the algorithm *instrumented*: the
+//     driver absorbs the per-update DMPC record after every update into
+//     a per-algorithm UpdateAggregate, independent of any metrics reset
+//     the caller performs (benches use this to separate phases).
+//
+// Updates are grouped into batches of `batch_size` (the substrate for the
+// ROADMAP's batched/sharded updates: today a batch is applied one update
+// at a time, but checkpoints and the on_batch_end hook fire only at batch
+// boundaries, which is where batch-parallel application will slot in).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dmpc/metrics.hpp"
+#include "dmpc/types.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/update_stream.hpp"
+
+namespace harness {
+
+using dmpc::VertexId;
+
+/// Anything the Driver can feed an update stream.
+template <typename A>
+concept DynamicAlgorithm = requires(A a, VertexId u, VertexId v) {
+  a.insert(u, v);
+  a.erase(u, v);
+};
+
+/// Algorithms that can check their own internal invariants.
+template <typename A>
+concept SelfValidating = requires(const A a, std::string* why) {
+  { a.validate(why) } -> std::convertible_to<bool>;
+};
+
+/// Algorithms running on a simulated DMPC cluster (metrics available).
+template <typename A>
+concept ClusterBacked = requires(const A a) {
+  { a.cluster().metrics().last_update() } ->
+      std::convertible_to<const dmpc::UpdateRecord&>;
+};
+
+/// Thrown when a registered algorithm's validate() fails at a checkpoint.
+class ValidationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Snapshot handed to checkpoint callbacks: the ground-truth graph after
+/// `step` applied updates.
+struct Checkpoint {
+  std::size_t step;
+  const graph::DynamicGraph& shadow;
+};
+using CheckpointFn = std::function<void(const Checkpoint&)>;
+
+struct DriverConfig {
+  std::size_t batch_size = 1;        ///< updates per batch
+  std::size_t checkpoint_every = 1;  ///< in *batches*; 0 = only at the end
+  bool weighted = false;             ///< pass Update::w to weighted inserts
+  bool final_checkpoint = true;      ///< checkpoint after the last batch
+};
+
+/// Per-registered-algorithm results of a run.
+struct AlgorithmStats {
+  std::string name;
+  bool instrumented = false;   ///< ClusterBacked: agg below is meaningful
+  dmpc::UpdateAggregate agg;   ///< per-update DMPC cost over the run
+};
+
+struct DriverReport {
+  std::size_t applied = 0;      ///< updates fed to the algorithms
+  std::size_t skipped = 0;      ///< no-op updates dropped by the shadow
+  std::size_t batches = 0;
+  std::size_t checkpoints = 0;
+  std::vector<AlgorithmStats> algorithms;
+
+  [[nodiscard]] const AlgorithmStats* find(std::string_view name) const;
+};
+
+class Driver {
+ public:
+  explicit Driver(std::size_t n, DriverConfig config = {});
+
+  /// Registers an algorithm (not owned; must outlive the driver).
+  template <DynamicAlgorithm A>
+  void add(std::string name, A& alg) {
+    Handle h;
+    h.name = std::move(name);
+    const bool weighted = config_.weighted;
+    h.apply = [&alg, weighted](const graph::Update& up) {
+      if (up.kind == graph::UpdateKind::kInsert) {
+        if constexpr (requires { alg.insert(up.u, up.v, up.w); }) {
+          if (weighted) {
+            alg.insert(up.u, up.v, up.w);
+            return;
+          }
+        }
+        alg.insert(up.u, up.v);
+      } else {
+        alg.erase(up.u, up.v);
+      }
+    };
+    if constexpr (SelfValidating<A>) {
+      h.validate = [&alg](std::string* why) { return alg.validate(why); };
+    }
+    if constexpr (ClusterBacked<A>) {
+      h.last_update = [&alg]() -> dmpc::UpdateRecord {
+        return std::as_const(alg).cluster().metrics().last_update();
+      };
+    }
+    handles_.push_back(std::move(h));
+  }
+
+  /// Registers an invariant check run at every checkpoint (after the
+  /// registered algorithms' own validate()).  See checks.hpp for
+  /// ready-made oracle cross-checks.
+  void on_checkpoint(CheckpointFn fn) {
+    checkpoint_fns_.push_back(std::move(fn));
+  }
+
+  /// Called after every batch (e.g. CsMatching::idle_cycles to drain
+  /// scheduler work between batches).
+  void on_batch_end(std::function<void()> fn) {
+    batch_end_fns_.push_back(std::move(fn));
+  }
+
+  /// Polled after every checkpoint; when it returns true, run() returns
+  /// early.  Lets gtest consumers abort on the first fatal assertion
+  /// recorded inside a checkpoint callback (ASSERT_* only exits the
+  /// callback, not the run) instead of flooding the log with follow-on
+  /// failures from the already-diverged algorithms.
+  void stop_when(std::function<bool()> fn) { stop_when_ = std::move(fn); }
+
+  /// Seeds the shadow graph with preprocessed edges WITHOUT feeding the
+  /// algorithms (callers preprocess the algorithms with the same list).
+  void seed(const graph::EdgeList& edges);
+  void seed(const graph::WeightedEdgeList& edges);
+
+  /// Replays the stream through the shadow and every registered
+  /// algorithm.  May be called repeatedly: the shadow graph and the
+  /// report (counters, per-algorithm aggregates) persist across calls,
+  /// but batch position and checkpoint cadence restart — a trailing
+  /// partial batch is closed (with its on_batch_end hooks) at the end of
+  /// each run().  The returned report covers all runs so far.
+  const DriverReport& run(const graph::UpdateStream& stream);
+
+  [[nodiscard]] const graph::DynamicGraph& shadow() const { return shadow_; }
+  [[nodiscard]] const DriverReport& report() const { return report_; }
+
+ private:
+  struct Handle {
+    std::string name;
+    std::function<void(const graph::Update&)> apply;
+    std::function<bool(std::string*)> validate;        // may be empty
+    std::function<dmpc::UpdateRecord()> last_update;   // may be empty
+  };
+
+  void run_checkpoint();
+
+  DriverConfig config_;
+  graph::DynamicGraph shadow_;
+  std::vector<Handle> handles_;
+  std::vector<CheckpointFn> checkpoint_fns_;
+  std::vector<std::function<void()>> batch_end_fns_;
+  std::function<bool()> stop_when_;
+  DriverReport report_;
+};
+
+}  // namespace harness

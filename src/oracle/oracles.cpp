@@ -32,6 +32,19 @@ bool same_component(const DynamicGraph& g, VertexId u, VertexId v) {
          labels[static_cast<std::size_t>(v)];
 }
 
+bool same_partition(const std::vector<VertexId>& a,
+                    const std::vector<VertexId>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<VertexId, VertexId> a2b, b2a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    auto [it1, fresh1] = a2b.emplace(a[v], b[v]);
+    if (!fresh1 && it1->second != b[v]) return false;
+    auto [it2, fresh2] = b2a.emplace(b[v], a[v]);
+    if (!fresh2 && it2->second != a[v]) return false;
+  }
+  return true;
+}
+
 Weight msf_weight(const WeightedDynamicGraph& g) {
   struct E {
     Weight w;

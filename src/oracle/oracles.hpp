@@ -24,6 +24,12 @@ std::vector<VertexId> connected_components(const DynamicGraph& g);
 /// True iff u and v are in the same component.
 bool same_component(const DynamicGraph& g, VertexId u, VertexId v);
 
+/// True iff two component labelings induce the same equivalence classes
+/// (labels themselves may differ — e.g. a forest's internal component ids
+/// vs the oracle's canonical smallest-vertex labels).
+bool same_partition(const std::vector<VertexId>& a,
+                    const std::vector<VertexId>& b);
+
 /// Exact minimum-spanning-forest weight via Kruskal.
 Weight msf_weight(const WeightedDynamicGraph& g);
 

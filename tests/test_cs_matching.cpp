@@ -9,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "graph/update_stream.hpp"
 #include "oracle/oracles.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -41,27 +42,19 @@ TEST(CsMatchingBasic, DeletionQueuesAndDrains) {
 TEST(CsMatchingBasic, ValidAndAlmostMaximalThroughout) {
   const std::size_t n = 24;
   CsMatching cs({.n = n, .seed = 5});
-  DynamicGraph shadow(n);
-  auto stream = graph::random_stream(n, 250, 0.6, 5);
-  std::size_t step = 0;
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      cs.insert(up.u, up.v);
-      shadow.insert_edge(up.u, up.v);
-    } else {
-      cs.erase(up.u, up.v);
-      shadow.delete_edge(up.u, up.v);
-    }
-    const auto m = cs.matching_snapshot();
-    ASSERT_TRUE(oracle::matching_is_valid(shadow, m)) << "step " << step;
-    // Almost-maximality: augmenting edges are bounded by the in-flight
-    // work (each pending vertex can shield at most its own edges).
-    const std::size_t violations = oracle::count_augmenting_edges(shadow, m);
-    ASSERT_LE(violations, 4 * (cs.pending_work() + 1)) << "step " << step;
-    std::string why;
-    ASSERT_TRUE(cs.validate(&why)) << "step " << step << ": " << why;
-    ++step;
-  }
+  const auto shadow = test_util::replay(
+      n, graph::random_stream(n, 250, 0.6, 5),
+      [&](const Update& up, const DynamicGraph& sh, std::size_t step) {
+        test_util::apply(cs, up);
+        const auto m = cs.matching_snapshot();
+        ASSERT_TRUE(oracle::matching_is_valid(sh, m)) << "step " << step;
+        // Almost-maximality: augmenting edges are bounded by the in-flight
+        // work (each pending vertex can shield at most its own edges).
+        const std::size_t violations = oracle::count_augmenting_edges(sh, m);
+        ASSERT_LE(violations, 4 * (cs.pending_work() + 1)) << "step " << step;
+        std::string why;
+        ASSERT_TRUE(cs.validate(&why)) << "step " << step << ": " << why;
+      });
   // Once drained, the matching is fully maximal.
   cs.idle_cycles(2 * n);
   const auto m = cs.matching_snapshot();
@@ -75,21 +68,14 @@ TEST_P(CsMatchingStreamTest, DrainedRatioWithinTwoPlusEps) {
   const std::size_t n = 20;
   const double eps = 0.2;
   CsMatching cs({.n = n, .eps = eps, .seed = GetParam()});
-  DynamicGraph shadow(n);
-  auto stream = graph::random_stream(n, 200, 0.65, GetParam());
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      cs.insert(up.u, up.v);
-      shadow.insert_edge(up.u, up.v);
-    } else {
-      cs.erase(up.u, up.v);
-      shadow.delete_edge(up.u, up.v);
-    }
-  }
+  const auto shadow = test_util::replay(
+      n, graph::random_stream(n, 200, 0.65, GetParam()),
+      [&](const Update& up, const DynamicGraph&, std::size_t) {
+        test_util::apply(cs, up);
+      });
   cs.idle_cycles(4 * n);
   const auto m = cs.matching_snapshot();
-  ASSERT_TRUE(oracle::matching_is_valid(shadow, m));
-  ASSERT_TRUE(oracle::matching_is_maximal(shadow, m));
+  test_util::expect_maximal(m, shadow, "drained");
   const std::size_t ours = oracle::matching_size(m);
   const std::size_t best = oracle::maximum_matching_size(shadow);
   // Maximal implies 2-approximation; the almost-maximal slack adds eps.
@@ -108,14 +94,7 @@ TEST(CsMatchingBounds, PolylogMachinesAndComm) {
   dmpc::WordCount comm_small = 0, comm_large = 0;
   for (const std::size_t n : {256u, 4096u}) {
     CsMatching cs({.n = n, .seed = 3});
-    auto stream = graph::random_stream(n, 300, 0.6, 3);
-    for (const Update& up : stream) {
-      if (up.kind == UpdateKind::kInsert) {
-        cs.insert(up.u, up.v);
-      } else {
-        cs.erase(up.u, up.v);
-      }
-    }
+    test_util::drive(cs, graph::random_stream(n, 300, 0.6, 3));
     const auto& agg = cs.cluster().metrics().aggregate();
     EXPECT_LE(agg.worst_rounds, 8u) << "n=" << n;  // O(1) rounds
     (n == 256 ? mach_small : mach_large) = agg.worst_active_machines;
@@ -130,13 +109,8 @@ TEST(CsMatchingBounds, PolylogMachinesAndComm) {
 
 TEST(CsMatchingInvariants, SupportRecordsExistForMatchedEdges) {
   CsMatching cs({.n = 12, .seed = 9});
-  auto stream = graph::random_stream(12, 120, 0.7, 9);
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      cs.insert(up.u, up.v);
-    } else {
-      cs.erase(up.u, up.v);
-    }
+  for (const Update& up : graph::random_stream(12, 120, 0.7, 9)) {
+    test_util::apply(cs, up);
     std::string why;
     ASSERT_TRUE(cs.validate(&why)) << why;
   }

@@ -8,70 +8,52 @@
 //
 // These catch divergence bugs that a single oracle can miss (e.g. a
 // correct-but-different component labelling hiding a stale tour index).
+// All suites run through the harness Driver: it owns the shadow graph,
+// feeds both twins the same effective updates, and fires the comparison
+// checkpoints (which also runs the distributed algorithms' validate()).
 #include <gtest/gtest.h>
-
-#include <random>
 
 #include "core/dyn_forest.hpp"
 #include "core/maximal_matching.hpp"
 #include "etour/euler_forest.hpp"
 #include "graph/update_stream.hpp"
+#include "harness/checks.hpp"
+#include "harness/driver.hpp"
 #include "oracle/oracles.hpp"
 #include "seq/hdt.hpp"
 #include "seq/ns_matching.hpp"
+#include "test_util.hpp"
 
 namespace {
 
-using graph::Update;
-using graph::UpdateKind;
 using graph::VertexId;
-
-/// Same-partition check: two component labelings agree iff they induce
-/// the same equivalence classes.
-bool same_partition(const std::vector<VertexId>& a,
-                    const std::vector<VertexId>& b) {
-  if (a.size() != b.size()) return false;
-  std::map<VertexId, VertexId> a2b, b2a;
-  for (std::size_t v = 0; v < a.size(); ++v) {
-    auto [it1, fresh1] = a2b.emplace(a[v], b[v]);
-    if (!fresh1 && it1->second != b[v]) return false;
-    auto [it2, fresh2] = b2a.emplace(b[v], a[v]);
-    if (!fresh2 && it2->second != a[v]) return false;
-  }
-  return true;
-}
+using harness::Driver;
+using harness::DriverConfig;
 
 class ForestVsHdtTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ForestVsHdtTest, IdenticalConnectivityOnRandomStreams) {
   const std::size_t n = 32;
-  auto stream = graph::random_stream(n, 300, 0.58, GetParam());
   core::DynamicForest forest({.n = n, .m_cap = 700});
   forest.preprocess(graph::EdgeList{});
   seq::AccessCounter c;
   seq::HdtConnectivity hdt(n, c);
-  std::size_t step = 0;
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      forest.insert(up.u, up.v);
-      hdt.insert(up.u, up.v);
-    } else {
-      forest.erase(up.u, up.v);
-      hdt.erase(up.u, up.v);
-    }
-    if (step % 7 == 0) {
-      const auto labels = forest.component_snapshot();
-      for (std::size_t x = 0; x < n; x += 2) {
-        for (std::size_t y = x + 1; y < n; y += 3) {
-          ASSERT_EQ(labels[x] == labels[y],
-                    hdt.connected(static_cast<VertexId>(x),
-                                  static_cast<VertexId>(y)))
-              << "step " << step;
-        }
+  Driver driver(n, DriverConfig{.checkpoint_every = 7});
+  driver.add("forest", forest);
+  driver.add("hdt", hdt);
+  test_util::stop_on_fatal_failure(driver);
+  driver.on_checkpoint([&](const harness::Checkpoint& cp) {
+    const auto labels = forest.component_snapshot();
+    for (std::size_t x = 0; x < n; x += 2) {
+      for (std::size_t y = x + 1; y < n; y += 3) {
+        ASSERT_EQ(labels[x] == labels[y],
+                  hdt.connected(static_cast<VertexId>(x),
+                                static_cast<VertexId>(y)))
+            << "step " << cp.step;
       }
     }
-    ++step;
-  }
+  });
+  driver.run(graph::random_stream(n, 300, 0.58, GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ForestVsHdtTest,
@@ -81,47 +63,34 @@ class ForestVsReferenceTest : public ::testing::TestWithParam<std::uint64_t> {
 };
 
 TEST_P(ForestVsReferenceTest, TreeEdgeSetStaysConsistent) {
-  // Drive the distributed forest and the reference Euler forest with the
-  // same link/cut decisions (the reference is told exactly which tree
-  // edges the distributed algorithm chose) and compare the component
-  // partitions — this cross-checks the index algebra end to end.
+  // Drive the distributed forest and, at every checkpoint, rebuild a
+  // reference Euler forest from exactly the tree edges the distributed
+  // algorithm chose: it must validate as a spanning forest of the same
+  // partition, and that partition must match the connectivity oracle on
+  // the driver's shadow graph — this cross-checks the index algebra end
+  // to end.
   const std::size_t n = 24;
-  std::mt19937_64 rng(GetParam());
   core::DynamicForest forest({.n = n, .m_cap = 600});
   forest.preprocess(graph::EdgeList{});
-  graph::DynamicGraph shadow(n);
-  std::size_t step = 0;
-  for (int i = 0; i < 250; ++i) {
-    const VertexId u = static_cast<VertexId>(rng() % n);
-    const VertexId v = static_cast<VertexId>(rng() % n);
-    if (u == v) continue;
-    if (!shadow.has_edge(u, v) && (rng() % 100 < 60)) {
-      forest.insert(u, v);
-      shadow.insert_edge(u, v);
-    } else if (shadow.has_edge(u, v)) {
-      forest.erase(u, v);
-      shadow.delete_edge(u, v);
-    } else {
-      continue;
-    }
-    // Rebuild a reference forest from the distributed tree edges: it must
-    // validate as a spanning forest of the same partition.
+  Driver driver(n);  // checkpoint after every update
+  driver.add("forest", forest);
+  test_util::stop_on_fatal_failure(driver);
+  driver.on_checkpoint(harness::components_match_oracle(forest, "forest"));
+  driver.on_checkpoint([&](const harness::Checkpoint& cp) {
     etour::EulerForest ref(n);
     for (auto [a, b] : forest.tree_edges()) ref.link(a, b);
     std::string why;
-    ASSERT_TRUE(ref.validate(&why)) << "step " << step << ": " << why;
+    ASSERT_TRUE(ref.validate(&why)) << "step " << cp.step << ": " << why;
     std::vector<VertexId> ref_labels(n);
     for (std::size_t x = 0; x < n; ++x) {
-      ref_labels[x] = static_cast<VertexId>(
-          ref.component(static_cast<VertexId>(x)));
+      ref_labels[x] =
+          static_cast<VertexId>(ref.component(static_cast<VertexId>(x)));
     }
-    ASSERT_TRUE(same_partition(forest.component_snapshot(), ref_labels))
-        << "step " << step;
-    ASSERT_TRUE(same_partition(forest.component_snapshot(),
-                               oracle::connected_components(shadow)))
-        << "step " << step;
-    ++step;
-  }
+    ASSERT_TRUE(
+        oracle::same_partition(forest.component_snapshot(), ref_labels))
+        << "step " << cp.step;
+  });
+  driver.run(graph::random_stream(n, 250, 0.6, GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ForestVsReferenceTest,
@@ -131,34 +100,32 @@ class MatchingTwinsTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MatchingTwinsTest, BothMaximalAndWithinFactor2OfEachOther) {
   const std::size_t n = 24;
-  auto stream = graph::random_stream(n, 250, 0.6, GetParam());
   core::MaximalMatching dist({.n = n, .m_cap = 700});
   dist.preprocess({});
   seq::AccessCounter c;
   seq::NsMatching ns(n, 700, c);
-  graph::DynamicGraph shadow(n);
-  std::size_t step = 0;
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      dist.insert(up.u, up.v);
-      ns.insert(up.u, up.v);
-      shadow.insert_edge(up.u, up.v);
-    } else {
-      dist.erase(up.u, up.v);
-      ns.erase(up.u, up.v);
-      shadow.delete_edge(up.u, up.v);
-    }
-    const auto md = dist.matching_snapshot();
+  Driver driver(n);  // checkpoint after every update
+  driver.add("dist", dist);
+  driver.add("ns", ns);
+  test_util::stop_on_fatal_failure(driver);
+  driver.on_checkpoint(harness::matching_maximal(dist, "dist"));
+  driver.on_checkpoint([&](const harness::Checkpoint& cp) {
     const auto ms = ns.matching();
-    ASSERT_TRUE(oracle::matching_is_maximal(shadow, md)) << "step " << step;
-    ASSERT_TRUE(oracle::matching_is_maximal(shadow, ms)) << "step " << step;
+    test_util::expect_maximal(ms, cp.shadow,
+                              "ns at step " + std::to_string(cp.step));
     // Two maximal matchings of the same graph are within factor 2.
-    const std::size_t sd = oracle::matching_size(md);
+    const std::size_t sd = oracle::matching_size(dist.matching_snapshot());
     const std::size_t ss = oracle::matching_size(ms);
-    ASSERT_LE(sd, 2 * ss) << "step " << step;
-    ASSERT_LE(ss, 2 * sd) << "step " << step;
-    ++step;
-  }
+    ASSERT_LE(sd, 2 * ss) << "step " << cp.step;
+    ASSERT_LE(ss, 2 * sd) << "step " << cp.step;
+  });
+  const auto& report = driver.run(graph::random_stream(n, 250, 0.6, GetParam()));
+  // The distributed twin is cluster-backed: the driver aggregated its
+  // per-update DMPC cost; the sequential twin is not instrumented.
+  ASSERT_NE(report.find("dist"), nullptr);
+  EXPECT_TRUE(report.find("dist")->instrumented);
+  EXPECT_EQ(report.find("dist")->agg.updates, report.applied);
+  EXPECT_FALSE(report.find("ns")->instrumented);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatchingTwinsTest,

@@ -93,6 +93,34 @@ TEST(Cluster, EnforcesPerMachineReceiveCap) {
   EXPECT_THROW(c.finish_round(), dmpc::CommOverflowError);
 }
 
+TEST(Cluster, AllowsTrafficExactlyAtCap) {
+  // The model cap is "at most S words per machine per round": exactly S
+  // must pass on both the send and the receive side (tag counts 1 word).
+  Cluster c(3, 4);
+  c.send(0, 1, 1, {1, 2, 3});  // 4 words sent by 0, received by 1
+  EXPECT_NO_THROW(c.finish_round());
+}
+
+TEST(Cluster, SendCapSumsOverMessages) {
+  // Several small messages from one machine in one round count against
+  // the same S-word send budget.
+  Cluster c(4, 4);
+  c.send(0, 1, 1, {1});  // 2 words
+  c.send(0, 2, 1, {1});  // 2 words: at cap
+  c.send(0, 3, 1, {});   // 1 word: over-S
+  EXPECT_THROW(c.finish_round(), dmpc::CommOverflowError);
+}
+
+TEST(Cluster, CapsArePerRoundNotCumulative) {
+  // Using the full budget in consecutive rounds is legal: the cap is per
+  // round, not per update or per run.
+  Cluster c(2, 4);
+  for (int round = 0; round < 3; ++round) {
+    c.send(0, 1, 1, {1, 2, 3});  // exactly S both sides
+    EXPECT_NO_THROW(c.finish_round()) << "round " << round;
+  }
+}
+
 TEST(Cluster, UpdateGroupingTracksWorstRound) {
   Cluster c(4, 100);
   c.begin_update();

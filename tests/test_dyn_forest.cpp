@@ -8,12 +8,14 @@
 //    communication within the O(sqrt N) machine-count regime.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <random>
 
 #include "core/dyn_forest.hpp"
 #include "graph/generators.hpp"
 #include "graph/update_stream.hpp"
 #include "oracle/oracles.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -125,41 +127,26 @@ class DynForestStreamTest
 TEST_P(DynForestStreamTest, AgreesWithOracleThroughout) {
   const auto [kind, seed] = GetParam();
   const std::size_t n = 28;
-  graph::UpdateStream stream;
-  switch (kind) {
-    case 0:
-      stream = graph::random_stream(n, 220, 0.6, seed);
-      break;
-    case 1:
-      stream = graph::sliding_window_stream(n, 220, 40, seed);
-      break;
-    default:
-      stream = graph::clean_stream(
-          n, graph::bridge_adversary_stream(n, 220, 12, seed));
-      break;
-  }
+  const auto stream = test_util::make_stream(
+      std::array{test_util::StreamKind::kRandom,
+                 test_util::StreamKind::kSlidingWindow,
+                 test_util::StreamKind::kBridgeAdversary}[kind],
+      n, 220, seed);
   DynamicForest forest({.n = n, .m_cap = 600});
   forest.preprocess(graph::EdgeList{});
-  DynamicGraph shadow(n);
-  std::size_t step = 0;
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      forest.insert(up.u, up.v);
-      shadow.insert_edge(up.u, up.v);
-    } else {
-      forest.erase(up.u, up.v);
-      shadow.delete_edge(up.u, up.v);
-    }
-    const auto& last = forest.cluster().metrics().last_update();
-    ASSERT_LE(last.rounds, kRoundCap) << "update " << step;
-    if (step % 10 == 0) {
-      std::string why;
-      ASSERT_TRUE(forest.validate(&why)) << "update " << step << ": " << why;
-      expect_components_match(forest, shadow,
-                              "update " + std::to_string(step));
-    }
-    ++step;
-  }
+  const auto shadow = test_util::replay(
+      n, stream,
+      [&](const Update& up, const DynamicGraph& sh, std::size_t step) {
+        test_util::apply(forest, up);
+        const auto& last = forest.cluster().metrics().last_update();
+        ASSERT_LE(last.rounds, kRoundCap) << "update " << step;
+        if (step % 10 == 0) {
+          std::string why;
+          ASSERT_TRUE(forest.validate(&why))
+              << "update " << step << ": " << why;
+          expect_components_match(forest, sh, "update " + std::to_string(step));
+        }
+      });
   std::string why;
   ASSERT_TRUE(forest.validate(&why)) << why;
   expect_components_match(forest, shadow, "final");
@@ -178,16 +165,7 @@ TEST(DynForestBounds, RoundsStayConstantAcrossSizes) {
     DynamicForest forest({.n = n, .m_cap = 4 * n});
     forest.preprocess(graph::cycle(n));
     forest.cluster().metrics().reset();
-    std::mt19937_64 rng(5);
-    auto stream = graph::clean_stream(
-        n, graph::bridge_adversary_stream(n, 120, n / 4, 5));
-    for (const Update& up : stream) {
-      if (up.kind == UpdateKind::kInsert) {
-        forest.insert(up.u, up.v);
-      } else {
-        forest.erase(up.u, up.v);
-      }
-    }
+    test_util::drive(forest, graph::bridge_adversary_stream(n, 120, n / 4, 5));
     const auto worst = forest.cluster().metrics().aggregate().worst_rounds;
     (n == 64 ? worst_small : worst_large) = worst;
   }

@@ -4,10 +4,13 @@
 // complexity bounds (O(1) rounds, O(1) active machines, O(sqrt N) comm).
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "core/maximal_matching.hpp"
 #include "graph/generators.hpp"
 #include "graph/update_stream.hpp"
 #include "oracle/oracles.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -21,9 +24,7 @@ constexpr std::uint64_t kRoundCap = 64;
 
 void check_matching(const MaximalMatching& mm, const DynamicGraph& shadow,
                     const std::string& where) {
-  const auto m = mm.matching_snapshot();
-  ASSERT_TRUE(oracle::matching_is_valid(shadow, m)) << where;
-  ASSERT_TRUE(oracle::matching_is_maximal(shadow, m)) << where;
+  test_util::expect_maximal(mm.matching_snapshot(), shadow, where);
 }
 
 TEST(MaximalMatchingBasic, EmptyPreprocess) {
@@ -144,40 +145,25 @@ class MaximalMatchingStreamTest
 TEST_P(MaximalMatchingStreamTest, MaximalAfterEveryUpdate) {
   const auto [kind, seed] = GetParam();
   const std::size_t n = 26;
-  graph::UpdateStream stream;
-  switch (kind) {
-    case 0:
-      stream = graph::random_stream(n, 200, 0.6, seed);
-      break;
-    case 1:
-      stream = graph::clean_stream(
-          n, graph::matched_edge_adversary_stream(n, 200, seed));
-      break;
-    default:
-      stream = graph::sliding_window_stream(n, 200, 30, seed);
-      break;
-  }
+  const auto stream = test_util::make_stream(
+      std::array{test_util::StreamKind::kRandom,
+                 test_util::StreamKind::kMatchedAdversary,
+                 test_util::StreamKind::kSlidingWindow}[kind],
+      n, 200, seed);
   MaximalMatching mm({.n = n, .m_cap = 800});
   mm.preprocess({});
-  DynamicGraph shadow(n);
-  std::size_t step = 0;
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      mm.insert(up.u, up.v);
-      shadow.insert_edge(up.u, up.v);
-    } else {
-      mm.erase(up.u, up.v);
-      shadow.delete_edge(up.u, up.v);
-    }
-    check_matching(mm, shadow, "step " + std::to_string(step));
-    ASSERT_LE(mm.cluster().metrics().last_update().rounds, kRoundCap)
-        << "step " << step;
-    if (step % 20 == 0) {
-      std::string why;
-      ASSERT_TRUE(mm.validate(&why)) << "step " << step << ": " << why;
-    }
-    ++step;
-  }
+  test_util::replay(
+      n, stream,
+      [&](const Update& up, const DynamicGraph& shadow, std::size_t step) {
+        test_util::apply(mm, up);
+        check_matching(mm, shadow, "step " + std::to_string(step));
+        ASSERT_LE(mm.cluster().metrics().last_update().rounds, kRoundCap)
+            << "step " << step;
+        if (step % 20 == 0) {
+          std::string why;
+          ASSERT_TRUE(mm.validate(&why)) << "step " << step << ": " << why;
+        }
+      });
   std::string why;
   EXPECT_TRUE(mm.validate(&why)) << why;
 }
@@ -195,24 +181,14 @@ TEST(MaximalMatchingStream, PreprocessedGraphThenUpdates) {
   DynamicGraph shadow(n);
   for (auto [u, v] : initial) shadow.insert_edge(u, v);
   check_matching(mm, shadow, "preprocess");
-  auto stream = graph::random_stream(n, 150, 0.4, 7);
-  std::size_t step = 0;
-  for (const Update& up : stream) {
-    const bool is_ins = up.kind == UpdateKind::kInsert;
-    // The stream generator does not know the preprocessed edges; apply
-    // only effective operations.
-    if (is_ins) {
-      if (shadow.has_edge(up.u, up.v)) continue;
-      mm.insert(up.u, up.v);
-      shadow.insert_edge(up.u, up.v);
-    } else {
-      if (!shadow.has_edge(up.u, up.v)) continue;
-      mm.erase(up.u, up.v);
-      shadow.delete_edge(up.u, up.v);
-    }
-    check_matching(mm, shadow, "step " + std::to_string(step));
-    ++step;
-  }
+  // The stream generator does not know the preprocessed edges; the seeded
+  // replay applies only the effective operations.
+  test_util::replay(
+      n, initial, graph::random_stream(n, 150, 0.4, 7),
+      [&](const Update& up, const DynamicGraph& sh, std::size_t step) {
+        test_util::apply(mm, up);
+        check_matching(mm, sh, "step " + std::to_string(step));
+      });
 }
 
 TEST(MaximalMatchingBounds, ConstantActiveMachinesPerRound) {
@@ -222,14 +198,7 @@ TEST(MaximalMatchingBounds, ConstantActiveMachinesPerRound) {
   for (const std::size_t n : {32u, 512u}) {
     MaximalMatching mm({.n = n, .m_cap = 4 * n});
     mm.preprocess({});
-    auto stream = graph::random_stream(n, 150, 0.6, 13);
-    for (const Update& up : stream) {
-      if (up.kind == UpdateKind::kInsert) {
-        mm.insert(up.u, up.v);
-      } else {
-        mm.erase(up.u, up.v);
-      }
-    }
+    test_util::drive(mm, graph::random_stream(n, 150, 0.6, 13));
     const auto& agg = mm.cluster().metrics().aggregate();
     (n == 32 ? worst_small : worst_large) = agg.worst_active_machines;
     EXPECT_LE(agg.worst_rounds, kRoundCap) << "n=" << n;

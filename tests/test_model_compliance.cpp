@@ -6,14 +6,19 @@
 // cap (Cluster throws), and clean failure on precondition violations.
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <utility>
+
 #include "core/cs_matching.hpp"
 #include "core/dyn_forest.hpp"
 #include "core/maximal_matching.hpp"
 #include "graph/generators.hpp"
 #include "graph/update_stream.hpp"
 #include "etour/euler_forest.hpp"
+#include "harness/driver.hpp"
 #include "seq/hdt.hpp"
 #include "seq/ns_matching.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -44,39 +49,25 @@ TEST_P(MemoryComplianceTest, HighWaterStaysSublinear) {
   const auto edges = family(fam, n);
   auto stream = graph::random_stream(n, 150, 0.5, 77);
 
+  // The Driver seeds its shadow with the preprocessed edges and drops the
+  // stream updates that would violate the algorithms' preconditions; its
+  // final checkpoint also runs the algorithm's validate().
+  const auto sweep = [&](auto& alg) {
+    alg.preprocess(edges);
+    harness::Driver driver(n, harness::DriverConfig{.checkpoint_every = 0});
+    driver.add("alg", alg);
+    driver.seed(edges);
+    driver.run(stream);
+    return std::pair{alg.cluster().max_memory_high_water(),
+                     alg.cluster().machine_capacity()};
+  };
   dmpc::WordCount high_water = 0, capacity = 0;
   if (algo == 0) {
     core::DynamicForest forest({.n = n, .m_cap = m_cap});
-    forest.preprocess(edges);
-    graph::DynamicGraph shadow(n);
-    for (auto [u, v] : edges) shadow.insert_edge(u, v);
-    for (const Update& up : stream) {
-      if (up.kind == UpdateKind::kInsert) {
-        if (!shadow.insert_edge(up.u, up.v)) continue;
-        forest.insert(up.u, up.v);
-      } else {
-        if (!shadow.delete_edge(up.u, up.v)) continue;
-        forest.erase(up.u, up.v);
-      }
-    }
-    high_water = forest.cluster().max_memory_high_water();
-    capacity = forest.cluster().machine_capacity();
+    std::tie(high_water, capacity) = sweep(forest);
   } else {
     core::MaximalMatching mm({.n = n, .m_cap = m_cap});
-    mm.preprocess(edges);
-    graph::DynamicGraph shadow(n);
-    for (auto [u, v] : edges) shadow.insert_edge(u, v);
-    for (const Update& up : stream) {
-      if (up.kind == UpdateKind::kInsert) {
-        if (!shadow.insert_edge(up.u, up.v)) continue;
-        mm.insert(up.u, up.v);
-      } else {
-        if (!shadow.delete_edge(up.u, up.v)) continue;
-        mm.erase(up.u, up.v);
-      }
-    }
-    high_water = mm.cluster().max_memory_high_water();
-    capacity = mm.cluster().machine_capacity();
+    std::tie(high_water, capacity) = sweep(mm);
   }
   EXPECT_LE(high_water, capacity);
   // Genuinely O(sqrt N): within a constant of sqrt(N) words (the
@@ -136,15 +127,7 @@ TEST(ClusterDeterminism, IdenticalRunsProduceIdenticalMetrics) {
     core::DynamicForest forest({.n = 64, .m_cap = 256});
     forest.preprocess(graph::cycle(64));
     forest.cluster().metrics().reset();
-    auto stream = graph::clean_stream(
-        64, graph::bridge_adversary_stream(64, 300, 16, 3));
-    for (const Update& up : stream) {
-      if (up.kind == UpdateKind::kInsert) {
-        forest.insert(up.u, up.v);
-      } else {
-        forest.erase(up.u, up.v);
-      }
-    }
+    test_util::drive(forest, graph::bridge_adversary_stream(64, 300, 16, 3));
     const auto& a = forest.cluster().metrics().aggregate();
     return std::tuple{a.updates, a.worst_rounds, a.worst_active_machines,
                       a.worst_comm_words, a.total_comm_words};

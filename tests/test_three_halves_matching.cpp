@@ -5,10 +5,13 @@
 // against ground truth, and the Table 1 bounds are asserted.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "core/three_halves_matching.hpp"
 #include "graph/generators.hpp"
 #include "graph/update_stream.hpp"
 #include "oracle/oracles.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -106,36 +109,21 @@ class ThreeHalvesStreamTest
 TEST_P(ThreeHalvesStreamTest, NoLength3PathsEver) {
   const auto [kind, seed] = GetParam();
   const std::size_t n = 20;
-  graph::UpdateStream stream;
-  switch (kind) {
-    case 0:
-      stream = graph::random_stream(n, 160, 0.6, seed);
-      break;
-    case 1:
-      stream = graph::clean_stream(
-          n, graph::matched_edge_adversary_stream(n, 160, seed));
-      break;
-    default:
-      stream = graph::sliding_window_stream(n, 160, 24, seed);
-      break;
-  }
+  const auto stream = test_util::make_stream(
+      std::array{test_util::StreamKind::kRandom,
+                 test_util::StreamKind::kMatchedAdversary,
+                 test_util::StreamKind::kSlidingWindow}[kind],
+      n, 160, seed);
   ThreeHalvesMatching mm({.n = n, .m_cap = 700});
   mm.preprocess_empty();
-  DynamicGraph shadow(n);
-  std::size_t step = 0;
-  for (const Update& up : stream) {
-    if (up.kind == UpdateKind::kInsert) {
-      mm.insert(up.u, up.v);
-      shadow.insert_edge(up.u, up.v);
-    } else {
-      mm.erase(up.u, up.v);
-      shadow.delete_edge(up.u, up.v);
-    }
-    check_three_halves(mm, shadow, "step " + std::to_string(step),
-                       step % 5 == 0);
-    check_counters(mm, shadow, "step " + std::to_string(step));
-    ++step;
-  }
+  test_util::replay(
+      n, stream,
+      [&](const Update& up, const DynamicGraph& shadow, std::size_t step) {
+        test_util::apply(mm, up);
+        check_three_halves(mm, shadow, "step " + std::to_string(step),
+                           step % 5 == 0);
+        check_counters(mm, shadow, "step " + std::to_string(step));
+      });
   std::string why;
   EXPECT_TRUE(mm.validate(&why)) << why;
 }
@@ -154,14 +142,7 @@ TEST(ThreeHalvesBounds, RoundsConstantCommScalesLikeSqrtN) {
   for (const std::size_t n : {128u, 512u}) {
     ThreeHalvesMatching mm({.n = n, .m_cap = 4 * n});
     mm.preprocess_empty();
-    auto stream = graph::random_stream(n, 200, 0.6, 3);
-    for (const Update& up : stream) {
-      if (up.kind == UpdateKind::kInsert) {
-        mm.insert(up.u, up.v);
-      } else {
-        mm.erase(up.u, up.v);
-      }
-    }
+    test_util::drive(mm, graph::random_stream(n, 200, 0.6, 3));
     const auto& agg = mm.cluster().metrics().aggregate();
     (n == 128 ? rounds_small : rounds_large) = agg.worst_rounds;
     (n == 128 ? comm_small : comm_large) = agg.worst_comm_words;
