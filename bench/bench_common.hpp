@@ -40,4 +40,30 @@ inline void print_row(const harness::DriverReport& report,
   print_row(name, stats->agg, paper_bound);
 }
 
+/// Prints a batched algorithm's row from the driver's per-batch
+/// aggregate: total and per-update rounds (the round-sharing win) plus
+/// the worst per-batch round's communication.
+inline void print_batch_row(const harness::DriverReport& report,
+                            const std::string& name, const char* note) {
+  const harness::AlgorithmStats* stats = report.find(name);
+  if (stats == nullptr || report.applied == 0) {
+    std::printf("%-28s (no batched data)\n", name.c_str());
+    return;
+  }
+  const dmpc::UpdateAggregate& agg =
+      stats->batched ? stats->batch_agg : stats->agg;
+  std::printf("%-28s %12llu %12.2f %14llu %10zu   %s\n", name.c_str(),
+              static_cast<unsigned long long>(agg.total_rounds),
+              static_cast<double>(agg.total_rounds) /
+                  static_cast<double>(report.applied),
+              static_cast<unsigned long long>(agg.total_comm_words),
+              report.batches, note);
+}
+
+inline void print_batch_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-28s %12s %12s %14s %10s   %s\n", "algorithm / mode",
+              "rounds(tot)", "rounds/upd", "comm(tot)", "batches", "note");
+}
+
 }  // namespace bench

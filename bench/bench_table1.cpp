@@ -116,9 +116,40 @@ int main() {
     bench::print_row(driver.report(), "connectivity/MST (red.)",
                      "O~(1) amort. | O(1) | O(1)");
   }
+  // Batched + parallel execution: the same connectivity workload driven
+  // once per update (the serial baseline above), once with apply_batch
+  // sharing rounds between independent updates, and once more with the
+  // batched protocol on a thread-pool executor (identical rounds — the
+  // executor changes wall-clock, never accounting).
+  bench::print_batch_header(
+      "batched connectivity (independent updates share rounds)");
+  const auto batch_stream = graph::random_stream(kN, 2000, 0.75, 8);
+  auto run_connectivity = [&](std::size_t batch_size,
+                              harness::ExecutorKind executor) {
+    core::DynamicForest forest({.n = kN, .m_cap = kMCap});
+    forest.preprocess(graph::EdgeList{});
+    harness::DriverConfig config{.batch_size = batch_size,
+                                 .checkpoint_every = 0};
+    config.executor = executor;
+    harness::Driver driver(kN, config);
+    driver.add("connectivity", forest);
+    driver.run(batch_stream);
+    return driver.report();
+  };
+  bench::print_batch_row(run_connectivity(1, harness::ExecutorKind::kSerial),
+                         "connectivity", "serial baseline");
+  bench::print_batch_row(run_connectivity(16, harness::ExecutorKind::kSerial),
+                         "connectivity", "batch=16");
+  bench::print_batch_row(
+      run_connectivity(16, harness::ExecutorKind::kThreadPool),
+      "connectivity", "batch=16 + thread pool");
+
   std::printf(
       "\nNotes: machines(wc)/comm(wc) are per-round worst cases; the\n"
       "reduction rows show rounds = sequential memory accesses with O(1)\n"
-      "machines and O(1) words per round, as Lemma 7.1 predicts.\n");
+      "machines and O(1) words per round, as Lemma 7.1 predicts.  In the\n"
+      "batched section, rounds/upd dropping below the serial baseline is\n"
+      "the paper's sqrt(N)-updates-share-rounds observation made\n"
+      "measurable.\n");
   return 0;
 }

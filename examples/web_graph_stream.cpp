@@ -55,19 +55,26 @@ int main() {
               driver.shadow().num_edges(), comps, 2 * oracle::matching_size(m),
               oracle::matching_is_valid(driver.shadow(), m));
 
-  const auto& agg_c = report.find("clusters")->agg;
+  // The clusters algorithm supports apply_batch, so the driver handed it
+  // whole 64-event batches: independent link events share protocol
+  // rounds, and the per-batch aggregate is where its cost lives.
+  const auto& agg_c = report.find("clusters")->batch_agg;
   // The pairing algorithm also does scheduler-drain work in the
   // on_batch_end idle cycles, which the driver's per-update aggregate
   // does not see; read its cluster's own aggregate so the reported
   // worst case covers that batched work too.
   const auto& agg_p = pairs.cluster().metrics().aggregate();
-  std::printf("per link event (worst case over %llu events):\n",
-              static_cast<unsigned long long>(agg_c.updates));
-  std::printf("  clusters (Section 5):  %llu rounds, %llu machines, %llu "
-              "words\n",
-              static_cast<unsigned long long>(agg_c.worst_rounds),
-              static_cast<unsigned long long>(agg_c.worst_active_machines),
-              static_cast<unsigned long long>(agg_c.worst_comm_words));
+  std::printf("clusters: %.2f rounds per link event over %llu batches "
+              "(batched; %llu rounds worst batch)\n",
+              static_cast<double>(agg_c.total_rounds) /
+                  static_cast<double>(report.applied),
+              static_cast<unsigned long long>(agg_c.updates),
+              static_cast<unsigned long long>(agg_c.worst_rounds));
+  std::printf("per link event (worst case):\n");
+  std::printf("  clusters (Section 5):  batched — see above; worst batch "
+              "round moved %llu words over %llu machines\n",
+              static_cast<unsigned long long>(agg_c.worst_comm_words),
+              static_cast<unsigned long long>(agg_c.worst_active_machines));
   std::printf("  pairing (Section 6):   %llu rounds, %llu machines, %llu "
               "words  <- the O~(1) profile\n",
               static_cast<unsigned long long>(agg_p.worst_rounds),

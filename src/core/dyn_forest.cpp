@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "dmpc/primitives.hpp"
 #include "etour/tour_builder.hpp"
@@ -30,6 +31,13 @@ enum Tag : Word {
   kPromote,
   kQuery,
   kQueryReply,
+  // Batched-update protocol (apply_batch): the ingress scatters each
+  // update of an independent group to its coordinator machine, which
+  // runs the update's share of the group's O(1) rounds.
+  kBatchScatter,
+  kBatchEndpoints,
+  kBatchReply,
+  kBatchReady,
 };
 
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -210,79 +218,104 @@ void DynamicForest::preprocess(const graph::WeightedEdgeList& edges) {
 // Prepare phase (rounds 1-4 of every update)
 // ---------------------------------------------------------------------------
 
+DynamicForest::EndpointScan DynamicForest::scan_endpoints(MachineId m,
+                                                          VertexId x,
+                                                          VertexId y) const {
+  const MachineState& ms = machines_[m];
+  EndpointScan s;
+  for (const auto& [key, rec] : ms.edges) {
+    if (!rec.tree) continue;
+    auto touch = [&](VertexId side, Word i1, Word i2) {
+      if (side == x) {
+        s.fx = s.has_x ? std::min(s.fx, std::min(i1, i2)) : std::min(i1, i2);
+        s.lx = s.has_x ? std::max(s.lx, std::max(i1, i2)) : std::max(i1, i2);
+        s.has_x = true;
+      } else if (side == y) {
+        s.fy = s.has_y ? std::min(s.fy, std::min(i1, i2)) : std::min(i1, i2);
+        s.ly = s.has_y ? std::max(s.ly, std::max(i1, i2)) : std::max(i1, i2);
+        s.has_y = true;
+      }
+    };
+    touch(rec.u, rec.iu1, rec.iu2);
+    touch(rec.v, rec.iv1, rec.iv2);
+  }
+  if (m == vertex_machine(x)) {
+    s.hosts_x = true;
+    s.cx = ms.vertices.at(x).comp;
+  }
+  if (m == vertex_machine(y)) {
+    s.hosts_y = true;
+    s.cy = ms.vertices.at(y).comp;
+  }
+  if (m == edge_machine(x, y)) {
+    const auto it = ms.edges.find(edge_key(x, y));
+    if (it != ms.edges.end()) {
+      s.edge_here = true;
+      s.edge = it->second;
+    }
+  }
+  return s;
+}
+
+std::vector<Word> DynamicForest::scan_reply(const EndpointScan& s) {
+  std::vector<Word> reply;
+  if (s.has_x) reply.insert(reply.end(), {1, s.fx, s.lx});
+  if (s.has_y) reply.insert(reply.end(), {2, s.fy, s.ly});
+  if (s.hosts_x) reply.insert(reply.end(), {3, s.cx});
+  if (s.hosts_y) reply.insert(reply.end(), {4, s.cy});
+  if (s.edge_here) {
+    reply.insert(reply.end(),
+                 {5, s.edge.tree ? 1 : 0, s.edge.w, s.edge.iu1, s.edge.iu2,
+                  s.edge.iv1, s.edge.iv2});
+  }
+  return reply;
+}
+
+DynamicForest::Prep DynamicForest::fold_scans(
+    const std::vector<EndpointScan>& scans) {
+  Prep p;
+  bool have_x = false, have_y = false;
+  for (const EndpointScan& s : scans) {
+    if (s.has_x) {
+      p.fx = have_x ? std::min(p.fx, s.fx) : s.fx;
+      p.lx = have_x ? std::max(p.lx, s.lx) : s.lx;
+      have_x = true;
+    }
+    if (s.has_y) {
+      p.fy = have_y ? std::min(p.fy, s.fy) : s.fy;
+      p.ly = have_y ? std::max(p.ly, s.ly) : s.ly;
+      have_y = true;
+    }
+    if (s.hosts_x) p.cx = s.cx;
+    if (s.hosts_y) p.cy = s.cy;
+    if (s.edge_here) {
+      p.edge_exists = true;
+      p.edge = s.edge;
+    }
+  }
+  if (!have_x) p.fx = p.lx = etour::kNoIndex;
+  if (!have_y) p.fy = p.ly = etour::kNoIndex;
+  return p;
+}
+
 DynamicForest::Prep DynamicForest::prepare(VertexId x, VertexId y) {
   // Round 1: ingress broadcasts the touched endpoints to all machines.
   dmpc::broadcast(*cluster_, 0, kPrepare, {x, y});
 
-  // Round 2: every machine owning relevant state replies: local f/l
-  // contributions from tree-edge records touching x or y, the endpoints'
-  // component ids from their home machines, and the (x,y) record itself
-  // from its edge machine.
-  Prep p;
-  bool have_x = false, have_y = false;
-  std::vector<MachineId> senders;
-  std::vector<std::vector<Word>> payloads;
-  const MachineId em = edge_machine(x, y);
-  for (MachineId m = 0; m < machines_.size(); ++m) {
-    const MachineState& ms = machines_[m];
-    std::vector<Word> reply;
-    Word fx = 0, lx = 0, fy = 0, ly = 0;
-    bool mx = false, my = false;
-    for (const auto& [key, rec] : ms.edges) {
-      if (!rec.tree) continue;
-      auto touch = [&](VertexId side, Word i1, Word i2) {
-        if (side == x) {
-          fx = mx ? std::min(fx, std::min(i1, i2)) : std::min(i1, i2);
-          lx = mx ? std::max(lx, std::max(i1, i2)) : std::max(i1, i2);
-          mx = true;
-        } else if (side == y) {
-          fy = my ? std::min(fy, std::min(i1, i2)) : std::min(i1, i2);
-          ly = my ? std::max(ly, std::max(i1, i2)) : std::max(i1, i2);
-          my = true;
-        }
-      };
-      touch(rec.u, rec.iu1, rec.iu2);
-      touch(rec.v, rec.iv1, rec.iv2);
-    }
-    if (mx) {
-      reply.insert(reply.end(), {1, fx, lx});
-      if (!have_x || fx < p.fx) p.fx = have_x ? std::min(p.fx, fx) : fx;
-      p.lx = have_x ? std::max(p.lx, lx) : lx;
-      have_x = true;
-    }
-    if (my) {
-      reply.insert(reply.end(), {2, fy, ly});
-      if (!have_y || fy < p.fy) p.fy = have_y ? std::min(p.fy, fy) : fy;
-      p.ly = have_y ? std::max(p.ly, ly) : ly;
-      have_y = true;
-    }
-    if (m == vertex_machine(x)) {
-      p.cx = ms.vertices.at(x).comp;
-      reply.insert(reply.end(), {3, p.cx});
-    }
-    if (m == vertex_machine(y)) {
-      p.cy = ms.vertices.at(y).comp;
-      reply.insert(reply.end(), {4, p.cy});
-    }
-    if (m == em) {
-      const auto it = ms.edges.find(edge_key(x, y));
-      if (it != ms.edges.end()) {
-        p.edge_exists = true;
-        p.edge = it->second;
-        reply.insert(reply.end(),
-                     {5, it->second.tree ? 1 : 0, it->second.w,
-                      it->second.iu1, it->second.iu2, it->second.iv1,
-                      it->second.iv2});
-      }
-    }
-    if (!reply.empty()) {
-      senders.push_back(m);
-      payloads.push_back(std::move(reply));
-    }
-  }
-  dmpc::gather(*cluster_, senders, 0, kPrepReply, payloads);
-  if (!have_x) p.fx = p.lx = etour::kNoIndex;
-  if (!have_y) p.fy = p.ly = etour::kNoIndex;
+  // Round 2: every machine owning relevant state scans its own shard —
+  // concurrently under a thread-pool executor — and stages its reply to
+  // the ingress (local f/l contributions from tree-edge records touching
+  // x or y, the endpoints' component ids from their home machines, and
+  // the (x,y) record itself from its edge machine).  The finish_round()
+  // barrier merges the per-machine staging deterministically.
+  std::vector<EndpointScan> scans(machines_.size());
+  cluster_->for_each_machine([&](MachineId m) {
+    scans[m] = scan_endpoints(m, x, y);
+    std::vector<Word> reply = scan_reply(scans[m]);
+    if (!reply.empty()) cluster_->send(m, 0, kPrepReply, std::move(reply));
+  });
+  cluster_->finish_round();
+  Prep p = fold_scans(scans);
 
   // Round 3: directory query; round 4: size replies.
   cluster_->send(0, dir_machine(p.cx), kDirQuery, {p.cx});
@@ -411,13 +444,9 @@ void DynamicForest::apply_split_local(MachineState& ms, const SplitBcast& sb) {
 }
 
 void DynamicForest::run_merge(const MergeBcast& mb) {
-  const std::vector<Word> payload = {
-      mb.cx,          mb.cy,       mb.x,
-      mb.y,           mb.reroot,   mb.reroot_l_y,
-      mb.elen_ty,     mb.f_x,      mb.cached_x,
-      mb.cached_y,    mb.resolve_crossing ? 1 : 0};
-  dmpc::broadcast(*cluster_, 0, kMergeBcast, payload);
-  for (auto& ms : machines_) apply_merge_local(ms, mb);
+  dmpc::broadcast(*cluster_, 0, kMergeBcast, merge_payload(mb));
+  cluster_->for_each_machine(
+      [&](MachineId m) { apply_merge_local(machines_[m], mb); });
 }
 
 void DynamicForest::run_split(const SplitBcast& sb) {
@@ -425,35 +454,19 @@ void DynamicForest::run_split(const SplitBcast& sb) {
                                      sb.child, sb.f_c, sb.l_c,
                                      sb.cached_parent, sb.cached_child};
   dmpc::broadcast(*cluster_, 0, kSplitBcast, payload);
-  for (auto& ms : machines_) apply_split_local(ms, sb);
+  cluster_->for_each_machine(
+      [&](MachineId m) { apply_split_local(machines_[m], sb); });
 }
 
 // ---------------------------------------------------------------------------
 // Update protocols
 // ---------------------------------------------------------------------------
 
-void DynamicForest::insert_nontree_record(const Prep& p, VertexId x,
-                                          VertexId y, Weight w) {
-  const EdgeKey key(x, y);
-  EdgeRec rec;
-  rec.u = key.u;
-  rec.v = key.v;
-  rec.comp = p.cx;
-  rec.tree = false;
-  rec.w = w;
-  rec.iu1 = key.u == x ? p.fx : p.fy;
-  rec.iv1 = key.v == y ? p.fy : p.fx;
-  const MachineId m = edge_machine(x, y);
-  cluster_->send(0, m, kNewRecord,
-                 {rec.u, rec.v, rec.comp, rec.w, rec.iu1, rec.iv1});
-  cluster_->finish_round();
-  machines_[m].edges[edge_key(x, y)] = rec;
-  charge_edge_record(m);
-}
-
-void DynamicForest::link_components(const Prep& p, VertexId x, VertexId y,
-                                    Weight w) {
-  MergeBcast mb;
+DynamicForest::MergePlan DynamicForest::make_merge(const Prep& p, VertexId x,
+                                                   VertexId y,
+                                                   bool resolve_crossing) {
+  MergePlan plan;
+  MergeBcast& mb = plan.mb;
   mb.cx = p.cx;
   mb.cy = p.cy;
   mb.x = x;
@@ -462,19 +475,21 @@ void DynamicForest::link_components(const Prep& p, VertexId x, VertexId y,
   mb.reroot = p.size_cy > 1 && p.ly != mb.elen_ty;
   mb.reroot_l_y = p.ly;
   mb.f_x = etour::merge_splice(p.fx, etour::elength(p.size_cx));
-  const etour::MergeNewIndexes ni =
-      etour::merge_new_indexes({mb.f_x, mb.elen_ty});
-  mb.cached_x = ni.x_enter;
-  mb.cached_y = ni.y_enter;
-  mb.resolve_crossing = false;
-  run_merge(mb);
+  plan.ni = etour::merge_new_indexes({mb.f_x, mb.elen_ty});
+  mb.cached_x = plan.ni.x_enter;
+  mb.cached_y = plan.ni.y_enter;
+  mb.resolve_crossing = resolve_crossing;
+  return plan;
+}
 
-  // Record round: create the tree edge record, update the directory.
+DynamicForest::EdgeRec DynamicForest::make_tree_record(
+    VertexId x, VertexId y, Weight w, Word comp,
+    const etour::MergeNewIndexes& ni) {
   const EdgeKey key(x, y);
   EdgeRec rec;
   rec.u = key.u;
   rec.v = key.v;
-  rec.comp = p.cx;
+  rec.comp = comp;
   rec.tree = true;
   rec.w = w;
   if (key.u == x) {
@@ -488,6 +503,50 @@ void DynamicForest::link_components(const Prep& p, VertexId x, VertexId y,
     rec.iv1 = ni.x_enter;
     rec.iv2 = ni.x_exit;
   }
+  return rec;
+}
+
+DynamicForest::EdgeRec DynamicForest::make_nontree_record(const Prep& p,
+                                                          VertexId x,
+                                                          VertexId y,
+                                                          Weight w) {
+  const EdgeKey key(x, y);
+  EdgeRec rec;
+  rec.u = key.u;
+  rec.v = key.v;
+  rec.comp = p.cx;
+  rec.tree = false;
+  rec.w = w;
+  rec.iu1 = key.u == x ? p.fx : p.fy;
+  rec.iv1 = key.v == y ? p.fy : p.fx;
+  return rec;
+}
+
+std::vector<Word> DynamicForest::merge_payload(const MergeBcast& mb) {
+  return {mb.cx,      mb.cy,  mb.x,        mb.y,
+          mb.reroot,  mb.reroot_l_y,       mb.elen_ty,
+          mb.f_x,     mb.cached_x,         mb.cached_y,
+          mb.resolve_crossing ? 1 : 0};
+}
+
+void DynamicForest::insert_nontree_record(const Prep& p, VertexId x,
+                                          VertexId y, Weight w) {
+  const EdgeRec rec = make_nontree_record(p, x, y, w);
+  const MachineId m = edge_machine(x, y);
+  cluster_->send(0, m, kNewRecord,
+                 {rec.u, rec.v, rec.comp, rec.w, rec.iu1, rec.iv1});
+  cluster_->finish_round();
+  machines_[m].edges[edge_key(x, y)] = rec;
+  charge_edge_record(m);
+}
+
+void DynamicForest::link_components(const Prep& p, VertexId x, VertexId y,
+                                    Weight w) {
+  const MergePlan plan = make_merge(p, x, y, /*resolve_crossing=*/false);
+  run_merge(plan.mb);
+
+  // Record round: create the tree edge record, update the directory.
+  const EdgeRec rec = make_tree_record(x, y, w, p.cx, plan.ni);
   const MachineId em = edge_machine(x, y);
   cluster_->send(0, em, kNewRecord,
                  {rec.u, rec.v, rec.comp, rec.w, rec.iu1, rec.iu2, rec.iv1,
@@ -583,24 +642,28 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
   machines_[dir_machine(sb.new_comp)].comp_sizes[sb.new_comp] = sub_size;
   cluster_->memory(dir_machine(sb.new_comp)).charge(kDirRecWords);
 
-  // Replacement search: every machine proposes its best (min-weight)
-  // crossing candidate to the ingress.
-  std::vector<MachineId> senders;
-  std::vector<std::vector<Word>> payloads;
-  std::optional<EdgeRec> best;
-  for (MachineId m = 0; m < machines_.size(); ++m) {
+  // Replacement search: every machine scans its shard (concurrently) and
+  // proposes its best (min-weight) crossing candidate to the ingress.
+  std::vector<const EdgeRec*> candidates(machines_.size(), nullptr);
+  cluster_->for_each_machine([&](MachineId m) {
     const EdgeRec* local_best = nullptr;
     for (const auto& [k, rec] : machines_[m].edges) {
       if (!rec.crossing) continue;
       if (local_best == nullptr || rec.w < local_best->w) local_best = &rec;
     }
-    if (local_best == nullptr) continue;
-    senders.push_back(m);
-    payloads.push_back({local_best->u, local_best->v, local_best->w,
-                        local_best->u_in_subtree ? 1 : 0});
-    if (!best.has_value() || local_best->w < best->w) best = *local_best;
+    candidates[m] = local_best;
+    if (local_best != nullptr) {
+      cluster_->send(m, 0, kProposal,
+                     {local_best->u, local_best->v, local_best->w,
+                      local_best->u_in_subtree ? 1 : 0});
+    }
+  });
+  cluster_->finish_round();
+  std::optional<EdgeRec> best;
+  for (const EdgeRec* cand : candidates) {
+    if (cand == nullptr) continue;
+    if (!best.has_value() || cand->w < best->w) best = *cand;
   }
-  dmpc::gather(*cluster_, senders, 0, kProposal, payloads);
   if (!best.has_value()) return;  // genuinely disconnected
 
   // Reconnect: the subtree side plays Ty.  A fresh prepare fetches the
@@ -608,21 +671,8 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
   const VertexId a = best->u_in_subtree ? best->v : best->u;  // rest side
   const VertexId b = best->u_in_subtree ? best->u : best->v;  // subtree side
   Prep rp = prepare(a, b);
-  MergeBcast mb;
-  mb.cx = rp.cx;  // rest component (kept the old id)
-  mb.cy = rp.cy;  // the split-off subtree (sb.new_comp)
-  mb.x = a;
-  mb.y = b;
-  mb.elen_ty = etour::elength(rp.size_cy);
-  mb.reroot = rp.size_cy > 1 && rp.ly != mb.elen_ty;
-  mb.reroot_l_y = rp.ly;
-  mb.f_x = etour::merge_splice(rp.fx, etour::elength(rp.size_cx));
-  const etour::MergeNewIndexes ni =
-      etour::merge_new_indexes({mb.f_x, mb.elen_ty});
-  mb.cached_x = ni.x_enter;
-  mb.cached_y = ni.y_enter;
-  mb.resolve_crossing = true;
-  run_merge(mb);
+  const MergePlan plan = make_merge(rp, a, b, /*resolve_crossing=*/true);
+  run_merge(plan.mb);
 
   // Promotion round: the replacement record becomes a tree edge; the
   // directory reflects the re-merge.
@@ -630,58 +680,36 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
   const MachineId rm = edge_machine(a, b);
   EdgeRec& rrec = machines_[rm].edges.at(edge_key(a, b));
   cluster_->send(0, rm, kPromote,
-                 {rkey.u, rkey.v, ni.x_enter, ni.x_exit, ni.y_enter,
-                  ni.y_exit});
+                 {rkey.u, rkey.v, plan.ni.x_enter, plan.ni.x_exit,
+                  plan.ni.y_enter, plan.ni.y_exit});
   cluster_->send(0, dir_machine(rp.cx), kDirUpdate,
                  {rp.cx, rp.size_cx + rp.size_cy});
   cluster_->send(0, dir_machine(rp.cy), kDirUpdate, {rp.cy, 0});
   cluster_->finish_round();
-  rrec.tree = true;
-  rrec.comp = rp.cx;
-  rrec.crossing = false;
-  rrec.u_in_subtree = rrec.v_in_subtree = false;
-  if (rkey.u == a) {
-    rrec.iu1 = ni.x_enter;
-    rrec.iu2 = ni.x_exit;
-    rrec.iv1 = ni.y_enter;
-    rrec.iv2 = ni.y_exit;
-  } else {
-    rrec.iu1 = ni.y_enter;
-    rrec.iu2 = ni.y_exit;
-    rrec.iv1 = ni.x_enter;
-    rrec.iv2 = ni.x_exit;
-  }
+  rrec = make_tree_record(a, b, rrec.w, rp.cx, plan.ni);
   machines_[dir_machine(rp.cx)].comp_sizes[rp.cx] = rp.size_cx + rp.size_cy;
   machines_[dir_machine(rp.cy)].comp_sizes.erase(rp.cy);
   cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
 }
 
-void DynamicForest::insert(VertexId x, VertexId y, Weight w) {
-  cluster_->begin_update();
+void DynamicForest::insert_impl(VertexId x, VertexId y, Weight w) {
   Prep p = prepare(x, y);
-  if (p.edge_exists) {
-    cluster_->end_update();
-    return;  // duplicate insertion is a no-op
-  }
+  if (p.edge_exists) return;  // duplicate insertion is a no-op
   if (p.cx != p.cy) {
     link_components(p, x, y, w);
-    cluster_->end_update();
     return;
   }
   if (!config_.weighted) {
     insert_nontree_record(p, x, y, w);
-    cluster_->end_update();
     return;
   }
   // MST cycle rule: find the maximum-weight tree edge on the x..y path.
   // Broadcast the endpoints' intervals; every machine tests its local
-  // tree records with the ancestor-XOR criterion and proposes its local
-  // maximum.
+  // tree records with the ancestor-XOR criterion (concurrently) and
+  // proposes its local maximum.
   dmpc::broadcast(*cluster_, 0, kPathMaxBcast, {p.cx, p.fx, p.lx, p.fy, p.ly});
-  std::vector<MachineId> senders;
-  std::vector<std::vector<Word>> payloads;
-  std::optional<EdgeRec> heaviest;
-  for (MachineId m = 0; m < machines_.size(); ++m) {
+  std::vector<const EdgeRec*> candidates(machines_.size(), nullptr);
+  cluster_->for_each_machine([&](MachineId m) {
     const EdgeRec* local_best = nullptr;
     for (const auto& [k, rec] : machines_[m].edges) {
       if (!rec.tree || rec.comp != p.cx) continue;
@@ -703,18 +731,21 @@ void DynamicForest::insert(VertexId x, VertexId y, Weight w) {
       if (anc_x == anc_y) continue;  // not on the tree path
       if (local_best == nullptr || rec.w > local_best->w) local_best = &rec;
     }
-    if (local_best == nullptr) continue;
-    senders.push_back(m);
-    payloads.push_back({local_best->u, local_best->v, local_best->w});
-    if (!heaviest.has_value() || local_best->w > heaviest->w) {
-      heaviest = *local_best;
+    candidates[m] = local_best;
+    if (local_best != nullptr) {
+      cluster_->send(m, 0, kProposal,
+                     {local_best->u, local_best->v, local_best->w});
     }
+  });
+  cluster_->finish_round();
+  std::optional<EdgeRec> heaviest;
+  for (const EdgeRec* cand : candidates) {
+    if (cand == nullptr) continue;
+    if (!heaviest.has_value() || cand->w > heaviest->w) heaviest = *cand;
   }
-  dmpc::gather(*cluster_, senders, 0, kProposal, payloads);
 
   if (!heaviest.has_value() || heaviest->w <= w) {
     insert_nontree_record(p, x, y, w);
-    cluster_->end_update();
     return;
   }
   // The new edge displaces the heaviest path edge: record (x,y) as
@@ -725,26 +756,31 @@ void DynamicForest::insert(VertexId x, VertexId y, Weight w) {
   insert_nontree_record(p, x, y, w);
   Prep hp = prepare(heaviest->u, heaviest->v);
   delete_tree_edge(hp, heaviest->u, heaviest->v, /*demote=*/true);
-  cluster_->end_update();
 }
 
-void DynamicForest::erase(VertexId x, VertexId y) {
-  cluster_->begin_update();
+void DynamicForest::erase_impl(VertexId x, VertexId y) {
   Prep p = prepare(x, y);
-  if (!p.edge_exists) {
-    cluster_->end_update();
-    return;
-  }
+  if (!p.edge_exists) return;
   if (!p.edge.tree) {
     const MachineId em = edge_machine(x, y);
     cluster_->send(0, em, kDeleteRecord, {EdgeKey(x, y).u, EdgeKey(x, y).v});
     cluster_->finish_round();
     machines_[em].edges.erase(edge_key(x, y));
     release_edge_record(em);
-    cluster_->end_update();
     return;
   }
   delete_tree_edge(p, x, y);
+}
+
+void DynamicForest::insert(VertexId x, VertexId y, Weight w) {
+  cluster_->begin_update();
+  insert_impl(x, y, w);
+  cluster_->end_update();
+}
+
+void DynamicForest::erase(VertexId x, VertexId y) {
+  cluster_->begin_update();
+  erase_impl(x, y);
   cluster_->end_update();
 }
 
@@ -764,6 +800,263 @@ bool DynamicForest::connected(VertexId u, VertexId v) {
   cluster_->finish_round();
   cluster_->end_update();
   return cu == cv;
+}
+
+// ---------------------------------------------------------------------------
+// Batched updates (independent groups share the O(1) protocol rounds)
+// ---------------------------------------------------------------------------
+
+std::vector<DynamicForest::BatchOp> DynamicForest::plan_group(
+    std::span<const graph::Update> batch) const {
+  std::vector<BatchOp> group;
+  std::set<Word> claimed;               // component ids owned by the group
+  std::set<std::uint64_t> touched;      // edge keys seen in the group
+  std::set<MachineId> coords;           // coordinators already reserved
+  for (const graph::Update& up : batch) {
+    BatchOp op;
+    op.x = up.u;
+    op.y = up.v;
+    op.w = up.w;
+    // A second update on the same edge must observe the first one's
+    // effect; that ordering cannot be preserved inside one shared-round
+    // group, so it ends the group.
+    if (!touched.insert(edge_key(op.x, op.y)).second) break;
+    op.coord = edge_machine(op.x, op.y);
+    const auto it = machines_[op.coord].edges.find(edge_key(op.x, op.y));
+    const bool exists = it != machines_[op.coord].edges.end();
+    Word claims[2];
+    std::size_t num_claims = 0;
+    if (up.kind == graph::UpdateKind::kInsert) {
+      if (exists) {
+        op.kind = BatchOpKind::kNoop;  // duplicate insert
+      } else {
+        op.cx = machines_[vertex_machine(op.x)].vertices.at(op.x).comp;
+        op.cy = machines_[vertex_machine(op.y)].vertices.at(op.y).comp;
+        if (op.cx != op.cy) {
+          op.kind = BatchOpKind::kMerge;
+          claims[num_claims++] = op.cx;
+          claims[num_claims++] = op.cy;
+        } else if (!config_.weighted) {
+          op.kind = BatchOpKind::kNontreeInsert;
+          claims[num_claims++] = op.cx;
+        } else {
+          break;  // MST cycle rule may restructure the tree: serial
+        }
+      }
+    } else {
+      if (!exists) {
+        op.kind = BatchOpKind::kNoop;  // absent delete
+      } else if (it->second.tree) {
+        break;  // split + replacement search: serial
+      } else {
+        op.kind = BatchOpKind::kNontreeDelete;
+        op.cx = op.cy = it->second.comp;
+        claims[num_claims++] = it->second.comp;
+      }
+    }
+    if (op.kind != BatchOpKind::kNoop) {
+      // Every non-noop update needs its own coordinator machine (that is
+      // what keeps the shared rounds within the per-machine comm cap) and
+      // exclusive ownership of the components it touches.
+      bool conflict = !coords.insert(op.coord).second;
+      for (std::size_t c = 0; c < num_claims; ++c) {
+        conflict = conflict || claimed.count(claims[c]) > 0;
+      }
+      if (conflict) break;
+      for (std::size_t c = 0; c < num_claims; ++c) claimed.insert(claims[c]);
+    }
+    group.push_back(op);
+  }
+  return group;
+}
+
+void DynamicForest::run_group(const std::vector<BatchOp>& group) {
+  const MachineId mu = static_cast<MachineId>(machines_.size());
+
+  // Round 1 (scatter): the ingress ships each update to its coordinator
+  // (= its edge machine), which runs the update's part of every shared
+  // round from here on.  O(1) words per update from one sender.
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const BatchOp& op = group[i];
+    cluster_->send(0, op.coord, kBatchScatter,
+                   {static_cast<Word>(i), static_cast<Word>(op.kind), op.x,
+                    op.y, op.w});
+  }
+  cluster_->finish_round();
+
+  std::vector<std::size_t> active;  // group indexes with real work
+  bool any_merge = false;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i].kind == BatchOpKind::kNoop) continue;
+    active.push_back(i);
+    any_merge = any_merge || group[i].kind == BatchOpKind::kMerge;
+  }
+  if (active.empty()) return;
+
+  // Round 2 (endpoint broadcast): each coordinator broadcasts its
+  // update's endpoints — the per-update analogue of prepare round 1,
+  // all sharing one round (O(sqrt N) words per coordinator).
+  for (std::size_t i : active) {
+    const BatchOp& op = group[i];
+    for (MachineId m = 0; m < mu; ++m) {
+      if (m != op.coord) {
+        cluster_->send(op.coord, m, kBatchEndpoints,
+                       {static_cast<Word>(i), op.x, op.y});
+      }
+    }
+  }
+  cluster_->finish_round();
+
+  // Round 3 (replies): every machine scans its shard once per update
+  // (machines run concurrently) and stages its f/l + component reply to
+  // the update's coordinator; the coordinator's own contribution stays
+  // local.  Shared analogue of prepare round 2.
+  std::vector<std::vector<EndpointScan>> scans(
+      active.size(), std::vector<EndpointScan>(machines_.size()));
+  cluster_->for_each_machine([&](MachineId m) {
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const BatchOp& op = group[active[a]];
+      scans[a][m] = scan_endpoints(m, op.x, op.y);
+      std::vector<Word> reply = scan_reply(scans[a][m]);
+      if (!reply.empty() && m != op.coord) {
+        reply.insert(reply.begin(), static_cast<Word>(active[a]));
+        cluster_->send(m, op.coord, kBatchReply, std::move(reply));
+      }
+    }
+  });
+  cluster_->finish_round();
+  std::vector<Prep> preps(active.size());
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    preps[a] = fold_scans(scans[a]);
+  }
+
+  // Rounds 4-5 (directory): coordinators of merges query the two
+  // component sizes and get the replies — prepare rounds 3-4, shared.
+  if (any_merge) {
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (group[active[a]].kind != BatchOpKind::kMerge) continue;
+      const Prep& p = preps[a];
+      const MachineId coord = group[active[a]].coord;
+      cluster_->send(coord, dir_machine(p.cx), kDirQuery, {p.cx});
+      cluster_->send(coord, dir_machine(p.cy), kDirQuery, {p.cy});
+    }
+    cluster_->finish_round();
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (group[active[a]].kind != BatchOpKind::kMerge) continue;
+      Prep& p = preps[a];
+      const MachineId coord = group[active[a]].coord;
+      p.size_cx = machines_[dir_machine(p.cx)].comp_sizes.at(p.cx);
+      p.size_cy = machines_[dir_machine(p.cy)].comp_sizes.at(p.cy);
+      cluster_->send(dir_machine(p.cx), coord, kDirReply, {p.cx, p.size_cx});
+      cluster_->send(dir_machine(p.cy), coord, kDirReply, {p.cy, p.size_cy});
+    }
+    cluster_->finish_round();
+  }
+
+  // Round 6 (plan confirmation): coordinators report their update's
+  // claimed components to the ingress, which verifies the group's
+  // independence before anyone mutates state.  With the greedy
+  // independent-prefix plan every reported update is accepted.
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    const BatchOp& op = group[active[a]];
+    cluster_->send(op.coord, 0, kBatchReady,
+                   {static_cast<Word>(active[a]), preps[a].cx, preps[a].cy});
+  }
+  cluster_->finish_round();
+
+  // Round 7 (merge broadcasts): every merge coordinator broadcasts its
+  // transform; all machines then apply every transform behind one
+  // barrier.  Disjoint components mean each record is touched by at most
+  // one transform, so applying them in group order on each machine is
+  // equivalent to any serial order.
+  std::vector<MergePlan> plans(active.size());
+  if (any_merge) {
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (group[active[a]].kind != BatchOpKind::kMerge) continue;
+      const BatchOp& op = group[active[a]];
+      plans[a] = make_merge(preps[a], op.x, op.y, /*resolve_crossing=*/false);
+      std::vector<Word> payload = merge_payload(plans[a].mb);
+      payload.insert(payload.begin(), static_cast<Word>(active[a]));
+      for (MachineId m = 0; m < mu; ++m) {
+        if (m != op.coord) cluster_->send(op.coord, m, kMergeBcast, payload);
+      }
+    }
+    cluster_->finish_round();
+    cluster_->for_each_machine([&](MachineId m) {
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        if (group[active[a]].kind != BatchOpKind::kMerge) continue;
+        apply_merge_local(machines_[m], plans[a].mb);
+      }
+    });
+  }
+
+  // Round 8 (records + directory): coordinators own their updates' edge
+  // records, so creation/deletion is machine-local; only directory
+  // deltas travel.
+  bool dir_round = false;
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (group[active[a]].kind != BatchOpKind::kMerge) continue;
+    const Prep& p = preps[a];
+    const MachineId coord = group[active[a]].coord;
+    cluster_->send(coord, dir_machine(p.cx), kDirUpdate,
+                   {p.cx, p.size_cx + p.size_cy});
+    cluster_->send(coord, dir_machine(p.cy), kDirUpdate, {p.cy, 0});
+    dir_round = true;
+  }
+  if (dir_round) cluster_->finish_round();
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    const BatchOp& op = group[active[a]];
+    const Prep& p = preps[a];
+    switch (op.kind) {
+      case BatchOpKind::kMerge: {
+        machines_[op.coord].edges[edge_key(op.x, op.y)] =
+            make_tree_record(op.x, op.y, op.w, p.cx, plans[a].ni);
+        charge_edge_record(op.coord);
+        machines_[dir_machine(p.cx)].comp_sizes[p.cx] =
+            p.size_cx + p.size_cy;
+        machines_[dir_machine(p.cy)].comp_sizes.erase(p.cy);
+        cluster_->memory(dir_machine(p.cy)).release(kDirRecWords);
+        break;
+      }
+      case BatchOpKind::kNontreeInsert: {
+        machines_[op.coord].edges[edge_key(op.x, op.y)] =
+            make_nontree_record(p, op.x, op.y, op.w);
+        charge_edge_record(op.coord);
+        break;
+      }
+      case BatchOpKind::kNontreeDelete: {
+        machines_[op.coord].edges.erase(edge_key(op.x, op.y));
+        release_edge_record(op.coord);
+        break;
+      }
+      case BatchOpKind::kNoop:
+        break;
+    }
+  }
+}
+
+void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
+  if (batch.empty()) return;
+  cluster_->begin_update();
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const std::vector<BatchOp> group = plan_group(batch.subspan(i));
+    if (group.size() >= 2) {
+      run_group(group);
+      i += group.size();
+      continue;
+    }
+    // Conflicting or lone update: the serial per-update protocol (inside
+    // the batch's metrics group).
+    const graph::Update& up = batch[i];
+    if (up.kind == graph::UpdateKind::kInsert) {
+      insert_impl(up.u, up.v, up.w);
+    } else {
+      erase_impl(up.u, up.v);
+    }
+    ++i;
+  }
+  cluster_->end_update();
 }
 
 // ---------------------------------------------------------------------------

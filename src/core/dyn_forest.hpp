@@ -31,6 +31,19 @@
 //     crossing-candidate gather, optional replacement merge (its own
 //     prepare + broadcast).
 //
+// Batched updates (apply_batch): independent updates — pairwise-disjoint
+// components, distinct edges, distinct coordinator machines — share one
+// O(1)-round protocol instance instead of running it once each, which is
+// the paper's observation that Theta(sqrt N) updates fit in the same
+// rounds.  Each update's edge machine acts as its coordinator, so the
+// per-machine round traffic stays O(sqrt N).  See apply_batch below.
+//
+// Per-machine round work (shard scans, local transform application) is
+// submitted through Cluster::for_each_machine and so runs in parallel
+// under a ThreadPoolExecutor, with identical results to the serial
+// executor (per-sender staging shards are merged deterministically at
+// the finish_round barrier).
+//
 // Preprocessing ("starts from an arbitrary graph") computes a spanning
 // forest — bucketed by (1+eps) weight classes for the MST variant — builds
 // each tree's E-tour, distributes the records, and charges the O(log n)
@@ -42,6 +55,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +63,7 @@
 #include "etour/transforms.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/update_stream.hpp"
 
 namespace core {
 
@@ -80,6 +95,20 @@ class DynamicForest {
   /// wrapped in begin_update()/end_update() for metrics.
   void insert(VertexId x, VertexId y, Weight w = 1);
   void erase(VertexId x, VertexId y);
+
+  /// Applies a whole batch of updates in order, wrapped in ONE
+  /// begin_update()/end_update() group.  Maximal prefixes of mutually
+  /// independent updates (disjoint components, distinct edges and
+  /// coordinator machines; tree-edge deletions and MST cycle-rule
+  /// inserts always conflict) share a single instance of the O(1)-round
+  /// protocol — a constant number of rounds for the whole prefix instead
+  /// of per update — and the conflicting remainder falls back to the
+  /// serial per-update protocols.  The final state is identical to
+  /// applying the batch one update at a time with insert(x, y, w) /
+  /// erase(x, y): Update::w is stored verbatim, so unweighted callers
+  /// should carry the serial default of 1 (harness::Driver normalizes
+  /// its batches this way when configured unweighted).
+  void apply_batch(std::span<const graph::Update> batch);
 
   /// Connectivity query (2 rounds through the ingress).
   bool connected(VertexId u, VertexId v);
@@ -144,6 +173,20 @@ class DynamicForest {
     EdgeRec edge;  // valid if edge_exists
   };
 
+  // One machine's contribution to a prepare: its local f/l extremes for
+  // the two endpoints, the endpoints' component ids if it hosts them,
+  // and the (x,y) record if it owns it.  Computed per machine inside
+  // for_each_machine (concurrently under a thread-pool executor) and
+  // folded into a Prep at the barrier.
+  struct EndpointScan {
+    bool has_x = false, has_y = false;
+    Word fx = 0, lx = 0, fy = 0, ly = 0;
+    bool hosts_x = false, hosts_y = false;
+    Word cx = -1, cy = -1;
+    bool edge_here = false;
+    EdgeRec edge;
+  };
+
   // Parameters of a merge broadcast: link (x, y) where y's tree becomes
   // the spliced subtree.
   struct MergeBcast {
@@ -158,6 +201,12 @@ class DynamicForest {
     bool resolve_crossing;  // clear crossing marks into comp cx
   };
 
+  // A merge broadcast plus the new tree edge's four tour indexes.
+  struct MergePlan {
+    MergeBcast mb{};
+    etour::MergeNewIndexes ni{};
+  };
+
   // Parameters of a split broadcast: cut tree edge (parent, child).
   struct SplitBcast {
     Word comp;       // the component being split
@@ -165,6 +214,25 @@ class DynamicForest {
     VertexId parent, child;
     Word f_c, l_c;   // the subtree interval
     Word cached_parent, cached_child;  // refreshed cached indexes
+  };
+
+  // --- batched updates -----------------------------------------------------
+
+  enum class BatchOpKind : Word {
+    kNoop = 0,           // duplicate insert / absent delete
+    kMerge = 1,          // insert linking two components
+    kNontreeInsert = 2,  // same-component insert (unweighted)
+    kNontreeDelete = 3,  // delete of a non-tree record
+  };
+
+  // One update of an independent group, pinned to its coordinator (= its
+  // edge machine), with the components it claims at plan time.
+  struct BatchOp {
+    BatchOpKind kind = BatchOpKind::kNoop;
+    VertexId x = dmpc::kNoVertex, y = dmpc::kNoVertex;
+    Weight w = 1;
+    MachineId coord = dmpc::kNoMachine;
+    Word cx = -1, cy = -1;
   };
 
   [[nodiscard]] std::uint64_t edge_key(VertexId u, VertexId v) const;
@@ -178,9 +246,36 @@ class DynamicForest {
                                   machines_.size());
   }
 
+  /// Machine m's local prepare contribution for endpoints (x, y).
+  [[nodiscard]] EndpointScan scan_endpoints(MachineId m, VertexId x,
+                                            VertexId y) const;
+  /// The scan serialized as the machine's kPrepReply payload (empty when
+  /// the machine has nothing to report).
+  [[nodiscard]] static std::vector<Word> scan_reply(const EndpointScan& s);
+  /// Ingress-side fold of all machines' scans into one Prep.
+  [[nodiscard]] static Prep fold_scans(const std::vector<EndpointScan>& scans);
+
   /// Rounds 1-4 of every update: broadcast (x,y), gather f/l + component
   /// replies, query the directory, gather sizes.
   Prep prepare(VertexId x, VertexId y);
+
+  /// Builds the merge broadcast (and the linking edge's new indexes) for
+  /// linking (x, y) given a completed prepare.
+  [[nodiscard]] static MergePlan make_merge(const Prep& p, VertexId x,
+                                            VertexId y,
+                                            bool resolve_crossing);
+  /// The new tree-edge record created by a merge, oriented to the
+  /// canonical (u < v) key.
+  [[nodiscard]] static EdgeRec make_tree_record(
+      VertexId x, VertexId y, Weight w, Word comp,
+      const etour::MergeNewIndexes& ni);
+  /// A fresh non-tree record for (x, y) with cached indexes taken from
+  /// the prepare results, oriented to the canonical key.
+  [[nodiscard]] static EdgeRec make_nontree_record(const Prep& p, VertexId x,
+                                                   VertexId y, Weight w);
+  /// The merge broadcast's wire payload (shared by the serial and the
+  /// batched protocol so both account identical traffic).
+  [[nodiscard]] static std::vector<Word> merge_payload(const MergeBcast& mb);
 
   /// One broadcast round applying the merge transform on every machine.
   void run_merge(const MergeBcast& mb);
@@ -191,7 +286,7 @@ class DynamicForest {
   /// (The MST cycle-rule swap composes these two: the displaced edge is
   /// demoted to a crossing non-tree record and the replacement search
   /// re-links the parts — see delete_tree_edge.)
-  void apply_merge_local(MachineState& ms, const MergeBcast& mb);
+  static void apply_merge_local(MachineState& ms, const MergeBcast& mb);
   void apply_split_local(MachineState& ms, const SplitBcast& sb);
 
   void insert_nontree_record(const Prep& p, VertexId x, VertexId y, Weight w);
@@ -202,6 +297,21 @@ class DynamicForest {
   /// otherwise its record is deleted.
   void delete_tree_edge(const Prep& p, VertexId x, VertexId y,
                         bool demote = false);
+
+  /// Update protocols without the begin_update()/end_update() wrapper
+  /// (apply_batch runs many of them inside one metrics group).
+  void insert_impl(VertexId x, VertexId y, Weight w);
+  void erase_impl(VertexId x, VertexId y);
+
+  /// Maximal prefix of `batch` that can share one protocol instance:
+  /// mutually independent (disjoint claimed components, distinct edges
+  /// and coordinators) and batchable (no tree-edge deletions, no MST
+  /// cycle-rule inserts).  Classification mirrors what the group rounds
+  /// recompute in-protocol against the current state.
+  [[nodiscard]] std::vector<BatchOp> plan_group(
+      std::span<const graph::Update> batch) const;
+  /// Runs one independent group through the shared-round protocol.
+  void run_group(const std::vector<BatchOp>& group);
 
   /// Memory accounting helpers.
   void charge_edge_record(MachineId m);

@@ -1,7 +1,6 @@
 #include "dmpc/cluster.hpp"
 
 #include <algorithm>
-#include <set>
 #include <utility>
 
 namespace dmpc {
@@ -9,7 +8,19 @@ namespace dmpc {
 Cluster::Cluster(std::size_t num_machines, WordCount words_per_machine)
     : capacity_(words_per_machine),
       memories_(num_machines, MemoryMeter(words_per_machine)),
-      inboxes_(num_machines) {}
+      buffer_(num_machines),
+      executor_(std::make_shared<SerialExecutor>()) {}
+
+void Cluster::set_executor(std::shared_ptr<RoundExecutor> executor) {
+  executor_ = executor ? std::move(executor)
+                       : std::make_shared<SerialExecutor>();
+}
+
+void Cluster::for_each_machine(const std::function<void(MachineId)>& work) {
+  executor_->run(memories_.size(), [&work](std::size_t m) {
+    work(static_cast<MachineId>(m));
+  });
+}
 
 void Cluster::check_machine(MachineId m, const char* what) const {
   if (m >= memories_.size()) {
@@ -24,7 +35,7 @@ void Cluster::send(MachineId from, MachineId to, Message msg) {
   check_machine(to, "send(to)");
   msg.from = from;
   msg.to = to;
-  staged_.push_back(std::move(msg));
+  buffer_.stage(std::move(msg));
 }
 
 void Cluster::send(MachineId from, MachineId to, Word tag,
@@ -36,49 +47,14 @@ void Cluster::send(MachineId from, MachineId to, Word tag,
 }
 
 RoundRecord Cluster::finish_round() {
-  // Per-machine sent/received word counts for the cap check.
-  std::vector<WordCount> sent(memories_.size(), 0);
-  std::vector<WordCount> received(memories_.size(), 0);
-  std::set<MachineId> active;
-
-  RoundRecord rec;
-  for (auto& in : inboxes_) in.clear();
-
-  for (Message& msg : staged_) {
-    const WordCount cost = msg.cost_words();
-    sent[msg.from] += cost;
-    received[msg.to] += cost;
-    active.insert(msg.from);
-    active.insert(msg.to);
-    rec.comm_words += cost;
-    ++rec.messages;
-    metrics_.record_pair_traffic(msg.from, msg.to, cost);
-    inboxes_[msg.to].push_back(std::move(msg));
-  }
-  staged_.clear();
-
-  for (MachineId m = 0; m < memories_.size(); ++m) {
-    if (sent[m] > capacity_) {
-      throw CommOverflowError("machine " + std::to_string(m) + " sent " +
-                              std::to_string(sent[m]) + " words in one round (cap " +
-                              std::to_string(capacity_) + ")");
-    }
-    if (received[m] > capacity_) {
-      throw CommOverflowError("machine " + std::to_string(m) + " received " +
-                              std::to_string(received[m]) +
-                              " words in one round (cap " +
-                              std::to_string(capacity_) + ")");
-    }
-  }
-
-  rec.active_machines = active.size();
+  const RoundRecord rec = buffer_.deliver(capacity_, metrics_);
   metrics_.record_round(rec);
   return rec;
 }
 
 const std::vector<Message>& Cluster::inbox(MachineId m) const {
   check_machine(m, "inbox");
-  return inboxes_[m];
+  return buffer_.inbox(m);
 }
 
 MemoryMeter& Cluster::memory(MachineId m) {

@@ -15,16 +15,31 @@
 // state lives outside the cluster (in the algorithm's own per-machine
 // structures) but must be charged against the machine's MemoryMeter via
 // memory(m).charge()/release().
+//
+// Execution model: message staging/delivery lives in a RoundBuffer (one
+// staging shard per sender) and the per-machine work between two
+// finish_round() barriers is scheduled by a pluggable RoundExecutor —
+// serial by default, or a thread pool via set_executor().  Algorithms
+// submit their per-machine round work through for_each_machine(); inside
+// it, machine m's task may read/write machine m's state and stage
+// messages from m concurrently with the other machines, exactly as the
+// model allows.  All Metrics/MemoryMeter accounting is race-free by
+// construction: meters are per-machine, staging is per-sender, and the
+// metrics stream is only written at the finish_round() barrier.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "dmpc/executor.hpp"
 #include "dmpc/memory.hpp"
 #include "dmpc/message.hpp"
 #include "dmpc/metrics.hpp"
+#include "dmpc/round_buffer.hpp"
 #include "dmpc/types.hpp"
 
 namespace dmpc {
@@ -36,13 +51,29 @@ class CommOverflowError : public std::runtime_error {
 
 class Cluster {
  public:
-  /// Creates `num_machines` machines with `words_per_machine` memory each.
+  /// Creates `num_machines` machines with `words_per_machine` memory each,
+  /// executing rounds serially until set_executor() installs another
+  /// executor.
   Cluster(std::size_t num_machines, WordCount words_per_machine);
 
   [[nodiscard]] std::size_t size() const { return memories_.size(); }
   [[nodiscard]] WordCount machine_capacity() const { return capacity_; }
 
+  /// Installs the round executor (nullptr restores the serial default).
+  /// Shared ownership so several clusters can run on one pool, provided
+  /// their rounds never execute concurrently.
+  void set_executor(std::shared_ptr<RoundExecutor> executor);
+  [[nodiscard]] RoundExecutor& executor() { return *executor_; }
+  [[nodiscard]] const RoundExecutor& executor() const { return *executor_; }
+
+  /// Runs work(m) for every machine, scheduled by the installed executor
+  /// (possibly concurrently), and returns after all machines finished.
+  /// Task m may touch machine m's local state and stage messages from m
+  /// (send with from == m); see executor.hpp for the full contract.
+  void for_each_machine(const std::function<void(MachineId)>& work);
+
   /// Stage a message for delivery at the end of the current round.
+  /// Thread-safe across distinct senders (per-sender staging shards).
   void send(MachineId from, MachineId to, Message msg);
 
   /// Convenience: tag-only or tag+payload staging.
@@ -50,7 +81,8 @@ class Cluster {
 
   /// Deliver all staged messages, enforce per-machine send/receive caps,
   /// record the round in the metrics, and make messages available in the
-  /// recipients' inboxes (replacing the previous round's inboxes).
+  /// recipients' inboxes (replacing the previous round's inboxes).  This
+  /// is the barrier: never call it with for_each_machine tasks in flight.
   RoundRecord finish_round();
 
   /// Inbox of machine `m`: the messages delivered at the last
@@ -83,9 +115,9 @@ class Cluster {
 
   WordCount capacity_;
   std::vector<MemoryMeter> memories_;
-  std::vector<Message> staged_;
-  std::vector<std::vector<Message>> inboxes_;
+  RoundBuffer buffer_;
   Metrics metrics_;
+  std::shared_ptr<RoundExecutor> executor_;
 };
 
 }  // namespace dmpc

@@ -1,0 +1,85 @@
+#include "dmpc/executor.hpp"
+
+#include <algorithm>
+
+namespace dmpc {
+
+ThreadPoolExecutor::ThreadPoolExecutor(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::clamp<std::size_t>(std::thread::hardware_concurrency(),
+                                      1, 8);
+  }
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPoolExecutor::drain(const std::function<void(std::size_t)>& work,
+                               std::size_t count) {
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      work(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPoolExecutor::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* work = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      work = work_;
+      count = count_;
+    }
+    drain(*work, count);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPoolExecutor::run(std::size_t count,
+                             const std::function<void(std::size_t)>& work) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    work_ = &work;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  drain(work, count);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  work_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dmpc

@@ -1,0 +1,116 @@
+// Round executors: how the per-machine work between two finish_round()
+// barriers is scheduled.
+//
+// In the DMPC model machines compute independently within a round and
+// synchronize only at round boundaries, so the simulator may run each
+// machine's local step (inbox processing, shard scans, staging of the
+// round's outgoing messages) on any thread it likes as long as the
+// finish_round() barrier sees all of it.  A RoundExecutor owns that
+// scheduling decision:
+//   * SerialExecutor runs machines one after another on the calling
+//     thread (the seed behaviour, and the reference for determinism);
+//   * ThreadPoolExecutor fans the machines out over a persistent worker
+//     pool and joins them before returning — the call itself is the
+//     barrier.
+//
+// Contract for submitted work: task i may touch machine i's local state
+// (its algorithm shard, its MemoryMeter) and may stage messages *from*
+// machine i (Cluster::send with from == i; the RoundBuffer's per-sender
+// staging shards make that race-free).  It must not touch other
+// machines' state, the Metrics stream, or stage messages on their
+// behalf — cross-machine effects only happen through delivered messages,
+// exactly as in the model.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmpc {
+
+class RoundExecutor {
+ public:
+  virtual ~RoundExecutor() = default;
+
+  /// Runs work(i) for every i in [0, count).  Calls may execute
+  /// concurrently; the function returns only after all of them finished
+  /// (a barrier).  The first exception thrown by a task is rethrown here
+  /// after the barrier.
+  virtual void run(std::size_t count,
+                   const std::function<void(std::size_t)>& work) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Runs all tasks in index order on the calling thread.  Like the
+/// thread pool, a throwing task does not stop the remaining tasks: the
+/// first exception is rethrown only once every index ran, so both
+/// executors leave identical machine state even on error paths.
+class SerialExecutor final : public RoundExecutor {
+ public:
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& work) override {
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        work(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+  }
+  [[nodiscard]] const char* name() const override { return "serial"; }
+};
+
+/// Fans tasks out over a persistent worker pool; the calling thread
+/// participates in the draining, and run() returns only once every
+/// worker has finished the dispatched generation.  One pool may be
+/// shared by several clusters (harness::Driver does this) as long as
+/// their rounds never run concurrently: run() itself is not reentrant.
+class ThreadPoolExecutor final : public RoundExecutor {
+ public:
+  /// `threads` worker threads in addition to the calling thread; 0 picks
+  /// the hardware concurrency (clamped to [1, 8]).
+  explicit ThreadPoolExecutor(std::size_t threads = 0);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& work) override;
+  [[nodiscard]] const char* name() const override { return "thread-pool"; }
+
+  /// Worker threads (the calling thread also drains tasks).
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+  /// Claims task indexes off the shared counter until they run out,
+  /// recording the first exception instead of unwinding across threads.
+  void drain(const std::function<void(std::size_t)>& work, std::size_t count);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* work_ = nullptr;  // current batch
+  std::size_t count_ = 0;
+  std::uint64_t generation_ = 0;  // bumped per run() to wake the workers
+  std::size_t pending_ = 0;       // workers still inside this generation
+  bool stop_ = false;
+  std::exception_ptr error_;
+  // Shared claim counter for the current generation.  Plain size_t under
+  // fetch-add semantics via std::atomic would also work; a dedicated
+  // atomic keeps the hot path lock-free.
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace dmpc

@@ -29,6 +29,10 @@ RoundRecord broadcast_to(Cluster& cluster, MachineId from, Word tag,
 /// (1 round).  `payloads[i]` goes with `senders[i]`; empty payloads are
 /// skipped entirely, so machines with nothing to report stay inactive —
 /// this is what keeps replacement-edge searches within the comm cap.
+/// Use this form when the payloads are assembled at the orchestration
+/// level; per-machine shard scans instead stage their own replies from
+/// inside Cluster::for_each_machine (same RoundBuffer path, identical
+/// accounting) so the scan parallelizes.
 RoundRecord gather(Cluster& cluster, const std::vector<MachineId>& senders,
                    MachineId root, Word tag,
                    const std::vector<std::vector<Word>>& payloads);

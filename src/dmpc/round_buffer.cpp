@@ -1,0 +1,56 @@
+#include "dmpc/round_buffer.hpp"
+
+#include <string>
+#include <utility>
+
+#include "dmpc/cluster.hpp"
+
+namespace dmpc {
+
+RoundRecord RoundBuffer::deliver(WordCount capacity, Metrics& metrics) {
+  const std::size_t mu = inboxes_.size();
+  std::vector<WordCount> sent(mu, 0);
+  std::vector<WordCount> received(mu, 0);
+  std::vector<bool> active(mu, false);
+
+  RoundRecord rec;
+  for (auto& in : inboxes_) in.clear();
+
+  // Merge the per-sender shards in sender order; within a shard the
+  // staging order is preserved.  This is the determinism anchor: the
+  // same staged multiset of messages yields the same inboxes and the
+  // same accounting regardless of which threads staged them.
+  for (MachineId from = 0; from < mu; ++from) {
+    for (Message& msg : staged_[from]) {
+      const WordCount cost = msg.cost_words();
+      sent[from] += cost;
+      received[msg.to] += cost;
+      active[from] = true;
+      active[msg.to] = true;
+      rec.comm_words += cost;
+      ++rec.messages;
+      metrics.record_pair_traffic(from, msg.to, cost);
+      inboxes_[msg.to].push_back(std::move(msg));
+    }
+    staged_[from].clear();
+  }
+
+  for (MachineId m = 0; m < mu; ++m) {
+    if (sent[m] > capacity) {
+      throw CommOverflowError("machine " + std::to_string(m) + " sent " +
+                              std::to_string(sent[m]) +
+                              " words in one round (cap " +
+                              std::to_string(capacity) + ")");
+    }
+    if (received[m] > capacity) {
+      throw CommOverflowError("machine " + std::to_string(m) + " received " +
+                              std::to_string(received[m]) +
+                              " words in one round (cap " +
+                              std::to_string(capacity) + ")");
+    }
+    if (active[m]) ++rec.active_machines;
+  }
+  return rec;
+}
+
+}  // namespace dmpc

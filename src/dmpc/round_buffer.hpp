@@ -1,0 +1,56 @@
+// Message staging and delivery for one synchronous round.
+//
+// Extracted from Cluster so the staging side can be written to
+// concurrently: staged messages live in one shard per *sender*, and the
+// executor contract (see executor.hpp) guarantees machine i's round task
+// is the only writer of shard i.  deliver() — always called at the
+// finish_round() barrier, on the orchestrating thread — merges the
+// shards in sender order (per-sender FIFO preserved), so the delivered
+// inbox contents are byte-identical no matter which executor staged
+// them.  All Metrics accounting happens here, at the barrier, which is
+// what keeps the metrics stream race-free without any locking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dmpc/message.hpp"
+#include "dmpc/metrics.hpp"
+#include "dmpc/types.hpp"
+
+namespace dmpc {
+
+class RoundBuffer {
+ public:
+  explicit RoundBuffer(std::size_t num_machines)
+      : staged_(num_machines), inboxes_(num_machines) {}
+
+  [[nodiscard]] std::size_t num_machines() const { return inboxes_.size(); }
+
+  /// Stages a message for delivery at the end of the current round.
+  /// msg.from/msg.to must already be validated by the caller.  Safe to
+  /// call concurrently for *distinct* senders (one shard per sender);
+  /// two concurrent stagings from the same sender are a data race.
+  void stage(Message msg) {
+    staged_[msg.from].push_back(std::move(msg));
+  }
+
+  /// Inbox of machine `m`: the messages delivered by the last deliver().
+  [[nodiscard]] const std::vector<Message>& inbox(MachineId m) const {
+    return inboxes_[m];
+  }
+
+  /// The barrier step: replaces the previous round's inboxes with the
+  /// staged messages (merged in sender order), records per-pair traffic
+  /// into `metrics`, enforces the per-machine send/receive caps
+  /// (throwing CommOverflowError — defined in cluster.hpp — on
+  /// violation) and returns the round's record.  Must be called from a
+  /// single thread with no round tasks in flight.
+  RoundRecord deliver(WordCount capacity, Metrics& metrics);
+
+ private:
+  std::vector<std::vector<Message>> staged_;  // one shard per sender
+  std::vector<std::vector<Message>> inboxes_;
+};
+
+}  // namespace dmpc

@@ -1,6 +1,21 @@
 #include "harness/driver.hpp"
 
+#include <algorithm>
+
 namespace harness {
+namespace {
+
+/// Folds one per-update record into a per-batch accumulator: rounds and
+/// traffic add up, the per-round maxima stay maxima.
+void accumulate(dmpc::UpdateRecord& batch, const dmpc::UpdateRecord& up) {
+  batch.rounds += up.rounds;
+  batch.total_comm_words += up.total_comm_words;
+  batch.max_active_machines =
+      std::max(batch.max_active_machines, up.max_active_machines);
+  batch.max_comm_words = std::max(batch.max_comm_words, up.max_comm_words);
+}
+
+}  // namespace
 
 const AlgorithmStats* DriverReport::find(std::string_view name) const {
   for (const auto& a : algorithms) {
@@ -37,16 +52,38 @@ void Driver::run_checkpoint() {
 const DriverReport& Driver::run(const graph::UpdateStream& stream) {
   while (report_.algorithms.size() < handles_.size()) {
     const Handle& h = handles_[report_.algorithms.size()];
-    report_.algorithms.push_back({h.name, static_cast<bool>(h.last_update), {}});
+    AlgorithmStats stats;
+    stats.name = h.name;
+    stats.instrumented = static_cast<bool>(h.last_update);
+    stats.batched = batching() && static_cast<bool>(h.apply_batch);
+    report_.algorithms.push_back(std::move(stats));
   }
-  std::size_t in_batch = 0;
+  // The open batch's effective updates (already applied to the shadow).
+  // Per-update algorithms consume them immediately; batch-applicable ones
+  // receive the whole vector at the batch boundary.
+  std::vector<graph::Update> batch;
+  // Per-algorithm accumulation of the open batch's per-update records
+  // (serial instrumented algorithms only).
+  std::vector<dmpc::UpdateRecord> batch_acc(handles_.size());
   std::size_t batches_since_checkpoint = 0;
   // True while the current state has already been checkpointed, so the
   // final checkpoint is skipped when the last batch landed on a
   // checkpoint boundary (no duplicate oracle sweeps on identical state).
   bool at_checkpoint = false;
   const auto close_batch = [&] {
-    in_batch = 0;
+    for (std::size_t i = 0; i < handles_.size(); ++i) {
+      const Handle& h = handles_[i];
+      if (batching() && h.apply_batch) {
+        h.apply_batch(std::span<const graph::Update>(batch));
+        if (h.last_update) {
+          report_.algorithms[i].batch_agg.absorb(h.last_update());
+        }
+      } else if (h.last_update) {
+        report_.algorithms[i].batch_agg.absorb(batch_acc[i]);
+        batch_acc[i] = dmpc::UpdateRecord{};
+      }
+    }
+    batch.clear();
     ++report_.batches;
     for (const auto& fn : batch_end_fns_) fn();
     if (config_.checkpoint_every != 0 &&
@@ -63,18 +100,30 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
       ++report_.skipped;
       continue;
     }
-    std::size_t i = 0;
-    for (const Handle& h : handles_) {
+    // Queue the update as the serial path would pass it: when the driver
+    // is configured weighted the stream's weight travels verbatim (0
+    // included — it is a legal weight); otherwise serial inserts see the
+    // algorithms' default weight of 1, so the batch carries that.  Batched
+    // and serial application therefore see identical inputs.
+    graph::Update queued = up;
+    if (!config_.weighted) queued.w = 1;
+    batch.push_back(queued);
+    for (std::size_t i = 0; i < handles_.size(); ++i) {
+      const Handle& h = handles_[i];
+      if (batching() && h.apply_batch) continue;  // applied at batch close
       h.apply(up);
-      if (h.last_update) report_.algorithms[i].agg.absorb(h.last_update());
-      ++i;
+      if (h.last_update) {
+        const dmpc::UpdateRecord rec = h.last_update();
+        report_.algorithms[i].agg.absorb(rec);
+        accumulate(batch_acc[i], rec);
+      }
     }
     ++report_.applied;
     at_checkpoint = false;
-    if (++in_batch == config_.batch_size) close_batch();
+    if (batch.size() == config_.batch_size) close_batch();
     if (stop_when_ && at_checkpoint && stop_when_()) return report_;
   }
-  if (in_batch != 0) close_batch();
+  if (!batch.empty()) close_batch();
   if (config_.final_checkpoint && !at_checkpoint) run_checkpoint();
   return report_;
 }

@@ -19,22 +19,40 @@
 //   * a `cluster()` accessor makes the algorithm *instrumented*: the
 //     driver absorbs the per-update DMPC record after every update into
 //     a per-algorithm UpdateAggregate, independent of any metrics reset
-//     the caller performs (benches use this to separate phases).
+//     the caller performs (benches use this to separate phases);
+//   * an `apply_batch(span<const Update>)` overload (the BatchApplicable
+//     concept) makes the algorithm *batched* whenever batch_size > 1:
+//     the driver hands it each whole batch at the batch boundary so
+//     independent updates can share protocol rounds, instead of
+//     replaying the batch one update at a time.  Set
+//     DriverConfig::use_apply_batch = false to force the per-update
+//     path.
 //
-// Updates are grouped into batches of `batch_size` (the substrate for the
-// ROADMAP's batched/sharded updates: today a batch is applied one update
-// at a time, but checkpoints and the on_batch_end hook fire only at batch
-// boundaries, which is where batch-parallel application will slot in).
+// Updates are grouped into batches of `batch_size`; checkpoints and the
+// on_batch_end hooks fire only at batch boundaries, so batched and
+// per-update algorithms registered side by side agree on the graph at
+// every checkpoint.  Per-batch DMPC cost is aggregated for every
+// instrumented algorithm (AlgorithmStats::batch_agg) in both modes, so
+// the round-sharing win of a batch protocol is directly measurable
+// against the serial baseline.
+//
+// The driver can also install a RoundExecutor on every registered
+// cluster-backed algorithm (DriverConfig::executor): kThreadPool runs
+// each cluster's per-machine round work on a worker pool, with results
+// byte-identical to the serial default.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "dmpc/executor.hpp"
 #include "dmpc/metrics.hpp"
 #include "dmpc/types.hpp"
 #include "graph/generators.hpp"
@@ -65,6 +83,21 @@ concept ClusterBacked = requires(const A a) {
       std::convertible_to<const dmpc::UpdateRecord&>;
 };
 
+/// Algorithms that can apply a whole batch at once, sharing protocol
+/// rounds between independent updates.
+template <typename A>
+concept BatchApplicable =
+    requires(A a, std::span<const graph::Update> batch) {
+      a.apply_batch(batch);
+    };
+
+/// Algorithms whose cluster accepts a driver-installed RoundExecutor.
+template <typename A>
+concept ExecutorConfigurable =
+    requires(A a, std::shared_ptr<dmpc::RoundExecutor> e) {
+      a.cluster().set_executor(std::move(e));
+    };
+
 /// Thrown when a registered algorithm's validate() fails at a checkpoint.
 class ValidationError : public std::runtime_error {
  public:
@@ -79,18 +112,37 @@ struct Checkpoint {
 };
 using CheckpointFn = std::function<void(const Checkpoint&)>;
 
+/// Which RoundExecutor the driver installs on registered cluster-backed
+/// algorithms.
+enum class ExecutorKind {
+  kSerial,      ///< leave the clusters' serial default in place
+  kThreadPool,  ///< install a dmpc::ThreadPoolExecutor per cluster
+};
+
 struct DriverConfig {
   std::size_t batch_size = 1;        ///< updates per batch
   std::size_t checkpoint_every = 1;  ///< in *batches*; 0 = only at the end
   bool weighted = false;             ///< pass Update::w to weighted inserts
   bool final_checkpoint = true;      ///< checkpoint after the last batch
+  bool use_apply_batch = true;       ///< prefer apply_batch() when batch_size > 1
+  ExecutorKind executor = ExecutorKind::kSerial;
+  std::size_t executor_threads = 0;  ///< 0 = hardware concurrency
 };
 
 /// Per-registered-algorithm results of a run.
 struct AlgorithmStats {
   std::string name;
-  bool instrumented = false;   ///< ClusterBacked: agg below is meaningful
-  dmpc::UpdateAggregate agg;   ///< per-update DMPC cost over the run
+  bool instrumented = false;   ///< ClusterBacked: aggregates are meaningful
+  bool batched = false;        ///< updates were applied via apply_batch()
+  /// Per-update DMPC cost.  Empty when batched: a batch shares rounds
+  /// between its updates, so no per-update record exists — read
+  /// batch_agg instead.
+  dmpc::UpdateAggregate agg;
+  /// Per-*batch* DMPC cost, one record per closed batch (instrumented
+  /// algorithms only).  For per-update algorithms the batch record is
+  /// the sum of its updates' records, so batched and serial runs are
+  /// directly comparable.
+  dmpc::UpdateAggregate batch_agg;
 };
 
 struct DriverReport {
@@ -133,6 +185,22 @@ class Driver {
       h.last_update = [&alg]() -> dmpc::UpdateRecord {
         return std::as_const(alg).cluster().metrics().last_update();
       };
+    }
+    if constexpr (BatchApplicable<A>) {
+      h.apply_batch = [&alg](std::span<const graph::Update> batch) {
+        alg.apply_batch(batch);
+      };
+    }
+    if constexpr (ExecutorConfigurable<A>) {
+      if (config_.executor == ExecutorKind::kThreadPool) {
+        // One pool shared by every registered cluster: the driver applies
+        // algorithms sequentially, so their rounds never overlap.
+        if (!pool_) {
+          pool_ = std::make_shared<dmpc::ThreadPoolExecutor>(
+              config_.executor_threads);
+        }
+        alg.cluster().set_executor(pool_);
+      }
     }
     handles_.push_back(std::move(h));
   }
@@ -179,12 +247,18 @@ class Driver {
     std::function<void(const graph::Update&)> apply;
     std::function<bool(std::string*)> validate;        // may be empty
     std::function<dmpc::UpdateRecord()> last_update;   // may be empty
+    std::function<void(std::span<const graph::Update>)>
+        apply_batch;                                   // may be empty
   };
 
   void run_checkpoint();
+  [[nodiscard]] bool batching() const {
+    return config_.use_apply_batch && config_.batch_size > 1;
+  }
 
   DriverConfig config_;
   graph::DynamicGraph shadow_;
+  std::shared_ptr<dmpc::ThreadPoolExecutor> pool_;  // shared across clusters
   std::vector<Handle> handles_;
   std::vector<CheckpointFn> checkpoint_fns_;
   std::vector<std::function<void()>> batch_end_fns_;

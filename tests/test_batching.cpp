@@ -1,0 +1,264 @@
+// Tests of batched update application: DynamicForest::apply_batch's
+// shared-round groups (the paper's observation that independent updates
+// can share the O(1)-round protocols), its serial fallback for
+// conflicting updates, and the Driver's batch detection + per-batch
+// aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/dyn_forest.hpp"
+#include "core/maximal_matching.hpp"
+#include "graph/update_stream.hpp"
+#include "harness/checks.hpp"
+#include "harness/driver.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using graph::Update;
+using graph::UpdateKind;
+using harness::Driver;
+using harness::DriverConfig;
+
+static_assert(harness::BatchApplicable<core::DynamicForest>);
+static_assert(!harness::BatchApplicable<core::MaximalMatching>);
+static_assert(harness::ExecutorConfigurable<core::DynamicForest>);
+
+std::vector<std::pair<dmpc::VertexId, dmpc::VertexId>> sorted_tree_edges(
+    const core::DynamicForest& f) {
+  auto edges = f.tree_edges();
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// k pairwise-independent inserts: a perfect matching over 2k singleton
+/// vertices, so every insert links two fresh components.
+graph::UpdateStream independent_inserts(std::size_t k) {
+  graph::UpdateStream stream;
+  for (std::size_t i = 0; i < k; ++i) {
+    stream.push_back({UpdateKind::kInsert, static_cast<dmpc::VertexId>(2 * i),
+                      static_cast<dmpc::VertexId>(2 * i + 1)});
+  }
+  return stream;
+}
+
+// The ISSUE acceptance criterion: a Driver with batch_size = k > 1 must
+// use strictly fewer total rounds than k serial updates on a batch of
+// independent edges.
+TEST(ApplyBatch, IndependentInsertsUseStrictlyFewerRounds) {
+  const std::size_t n = 64, k = 8;
+  const auto stream = independent_inserts(k);
+
+  core::DynamicForest serial({.n = n, .m_cap = 4 * n});
+  serial.preprocess(graph::EdgeList{});
+  Driver serial_driver(n, DriverConfig{.checkpoint_every = 0});
+  serial_driver.add("forest", serial);
+  const auto& serial_report = serial_driver.run(stream);
+  const auto* ss = serial_report.find("forest");
+  ASSERT_NE(ss, nullptr);
+  ASSERT_EQ(ss->agg.updates, k);
+  const auto serial_rounds = ss->agg.total_rounds;
+
+  core::DynamicForest batched({.n = n, .m_cap = 4 * n});
+  batched.preprocess(graph::EdgeList{});
+  Driver batched_driver(n, DriverConfig{.batch_size = k,
+                                        .checkpoint_every = 0});
+  batched_driver.add("forest", batched);
+  const auto& batched_report = batched_driver.run(stream);
+  const auto* bs = batched_report.find("forest");
+  ASSERT_NE(bs, nullptr);
+  EXPECT_TRUE(bs->batched);
+  ASSERT_EQ(bs->batch_agg.updates, 1u);  // one batch
+  const auto batched_rounds = bs->batch_agg.total_rounds;
+
+  EXPECT_LT(batched_rounds, serial_rounds);
+  // Each independent group shares one constant-round protocol instance
+  // (8 rounds).  On this deterministic workload a coordinator-machine
+  // hash collision splits the k inserts into two groups, so the batch
+  // costs two instances — still far below the 6k serial rounds.
+  EXPECT_LE(batched_rounds, 16u);
+  EXPECT_LT(batched_rounds, serial_rounds / 2);
+
+  // Same final state either way.
+  EXPECT_EQ(serial.component_snapshot(), batched.component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(serial), sorted_tree_edges(batched));
+  std::string why;
+  EXPECT_TRUE(batched.validate(&why)) << why;
+}
+
+TEST(ApplyBatch, MatchesSerialOnRandomStreams) {
+  const std::size_t n = 48;
+  const auto stream = graph::random_stream(n, 300, 0.6, 91);
+
+  core::DynamicForest serial({.n = n, .m_cap = 4 * n});
+  serial.preprocess(graph::EdgeList{});
+  Driver serial_driver(n, DriverConfig{.checkpoint_every = 0});
+  serial_driver.add("forest", serial);
+  serial_driver.run(stream);
+
+  core::DynamicForest batched({.n = n, .m_cap = 4 * n});
+  batched.preprocess(graph::EdgeList{});
+  Driver batched_driver(n, DriverConfig{.batch_size = 8,
+                                        .checkpoint_every = 4});
+  batched_driver.add("forest", batched);
+  batched_driver.on_checkpoint(
+      harness::components_match_oracle(batched, "forest"));
+  EXPECT_NO_THROW(batched_driver.run(stream));
+
+  EXPECT_EQ(serial.component_snapshot(), batched.component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(serial).size(), sorted_tree_edges(batched).size());
+  std::string why;
+  EXPECT_TRUE(batched.validate(&why)) << why;
+}
+
+TEST(ApplyBatch, MatchesSerialOnWeightedStreams) {
+  const std::size_t n = 40;
+  const auto stream = graph::random_stream(n, 250, 0.65, 92, /*weighted=*/true);
+
+  core::DynamicForest serial({.n = n, .m_cap = 4 * n, .weighted = true});
+  serial.preprocess(graph::WeightedEdgeList{});
+  Driver serial_driver(
+      n, DriverConfig{.checkpoint_every = 0, .weighted = true});
+  serial_driver.add("mst", serial);
+  serial_driver.run(stream);
+
+  core::DynamicForest batched({.n = n, .m_cap = 4 * n, .weighted = true});
+  batched.preprocess(graph::WeightedEdgeList{});
+  Driver batched_driver(n, DriverConfig{.batch_size = 8,
+                                        .checkpoint_every = 0,
+                                        .weighted = true});
+  batched_driver.add("mst", batched);
+  batched_driver.run(stream);
+
+  EXPECT_EQ(serial.component_snapshot(), batched.component_snapshot());
+  EXPECT_EQ(serial.forest_weight(), batched.forest_weight());
+  std::string why;
+  EXPECT_TRUE(batched.validate(&why)) << why;
+}
+
+TEST(ApplyBatch, PreservesOrderWithinConflictingBatch) {
+  const std::size_t n = 16;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  // The erase targets an edge created earlier in the same batch: the
+  // group must end at the repeated edge so the delete observes the
+  // insert.
+  const std::vector<Update> batch = {
+      {UpdateKind::kInsert, 2, 3, 1},
+      {UpdateKind::kInsert, 4, 5, 1},
+      {UpdateKind::kDelete, 2, 3, 1},
+      {UpdateKind::kInsert, 6, 7, 1},
+  };
+  forest.apply_batch(std::span<const Update>(batch));
+  EXPECT_FALSE(forest.connected(2, 3));
+  EXPECT_TRUE(forest.connected(4, 5));
+  EXPECT_TRUE(forest.connected(6, 7));
+  std::string why;
+  EXPECT_TRUE(forest.validate(&why)) << why;
+}
+
+TEST(ApplyBatch, ConflictingChainFallsBackToSerial) {
+  const std::size_t n = 16;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  // A path: every insert shares a component with its predecessor, so no
+  // two of them can share rounds — all must fall back to the serial
+  // protocol, and the result must still be one connected path.
+  const std::vector<Update> batch = {
+      {UpdateKind::kInsert, 0, 1, 1},
+      {UpdateKind::kInsert, 1, 2, 1},
+      {UpdateKind::kInsert, 2, 3, 1},
+      {UpdateKind::kInsert, 3, 4, 1},
+  };
+  forest.apply_batch(std::span<const Update>(batch));
+  EXPECT_TRUE(forest.connected(0, 4));
+  std::string why;
+  EXPECT_TRUE(forest.validate(&why)) << why;
+}
+
+TEST(ApplyBatch, HandlesNoopsAndNontreeOps) {
+  const std::size_t n = 16;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{{0, 1}, {1, 2}, {0, 2}, {4, 5}});
+  // Non-tree insert (3-cycle chord deletion + re-insert), a duplicate
+  // insert, and an absent delete, all in one batch.
+  const std::vector<Update> batch = {
+      {UpdateKind::kDelete, 0, 2, 1},  // non-tree delete in comp {0,1,2}
+      {UpdateKind::kInsert, 4, 5, 1},  // duplicate -> no-op
+      {UpdateKind::kDelete, 8, 9, 1},  // absent -> no-op
+      {UpdateKind::kInsert, 6, 7, 1},  // independent merge
+  };
+  forest.apply_batch(std::span<const Update>(batch));
+  EXPECT_TRUE(forest.connected(0, 2));  // still connected through the tree
+  EXPECT_TRUE(forest.connected(6, 7));
+  std::string why;
+  EXPECT_TRUE(forest.validate(&why)) << why;
+}
+
+TEST(DriverBatching, ReportsPerBatchStatsForBothModes) {
+  const std::size_t n = 32;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  core::MaximalMatching mm({.n = n, .m_cap = 4 * n});
+  mm.preprocess({});
+  Driver driver(n, DriverConfig{.batch_size = 4, .checkpoint_every = 0});
+  driver.add("forest", forest);
+  driver.add("mm", mm);
+  const auto stream = test_util::make_stream(test_util::StreamKind::kRandom,
+                                             n, 60, 17);
+  const auto& report = driver.run(stream);
+  ASSERT_GT(report.batches, 1u);
+
+  const auto* fs = report.find("forest");
+  ASSERT_NE(fs, nullptr);
+  EXPECT_TRUE(fs->batched);
+  // Batched algorithms have no per-update records, only per-batch ones.
+  EXPECT_EQ(fs->agg.updates, 0u);
+  EXPECT_EQ(fs->batch_agg.updates, report.batches);
+  EXPECT_GT(fs->batch_agg.total_rounds, 0u);
+
+  const auto* ms = report.find("mm");
+  ASSERT_NE(ms, nullptr);
+  EXPECT_FALSE(ms->batched);
+  EXPECT_EQ(ms->agg.updates, report.applied);
+  EXPECT_EQ(ms->batch_agg.updates, report.batches);
+  // Per-batch rounds of a serial algorithm are the sum of its per-update
+  // rounds, so the two aggregates must agree on totals.
+  EXPECT_EQ(ms->batch_agg.total_rounds, ms->agg.total_rounds);
+  EXPECT_EQ(ms->batch_agg.total_comm_words, ms->agg.total_comm_words);
+}
+
+TEST(DriverBatching, OptOutRestoresPerUpdatePath) {
+  const std::size_t n = 32;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  Driver driver(n, DriverConfig{.batch_size = 4,
+                                .checkpoint_every = 0,
+                                .use_apply_batch = false});
+  driver.add("forest", forest);
+  const auto stream = test_util::make_stream(test_util::StreamKind::kRandom,
+                                             n, 40, 18);
+  const auto& report = driver.run(stream);
+  const auto* fs = report.find("forest");
+  ASSERT_NE(fs, nullptr);
+  EXPECT_FALSE(fs->batched);
+  EXPECT_EQ(fs->agg.updates, report.applied);
+}
+
+TEST(DriverBatching, OracleCheckpointsPassOnBatchedBridgeAdversary) {
+  const std::size_t n = 32;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  Driver driver(n, DriverConfig{.batch_size = 6, .checkpoint_every = 1});
+  driver.add("forest", forest);
+  driver.on_checkpoint(harness::components_match_oracle(forest, "forest"));
+  const auto stream = test_util::make_stream(
+      test_util::StreamKind::kBridgeAdversary, n, 200, 19);
+  EXPECT_NO_THROW(driver.run(stream));
+  EXPECT_GT(driver.report().checkpoints, 5u);
+}
+
+}  // namespace

@@ -153,6 +153,71 @@ TEST(Cluster, AggregateAbsorbsWorstCase) {
   EXPECT_NEAR(agg.mean_rounds(), 2.0, 1e-9);
 }
 
+TEST(Cluster, SendCapViolationMidUpdate) {
+  // The cap is enforced on every round of an update group, not only the
+  // first: a batch protocol that overfills a later round must still
+  // throw, and the error must name the send side.
+  Cluster c(3, 8);
+  c.begin_update();
+  c.send(0, 1, 1, {1, 2, 3});
+  EXPECT_NO_THROW(c.finish_round());
+  c.send(0, 1, 1, {1, 2, 3, 4});  // 5 words
+  c.send(0, 2, 1, {1, 2, 3});     // +4 words: 9 > 8 sent by machine 0
+  try {
+    c.finish_round();
+    FAIL() << "expected CommOverflowError";
+  } catch (const dmpc::CommOverflowError& e) {
+    EXPECT_NE(std::string(e.what()).find("sent"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Cluster, ReceiveCapViolationMidUpdate) {
+  // Same mid-update enforcement on the receive side: several senders
+  // individually under the cap can still overflow one recipient.
+  Cluster c(4, 8);
+  c.begin_update();
+  c.send(0, 3, 1, {1});
+  EXPECT_NO_THROW(c.finish_round());
+  c.send(0, 3, 1, {1, 2, 3});  // 4 words
+  c.send(1, 3, 1, {1, 2, 3});  // 4 words
+  c.send(2, 3, 1, {1});        // +2 words: 10 > 8 received by machine 3
+  try {
+    c.finish_round();
+    FAIL() << "expected CommOverflowError";
+  } catch (const dmpc::CommOverflowError& e) {
+    EXPECT_NE(std::string(e.what()).find("received"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Cluster, ChargedRoundsShareAccountingWithRealRounds) {
+  // charge_round (the O(1)-round black-box primitives) must land in the
+  // same per-update record as simulated rounds: rounds add up, the
+  // per-round maxima cover both kinds, and the totals include both.
+  Cluster c(4, 100);
+  c.begin_update();
+  c.send(0, 1, 1, {1, 2});  // real round: 3 words, 2 machines
+  c.finish_round();
+  RoundRecord synthetic;
+  synthetic.active_machines = 4;
+  synthetic.comm_words = 40;
+  synthetic.messages = 4;
+  c.charge_round(synthetic);
+  c.send(2, 3, 1, {});  // real round: 1 word, 2 machines
+  c.finish_round();
+  const auto rec = c.end_update();
+  EXPECT_EQ(rec.rounds, 3u);
+  EXPECT_EQ(rec.max_active_machines, 4u);   // from the charged round
+  EXPECT_EQ(rec.max_comm_words, 40u);       // from the charged round
+  EXPECT_EQ(rec.total_comm_words, 44u);     // 3 + 40 + 1
+  const auto& agg = c.metrics().aggregate();
+  EXPECT_EQ(agg.updates, 1u);
+  EXPECT_EQ(agg.worst_rounds, 3u);
+  EXPECT_EQ(agg.total_rounds, 3u);
+  EXPECT_EQ(agg.worst_comm_words, 40u);
+}
+
 TEST(Cluster, RejectsOutOfRangeMachine) {
   Cluster c(2, 10);
   EXPECT_THROW(c.send(0, 5, 1, {}), std::out_of_range);

@@ -1,0 +1,185 @@
+// Tests of the round-execution layer: the ThreadPoolExecutor's barrier
+// semantics, the RoundBuffer's deterministic merge of concurrently
+// staged messages, and the end-to-end determinism requirement — a
+// ThreadPoolExecutor run must produce byte-identical inboxes, metrics,
+// and algorithm state as a SerialExecutor run on the same seeded stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dyn_forest.hpp"
+#include "dmpc/cluster.hpp"
+#include "dmpc/executor.hpp"
+#include "graph/update_stream.hpp"
+#include "harness/driver.hpp"
+
+namespace {
+
+using dmpc::Cluster;
+using dmpc::MachineId;
+using dmpc::Message;
+using dmpc::SerialExecutor;
+using dmpc::ThreadPoolExecutor;
+using dmpc::Word;
+
+TEST(SerialExecutor, RunsAllTasksInOrder) {
+  SerialExecutor exec;
+  std::vector<std::size_t> order;
+  exec.run(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolExecutor, RunsEveryIndexExactlyOnce) {
+  ThreadPoolExecutor pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  pool.run(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolExecutor, ReusableAcrossRuns) {
+  ThreadPoolExecutor pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.run(100, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPoolExecutor, ZeroTasksIsANoOp) {
+  ThreadPoolExecutor pool(2);
+  EXPECT_NO_THROW(pool.run(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPoolExecutor, PropagatesTaskExceptionsAtTheBarrier) {
+  ThreadPoolExecutor pool(4);
+  EXPECT_THROW(pool.run(64,
+                        [](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool stays usable after a failed generation.
+  std::atomic<int> total{0};
+  pool.run(32, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Cluster, ConcurrentStagingMergesInSenderOrder) {
+  Cluster c(8, 100);
+  c.set_executor(std::make_unique<ThreadPoolExecutor>(4));
+  // Every machine stages a message from itself, concurrently; the
+  // barrier must deliver them to the ingress ordered by sender id.
+  c.for_each_machine([&](MachineId m) {
+    c.send(m, 0, 100 + static_cast<Word>(m), {static_cast<Word>(m)});
+  });
+  const auto rec = c.finish_round();
+  EXPECT_EQ(rec.messages, 8u);
+  EXPECT_EQ(rec.active_machines, 8u);
+  ASSERT_EQ(c.inbox(0).size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(c.inbox(0)[i].from, static_cast<MachineId>(i));
+    EXPECT_EQ(c.inbox(0)[i].tag, 100 + static_cast<Word>(i));
+  }
+}
+
+TEST(Cluster, SetExecutorNullRestoresSerial) {
+  Cluster c(4, 100);
+  c.set_executor(std::make_unique<ThreadPoolExecutor>(2));
+  EXPECT_STREQ(c.executor().name(), "thread-pool");
+  c.set_executor(nullptr);
+  EXPECT_STREQ(c.executor().name(), "serial");
+}
+
+// --- end-to-end determinism ------------------------------------------------
+
+bool same_message(const Message& a, const Message& b) {
+  return a.from == b.from && a.to == b.to && a.tag == b.tag &&
+         a.payload == b.payload;
+}
+
+void expect_identical(const core::DynamicForest& a,
+                      const core::DynamicForest& b) {
+  // Algorithm state.
+  EXPECT_EQ(a.component_snapshot(), b.component_snapshot());
+  auto ta = a.tree_edges(), tb = b.tree_edges();
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a.forest_weight(), b.forest_weight());
+  std::string why;
+  EXPECT_TRUE(a.validate(&why)) << why;
+  EXPECT_TRUE(b.validate(&why)) << why;
+
+  // Metrics: aggregate, per-round stream length, pair-traffic histogram.
+  const auto& ma = a.cluster().metrics();
+  const auto& mb = b.cluster().metrics();
+  EXPECT_EQ(ma.aggregate().updates, mb.aggregate().updates);
+  EXPECT_EQ(ma.aggregate().worst_rounds, mb.aggregate().worst_rounds);
+  EXPECT_EQ(ma.aggregate().worst_active_machines,
+            mb.aggregate().worst_active_machines);
+  EXPECT_EQ(ma.aggregate().worst_comm_words, mb.aggregate().worst_comm_words);
+  EXPECT_EQ(ma.aggregate().total_rounds, mb.aggregate().total_rounds);
+  EXPECT_EQ(ma.aggregate().total_comm_words,
+            mb.aggregate().total_comm_words);
+  EXPECT_EQ(ma.rounds().size(), mb.rounds().size());
+  EXPECT_EQ(ma.pair_traffic(), mb.pair_traffic());
+
+  // Inboxes: the last delivered round must be byte-identical.
+  ASSERT_EQ(a.cluster().size(), b.cluster().size());
+  for (MachineId m = 0; m < a.cluster().size(); ++m) {
+    const auto& ia = a.cluster().inbox(m);
+    const auto& ib = b.cluster().inbox(m);
+    ASSERT_EQ(ia.size(), ib.size()) << "inbox of machine " << m;
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+      EXPECT_TRUE(same_message(ia[i], ib[i]))
+          << "machine " << m << " message " << i;
+    }
+  }
+}
+
+std::unique_ptr<core::DynamicForest> run_forest(
+    harness::ExecutorKind kind, std::size_t batch_size,
+    const graph::UpdateStream& stream, std::size_t n) {
+  auto forest =
+      std::make_unique<core::DynamicForest>(core::DynForestConfig{
+          .n = n, .m_cap = 4 * n});
+  forest->preprocess(graph::EdgeList{});
+  harness::DriverConfig config{.batch_size = batch_size,
+                               .checkpoint_every = 0};
+  config.executor = kind;
+  config.executor_threads = 4;
+  harness::Driver driver(n, config);
+  driver.add("forest", *forest);
+  driver.run(stream);
+  return forest;
+}
+
+TEST(ExecutorDeterminism, ThreadPoolMatchesSerialPerUpdate) {
+  const std::size_t n = 96;
+  const auto stream =
+      graph::bridge_adversary_stream(n, 2 * n + 150, n / 4, 77);
+  const auto serial = run_forest(harness::ExecutorKind::kSerial, 1, stream, n);
+  const auto pooled =
+      run_forest(harness::ExecutorKind::kThreadPool, 1, stream, n);
+  expect_identical(*serial, *pooled);
+}
+
+TEST(ExecutorDeterminism, ThreadPoolMatchesSerialBatched) {
+  const std::size_t n = 96;
+  const auto stream = graph::random_stream(n, 250, 0.7, 78);
+  const auto serial = run_forest(harness::ExecutorKind::kSerial, 8, stream, n);
+  const auto pooled =
+      run_forest(harness::ExecutorKind::kThreadPool, 8, stream, n);
+  expect_identical(*serial, *pooled);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Table 1 regression gate: bench_table1 prints the measured worst-case
+// per-update triples (rounds, active machines per round, communication
+// per round); this suite turns them into asserted budgets so a
+// complexity regression — an extra protocol round, a broadcast that
+// grew past O(sqrt N), a coordinator that stopped staying O(1) — fails
+// CI instead of only shifting a printed number.
+//
+// The budgets are measured values on the fixed workloads below (n = 256,
+// deterministic seeds) plus ~30-50% headroom: loose enough to survive
+// benign protocol tweaks, tight enough that an asymptotic slip (one more
+// round per update, comm growing by a factor) trips them.  N = n + m_cap
+// = 5n = 1280, sqrt(N) ~ 36.
+#include <gtest/gtest.h>
+
+#include "core/cs_matching.hpp"
+#include "core/dyn_forest.hpp"
+#include "core/maximal_matching.hpp"
+#include "core/three_halves_matching.hpp"
+#include "graph/update_stream.hpp"
+#include "harness/driver.hpp"
+
+namespace {
+
+constexpr std::size_t kN = 256;
+constexpr std::size_t kMCap = 4 * kN;
+constexpr std::size_t kStream = 150;  // updates beyond the build phase
+
+// Checkpoints (validate() sweeps) only at the end of the run.
+const harness::DriverConfig kConfig{.checkpoint_every = 0};
+
+struct Budget {
+  std::uint64_t rounds;
+  std::uint64_t machines;
+  std::uint64_t comm_words;
+};
+
+void expect_within(const harness::DriverReport& report, const char* name,
+                   const Budget& budget) {
+  const auto* stats = report.find(name);
+  ASSERT_NE(stats, nullptr) << name;
+  ASSERT_TRUE(stats->instrumented) << name;
+  ASSERT_GT(stats->agg.updates, 0u) << name;
+  EXPECT_LE(stats->agg.worst_rounds, budget.rounds)
+      << name << ": rounds per update regressed";
+  EXPECT_LE(stats->agg.worst_active_machines, budget.machines)
+      << name << ": active machines per round regressed";
+  EXPECT_LE(stats->agg.worst_comm_words, budget.comm_words)
+      << name << ": communication per round regressed";
+}
+
+TEST(Table1Budgets, MaximalMatching) {
+  // Paper bound: O(1) rounds, O(1) machines, O(sqrt N) comm per update.
+  core::MaximalMatching mm({.n = kN, .m_cap = kMCap});
+  mm.preprocess({});
+  harness::Driver driver(kN, kConfig);
+  driver.add("mm", mm);
+  driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 1));
+  expect_within(driver.report(), "mm", {16, 6, 2100});
+}
+
+TEST(Table1Budgets, ThreeHalvesMatching) {
+  // Paper bound: O(1) rounds, O(n / sqrt N) machines, O(sqrt N) comm.
+  core::ThreeHalvesMatching th({.n = kN, .m_cap = kMCap});
+  th.preprocess_empty();
+  harness::Driver driver(kN, kConfig);
+  driver.add("th", th);
+  driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 2));
+  expect_within(driver.report(), "th", {18, 10, 2100});
+}
+
+TEST(Table1Budgets, CsMatching) {
+  // Paper bound: O(1) rounds, O~(1) machines, O~(1) comm.
+  core::CsMatching cs({.n = kN, .eps = 0.2, .seed = 3});
+  harness::Driver driver(kN, kConfig);
+  driver.add("cs", cs);
+  driver.run(graph::random_stream(kN, kStream, 0.6, 3));
+  expect_within(driver.report(), "cs", {6, 32, 64});
+}
+
+TEST(Table1Budgets, ConnectedComponents) {
+  // Paper bound: O(1) rounds, O(sqrt N) machines, O(sqrt N) comm.
+  core::DynamicForest forest({.n = kN, .m_cap = kMCap});
+  forest.preprocess(graph::cycle(kN));
+  harness::Driver driver(kN, kConfig);
+  driver.add("cc", forest);
+  driver.seed(graph::cycle(kN));
+  driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 4));
+  expect_within(driver.report(), "cc", {18, 44, 600});
+}
+
+TEST(Table1Budgets, ApproximateMst) {
+  // Paper bound: O(1) rounds, O(sqrt N) machines, O(sqrt N) comm.
+  const auto initial = graph::with_random_weights(graph::cycle(kN), 100000, 5);
+  core::DynamicForest mst(
+      {.n = kN, .m_cap = kMCap, .weighted = true, .eps = 0.1});
+  mst.preprocess(initial);
+  harness::DriverConfig config = kConfig;
+  config.weighted = true;
+  harness::Driver driver(kN, config);
+  driver.add("mst", mst);
+  driver.seed(initial);
+  driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 5,
+                                            /*weighted=*/true));
+  expect_within(driver.report(), "mst", {28, 44, 600});
+}
+
+}  // namespace
