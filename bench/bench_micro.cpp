@@ -4,7 +4,10 @@
 // the simulator's own performance.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/cs_matching.hpp"
+#include "dmpc/executor.hpp"
 #include "graph/graph.hpp"
 #include "core/dyn_forest.hpp"
 #include "core/maximal_matching.hpp"
@@ -79,6 +82,60 @@ void BM_CsMatchingUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CsMatchingUpdate)->Arg(256)->Arg(1024);
+
+// Pure round-dispatch overhead of the executors: one round of `count`
+// near-empty machine tasks.  This is the hot path DynamicForest drives
+// several times per update, and what the thread pool's wake/join cost is
+// measured against (the ROADMAP "thundering herd" item).
+void BM_SerialExecutorRound(benchmark::State& state) {
+  dmpc::SerialExecutor exec;
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> sink(count, 0);
+  for (auto _ : state) {
+    exec.run(count, [&](std::size_t i) { sink[i] += i; });
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_SerialExecutorRound)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ThreadPoolRound(benchmark::State& state) {
+  dmpc::ThreadPoolExecutor pool(4);
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> sink(count, 0);
+  for (auto _ : state) {
+    pool.run(count, [&](std::size_t i) { sink[i] += i; });
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_ThreadPoolRound)->Arg(8)->Arg(64)->Arg(512);
+
+// Per-update simulator latency with the thread-pool executor installed on
+// the forest's cluster — the wall-clock counterpart of the serial
+// BM_DynForestUpdate above.  At these machine counts (sqrt(5n) machines:
+// ~36 at n=256, ~72 at n=1024) the per-round work is tiny, so this is
+// dominated by round-dispatch overhead.
+void BM_DynForestUpdatePooled(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.cluster().set_executor(std::make_shared<dmpc::ThreadPoolExecutor>(4));
+  forest.preprocess(graph::cycle(n));
+  auto stream = graph::clean_stream(
+      n, graph::bridge_adversary_stream(n, 4096, n / 4, 1));
+  graph::DynamicGraph shadow(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Update& up = stream[i++ % stream.size()];
+    // The stream wraps around, so guard against replayed duplicates.
+    if (up.kind == UpdateKind::kInsert) {
+      if (!shadow.insert_edge(up.u, up.v)) continue;
+      forest.insert(up.u, up.v);
+    } else {
+      if (!shadow.delete_edge(up.u, up.v)) continue;
+      forest.erase(up.u, up.v);
+    }
+  }
+}
+BENCHMARK(BM_DynForestUpdatePooled)->Arg(256)->Arg(1024);
 
 void BM_HdtSequentialUpdate(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

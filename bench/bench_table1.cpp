@@ -1,7 +1,8 @@
 // Reproduces Table 1 of the paper: the worst-case per-update complexity
 // (rounds, active machines per round, communication per round) of every
 // dynamic DMPC algorithm, measured on adversarial update streams, plus
-// the three rows obtained through the Section 7 reduction.
+// the three rows obtained through the Section 7 reduction and a batched
+// section comparing apply_batch's scheduling policies.
 //
 // Expected shapes (N = n + m):
 //   maximal matching      O(1) rounds, O(1) machines, O(sqrt N) comm
@@ -15,6 +16,11 @@
 // prefixes that duplicate preprocessed edges, and its per-algorithm
 // aggregate contains only per-update rounds, so no manual metrics reset
 // after preprocess() is needed.
+//
+// CI integration: `--json BENCH_table1.json` writes every row as a
+// machine-readable artifact; `--check` exits non-zero when a
+// rounds-per-update metric exceeds its budget (harness/table1_budgets.hpp,
+// shared with tests/test_table1_budgets.cpp).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -25,6 +31,7 @@
 #include "core/three_halves_matching.hpp"
 #include "graph/update_stream.hpp"
 #include "harness/driver.hpp"
+#include "harness/table1_budgets.hpp"
 #include "seq/hdt.hpp"
 #include "seq/ns_matching.hpp"
 
@@ -37,9 +44,57 @@ constexpr std::size_t kStream = 400;  // updates beyond the build phase
 // Checkpoints (validate() sweeps) only at the end of the run.
 const harness::DriverConfig kBenchConfig{.checkpoint_every = 0};
 
+bool g_within_budget = true;
+
+/// Prints a Table-1 row, records it in the JSON report, and checks the
+/// n-independent rounds budget.
+void table1_row(bench::JsonReport& json, const harness::DriverReport& report,
+                const std::string& name, const char* paper_bound,
+                const harness::budgets::Table1Budget& budget,
+                double wall_seconds) {
+  bench::print_row(report, name, paper_bound);
+  const harness::AlgorithmStats* stats = report.find(name);
+  if (stats == nullptr) return;
+  const bool ok = stats->agg.worst_rounds <= budget.rounds;
+  g_within_budget = g_within_budget && ok;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "BUDGET VIOLATION: %s worst rounds/update %llu > budget "
+                 "%llu\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(stats->agg.worst_rounds),
+                 static_cast<unsigned long long>(budget.rounds));
+  }
+  json.row(name)
+      .u64("updates", stats->agg.updates)
+      .u64("worst_rounds", stats->agg.worst_rounds)
+      .num("mean_rounds", stats->agg.mean_rounds())
+      .u64("worst_machines", stats->agg.worst_active_machines)
+      .u64("worst_comm_words", stats->agg.worst_comm_words)
+      .u64("total_comm_words", stats->agg.total_comm_words)
+      .num("wall_seconds", wall_seconds)
+      .u64("budget_rounds", budget.rounds)
+      .flag("within_budget", ok);
+}
+
+/// bench::batched_json_row with the verdict folded into the bench-wide
+/// within-budget flag.
+void gate_batched_row(bench::JsonReport& json,
+                      const harness::DriverReport& report,
+                      const std::string& name, const std::string& row_name,
+                      double budget_rpu, double wall_seconds) {
+  g_within_budget =
+      bench::batched_json_row(json, report, name, row_name, budget_rpu,
+                              wall_seconds) &&
+      g_within_budget;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::CliArgs cli = bench::parse_cli(argc, argv);
+  bench::JsonReport json("table1");
+
   std::printf("DMPC Table 1 reproduction  (n=%zu, m_cap=%zu, N=%zu, "
               "sqrt(N)=%.0f)\n",
               kN, kMCap, kN + kMCap,
@@ -51,26 +106,33 @@ int main() {
     mm.preprocess({});
     harness::Driver driver(kN, kBenchConfig);
     driver.add("maximal matching", mm);
-    driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 1));
-    bench::print_row(driver.report(), "maximal matching",
-                     "O(1) | O(1) | O(sqrtN)");
+    const double wall = bench::timed_seconds([&] {
+      driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 1));
+    });
+    table1_row(json, driver.report(), "maximal matching",
+               "O(1) | O(1) | O(sqrtN)", harness::budgets::kMaximalMatching,
+               wall);
   }
   {  // 3/2-approximate matching.
     core::ThreeHalvesMatching th({.n = kN, .m_cap = kMCap});
     th.preprocess_empty();
     harness::Driver driver(kN, kBenchConfig);
     driver.add("3/2-approx matching", th);
-    driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 2));
-    bench::print_row(driver.report(), "3/2-approx matching",
-                     "O(1) | O(n/sqrtN) | O(sqrtN)");
+    const double wall = bench::timed_seconds([&] {
+      driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 2));
+    });
+    table1_row(json, driver.report(), "3/2-approx matching",
+               "O(1) | O(n/sqrtN) | O(sqrtN)",
+               harness::budgets::kThreeHalvesMatching, wall);
   }
   {  // (2+eps)-approximate matching.
     core::CsMatching cs({.n = kN, .eps = 0.2, .seed = 3});
     harness::Driver driver(kN, kBenchConfig);
     driver.add("(2+eps)-approx matching", cs);
-    driver.run(graph::random_stream(kN, kStream, 0.6, 3));
-    bench::print_row(driver.report(), "(2+eps)-approx matching",
-                     "O(1) | O~(1) | O~(1)");
+    const double wall = bench::timed_seconds(
+        [&] { driver.run(graph::random_stream(kN, kStream, 0.6, 3)); });
+    table1_row(json, driver.report(), "(2+eps)-approx matching",
+               "O(1) | O~(1) | O~(1)", harness::budgets::kCsMatching, wall);
   }
   {  // Connected components: bridge adversary forces splits+replacements.
     core::DynamicForest forest({.n = kN, .m_cap = kMCap});
@@ -78,9 +140,13 @@ int main() {
     harness::Driver driver(kN, kBenchConfig);
     driver.add("connected components", forest);
     driver.seed(graph::cycle(kN));
-    driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 4));
-    bench::print_row(driver.report(), "connected components",
-                     "O(1) | O(sqrtN) | O(sqrtN)");
+    const double wall = bench::timed_seconds([&] {
+      driver.run(
+          graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 4));
+    });
+    table1_row(json, driver.report(), "connected components",
+               "O(1) | O(sqrtN) | O(sqrtN)",
+               harness::budgets::kConnectedComponents, wall);
   }
   {  // (1+eps)-MST.
     const auto initial =
@@ -93,10 +159,13 @@ int main() {
     harness::Driver driver(kN, config);
     driver.add("(1+eps)-MST", mst);
     driver.seed(initial);
-    driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 5,
-                                              /*weighted=*/true));
-    bench::print_row(driver.report(), "(1+eps)-MST",
-                     "O(1) | O(sqrtN) | O(sqrtN)");
+    const double wall = bench::timed_seconds([&] {
+      driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4,
+                                                5, /*weighted=*/true));
+    });
+    table1_row(json, driver.report(), "(1+eps)-MST",
+               "O(1) | O(sqrtN) | O(sqrtN)", harness::budgets::kApproximateMst,
+               wall);
   }
 
   bench::print_header("Section 7 reduction rows (amortized)");
@@ -116,33 +185,98 @@ int main() {
     bench::print_row(driver.report(), "connectivity/MST (red.)",
                      "O~(1) amort. | O(1) | O(1)");
   }
-  // Batched + parallel execution: the same connectivity workload driven
-  // once per update (the serial baseline above), once with apply_batch
-  // sharing rounds between independent updates, and once more with the
-  // batched protocol on a thread-pool executor (identical rounds — the
-  // executor changes wall-clock, never accounting).
+
+  // Batched + parallel execution: the same connectivity workloads driven
+  // per update (the serial baseline), with the PR 2 prefix-only planner,
+  // and with the out-of-order batch scheduler — plus the scheduler on a
+  // thread-pool executor (identical rounds; the executor changes
+  // wall-clock, never accounting).  The delete-heavy interleaved stream
+  // is the adversarial case for the prefix planner: every burst is a set
+  // of independent tree-edge deletions it must serialize.
   bench::print_batch_header(
       "batched connectivity (independent updates share rounds)");
-  const auto batch_stream = graph::random_stream(kN, 2000, 0.75, 8);
   auto run_connectivity = [&](std::size_t batch_size,
-                              harness::ExecutorKind executor) {
-    core::DynamicForest forest({.n = kN, .m_cap = kMCap});
+                              harness::ExecutorKind executor,
+                              core::BatchPolicy policy,
+                              const graph::UpdateStream& stream,
+                              double* wall_seconds) {
+    core::DynamicForest forest(
+        {.n = kN, .m_cap = kMCap, .batch_policy = policy});
     forest.preprocess(graph::EdgeList{});
     harness::DriverConfig config{.batch_size = batch_size,
                                  .checkpoint_every = 0};
     config.executor = executor;
     harness::Driver driver(kN, config);
     driver.add("connectivity", forest);
-    driver.run(batch_stream);
+    *wall_seconds = bench::timed_seconds([&] { driver.run(stream); });
     return driver.report();
   };
-  bench::print_batch_row(run_connectivity(1, harness::ExecutorKind::kSerial),
-                         "connectivity", "serial baseline");
-  bench::print_batch_row(run_connectivity(16, harness::ExecutorKind::kSerial),
-                         "connectivity", "batch=16");
-  bench::print_batch_row(
-      run_connectivity(16, harness::ExecutorKind::kThreadPool),
-      "connectivity", "batch=16 + thread pool");
+  using harness::ExecutorKind;
+  using core::BatchPolicy;
+  const auto random_stream = graph::random_stream(kN, 2000, 0.75, 8);
+  const auto delete_stream =
+      graph::interleaved_delete_stream(kN, 2000, 8, 2, 9);
+  double wall = 0;
+  {
+    const auto& r = run_connectivity(1, ExecutorKind::kSerial,
+                                     BatchPolicy::kOutOfOrder, random_stream,
+                                     &wall);
+    bench::print_batch_row(r, "connectivity", "random, serial baseline");
+    gate_batched_row(json, r, "connectivity", "connectivity random serial",
+                     0.0, wall);
+  }
+  {
+    const auto& r = run_connectivity(16, ExecutorKind::kSerial,
+                                     BatchPolicy::kPrefix, random_stream,
+                                     &wall);
+    bench::print_batch_row(r, "connectivity", "random, batch=16 prefix");
+    gate_batched_row(json, r, "connectivity", "connectivity random prefix16",
+                     0.0, wall);
+  }
+  {
+    const auto& r = run_connectivity(16, ExecutorKind::kSerial,
+                                     BatchPolicy::kOutOfOrder, random_stream,
+                                     &wall);
+    bench::print_batch_row(r, "connectivity", "random, batch=16 out-of-order");
+    gate_batched_row(json, r, "connectivity", "connectivity random ooo16",
+                     harness::budgets::kBatchedConnectivityRoundsPerUpdate,
+                     wall);
+  }
+  {
+    const auto& r = run_connectivity(16, ExecutorKind::kThreadPool,
+                                     BatchPolicy::kOutOfOrder, random_stream,
+                                     &wall);
+    bench::print_batch_row(r, "connectivity",
+                           "random, batch=16 ooo + thread pool");
+    gate_batched_row(json, r, "connectivity",
+                     "connectivity random ooo16 pool", 0.0, wall);
+  }
+  {
+    const auto& r = run_connectivity(1, ExecutorKind::kSerial,
+                                     BatchPolicy::kOutOfOrder, delete_stream,
+                                     &wall);
+    bench::print_batch_row(r, "connectivity", "delete-heavy, serial baseline");
+    gate_batched_row(json, r, "connectivity",
+                     "connectivity delete-heavy serial", 0.0, wall);
+  }
+  {
+    const auto& r = run_connectivity(16, ExecutorKind::kSerial,
+                                     BatchPolicy::kPrefix, delete_stream,
+                                     &wall);
+    bench::print_batch_row(r, "connectivity", "delete-heavy, batch=16 prefix");
+    gate_batched_row(json, r, "connectivity",
+                     "connectivity delete-heavy prefix16", 0.0, wall);
+  }
+  {
+    const auto& r = run_connectivity(16, ExecutorKind::kSerial,
+                                     BatchPolicy::kOutOfOrder, delete_stream,
+                                     &wall);
+    bench::print_batch_row(r, "connectivity",
+                           "delete-heavy, batch=16 out-of-order");
+    gate_batched_row(json, r, "connectivity",
+                     "connectivity delete-heavy ooo16",
+                     harness::budgets::kDeleteHeavyRoundsPerUpdate, wall);
+  }
 
   std::printf(
       "\nNotes: machines(wc)/comm(wc) are per-round worst cases; the\n"
@@ -150,6 +284,17 @@ int main() {
       "machines and O(1) words per round, as Lemma 7.1 predicts.  In the\n"
       "batched section, rounds/upd dropping below the serial baseline is\n"
       "the paper's sqrt(N)-updates-share-rounds observation made\n"
-      "measurable.\n");
+      "measurable; the delete-heavy rows show the out-of-order scheduler\n"
+      "batching the tree-edge deletions the prefix planner serializes.\n");
+
+  if (!cli.json_path.empty() &&
+      !json.write(cli.json_path, g_within_budget)) {
+    std::fprintf(stderr, "failed to write %s\n", cli.json_path.c_str());
+    return 2;
+  }
+  if (cli.check && !g_within_budget) {
+    std::fprintf(stderr, "bench_table1: rounds/update budget check FAILED\n");
+    return 1;
+  }
   return 0;
 }

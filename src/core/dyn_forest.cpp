@@ -52,8 +52,8 @@ std::uint64_t splitmix64(std::uint64_t x) {
 DynamicForest::DynamicForest(const DynForestConfig& config)
     : config_(config), next_comp_id_(static_cast<Word>(config.n)) {
   const double N = static_cast<double>(config_.n + config_.m_cap);
-  const std::size_t mu =
-      std::max<std::size_t>(4, static_cast<std::size_t>(std::ceil(std::sqrt(N))));
+  const std::size_t mu = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::ceil(std::sqrt(N))));
   const dmpc::WordCount S = static_cast<dmpc::WordCount>(
       config_.memory_slack * std::sqrt(N) + 256.0);
   cluster_ = std::make_unique<dmpc::Cluster>(mu, S);
@@ -349,7 +349,12 @@ void DynamicForest::apply_merge_local(MachineState& ms, const MergeBcast& mb) {
     return i == etour::kNoIndex ? i : etour::merge_shift_tx(i, mp);
   };
   for (auto& [key, rec] : ms.edges) {
-    if (rec.crossing && mb.resolve_crossing) {
+    // Crossing records keep their pre-split component id, which is the
+    // rest side cx of the re-merge that resolves them.  The guard scopes
+    // resolution to this merge's own split: a batched deletion group
+    // applies several replacement merges behind one barrier, and each
+    // must leave the other splits' crossing records alone.
+    if (rec.crossing && mb.resolve_crossing && rec.comp == mb.cx) {
       rec.iu1 = rec.u_in_subtree ? ty_xform(rec.iu1) : tx_xform(rec.iu1);
       rec.iv1 = rec.v_in_subtree ? ty_xform(rec.iv1) : tx_xform(rec.iv1);
       // Endpoints that were singletons before this merge (kNoIndex cached)
@@ -523,10 +528,8 @@ DynamicForest::EdgeRec DynamicForest::make_nontree_record(const Prep& p,
 }
 
 std::vector<Word> DynamicForest::merge_payload(const MergeBcast& mb) {
-  return {mb.cx,      mb.cy,  mb.x,        mb.y,
-          mb.reroot,  mb.reroot_l_y,       mb.elen_ty,
-          mb.f_x,     mb.cached_x,         mb.cached_y,
-          mb.resolve_crossing ? 1 : 0};
+  return {mb.cx, mb.cy, mb.x, mb.y, mb.reroot, mb.reroot_l_y, mb.elen_ty,
+          mb.f_x, mb.cached_x, mb.cached_y, mb.resolve_crossing ? 1 : 0};
 }
 
 void DynamicForest::insert_nontree_record(const Prep& p, VertexId x,
@@ -562,8 +565,8 @@ void DynamicForest::link_components(const Prep& p, VertexId x, VertexId y,
   cluster_->memory(dir_machine(p.cy)).release(kDirRecWords);
 }
 
-void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
-                                     bool demote) {
+DynamicForest::SplitPlan DynamicForest::make_split(const Prep& p, VertexId x,
+                                                   VertexId y, Word new_comp) {
   // Identify the child endpoint: it owns the inner pair of the edge's
   // four indexes.
   const EdgeKey key(x, y);
@@ -585,16 +588,17 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
   const Word f_p = parent == x ? p.fx : p.fy;
   const Word l_p = parent == x ? p.lx : p.ly;
 
-  SplitBcast sb;
+  SplitPlan plan;
+  SplitBcast& sb = plan.sb;
   sb.comp = p.cx;
-  sb.new_comp = next_comp_id_++;
+  sb.new_comp = new_comp;
   sb.parent = parent;
   sb.child = child;
   sb.f_c = sp.f_c;
   sb.l_c = sp.l_c;
   const Word sub_elen = etour::split_subtree_elength(sp);
-  const Word sub_size = etour::tree_size(sub_elen);
-  const Word rest_size = p.size_cx - sub_size;
+  plan.sub_size = etour::tree_size(sub_elen);
+  plan.rest_size = p.size_cx - plan.sub_size;
   // Parent: reuse a surviving appearance (f or l), mapped through the
   // rest-side shift; both removed means the parent becomes a singleton.
   if (f_p < sp.f_c - 1) {
@@ -606,7 +610,18 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
   }
   // Child: it becomes the root of the split-off tree (f = 1), or a
   // singleton.
-  sb.cached_child = sub_size > 1 ? 1 : etour::kNoIndex;
+  sb.cached_child = plan.sub_size > 1 ? 1 : etour::kNoIndex;
+  return plan;
+}
+
+void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
+                                     bool demote) {
+  const EdgeKey key(x, y);
+  const SplitPlan split = make_split(p, x, y, next_comp_id_++);
+  const SplitBcast& sb = split.sb;
+  const Word sub_size = split.sub_size;
+  const Word rest_size = split.rest_size;
+  const VertexId child = sb.child;
   run_split(sb);
 
   // Record round: delete (or, for the cycle rule, demote to non-tree) the
@@ -806,92 +821,185 @@ bool DynamicForest::connected(VertexId u, VertexId v) {
 // Batched updates (independent groups share the O(1) protocol rounds)
 // ---------------------------------------------------------------------------
 
-std::vector<DynamicForest::BatchOp> DynamicForest::plan_group(
-    std::span<const graph::Update> batch) const {
-  std::vector<BatchOp> group;
-  std::set<Word> claimed;               // component ids owned by the group
-  std::set<std::uint64_t> touched;      // edge keys seen in the group
-  std::set<MachineId> coords;           // coordinators already reserved
-  for (const graph::Update& up : batch) {
-    BatchOp op;
-    op.x = up.u;
-    op.y = up.v;
-    op.w = up.w;
-    // A second update on the same edge must observe the first one's
-    // effect; that ordering cannot be preserved inside one shared-round
-    // group, so it ends the group.
-    if (!touched.insert(edge_key(op.x, op.y)).second) break;
-    op.coord = edge_machine(op.x, op.y);
-    const auto it = machines_[op.coord].edges.find(edge_key(op.x, op.y));
-    const bool exists = it != machines_[op.coord].edges.end();
-    Word claims[2];
-    std::size_t num_claims = 0;
-    if (up.kind == graph::UpdateKind::kInsert) {
-      if (exists) {
-        op.kind = BatchOpKind::kNoop;  // duplicate insert
-      } else {
-        op.cx = machines_[vertex_machine(op.x)].vertices.at(op.x).comp;
-        op.cy = machines_[vertex_machine(op.y)].vertices.at(op.y).comp;
-        if (op.cx != op.cy) {
-          op.kind = BatchOpKind::kMerge;
-          claims[num_claims++] = op.cx;
-          claims[num_claims++] = op.cy;
-        } else if (!config_.weighted) {
-          op.kind = BatchOpKind::kNontreeInsert;
-          claims[num_claims++] = op.cx;
-        } else {
-          break;  // MST cycle rule may restructure the tree: serial
-        }
-      }
+DynamicForest::BatchOp DynamicForest::classify_op(const graph::Update& up,
+                                                  std::size_t pos) const {
+  BatchOp op;
+  op.pos = pos;
+  op.x = up.u;
+  op.y = up.v;
+  op.w = up.w;
+  op.ekey = edge_key(op.x, op.y);
+  op.coord = edge_machine(op.x, op.y);
+  const auto it = machines_[op.coord].edges.find(op.ekey);
+  const bool exists = it != machines_[op.coord].edges.end();
+  if (up.kind == graph::UpdateKind::kInsert) {
+    if (exists) return op;  // duplicate insert: kNoop
+    op.cx = machines_[vertex_machine(op.x)].vertices.at(op.x).comp;
+    op.cy = machines_[vertex_machine(op.y)].vertices.at(op.y).comp;
+    if (op.cx != op.cy) {
+      op.kind = BatchOpKind::kMerge;
+      op.writes[op.num_writes++] = op.cx;
+      op.writes[op.num_writes++] = op.cy;
+    } else if (!config_.weighted) {
+      // A same-component insert only stores a record with cached tour
+      // indexes; the tour itself is untouched, so the component is a
+      // read claim (two such ops may share it, a merge/split may not).
+      op.kind = BatchOpKind::kNontreeInsert;
+      op.reads[op.num_reads++] = op.cx;
     } else {
-      if (!exists) {
-        op.kind = BatchOpKind::kNoop;  // absent delete
-      } else if (it->second.tree) {
-        break;  // split + replacement search: serial
-      } else {
-        op.kind = BatchOpKind::kNontreeDelete;
-        op.cx = op.cy = it->second.comp;
-        claims[num_claims++] = it->second.comp;
-      }
+      // The MST cycle rule may displace a tree edge anywhere on the
+      // x..y path: the whole component counts as rewritten and the
+      // update never shares rounds.
+      op.kind = BatchOpKind::kSerial;
+      op.writes[op.num_writes++] = op.cx;
     }
-    if (op.kind != BatchOpKind::kNoop) {
-      // Every non-noop update needs its own coordinator machine (that is
-      // what keeps the shared rounds within the per-machine comm cap) and
-      // exclusive ownership of the components it touches.
-      bool conflict = !coords.insert(op.coord).second;
-      for (std::size_t c = 0; c < num_claims; ++c) {
-        conflict = conflict || claimed.count(claims[c]) > 0;
-      }
-      if (conflict) break;
-      for (std::size_t c = 0; c < num_claims; ++c) claimed.insert(claims[c]);
-    }
-    group.push_back(op);
+    return op;
   }
-  return group;
+  if (!exists) return op;  // absent delete: kNoop
+  op.cx = op.cy = it->second.comp;
+  if (it->second.tree) {
+    op.kind = BatchOpKind::kTreeDelete;
+    op.writes[op.num_writes++] = op.cx;
+  } else {
+    // Erasing a non-tree record leaves the tour untouched, but a
+    // concurrent split in the component could promote this very edge as
+    // its replacement, so the component is still a read claim.
+    op.kind = BatchOpKind::kNontreeDelete;
+    op.reads[op.num_reads++] = op.cx;
+  }
+  return op;
 }
 
-void DynamicForest::run_group(const std::vector<BatchOp>& group) {
+bool DynamicForest::ops_conflict(const BatchOp& a, const BatchOp& b) {
+  if (a.ekey == b.ekey) return true;
+  const auto writes_hit = [](const BatchOp& w, const BatchOp& c) {
+    for (std::size_t i = 0; i < w.num_writes; ++i) {
+      for (std::size_t j = 0; j < c.num_writes; ++j) {
+        if (w.writes[i] == c.writes[j]) return true;
+      }
+      for (std::size_t j = 0; j < c.num_reads; ++j) {
+        if (w.writes[i] == c.reads[j]) return true;
+      }
+    }
+    return false;
+  };
+  return writes_hit(a, b) || writes_hit(b, a);
+}
+
+DynamicForest::WavePlan DynamicForest::plan_wave(
+    std::span<const graph::Update> batch,
+    std::span<const std::size_t> pending) const {
+  WavePlan wave;
+  if (config_.batch_policy == BatchPolicy::kPrefix) {
+    // PR 2 baseline: a maximal independent *prefix* with exclusive
+    // component claims; tree-edge deletions, cycle-rule inserts, and a
+    // repeated edge all end it.
+    std::set<Word> claimed;
+    std::set<std::uint64_t> touched;
+    std::set<MachineId> coords;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const BatchOp op = classify_op(batch[pending[i]], pending[i]);
+      if (op.kind == BatchOpKind::kSerial ||
+          op.kind == BatchOpKind::kTreeDelete) {
+        break;
+      }
+      if (!touched.insert(op.ekey).second) break;
+      if (op.kind != BatchOpKind::kNoop) {
+        bool conflict = !coords.insert(op.coord).second;
+        for (std::size_t c = 0; c < op.num_writes; ++c) {
+          conflict = conflict || claimed.count(op.writes[c]) > 0;
+        }
+        for (std::size_t c = 0; c < op.num_reads; ++c) {
+          conflict = conflict || claimed.count(op.reads[c]) > 0;
+        }
+        if (conflict) break;
+        for (std::size_t c = 0; c < op.num_writes; ++c) {
+          claimed.insert(op.writes[c]);
+        }
+        for (std::size_t c = 0; c < op.num_reads; ++c) {
+          claimed.insert(op.reads[c]);
+        }
+      }
+      wave.group.push_back(op);
+      wave.taken.push_back(i);
+    }
+    return wave;
+  }
+
+  // Out-of-order: the first color class of a greedy conflict-graph
+  // coloring over the whole pending batch.  An update joins the wave iff
+  //   (a) it commutes with every EARLIER update that stays pending
+  //       (running it first is then serial-order equivalent: its claims
+  //       are disjoint from everything that could reach it), and
+  //   (b) it fits the group's resource constraints — a coordinator
+  //       machine of its own and no claim overlap with group members
+  //       (what keeps the shared rounds inside the per-machine caps and
+  //       the local transforms commutative).
+  // Deferred updates keep their plan-time claims so later candidates can
+  // test (a) against them; their classification is re-derived from the
+  // post-wave state on the next call.
+  std::vector<BatchOp> deferred;
+  std::set<MachineId> coords;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    BatchOp op = classify_op(batch[pending[i]], pending[i]);
+    bool blocked = op.kind == BatchOpKind::kSerial;
+    for (const BatchOp& d : deferred) {
+      if (blocked) break;
+      blocked = ops_conflict(op, d);
+    }
+    if (!blocked) {
+      bool fits =
+          op.kind == BatchOpKind::kNoop || coords.count(op.coord) == 0;
+      for (const BatchOp& g : wave.group) {
+        if (!fits) break;
+        fits = !ops_conflict(op, g);
+      }
+      if (fits) {
+        if (!deferred.empty()) ++wave.reordered;
+        if (op.kind != BatchOpKind::kNoop) coords.insert(op.coord);
+        wave.group.push_back(std::move(op));
+        wave.taken.push_back(i);
+        continue;
+      }
+    }
+    deferred.push_back(std::move(op));
+  }
+  return wave;
+}
+
+void DynamicForest::run_group(std::vector<BatchOp> group) {
   const MachineId mu = static_cast<MachineId>(machines_.size());
 
   // Round 1 (scatter): the ingress ships each update to its coordinator
   // (= its edge machine), which runs the update's part of every shared
-  // round from here on.  O(1) words per update from one sender.
+  // round from here on.  Tree deletions receive the id of their
+  // split-off component here (next_comp_id_ is ingress state).  O(1)
+  // words per update from one sender.
   for (std::size_t i = 0; i < group.size(); ++i) {
-    const BatchOp& op = group[i];
+    BatchOp& op = group[i];
+    if (op.kind == BatchOpKind::kTreeDelete) op.new_comp = next_comp_id_++;
     cluster_->send(0, op.coord, kBatchScatter,
                    {static_cast<Word>(i), static_cast<Word>(op.kind), op.x,
-                    op.y, op.w});
+                    op.y, op.w, op.new_comp});
   }
   cluster_->finish_round();
 
   std::vector<std::size_t> active;  // group indexes with real work
   bool any_merge = false;
+  bool any_delete = false;
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (group[i].kind == BatchOpKind::kNoop) continue;
     active.push_back(i);
     any_merge = any_merge || group[i].kind == BatchOpKind::kMerge;
+    any_delete = any_delete || group[i].kind == BatchOpKind::kTreeDelete;
   }
   if (active.empty()) return;
+  // Merges need both component sizes, tree deletions the size of the
+  // component they split.
+  const auto needs_dir = [&](std::size_t i) {
+    return group[i].kind == BatchOpKind::kMerge ||
+           group[i].kind == BatchOpKind::kTreeDelete;
+  };
 
   // Round 2 (endpoint broadcast): each coordinator broadcasts its
   // update's endpoints — the per-update analogue of prepare round 1,
@@ -930,25 +1038,32 @@ void DynamicForest::run_group(const std::vector<BatchOp>& group) {
     preps[a] = fold_scans(scans[a]);
   }
 
-  // Rounds 4-5 (directory): coordinators of merges query the two
-  // component sizes and get the replies — prepare rounds 3-4, shared.
-  if (any_merge) {
+  // Rounds 4-5 (directory): coordinators of merges and tree deletions
+  // query the component sizes and get the replies — prepare rounds 3-4,
+  // shared.  Deletions touch one component, merges two.
+  if (any_merge || any_delete) {
     for (std::size_t a = 0; a < active.size(); ++a) {
-      if (group[active[a]].kind != BatchOpKind::kMerge) continue;
+      if (!needs_dir(active[a])) continue;
       const Prep& p = preps[a];
       const MachineId coord = group[active[a]].coord;
       cluster_->send(coord, dir_machine(p.cx), kDirQuery, {p.cx});
-      cluster_->send(coord, dir_machine(p.cy), kDirQuery, {p.cy});
+      if (p.cy != p.cx) {
+        cluster_->send(coord, dir_machine(p.cy), kDirQuery, {p.cy});
+      }
     }
     cluster_->finish_round();
     for (std::size_t a = 0; a < active.size(); ++a) {
-      if (group[active[a]].kind != BatchOpKind::kMerge) continue;
+      if (!needs_dir(active[a])) continue;
       Prep& p = preps[a];
       const MachineId coord = group[active[a]].coord;
       p.size_cx = machines_[dir_machine(p.cx)].comp_sizes.at(p.cx);
-      p.size_cy = machines_[dir_machine(p.cy)].comp_sizes.at(p.cy);
       cluster_->send(dir_machine(p.cx), coord, kDirReply, {p.cx, p.size_cx});
-      cluster_->send(dir_machine(p.cy), coord, kDirReply, {p.cy, p.size_cy});
+      if (p.cy != p.cx) {
+        p.size_cy = machines_[dir_machine(p.cy)].comp_sizes.at(p.cy);
+        cluster_->send(dir_machine(p.cy), coord, kDirReply, {p.cy, p.size_cy});
+      } else {
+        p.size_cy = p.size_cx;
+      }
     }
     cluster_->finish_round();
   }
@@ -956,7 +1071,7 @@ void DynamicForest::run_group(const std::vector<BatchOp>& group) {
   // Round 6 (plan confirmation): coordinators report their update's
   // claimed components to the ingress, which verifies the group's
   // independence before anyone mutates state.  With the greedy
-  // independent-prefix plan every reported update is accepted.
+  // conflict-graph plan every reported update is accepted.
   for (std::size_t a = 0; a < active.size(); ++a) {
     const BatchOp& op = group[active[a]];
     cluster_->send(op.coord, 0, kBatchReady,
@@ -1029,32 +1144,252 @@ void DynamicForest::run_group(const std::vector<BatchOp>& group) {
         release_edge_record(op.coord);
         break;
       }
+      case BatchOpKind::kTreeDelete:  // handled below
+      case BatchOpKind::kSerial:      // never reaches run_group
       case BatchOpKind::kNoop:
         break;
     }
+  }
+
+  if (!any_delete) return;
+
+  // --- batched tree-edge deletions -----------------------------------------
+  // Grouped splits followed by ONE shared replacement-edge search: the
+  // deletions' components are pairwise disjoint, so the split transforms
+  // commute, every crossing record is owned by exactly one split (it
+  // keeps the split component's id), and the replacement merges resolve
+  // only their own split's crossings (apply_merge_local guards on cx).
+  std::vector<std::size_t> dels;  // indexes into `active`
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (group[active[a]].kind == BatchOpKind::kTreeDelete) dels.push_back(a);
+  }
+
+  // Round 9 (split broadcasts): each deletion's coordinator derives its
+  // split from the shared prepare results and broadcasts it; every
+  // machine applies all of the group's splits behind one barrier.
+  std::vector<SplitPlan> splits(dels.size());
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    const BatchOp& op = group[active[dels[d]]];
+    splits[d] = make_split(preps[dels[d]], op.x, op.y, op.new_comp);
+    const SplitBcast& sb = splits[d].sb;
+    const std::vector<Word> payload = {
+        static_cast<Word>(active[dels[d]]), sb.comp, sb.new_comp, sb.parent,
+        sb.child, sb.f_c, sb.l_c, sb.cached_parent, sb.cached_child};
+    for (MachineId m = 0; m < mu; ++m) {
+      if (m != op.coord) cluster_->send(op.coord, m, kSplitBcast, payload);
+    }
+  }
+  cluster_->finish_round();
+  cluster_->for_each_machine([&](MachineId m) {
+    for (const SplitPlan& sp : splits) apply_split_local(machines_[m], sp.sb);
+  });
+
+  // Round 10 (cut records + directory): coordinators own their cut
+  // edges' records, so deletion is machine-local; only the directory
+  // deltas travel.
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    const BatchOp& op = group[active[dels[d]]];
+    const SplitPlan& sp = splits[d];
+    cluster_->send(op.coord, dir_machine(sp.sb.comp), kDirUpdate,
+                   {sp.sb.comp, sp.rest_size});
+    cluster_->send(op.coord, dir_machine(sp.sb.new_comp), kDirUpdate,
+                   {sp.sb.new_comp, sp.sub_size});
+  }
+  cluster_->finish_round();
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    const BatchOp& op = group[active[dels[d]]];
+    const SplitPlan& sp = splits[d];
+    machines_[op.coord].edges.erase(op.ekey);
+    release_edge_record(op.coord);
+    machines_[dir_machine(sp.sb.comp)].comp_sizes[sp.sb.comp] = sp.rest_size;
+    machines_[dir_machine(sp.sb.new_comp)].comp_sizes[sp.sb.new_comp] =
+        sp.sub_size;
+    cluster_->memory(dir_machine(sp.sb.new_comp)).charge(kDirRecWords);
+  }
+
+  // Round 11 (shared replacement search): every machine scans its shard
+  // ONCE for all deletions (concurrently across machines), proposing its
+  // per-split best (min-weight) crossing candidate to that deletion's
+  // coordinator.
+  std::map<Word, std::size_t> owner;  // split component -> dels index
+  for (std::size_t d = 0; d < dels.size(); ++d) owner[splits[d].sb.comp] = d;
+  std::vector<std::vector<const EdgeRec*>> cands(
+      machines_.size(), std::vector<const EdgeRec*>(dels.size(), nullptr));
+  cluster_->for_each_machine([&](MachineId m) {
+    auto& local = cands[m];
+    for (const auto& [k, rec] : machines_[m].edges) {
+      if (!rec.crossing) continue;
+      const auto it = owner.find(rec.comp);
+      if (it == owner.end()) continue;  // unreachable: splits own crossings
+      const EdgeRec*& best = local[it->second];
+      if (best == nullptr || rec.w < best->w) best = &rec;
+    }
+    for (std::size_t d = 0; d < dels.size(); ++d) {
+      if (local[d] == nullptr) continue;
+      const MachineId coord = group[active[dels[d]]].coord;
+      if (m == coord) continue;  // the coordinator's own scan stays local
+      cluster_->send(m, coord, kProposal,
+                     {static_cast<Word>(active[dels[d]]), local[d]->u,
+                      local[d]->v, local[d]->w,
+                      local[d]->u_in_subtree ? 1 : 0});
+    }
+  });
+  cluster_->finish_round();
+  struct Repl {
+    bool found = false;
+    EdgeRec rec;        // the winning candidate (copied before mutation)
+    VertexId a = 0, b = 0;  // rest-side / subtree-side endpoints
+    Prep rp;
+    MergePlan plan;
+  };
+  std::vector<Repl> repl(dels.size());
+  bool any_repl = false;
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    const EdgeRec* best = nullptr;
+    for (MachineId m = 0; m < mu; ++m) {
+      const EdgeRec* c = cands[m][d];
+      if (c != nullptr && (best == nullptr || c->w < best->w)) best = c;
+    }
+    if (best == nullptr) continue;  // genuinely disconnected
+    repl[d].found = true;
+    any_repl = true;
+    repl[d].rec = *best;
+    repl[d].a = best->u_in_subtree ? best->v : best->u;
+    repl[d].b = best->u_in_subtree ? best->u : best->v;
+  }
+  if (!any_repl) return;
+
+  // Rounds 12-13 (replacement re-scan): post-split f/l of each
+  // replacement's endpoints, gathered exactly like rounds 2-3; the
+  // coordinator already knows both side sizes from its own split.
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    if (!repl[d].found) continue;
+    const BatchOp& op = group[active[dels[d]]];
+    for (MachineId m = 0; m < mu; ++m) {
+      if (m != op.coord) {
+        cluster_->send(op.coord, m, kBatchEndpoints,
+                       {static_cast<Word>(active[dels[d]]), repl[d].a,
+                        repl[d].b});
+      }
+    }
+  }
+  cluster_->finish_round();
+  std::vector<std::vector<EndpointScan>> rscans(
+      dels.size(), std::vector<EndpointScan>(machines_.size()));
+  cluster_->for_each_machine([&](MachineId m) {
+    for (std::size_t d = 0; d < dels.size(); ++d) {
+      if (!repl[d].found) continue;
+      const BatchOp& op = group[active[dels[d]]];
+      rscans[d][m] = scan_endpoints(m, repl[d].a, repl[d].b);
+      std::vector<Word> reply = scan_reply(rscans[d][m]);
+      if (!reply.empty() && m != op.coord) {
+        reply.insert(reply.begin(), static_cast<Word>(active[dels[d]]));
+        cluster_->send(m, op.coord, kBatchReply, std::move(reply));
+      }
+    }
+  });
+  cluster_->finish_round();
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    if (!repl[d].found) continue;
+    repl[d].rp = fold_scans(rscans[d]);
+    repl[d].rp.size_cx = splits[d].rest_size;
+    repl[d].rp.size_cy = splits[d].sub_size;
+  }
+
+  // Round 14 (replacement merges): broadcast every re-link transform,
+  // then apply them all behind one barrier.
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    if (!repl[d].found) continue;
+    const BatchOp& op = group[active[dels[d]]];
+    repl[d].plan = make_merge(repl[d].rp, repl[d].a, repl[d].b,
+                              /*resolve_crossing=*/true);
+    std::vector<Word> payload = merge_payload(repl[d].plan.mb);
+    payload.insert(payload.begin(), static_cast<Word>(active[dels[d]]));
+    for (MachineId m = 0; m < mu; ++m) {
+      if (m != op.coord) cluster_->send(op.coord, m, kMergeBcast, payload);
+    }
+  }
+  cluster_->finish_round();
+  cluster_->for_each_machine([&](MachineId m) {
+    for (std::size_t d = 0; d < dels.size(); ++d) {
+      if (repl[d].found) apply_merge_local(machines_[m], repl[d].plan.mb);
+    }
+  });
+
+  // Round 15 (promotion + directory): the replacement records become
+  // tree edges; the directory reflects the re-merges.
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    if (!repl[d].found) continue;
+    const BatchOp& op = group[active[dels[d]]];
+    const Prep& rp = repl[d].rp;
+    const EdgeKey rkey(repl[d].a, repl[d].b);
+    const etour::MergeNewIndexes& ni = repl[d].plan.ni;
+    cluster_->send(op.coord, edge_machine(repl[d].a, repl[d].b), kPromote,
+                   {rkey.u, rkey.v, ni.x_enter, ni.x_exit, ni.y_enter,
+                    ni.y_exit});
+    cluster_->send(op.coord, dir_machine(rp.cx), kDirUpdate,
+                   {rp.cx, rp.size_cx + rp.size_cy});
+    cluster_->send(op.coord, dir_machine(rp.cy), kDirUpdate, {rp.cy, 0});
+  }
+  cluster_->finish_round();
+  for (std::size_t d = 0; d < dels.size(); ++d) {
+    if (!repl[d].found) continue;
+    const Prep& rp = repl[d].rp;
+    const MachineId rm = edge_machine(repl[d].a, repl[d].b);
+    machines_[rm].edges.at(edge_key(repl[d].a, repl[d].b)) =
+        make_tree_record(repl[d].a, repl[d].b, repl[d].rec.w, rp.cx,
+                         repl[d].plan.ni);
+    machines_[dir_machine(rp.cx)].comp_sizes[rp.cx] = rp.size_cx + rp.size_cy;
+    machines_[dir_machine(rp.cy)].comp_sizes.erase(rp.cy);
+    cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
   }
 }
 
 void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
   if (batch.empty()) return;
   cluster_->begin_update();
-  std::size_t i = 0;
-  while (i < batch.size()) {
-    const std::vector<BatchOp> group = plan_group(batch.subspan(i));
-    if (group.size() >= 2) {
-      run_group(group);
-      i += group.size();
+  ++batch_stats_.batches;
+  std::vector<std::size_t> pending(batch.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  while (!pending.empty()) {
+    WavePlan wave = plan_wave(batch, pending);
+    if (wave.group.size() >= 2) {
+      ++batch_stats_.groups;
+      batch_stats_.grouped_updates += wave.group.size();
+      batch_stats_.reordered_updates += wave.reordered;
+      batch_stats_.max_group =
+          std::max<std::uint64_t>(batch_stats_.max_group, wave.group.size());
+      for (const BatchOp& op : wave.group) {
+        if (op.kind == BatchOpKind::kTreeDelete) {
+          ++batch_stats_.batched_tree_deletes;
+        }
+      }
+      run_group(std::move(wave.group));
+      // Drop the consumed positions; the next wave re-plans what is left
+      // against the post-group state.
+      std::vector<std::size_t> rest;
+      rest.reserve(pending.size() - wave.taken.size());
+      std::size_t t = 0;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (t < wave.taken.size() && wave.taken[t] == i) {
+          ++t;
+          continue;
+        }
+        rest.push_back(pending[i]);
+      }
+      pending.swap(rest);
       continue;
     }
-    // Conflicting or lone update: the serial per-update protocol (inside
-    // the batch's metrics group).
-    const graph::Update& up = batch[i];
+    // Lone or conflicting head-of-batch update: the serial per-update
+    // protocol (inside the batch's metrics group) preserves batch order.
+    const graph::Update& up = batch[pending.front()];
+    ++batch_stats_.serial_updates;
     if (up.kind == graph::UpdateKind::kInsert) {
       insert_impl(up.u, up.v, up.w);
     } else {
       erase_impl(up.u, up.v);
     }
-    ++i;
+    pending.erase(pending.begin());
   }
   cluster_->end_update();
 }
@@ -1193,7 +1528,8 @@ bool DynamicForest::validate(std::string* why) const {
   for (const auto& ms : machines_) {
     for (const auto& [k, rec] : ms.edges) {
       if (rec.tree) continue;
-      if (vrecs.at(rec.u).comp != rec.comp || vrecs.at(rec.v).comp != rec.comp) {
+      if (vrecs.at(rec.u).comp != rec.comp ||
+          vrecs.at(rec.v).comp != rec.comp) {
         return fail("non-tree record with inconsistent component");
       }
       if (global_appearances[rec.u].count(rec.iu1) == 0 ||

@@ -32,11 +32,18 @@
 //     prepare + broadcast).
 //
 // Batched updates (apply_batch): independent updates — pairwise-disjoint
-// components, distinct edges, distinct coordinator machines — share one
-// O(1)-round protocol instance instead of running it once each, which is
-// the paper's observation that Theta(sqrt N) updates fit in the same
-// rounds.  Each update's edge machine acts as its coordinator, so the
-// per-machine round traffic stays O(sqrt N).  See apply_batch below.
+// touched components, distinct edges, distinct coordinator machines —
+// share one O(1)-round protocol instance instead of running it once
+// each, which is the paper's observation that Theta(sqrt N) updates fit
+// in the same rounds.  Each update's edge machine acts as its
+// coordinator, so the per-machine round traffic stays O(sqrt N).  A
+// batch scheduler partitions the WHOLE batch (not just a prefix) into
+// such groups via a conflict graph over edges, components (read/write
+// claims), and coordinator machines, executing non-conflicting updates
+// out of order while preserving the serial-equivalent final state, and
+// the group protocol covers batched tree-edge deletions: grouped splits
+// followed by one shared replacement-edge search round.  See
+// apply_batch below and BatchPolicy.
 //
 // Per-machine round work (shard scans, local transform application) is
 // submitted through Cluster::for_each_machine and so runs in parallel
@@ -73,12 +80,30 @@ using dmpc::Word;
 using graph::EdgeKey;
 using graph::Weight;
 
+/// How apply_batch partitions a batch into shared-round groups.
+enum class BatchPolicy {
+  /// The PR 2 planner: only a maximal *prefix* of mutually independent
+  /// updates shares rounds (exclusive component claims), and every
+  /// tree-edge deletion or MST cycle-rule insert ends the prefix and
+  /// runs serially.  Kept as the comparison baseline.
+  kPrefix,
+  /// The batch scheduler: greedy conflict-graph coloring over the whole
+  /// batch.  Updates commuting with every earlier still-pending update
+  /// (disjoint read/write component claims, distinct edges) join the
+  /// current group out of order; tree-edge deletions batch through
+  /// grouped splits plus a shared replacement search; groups are
+  /// re-planned after every wave so deletions' component changes are
+  /// observed.  Final state is identical to serial application.
+  kOutOfOrder,
+};
+
 struct DynForestConfig {
   std::size_t n = 0;         ///< number of vertices
   std::size_t m_cap = 0;     ///< maximum number of edges over the run
   bool weighted = false;     ///< MST variant if true
   double eps = 0.1;          ///< MST approximation slack (bucketing)
   double memory_slack = 32;  ///< S = slack * sqrt(N) words per machine
+  BatchPolicy batch_policy = BatchPolicy::kOutOfOrder;
 };
 
 class DynamicForest {
@@ -96,19 +121,30 @@ class DynamicForest {
   void insert(VertexId x, VertexId y, Weight w = 1);
   void erase(VertexId x, VertexId y);
 
-  /// Applies a whole batch of updates in order, wrapped in ONE
-  /// begin_update()/end_update() group.  Maximal prefixes of mutually
-  /// independent updates (disjoint components, distinct edges and
-  /// coordinator machines; tree-edge deletions and MST cycle-rule
-  /// inserts always conflict) share a single instance of the O(1)-round
-  /// protocol — a constant number of rounds for the whole prefix instead
-  /// of per update — and the conflicting remainder falls back to the
-  /// serial per-update protocols.  The final state is identical to
-  /// applying the batch one update at a time with insert(x, y, w) /
-  /// erase(x, y): Update::w is stored verbatim, so unweighted callers
-  /// should carry the serial default of 1 (harness::Driver normalizes
-  /// its batches this way when configured unweighted).
+  /// Applies a whole batch of updates, wrapped in ONE
+  /// begin_update()/end_update() group.  Under the default
+  /// BatchPolicy::kOutOfOrder the scheduler partitions the batch into
+  /// groups of mutually independent updates (disjoint component
+  /// read/write claims, distinct edges and coordinator machines) by
+  /// greedy conflict-graph coloring: each wave picks every remaining
+  /// update that commutes with all earlier still-pending ones, runs the
+  /// group through a single shared instance of the O(1)-round protocol
+  /// — including batched tree-edge deletions (grouped splits + one
+  /// shared replacement search) — then re-plans against the new state.
+  /// Updates that cannot share rounds (MST cycle-rule inserts, lone
+  /// conflicting updates) fall back to the serial per-update protocols
+  /// in batch order.  The final state is identical to applying the
+  /// batch one update at a time with insert(x, y, w) / erase(x, y):
+  /// Update::w is stored verbatim, so unweighted callers should carry
+  /// the serial default of 1 (harness::Driver normalizes its batches
+  /// this way when configured unweighted).
   void apply_batch(std::span<const graph::Update> batch);
+
+  /// Cumulative scheduling statistics over all apply_batch calls
+  /// (groups formed, serial fallbacks, out-of-order executions).
+  [[nodiscard]] const dmpc::BatchScheduleStats& batch_stats() const {
+    return batch_stats_;
+  }
 
   /// Connectivity query (2 rounds through the ingress).
   bool connected(VertexId u, VertexId v);
@@ -216,6 +252,14 @@ class DynamicForest {
     Word cached_parent, cached_child;  // refreshed cached indexes
   };
 
+  // A split broadcast plus the two side sizes it implies (the directory
+  // deltas, and the elengths a replacement merge needs).
+  struct SplitPlan {
+    SplitBcast sb{};
+    Word rest_size = 0;
+    Word sub_size = 0;
+  };
+
   // --- batched updates -----------------------------------------------------
 
   enum class BatchOpKind : Word {
@@ -223,16 +267,38 @@ class DynamicForest {
     kMerge = 1,          // insert linking two components
     kNontreeInsert = 2,  // same-component insert (unweighted)
     kNontreeDelete = 3,  // delete of a non-tree record
+    kTreeDelete = 4,     // batched split + shared replacement search
+    kSerial = 5,         // MST cycle-rule insert: never shares rounds
   };
 
   // One update of an independent group, pinned to its coordinator (= its
-  // edge machine), with the components it claims at plan time.
+  // edge machine), with the conflict-graph claims it makes at plan time:
+  // components it rewrites (merge/split transforms shift their tour
+  // indexes) vs. components it only reads (non-tree record ops leave the
+  // tour untouched, so they may share a component with each other but
+  // not with a writer).
   struct BatchOp {
     BatchOpKind kind = BatchOpKind::kNoop;
+    std::size_t pos = 0;  // index in the batch (reorder accounting)
     VertexId x = dmpc::kNoVertex, y = dmpc::kNoVertex;
     Weight w = 1;
     MachineId coord = dmpc::kNoMachine;
     Word cx = -1, cy = -1;
+    Word new_comp = -1;  // tree deletes: id for the split-off side
+    std::uint64_t ekey = 0;
+    Word writes[2] = {0, 0};
+    std::size_t num_writes = 0;
+    Word reads[1] = {0};
+    std::size_t num_reads = 0;
+  };
+
+  // One wave of the scheduler: the group to run next plus which pending
+  // positions it consumes and how many of them overtook an earlier
+  // still-pending update.
+  struct WavePlan {
+    std::vector<BatchOp> group;
+    std::vector<std::size_t> taken;  // indexes into `pending`
+    std::uint64_t reordered = 0;
   };
 
   [[nodiscard]] std::uint64_t edge_key(VertexId u, VertexId v) const;
@@ -298,20 +364,39 @@ class DynamicForest {
   void delete_tree_edge(const Prep& p, VertexId x, VertexId y,
                         bool demote = false);
 
+  /// Computes the split broadcast (and both side sizes) for cutting tree
+  /// edge (x, y), given a completed prepare and the id of the split-off
+  /// component.  Shared by the serial and the batched deletion protocol.
+  [[nodiscard]] static SplitPlan make_split(const Prep& p, VertexId x,
+                                            VertexId y, Word new_comp);
+
   /// Update protocols without the begin_update()/end_update() wrapper
   /// (apply_batch runs many of them inside one metrics group).
   void insert_impl(VertexId x, VertexId y, Weight w);
   void erase_impl(VertexId x, VertexId y);
 
-  /// Maximal prefix of `batch` that can share one protocol instance:
-  /// mutually independent (disjoint claimed components, distinct edges
-  /// and coordinators) and batchable (no tree-edge deletions, no MST
-  /// cycle-rule inserts).  Classification mirrors what the group rounds
-  /// recompute in-protocol against the current state.
-  [[nodiscard]] std::vector<BatchOp> plan_group(
-      std::span<const graph::Update> batch) const;
-  /// Runs one independent group through the shared-round protocol.
-  void run_group(const std::vector<BatchOp>& group);
+  /// Classifies one update against the current state: protocol kind,
+  /// coordinator, and component read/write claims.  Mirrors what the
+  /// group rounds recompute in-protocol.
+  [[nodiscard]] BatchOp classify_op(const graph::Update& up,
+                                    std::size_t pos) const;
+  /// Whether a and b fail to commute (shared edge, or one's component
+  /// writes intersect the other's claims).  Coordinator collisions are
+  /// deliberately NOT part of this: they are a same-group resource
+  /// constraint, not an ordering constraint.
+  [[nodiscard]] static bool ops_conflict(const BatchOp& a, const BatchOp& b);
+
+  /// Plans the next wave over the still-pending batch positions: under
+  /// kOutOfOrder, every pending update (in batch order) that commutes
+  /// with all earlier still-pending ones and fits the group's resource
+  /// constraints (distinct coordinators, non-overlapping claims); under
+  /// kPrefix, the PR 2 maximal independent prefix (exclusive claims,
+  /// tree deletions and cycle-rule inserts end it).
+  [[nodiscard]] WavePlan plan_wave(std::span<const graph::Update> batch,
+                                   std::span<const std::size_t> pending) const;
+  /// Runs one independent group through the shared-round protocol
+  /// (mutates the ops to assign split-off component ids at scatter).
+  void run_group(std::vector<BatchOp> group);
 
   /// Memory accounting helpers.
   void charge_edge_record(MachineId m);
@@ -321,6 +406,7 @@ class DynamicForest {
   std::unique_ptr<dmpc::Cluster> cluster_;
   std::vector<MachineState> machines_;
   Word next_comp_id_;  // ingress-local state (machine 0)
+  dmpc::BatchScheduleStats batch_stats_;
 
   static constexpr Word kEdgeRecWords = 12;
   static constexpr Word kVertexRecWords = 3;

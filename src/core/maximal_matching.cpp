@@ -780,7 +780,8 @@ bool MaximalMatching::validate(std::string* why) const {
     MachineState copy = machines_[sv.storage];
     const_cast<MaximalMatching*>(this)->apply_events(copy, copy.last_applied,
                                                      log_.size());
-    const std::size_t alive_now = copy.lists.count(v) ? copy.lists.at(v).size() : 0;
+    const std::size_t alive_now =
+        copy.lists.count(v) ? copy.lists.at(v).size() : 0;
     const std::size_t target = std::min<std::size_t>(sv.degree, alive_cap_);
     if (alive_now + 0 < target && sv.suspended_top != kNoMachine) {
       return fail("alive set underfull while suspended edges exist");

@@ -42,8 +42,10 @@ StaticRunStats static_connected_components(dmpc::Cluster& cluster,
     for (std::size_t v = 0; v < n; ++v) heads[v] = (rng() & 1) != 0;
     std::vector<graph::VertexId> hook(n, dmpc::kNoVertex);
     for (auto [u, v] : edges) {
-      const auto lu = static_cast<std::size_t>(label[static_cast<std::size_t>(u)]);
-      const auto lv = static_cast<std::size_t>(label[static_cast<std::size_t>(v)]);
+      const auto lu =
+          static_cast<std::size_t>(label[static_cast<std::size_t>(u)]);
+      const auto lv =
+          static_cast<std::size_t>(label[static_cast<std::size_t>(v)]);
       if (lu == lv) continue;
       if (heads[lu] && !heads[lv]) hook[lu] = static_cast<graph::VertexId>(lv);
       if (heads[lv] && !heads[lu]) hook[lv] = static_cast<graph::VertexId>(lu);

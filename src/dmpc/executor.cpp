@@ -4,7 +4,9 @@
 
 namespace dmpc {
 
-ThreadPoolExecutor::ThreadPoolExecutor(std::size_t threads) {
+ThreadPoolExecutor::ThreadPoolExecutor(std::size_t threads,
+                                       std::size_t serial_cutoff)
+    : serial_cutoff_(serial_cutoff) {
   if (threads == 0) {
     threads = std::clamp<std::size_t>(std::thread::hardware_concurrency(),
                                       1, 8);
@@ -45,9 +47,15 @@ void ThreadPoolExecutor::worker_loop() {
     std::size_t count = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      // Join a generation only while it still has wake tickets: a round
+      // that asked for fewer workers than the pool holds leaves the rest
+      // asleep (or re-sleeping after a spurious wake) for this round.
+      cv_work_.wait(lk, [&] {
+        return stop_ || (generation_ != seen && joiners_ > 0);
+      });
       if (stop_) return;
       seen = generation_;
+      --joiners_;
       work = work_;
       count = count_;
     }
@@ -62,14 +70,38 @@ void ThreadPoolExecutor::worker_loop() {
 void ThreadPoolExecutor::run(std::size_t count,
                              const std::function<void(std::size_t)>& work) {
   if (count == 0) return;
+  if (count <= serial_cutoff_ || workers_.empty()) {
+    // Tiny round: the barrier would cost more than the work.  Run inline
+    // with SerialExecutor's exception semantics (first error rethrown
+    // after every index ran).
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        work(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  // The calling thread drains too, so count - 1 helpers saturate a round.
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
   {
     std::lock_guard<std::mutex> lk(mu_);
     work_ = &work;
     count_ = count;
     next_.store(0, std::memory_order_relaxed);
-    pending_ = workers_.size();
+    joiners_ = helpers;
+    pending_ = helpers;
     ++generation_;
   }
+  // notify_all rather than `helpers` notify_one calls: a targeted notify
+  // can be consumed by an already-finished worker (predicate false, goes
+  // back to sleep) and is then lost, deadlocking the barrier.  The
+  // ticket counter still caps actual participation at `helpers`; excess
+  // workers wake, find no ticket, and re-sleep without touching the
+  // claim counter or the barrier.
   cv_work_.notify_all();
   drain(work, count);
   std::unique_lock<std::mutex> lk(mu_);

@@ -71,14 +71,35 @@ class SerialExecutor final : public RoundExecutor {
 
 /// Fans tasks out over a persistent worker pool; the calling thread
 /// participates in the draining, and run() returns only once every
-/// worker has finished the dispatched generation.  One pool may be
+/// woken worker has finished the dispatched generation.  One pool may be
 /// shared by several clusters (harness::Driver does this) as long as
 /// their rounds never run concurrently: run() itself is not reentrant.
+///
+/// Two provisions keep the per-round dispatch cost proportional to the
+/// work actually available instead of the pool size:
+///   * rounds with at most `serial_cutoff` tasks run inline on the
+///     calling thread — at sqrt(N) machines the per-task work is tiny
+///     and the wake/join barrier dominates, so small clusters should
+///     never pay it;
+///   * larger rounds admit only min(threads, count - 1) workers into the
+///     generation (wake tickets via `joiners_`) rather than the whole
+///     pool, so a round with 24 tasks on an 8-thread pool no longer
+///     stampedes workers into the claim counter and the join barrier —
+///     unticketed workers re-sleep immediately.
+/// Results are byte-identical across all paths: tasks stage per-sender
+/// and the barrier merge is deterministic regardless of who ran what.
 class ThreadPoolExecutor final : public RoundExecutor {
  public:
+  /// Below this task count run() bypasses the pool entirely.  Chosen so
+  /// clusters smaller than ~sqrt(256 + 4*256) machines stay serial.
+  static constexpr std::size_t kDefaultSerialCutoff = 16;
+
   /// `threads` worker threads in addition to the calling thread; 0 picks
-  /// the hardware concurrency (clamped to [1, 8]).
-  explicit ThreadPoolExecutor(std::size_t threads = 0);
+  /// the hardware concurrency (clamped to [1, 8]).  `serial_cutoff` is
+  /// the largest task count run inline without waking the pool (0
+  /// disables the bypass; tests use that to force pool scheduling).
+  explicit ThreadPoolExecutor(std::size_t threads = 0,
+                              std::size_t serial_cutoff = kDefaultSerialCutoff);
   ~ThreadPoolExecutor() override;
 
   ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
@@ -90,6 +111,7 @@ class ThreadPoolExecutor final : public RoundExecutor {
 
   /// Worker threads (the calling thread also drains tasks).
   [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+  [[nodiscard]] std::size_t serial_cutoff() const { return serial_cutoff_; }
 
  private:
   void worker_loop();
@@ -98,13 +120,15 @@ class ThreadPoolExecutor final : public RoundExecutor {
   void drain(const std::function<void(std::size_t)>& work, std::size_t count);
 
   std::vector<std::thread> workers_;
+  std::size_t serial_cutoff_;
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   const std::function<void(std::size_t)>* work_ = nullptr;  // current batch
   std::size_t count_ = 0;
   std::uint64_t generation_ = 0;  // bumped per run() to wake the workers
-  std::size_t pending_ = 0;       // workers still inside this generation
+  std::size_t joiners_ = 0;       // wake tickets left for this generation
+  std::size_t pending_ = 0;       // ticketed workers still inside it
   bool stop_ = false;
   std::exception_ptr error_;
   // Shared claim counter for the current generation.  Plain size_t under

@@ -64,6 +64,34 @@ struct UpdateAggregate {
   }
 };
 
+/// Scheduling statistics of a batch-update planner: how apply_batch
+/// partitioned its batches into shared-round groups, how much fell back
+/// to the serial per-update protocols, and how much ran out of order.
+/// Defined here (not in the algorithm) so the harness and benches can
+/// aggregate/print them without depending on the algorithm's type —
+/// any BatchApplicable algorithm with a scheduler can expose one via a
+/// `batch_stats()` accessor (see harness::BatchScheduled).
+struct BatchScheduleStats {
+  std::uint64_t batches = 0;           ///< apply_batch invocations
+  std::uint64_t groups = 0;            ///< shared-round group instances run
+  std::uint64_t grouped_updates = 0;   ///< updates executed inside a group
+  std::uint64_t serial_updates = 0;    ///< updates via the serial fallback
+  std::uint64_t reordered_updates = 0; ///< ran before an earlier batch entry
+  std::uint64_t batched_tree_deletes = 0;  ///< tree-edge deletions grouped
+  std::uint64_t max_group = 0;         ///< largest group size seen
+
+  [[nodiscard]] double mean_group_size() const {
+    return groups == 0 ? 0.0
+                       : static_cast<double>(grouped_updates) /
+                             static_cast<double>(groups);
+  }
+  [[nodiscard]] double groups_per_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(groups) /
+                              static_cast<double>(batches);
+  }
+};
+
 /// Full metrics stream attached to a Cluster.
 class Metrics {
  public:

@@ -172,6 +172,66 @@ UpdateStream bridge_adversary_stream(std::size_t n, std::size_t length,
   return out;
 }
 
+UpdateStream interleaved_delete_stream(std::size_t n, std::size_t length,
+                                       std::size_t paths,
+                                       std::size_t chords_per_path,
+                                       std::uint64_t seed, bool weighted,
+                                       Weight max_weight) {
+  std::mt19937_64 rng(seed);
+  paths = std::max<std::size_t>(1, std::min(paths, n / 2));
+  // Budget the build phase against the stream length: the path edges may
+  // take at most ~half of it, so the delete/re-insert bursts — the whole
+  // point of the adversary — always get the other half, no matter how
+  // large n is relative to length.
+  const std::size_t per =
+      std::min(n / paths,
+               std::max<std::size_t>(2, length / (2 * paths)));
+  UpdateStream out;
+  out.reserve(length);
+  auto weight = [&]() {
+    return weighted ? random_weight(rng, max_weight) : Weight{0};
+  };
+  std::vector<std::pair<VertexId, VertexId>> ranges;  // [lo, hi) per path
+  std::set<EdgeKey> present;
+  for (std::size_t p = 0; p < paths; ++p) {
+    const VertexId lo = static_cast<VertexId>(p * per);
+    const VertexId hi = static_cast<VertexId>(lo + per);
+    ranges.emplace_back(lo, hi);
+    for (VertexId u = lo; u + 1 < hi; ++u) {
+      present.insert(EdgeKey(u, u + 1));
+      out.push_back({UpdateKind::kInsert, u, u + 1, weight()});
+    }
+  }
+  for (const auto& [lo, hi] : ranges) {
+    std::uniform_int_distribution<VertexId> pick(lo, hi - 1);
+    for (std::size_t c = 0; c < chords_per_path && out.size() < length; ++c) {
+      const VertexId u = pick(rng);
+      const VertexId v = pick(rng);
+      if (u == v) continue;
+      EdgeKey k(u, v);
+      if (!present.insert(k).second) continue;
+      out.push_back({UpdateKind::kInsert, k.u, k.v, weight()});
+    }
+  }
+  // Interleaved delete/re-insert bursts, one path edge per path each.
+  while (out.size() + 2 * paths <= length) {
+    std::vector<EdgeKey> burst;
+    burst.reserve(paths);
+    for (const auto& [lo, hi] : ranges) {
+      std::uniform_int_distribution<VertexId> pick(lo, hi - 2);
+      const VertexId u = pick(rng);
+      burst.emplace_back(u, u + 1);
+    }
+    for (const EdgeKey& k : burst) {
+      out.push_back({UpdateKind::kDelete, k.u, k.v, 0});
+    }
+    for (const EdgeKey& k : burst) {
+      out.push_back({UpdateKind::kInsert, k.u, k.v, weight()});
+    }
+  }
+  return out;
+}
+
 bool apply_update(DynamicGraph& g, const Update& up) {
   return up.kind == UpdateKind::kInsert ? g.insert_edge(up.u, up.v)
                                         : g.delete_edge(up.u, up.v);

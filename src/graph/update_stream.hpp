@@ -56,6 +56,23 @@ UpdateStream bridge_adversary_stream(std::size_t n, std::size_t length,
                                      bool weighted = false,
                                      Weight max_weight = 1000);
 
+/// Delete-heavy interleaved adversary: builds `paths` disjoint long
+/// paths (plus `chords_per_path` random chords inside each path, so some
+/// deleted bridges have replacement candidates), then repeats
+/// interleaved bursts — delete one random path edge per path, then
+/// re-insert them all.  Within a burst consecutive updates touch
+/// distinct components, so every burst is a set of independent tree-edge
+/// deletions (resp. merges): a prefix-only batch planner serializes each
+/// deletion, while an out-of-order batch scheduler shares their rounds.
+/// The build phase spends at most ~length/2 updates (using fewer than n
+/// vertices when n is large), so the bursts always make up the rest.
+UpdateStream interleaved_delete_stream(std::size_t n, std::size_t length,
+                                       std::size_t paths,
+                                       std::size_t chords_per_path,
+                                       std::uint64_t seed,
+                                       bool weighted = false,
+                                       Weight max_weight = 1000);
+
 /// Applies one update to g; returns false if it was a no-op (insert of a
 /// present edge / delete of an absent one).  The dynamic algorithms'
 /// insert/erase preconditions forbid no-ops, so shadow-graph consumers

@@ -40,7 +40,8 @@ void Driver::run_checkpoint() {
     if (!h.validate) continue;
     std::string why;
     if (!h.validate(&why)) {
-      throw ValidationError("algorithm '" + h.name + "' failed validate() at step " +
+      throw ValidationError("algorithm '" + h.name +
+                            "' failed validate() at step " +
                             std::to_string(report_.applied) + ": " + why);
     }
   }
@@ -56,6 +57,7 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
     stats.name = h.name;
     stats.instrumented = static_cast<bool>(h.last_update);
     stats.batched = batching() && static_cast<bool>(h.apply_batch);
+    stats.scheduled = stats.batched && static_cast<bool>(h.sched_stats);
     report_.algorithms.push_back(std::move(stats));
   }
   // The open batch's effective updates (already applied to the shadow).
@@ -78,6 +80,9 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
         if (h.last_update) {
           report_.algorithms[i].batch_agg.absorb(h.last_update());
         }
+        // The algorithm's scheduler stats are cumulative; keep the
+        // report's copy current after every batch.
+        if (h.sched_stats) report_.algorithms[i].sched = h.sched_stats();
       } else if (h.last_update) {
         report_.algorithms[i].batch_agg.absorb(batch_acc[i]);
         batch_acc[i] = dmpc::UpdateRecord{};

@@ -91,6 +91,16 @@ concept BatchApplicable =
       a.apply_batch(batch);
     };
 
+/// Batch-applicable algorithms whose scheduler also reports how batches
+/// were partitioned (groups, serial fallbacks, out-of-order runs); the
+/// driver snapshots the stats into AlgorithmStats::sched after every
+/// batch.
+template <typename A>
+concept BatchScheduled = requires(const A a) {
+  { a.batch_stats() } ->
+      std::convertible_to<const dmpc::BatchScheduleStats&>;
+};
+
 /// Algorithms whose cluster accepts a driver-installed RoundExecutor.
 template <typename A>
 concept ExecutorConfigurable =
@@ -124,7 +134,7 @@ struct DriverConfig {
   std::size_t checkpoint_every = 1;  ///< in *batches*; 0 = only at the end
   bool weighted = false;             ///< pass Update::w to weighted inserts
   bool final_checkpoint = true;      ///< checkpoint after the last batch
-  bool use_apply_batch = true;       ///< prefer apply_batch() when batch_size > 1
+  bool use_apply_batch = true;  ///< prefer apply_batch() if batch_size > 1
   ExecutorKind executor = ExecutorKind::kSerial;
   std::size_t executor_threads = 0;  ///< 0 = hardware concurrency
 };
@@ -143,6 +153,10 @@ struct AlgorithmStats {
   /// the sum of its updates' records, so batched and serial runs are
   /// directly comparable.
   dmpc::UpdateAggregate batch_agg;
+  /// Scheduler statistics (BatchScheduled algorithms applied via
+  /// apply_batch only): groups per batch, serial fallbacks, reorders.
+  bool scheduled = false;
+  dmpc::BatchScheduleStats sched;
 };
 
 struct DriverReport {
@@ -189,6 +203,11 @@ class Driver {
     if constexpr (BatchApplicable<A>) {
       h.apply_batch = [&alg](std::span<const graph::Update> batch) {
         alg.apply_batch(batch);
+      };
+    }
+    if constexpr (BatchScheduled<A>) {
+      h.sched_stats = [&alg]() -> dmpc::BatchScheduleStats {
+        return std::as_const(alg).batch_stats();
       };
     }
     if constexpr (ExecutorConfigurable<A>) {
@@ -249,6 +268,7 @@ class Driver {
     std::function<dmpc::UpdateRecord()> last_update;   // may be empty
     std::function<void(std::span<const graph::Update>)>
         apply_batch;                                   // may be empty
+    std::function<dmpc::BatchScheduleStats()> sched_stats;  // may be empty
   };
 
   void run_checkpoint();

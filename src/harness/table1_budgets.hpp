@@ -1,0 +1,51 @@
+// Shared Table-1 complexity budgets: measured worst-case per-update
+// triples on fixed seeds plus ~30-50% headroom, loose enough to survive
+// benign protocol tweaks, tight enough that an asymptotic slip (an extra
+// round per update, a broadcast past O(sqrt N)) trips them.
+//
+// Two consumers gate on these numbers:
+//   * tests/test_table1_budgets.cpp asserts the full (rounds, machines,
+//     communication) triple at n = 256, where the machines/comm values
+//     were measured;
+//   * bench_table1 / bench_scaling --check gate the ROUNDS component
+//     only: per-update rounds are O(1) — independent of n — so the same
+//     budget applies at every size the benches sweep, while machines and
+//     communication grow with sqrt(N) and are only meaningful at the
+//     size they were measured.
+// The batched budgets bound mean rounds per update of apply_batch on the
+// bench workloads (batch = 16), the metric the CI bench job guards.
+#pragma once
+
+#include <cstdint>
+
+namespace harness::budgets {
+
+struct Table1Budget {
+  const char* name;
+  std::uint64_t rounds;      ///< worst rounds per update (any n)
+  std::uint64_t machines;    ///< worst active machines per round (n = 256)
+  std::uint64_t comm_words;  ///< worst comm words per round (n = 256)
+};
+
+inline constexpr Table1Budget kMaximalMatching{"maximal matching", 16, 6,
+                                               2100};
+inline constexpr Table1Budget kThreeHalvesMatching{"3/2-approx matching", 18,
+                                                   10, 2100};
+inline constexpr Table1Budget kCsMatching{"(2+eps)-approx matching", 6, 32,
+                                          64};
+inline constexpr Table1Budget kConnectedComponents{"connected components", 18,
+                                                   44, 600};
+inline constexpr Table1Budget kApproximateMst{"(1+eps)-MST", 28, 44, 600};
+
+/// Batched connectivity at batch = 16 (out-of-order scheduler), mean
+/// rounds per update.  Measured ~2.9 on bench_table1's random stream
+/// (serial baseline ~6.3, prefix planner ~4.6); the budget keeps the
+/// scheduler strictly ahead of the prefix planner...
+inline constexpr double kBatchedConnectivityRoundsPerUpdate = 3.8;
+/// ...and on the delete-heavy interleaved stream (measured ~3.7; serial
+/// ~6.7, prefix planner ~5.7, which degenerates to one serialized
+/// deletion per group), where grouped splits + the shared replacement
+/// search must keep the out-of-order scheduler under this bound.
+inline constexpr double kDeleteHeavyRoundsPerUpdate = 4.5;
+
+}  // namespace harness::budgets

@@ -29,8 +29,12 @@ void HdtConnectivity::add_nontree(VertexId u, VertexId v, int level) {
   counter_.touch(2);
   au.insert(v);
   av.insert(u);
-  if (au.size() == 1) forests_[static_cast<std::size_t>(level)]->set_vertex_flag(u, true);
-  if (av.size() == 1) forests_[static_cast<std::size_t>(level)]->set_vertex_flag(v, true);
+  if (au.size() == 1) {
+    forests_[static_cast<std::size_t>(level)]->set_vertex_flag(u, true);
+  }
+  if (av.size() == 1) {
+    forests_[static_cast<std::size_t>(level)]->set_vertex_flag(v, true);
+  }
 }
 
 void HdtConnectivity::remove_nontree(VertexId u, VertexId v, int level) {
@@ -39,8 +43,12 @@ void HdtConnectivity::remove_nontree(VertexId u, VertexId v, int level) {
   counter_.touch(2);
   au.erase(v);
   av.erase(u);
-  if (au.empty()) forests_[static_cast<std::size_t>(level)]->set_vertex_flag(u, false);
-  if (av.empty()) forests_[static_cast<std::size_t>(level)]->set_vertex_flag(v, false);
+  if (au.empty()) {
+    forests_[static_cast<std::size_t>(level)]->set_vertex_flag(u, false);
+  }
+  if (av.empty()) {
+    forests_[static_cast<std::size_t>(level)]->set_vertex_flag(v, false);
+  }
 }
 
 void HdtConnectivity::insert(VertexId u, VertexId v) {
@@ -102,7 +110,8 @@ void HdtConnectivity::erase(VertexId u, VertexId v) {
     }
     // 2. Scan level-i non-tree edges incident to the small side.
     while (auto x = f.find_flagged_vertex(small)) {
-      auto& ax = adj_[static_cast<std::size_t>(i)][static_cast<std::size_t>(*x)];
+      auto& ax =
+          adj_[static_cast<std::size_t>(i)][static_cast<std::size_t>(*x)];
       while (!ax.empty()) {
         const VertexId y = *ax.begin();
         counter_.touch();

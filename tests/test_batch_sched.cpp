@@ -1,0 +1,115 @@
+// Randomized stress tests of the out-of-order batch scheduler: arbitrary
+// mixed insert/delete batches through DynamicForest::apply_batch versus
+// serial replay, across many seeds, stream shapes, batch sizes, and both
+// weighted modes.  Asserts identical final state (component partition,
+// forest weight, tree-edge count), canonicalized directory contents, the
+// structural validate() invariants, and oracle connectivity at driver
+// checkpoints.  Component IDS may differ between the two runs (split-off
+// ids are assigned in execution order), so the directory is compared as
+// the multiset of (canonical component, size) pairs derived from the
+// snapshot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dyn_forest.hpp"
+#include "graph/update_stream.hpp"
+#include "harness/checks.hpp"
+#include "harness/driver.hpp"
+
+namespace {
+
+using harness::Driver;
+using harness::DriverConfig;
+
+/// Canonicalized directory: component label (smallest member vertex) ->
+/// size, derived from the snapshot every machine's directory shard must
+/// agree with (validate() asserts that agreement separately).
+std::map<dmpc::VertexId, std::size_t> canonical_directory(
+    const core::DynamicForest& f) {
+  std::map<dmpc::VertexId, std::size_t> dir;
+  for (const dmpc::VertexId label : f.component_snapshot()) ++dir[label];
+  return dir;
+}
+
+struct StressCase {
+  std::uint64_t seed;
+  std::size_t batch_size;
+  bool weighted;
+};
+
+class BatchSchedulerStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(BatchSchedulerStress, MatchesSerialReplay) {
+  const auto [seed, batch_size, weighted] = GetParam();
+  const std::size_t n = 48;
+  // Rotate through the stream shapes: uniformly random churn, the
+  // bridge adversary (serialized tree deletions), and the delete-heavy
+  // interleaved adversary (batched tree deletions).
+  graph::UpdateStream stream;
+  switch (seed % 3) {
+    case 0:
+      stream = graph::random_stream(n, 300, 0.6, seed, weighted);
+      break;
+    case 1:
+      stream = graph::bridge_adversary_stream(n, 2 * n + 200, n / 4, seed,
+                                              weighted);
+      break;
+    default:
+      stream = graph::interleaved_delete_stream(n, 300, 5, 2, seed, weighted);
+      break;
+  }
+
+  core::DynamicForest serial({.n = n, .m_cap = 4 * n, .weighted = weighted});
+  serial.preprocess(graph::WeightedEdgeList{});
+  Driver serial_driver(
+      n, DriverConfig{.checkpoint_every = 0, .weighted = weighted});
+  serial_driver.add("forest", serial);
+  serial_driver.run(stream);
+
+  core::DynamicForest batched({.n = n, .m_cap = 4 * n, .weighted = weighted});
+  batched.preprocess(graph::WeightedEdgeList{});
+  Driver batched_driver(n, DriverConfig{.batch_size = batch_size,
+                                        .checkpoint_every = 4,
+                                        .weighted = weighted});
+  batched_driver.add("forest", batched);
+  batched_driver.on_checkpoint(
+      harness::components_match_oracle(batched, "forest"));
+  ASSERT_NO_THROW(batched_driver.run(stream)) << "seed " << seed;
+
+  EXPECT_EQ(serial.component_snapshot(), batched.component_snapshot())
+      << "seed " << seed;
+  EXPECT_EQ(canonical_directory(serial), canonical_directory(batched))
+      << "seed " << seed;
+  auto st = serial.tree_edges(), bt = batched.tree_edges();
+  EXPECT_EQ(st.size(), bt.size()) << "seed " << seed;
+  EXPECT_EQ(serial.forest_weight(), batched.forest_weight())
+      << "seed " << seed;
+  std::string why;
+  EXPECT_TRUE(batched.validate(&why)) << "seed " << seed << ": " << why;
+  EXPECT_TRUE(serial.validate(&why)) << "seed " << seed << ": " << why;
+}
+
+std::vector<StressCase> stress_cases() {
+  std::vector<StressCase> cases;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    // Vary the batch size with the seed so group shapes differ: 4..32.
+    const std::size_t batch_size = 4 << (seed % 4);
+    cases.push_back({seed, batch_size, false});
+    cases.push_back({seed, batch_size, true});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, BatchSchedulerStress, ::testing::ValuesIn(stress_cases()),
+    [](const ::testing::TestParamInfo<StressCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_batch" +
+             std::to_string(info.param.batch_size) +
+             (info.param.weighted ? "_weighted" : "_unweighted");
+    });
+
+}  // namespace

@@ -119,7 +119,8 @@ TEST_P(MatchingTwinsTest, BothMaximalAndWithinFactor2OfEachOther) {
     ASSERT_LE(sd, 2 * ss) << "step " << cp.step;
     ASSERT_LE(ss, 2 * sd) << "step " << cp.step;
   });
-  const auto& report = driver.run(graph::random_stream(n, 250, 0.6, GetParam()));
+  const auto& report =
+      driver.run(graph::random_stream(n, 250, 0.6, GetParam()));
   // The distributed twin is cluster-backed: the driver aggregated its
   // per-update DMPC cost; the sequential twin is not instrumented.
   ASSERT_NE(report.find("dist"), nullptr);

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/dyn_forest.hpp"
@@ -58,6 +59,60 @@ TEST(ThreadPoolExecutor, ReusableAcrossRuns) {
 TEST(ThreadPoolExecutor, ZeroTasksIsANoOp) {
   ThreadPoolExecutor pool(2);
   EXPECT_NO_THROW(pool.run(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPoolExecutor, SmallRoundsBypassThePool) {
+  // Rounds at or below the serial cutoff run inline on the calling
+  // thread — no worker wake-up, no barrier.
+  ThreadPoolExecutor pool(4);
+  ASSERT_GE(pool.serial_cutoff(), 8u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.run(ran.size(), [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+  });
+  for (std::size_t i = 0; i < ran.size(); ++i) {
+    EXPECT_EQ(ran[i], caller) << "task " << i << " left the calling thread";
+  }
+}
+
+TEST(ThreadPoolExecutor, InlinePathKeepsExceptionSemantics) {
+  ThreadPoolExecutor pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run(4,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 1) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // Like SerialExecutor, the remaining tasks still ran before the
+  // rethrow.
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolExecutor, CutoffZeroForcesPoolScheduling) {
+  ThreadPoolExecutor pool(2, /*serial_cutoff=*/0);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolExecutor, WakesOnlyAsManyWorkersAsNeeded) {
+  // 8 workers, 20 tasks (above the cutoff): only 8 can ever join, and
+  // repeated rounds must neither deadlock nor drop tasks even though
+  // most generations wake a strict subset of the pool.
+  ThreadPoolExecutor pool(8, /*serial_cutoff=*/1);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> total{0};
+    pool.run(20, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(total.load(), 20) << "round " << round;
+  }
 }
 
 TEST(ThreadPoolExecutor, PropagatesTaskExceptionsAtTheBarrier) {
@@ -180,6 +235,31 @@ TEST(ExecutorDeterminism, ThreadPoolMatchesSerialBatched) {
   const auto pooled =
       run_forest(harness::ExecutorKind::kThreadPool, 8, stream, n);
   expect_identical(*serial, *pooled);
+}
+
+// The batch scheduler's planning runs on the driver thread, so group
+// assignment — including batched tree deletions and out-of-order
+// executions — must be identical under the thread pool, not just the
+// final state.
+TEST(ExecutorDeterminism, GroupAssignmentMatchesSerialOnDeleteHeavy) {
+  const std::size_t n = 96;
+  const auto stream = graph::interleaved_delete_stream(n, 400, 6, 2, 21);
+  const auto serial =
+      run_forest(harness::ExecutorKind::kSerial, 16, stream, n);
+  const auto pooled =
+      run_forest(harness::ExecutorKind::kThreadPool, 16, stream, n);
+  expect_identical(*serial, *pooled);
+
+  const dmpc::BatchScheduleStats& ss = serial->batch_stats();
+  const dmpc::BatchScheduleStats& ps = pooled->batch_stats();
+  EXPECT_EQ(ss.batches, ps.batches);
+  EXPECT_EQ(ss.groups, ps.groups);
+  EXPECT_EQ(ss.grouped_updates, ps.grouped_updates);
+  EXPECT_EQ(ss.serial_updates, ps.serial_updates);
+  EXPECT_EQ(ss.reordered_updates, ps.reordered_updates);
+  EXPECT_EQ(ss.batched_tree_deletes, ps.batched_tree_deletes);
+  EXPECT_EQ(ss.max_group, ps.max_group);
+  EXPECT_GT(ss.batched_tree_deletes, 0u);
 }
 
 }  // namespace

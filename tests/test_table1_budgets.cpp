@@ -5,11 +5,11 @@
 // grew past O(sqrt N), a coordinator that stopped staying O(1) — fails
 // CI instead of only shifting a printed number.
 //
-// The budgets are measured values on the fixed workloads below (n = 256,
-// deterministic seeds) plus ~30-50% headroom: loose enough to survive
-// benign protocol tweaks, tight enough that an asymptotic slip (one more
-// round per update, comm growing by a factor) trips them.  N = n + m_cap
-// = 5n = 1280, sqrt(N) ~ 36.
+// The budget values live in harness/table1_budgets.hpp, SHARED with the
+// CI benchmark gate (bench_table1 / bench_scaling --check): this suite
+// asserts the full measured-plus-headroom triple at n = 256 (N = n +
+// m_cap = 5n = 1280, sqrt(N) ~ 36), the benches re-check the
+// n-independent rounds component at their own sizes.
 #include <gtest/gtest.h>
 
 #include "core/cs_matching.hpp"
@@ -18,8 +18,11 @@
 #include "core/three_halves_matching.hpp"
 #include "graph/update_stream.hpp"
 #include "harness/driver.hpp"
+#include "harness/table1_budgets.hpp"
 
 namespace {
+
+using harness::budgets::Table1Budget;
 
 constexpr std::size_t kN = 256;
 constexpr std::size_t kMCap = 4 * kN;
@@ -28,14 +31,8 @@ constexpr std::size_t kStream = 150;  // updates beyond the build phase
 // Checkpoints (validate() sweeps) only at the end of the run.
 const harness::DriverConfig kConfig{.checkpoint_every = 0};
 
-struct Budget {
-  std::uint64_t rounds;
-  std::uint64_t machines;
-  std::uint64_t comm_words;
-};
-
 void expect_within(const harness::DriverReport& report, const char* name,
-                   const Budget& budget) {
+                   const Table1Budget& budget) {
   const auto* stats = report.find(name);
   ASSERT_NE(stats, nullptr) << name;
   ASSERT_TRUE(stats->instrumented) << name;
@@ -55,7 +52,8 @@ TEST(Table1Budgets, MaximalMatching) {
   harness::Driver driver(kN, kConfig);
   driver.add("mm", mm);
   driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 1));
-  expect_within(driver.report(), "mm", {16, 6, 2100});
+  expect_within(driver.report(), "mm",
+                harness::budgets::kMaximalMatching);
 }
 
 TEST(Table1Budgets, ThreeHalvesMatching) {
@@ -65,7 +63,8 @@ TEST(Table1Budgets, ThreeHalvesMatching) {
   harness::Driver driver(kN, kConfig);
   driver.add("th", th);
   driver.run(graph::matched_edge_adversary_stream(kN, kN + kStream, 2));
-  expect_within(driver.report(), "th", {18, 10, 2100});
+  expect_within(driver.report(), "th",
+                harness::budgets::kThreeHalvesMatching);
 }
 
 TEST(Table1Budgets, CsMatching) {
@@ -74,7 +73,7 @@ TEST(Table1Budgets, CsMatching) {
   harness::Driver driver(kN, kConfig);
   driver.add("cs", cs);
   driver.run(graph::random_stream(kN, kStream, 0.6, 3));
-  expect_within(driver.report(), "cs", {6, 32, 64});
+  expect_within(driver.report(), "cs", harness::budgets::kCsMatching);
 }
 
 TEST(Table1Budgets, ConnectedComponents) {
@@ -85,7 +84,8 @@ TEST(Table1Budgets, ConnectedComponents) {
   driver.add("cc", forest);
   driver.seed(graph::cycle(kN));
   driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 4));
-  expect_within(driver.report(), "cc", {18, 44, 600});
+  expect_within(driver.report(), "cc",
+                harness::budgets::kConnectedComponents);
 }
 
 TEST(Table1Budgets, ApproximateMst) {
@@ -101,7 +101,7 @@ TEST(Table1Budgets, ApproximateMst) {
   driver.seed(initial);
   driver.run(graph::bridge_adversary_stream(kN, 2 * kN + kStream, kN / 4, 5,
                                             /*weighted=*/true));
-  expect_within(driver.report(), "mst", {28, 44, 600});
+  expect_within(driver.report(), "mst", harness::budgets::kApproximateMst);
 }
 
 }  // namespace
