@@ -162,15 +162,19 @@ inline void print_batch_row(const harness::DriverReport& report,
       stats->batched ? stats->batch_agg : stats->agg;
   std::string full_note = note;
   if (stats->scheduled) {
-    char sched[128];
-    std::snprintf(sched, sizeof sched,
-                  " | grp/batch=%.1f reord=%llu serial=%llu sdel=%llu",
-                  stats->sched.groups_per_batch(),
-                  static_cast<unsigned long long>(
-                      stats->sched.reordered_updates),
-                  static_cast<unsigned long long>(stats->sched.serial_updates),
-                  static_cast<unsigned long long>(
-                      stats->sched.batched_tree_deletes));
+    char sched[192];
+    std::snprintf(
+        sched, sizeof sched,
+        " | grp/batch=%.1f reord=%llu serial=%llu sdel=%llu pmax=%llu "
+        "pipe=%llu/%llu",
+        stats->sched.groups_per_batch(),
+        static_cast<unsigned long long>(stats->sched.reordered_updates),
+        static_cast<unsigned long long>(stats->sched.serial_updates),
+        static_cast<unsigned long long>(stats->sched.batched_tree_deletes),
+        static_cast<unsigned long long>(stats->sched.path_max_grouped),
+        static_cast<unsigned long long>(stats->sched.waves_pipelined),
+        static_cast<unsigned long long>(stats->sched.waves_pipelined +
+                                        stats->sched.speculation_misses));
     full_note += sched;
   }
   std::printf("%-28s %12llu %12.2f %14llu %10zu   %s\n", name.c_str(),
@@ -212,7 +216,10 @@ inline bool batched_json_row(JsonReport& json,
       json.num("groups_per_batch", stats->sched.groups_per_batch())
           .u64("reordered_updates", stats->sched.reordered_updates)
           .u64("serial_updates", stats->sched.serial_updates)
-          .u64("batched_tree_deletes", stats->sched.batched_tree_deletes);
+          .u64("batched_tree_deletes", stats->sched.batched_tree_deletes)
+          .u64("path_max_grouped", stats->sched.path_max_grouped)
+          .u64("waves_pipelined", stats->sched.waves_pipelined)
+          .u64("speculation_misses", stats->sched.speculation_misses);
     }
   }
   if (budget_rpu != 0.0) {

@@ -278,6 +278,63 @@ int main(int argc, char** argv) {
                      harness::budgets::kDeleteHeavyRoundsPerUpdate, wall);
   }
 
+  // Weighted (MST) batched section: every burst of the weighted
+  // delete-heavy adversary is a set of independent tree-edge deletions
+  // followed by a set of independent cycle-rule swap inserts.  A
+  // scheduler that serializes the path-max search (batch_path_max off —
+  // the PR 3 behavior) pays near-serial rounds for the insert half; the
+  // shared path-max round + pipelined waves batch it.
+  bench::print_batch_header(
+      "batched (1+eps)-MST (cycle-rule inserts share the path-max round)");
+  auto run_mst = [&](std::size_t batch_size, bool path_max, bool pipeline,
+                     const graph::UpdateStream& stream,
+                     double* wall_seconds) {
+    core::DynamicForest mst({.n = kN,
+                             .m_cap = kMCap,
+                             .weighted = true,
+                             .batch_path_max = path_max,
+                             .pipeline_waves = pipeline});
+    mst.preprocess(graph::WeightedEdgeList{});
+    harness::DriverConfig config{.batch_size = batch_size,
+                                 .checkpoint_every = 0,
+                                 .weighted = true};
+    harness::Driver driver(kN, config);
+    driver.add("mst", mst);
+    *wall_seconds = bench::timed_seconds([&] { driver.run(stream); });
+    return driver.report();
+  };
+  const auto weighted_stream =
+      graph::weighted_interleaved_delete_stream(kN, 2000, 8, 3, 10);
+  {
+    const auto& r = run_mst(1, true, true, weighted_stream, &wall);
+    bench::print_batch_row(r, "mst", "weighted delete-heavy, serial");
+    gate_batched_row(json, r, "mst", "mst delete-heavy serial", 0.0, wall);
+  }
+  {
+    const auto& r = run_mst(16, false, false, weighted_stream, &wall);
+    bench::print_batch_row(r, "mst",
+                           "weighted, batch=16 serialized cycle rule");
+    gate_batched_row(json, r, "mst", "mst delete-heavy nopathmax16", 0.0,
+                     wall);
+  }
+  {
+    // Path-max grouping alone (no pipelining): separates the genuinely
+    // shared search rounds from the overlapped-prepare accounting.
+    const auto& r = run_mst(16, true, false, weighted_stream, &wall);
+    bench::print_batch_row(r, "mst",
+                           "weighted, batch=16 path-max, no pipeline");
+    gate_batched_row(json, r, "mst", "mst delete-heavy pathmax16 nopipe",
+                     0.0, wall);
+  }
+  {
+    const auto& r = run_mst(16, true, true, weighted_stream, &wall);
+    bench::print_batch_row(r, "mst",
+                           "weighted, batch=16 path-max + pipelined");
+    gate_batched_row(
+        json, r, "mst", "mst delete-heavy pathmax16",
+        harness::budgets::kWeightedDeleteHeavyRoundsPerUpdate, wall);
+  }
+
   std::printf(
       "\nNotes: machines(wc)/comm(wc) are per-round worst cases; the\n"
       "reduction rows show rounds = sequential memory accesses with O(1)\n"

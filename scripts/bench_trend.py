@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Wall-clock trend gate for the CI bench job.
+
+Compares the current BENCH_*.json artifacts (written by
+`bench_table1 --json` / `bench_scaling --json`) against the previous
+run's copies restored from the actions/cache baseline (keyed on main)
+and fails when any workload's wall-clock regressed by more than the
+threshold.
+
+Rows are matched by (bench, name[, n]).  Sub-floor timings are ignored:
+CI runners are noisy and a 25% swing on a 20 ms row is weather, not a
+regression.  A missing baseline (first run, expired cache) passes with a
+notice — the save step repopulates it.
+
+Usage:
+  bench_trend.py --baseline DIR --current DIR \
+      [--max-regress 0.25] [--min-seconds 0.25]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    """{(name, n): wall_seconds} for one BENCH_*.json report."""
+    with open(path) as f:
+        report = json.load(f)
+    rows = {}
+    for row in report.get("workloads", []):
+        wall = row.get("wall_seconds")
+        if wall is None:
+            continue
+        rows[(row.get("name"), row.get("n"))] = float(wall)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="directory with the previous run's BENCH_*.json")
+    ap.add_argument("--current", required=True,
+                    help="directory with this run's BENCH_*.json")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="fail when wall-clock grows by more than this "
+                         "fraction (default 0.25)")
+    ap.add_argument("--min-seconds", type=float, default=0.25,
+                    help="ignore rows whose baseline wall-clock is below "
+                         "this floor (default 0.25)")
+    args = ap.parse_args()
+
+    names = [n for n in sorted(os.listdir(args.current))
+             if n.startswith("BENCH_") and n.endswith(".json")]
+    if not names:
+        print(f"bench_trend: no BENCH_*.json in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for name in names:
+        base_path = os.path.join(args.baseline, name)
+        if not os.path.exists(base_path):
+            print(f"bench_trend: no baseline for {name} "
+                  "(first run or expired cache) — skipping")
+            continue
+        base = load_rows(base_path)
+        cur = load_rows(os.path.join(args.current, name))
+        for key, base_wall in sorted(base.items()):
+            if key not in cur:
+                # A renamed/removed workload silently losing coverage is
+                # worth a visible notice, not a failure.
+                print(f"bench_trend: {name}: baseline row {key[0]!r} "
+                      "missing from current run — not compared")
+                continue
+            cur_wall = cur[key]
+            # Noise floor: skip only when BOTH sides are tiny, so a row
+            # that grew from sub-floor to large is still gated.
+            if base_wall < args.min_seconds and cur_wall < args.min_seconds:
+                continue
+            compared += 1
+            ratio = cur_wall / base_wall
+            marker = ""
+            if ratio > 1.0 + args.max_regress:
+                marker = "  <-- REGRESSION"
+                regressions.append((name, key, base_wall, cur_wall))
+            label = key[0] if key[1] is None else f"{key[0]} (n={key[1]})"
+            print(f"{name}: {label}: {base_wall:.3f}s -> {cur_wall:.3f}s "
+                  f"({ratio:.2f}x baseline){marker}")
+
+    if regressions:
+        print(f"\nbench_trend: {len(regressions)} wall-clock regression(s) "
+              f"beyond {args.max_regress:.0%}:", file=sys.stderr)
+        for name, key, base_wall, cur_wall in regressions:
+            print(f"  {name} {key[0]}: {base_wall:.3f}s -> {cur_wall:.3f}s",
+                  file=sys.stderr)
+        return 1
+    print(f"bench_trend: {compared} row(s) within "
+          f"{args.max_regress:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

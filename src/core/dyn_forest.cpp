@@ -38,6 +38,10 @@ enum Tag : Word {
   kBatchEndpoints,
   kBatchReply,
   kBatchReady,
+  // Cycle-rule commit verdicts: after the shared path-max round the
+  // ingress tells each swap-or-deferred coordinator whether its update
+  // commits this wave or returns to the pending set.
+  kBatchVerdict,
 };
 
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -614,6 +618,16 @@ DynamicForest::SplitPlan DynamicForest::make_split(const Prep& p, VertexId x,
   return plan;
 }
 
+void DynamicForest::demote_record(EdgeRec& rec, const SplitBcast& sb) {
+  rec.tree = false;
+  rec.crossing = true;
+  rec.u_in_subtree = rec.u == sb.child;
+  rec.v_in_subtree = rec.v == sb.child;
+  rec.iu1 = rec.u == sb.child ? sb.cached_child : sb.cached_parent;
+  rec.iv1 = rec.v == sb.child ? sb.cached_child : sb.cached_parent;
+  rec.iu2 = rec.iv2 = etour::kNoIndex;
+}
+
 void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
                                      bool demote) {
   const EdgeKey key(x, y);
@@ -621,7 +635,6 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
   const SplitBcast& sb = split.sb;
   const Word sub_size = split.sub_size;
   const Word rest_size = split.rest_size;
-  const VertexId child = sb.child;
   run_split(sb);
 
   // Record round: delete (or, for the cycle rule, demote to non-tree) the
@@ -638,17 +651,7 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
                  {sb.new_comp, sub_size});
   cluster_->finish_round();
   if (demote) {
-    // The displaced edge stays in the graph as a crossing non-tree record:
-    // its endpoints now straddle the split, so it is itself a candidate in
-    // the replacement search below.
-    EdgeRec& rec = machines_[em].edges.at(edge_key(x, y));
-    rec.tree = false;
-    rec.crossing = true;
-    rec.u_in_subtree = rec.u == child;
-    rec.v_in_subtree = rec.v == child;
-    rec.iu1 = rec.u == child ? sb.cached_child : sb.cached_parent;
-    rec.iv1 = rec.v == child ? sb.cached_child : sb.cached_parent;
-    rec.iu2 = rec.iv2 = etour::kNoIndex;
+    demote_record(machines_[em].edges.at(edge_key(x, y)), sb);
   } else {
     machines_[em].edges.erase(edge_key(x, y));
     release_edge_record(em);
@@ -707,6 +710,32 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
   cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
 }
 
+const DynamicForest::EdgeRec* DynamicForest::path_max_local(
+    MachineId m, Word comp, Word fx, Word lx, Word fy, Word ly) const {
+  const EdgeRec* local_best = nullptr;
+  for (const auto& [k, rec] : machines_[m].edges) {
+    if (!rec.tree || rec.comp != comp) continue;
+    // Child endpoint owns the inner index pair.
+    const Word u_lo = std::min(rec.iu1, rec.iu2);
+    const Word u_hi = std::max(rec.iu1, rec.iu2);
+    const Word v_lo = std::min(rec.iv1, rec.iv2);
+    const Word v_hi = std::max(rec.iv1, rec.iv2);
+    Word f_c, l_c;
+    if (u_lo > v_lo) {
+      f_c = u_lo;
+      l_c = u_hi;
+    } else {
+      f_c = v_lo;
+      l_c = v_hi;
+    }
+    const bool anc_x = f_c <= fx && lx <= l_c;
+    const bool anc_y = f_c <= fy && ly <= l_c;
+    if (anc_x == anc_y) continue;  // not on the tree path
+    if (local_best == nullptr || rec.w > local_best->w) local_best = &rec;
+  }
+  return local_best;
+}
+
 void DynamicForest::insert_impl(VertexId x, VertexId y, Weight w) {
   Prep p = prepare(x, y);
   if (p.edge_exists) return;  // duplicate insertion is a no-op
@@ -725,27 +754,8 @@ void DynamicForest::insert_impl(VertexId x, VertexId y, Weight w) {
   dmpc::broadcast(*cluster_, 0, kPathMaxBcast, {p.cx, p.fx, p.lx, p.fy, p.ly});
   std::vector<const EdgeRec*> candidates(machines_.size(), nullptr);
   cluster_->for_each_machine([&](MachineId m) {
-    const EdgeRec* local_best = nullptr;
-    for (const auto& [k, rec] : machines_[m].edges) {
-      if (!rec.tree || rec.comp != p.cx) continue;
-      // Child endpoint owns the inner index pair.
-      const Word u_lo = std::min(rec.iu1, rec.iu2);
-      const Word u_hi = std::max(rec.iu1, rec.iu2);
-      const Word v_lo = std::min(rec.iv1, rec.iv2);
-      const Word v_hi = std::max(rec.iv1, rec.iv2);
-      Word f_c, l_c;
-      if (u_lo > v_lo) {
-        f_c = u_lo;
-        l_c = u_hi;
-      } else {
-        f_c = v_lo;
-        l_c = v_hi;
-      }
-      const bool anc_x = f_c <= p.fx && p.lx <= l_c;
-      const bool anc_y = f_c <= p.fy && p.ly <= l_c;
-      if (anc_x == anc_y) continue;  // not on the tree path
-      if (local_best == nullptr || rec.w > local_best->w) local_best = &rec;
-    }
+    const EdgeRec* local_best = path_max_local(m, p.cx, p.fx, p.lx, p.fy,
+                                               p.ly);
     candidates[m] = local_best;
     if (local_best != nullptr) {
       cluster_->send(m, 0, kProposal,
@@ -846,6 +856,15 @@ DynamicForest::BatchOp DynamicForest::classify_op(const graph::Update& up,
       // read claim (two such ops may share it, a merge/split may not).
       op.kind = BatchOpKind::kNontreeInsert;
       op.reads[op.num_reads++] = op.cx;
+    } else if (config_.batch_policy == BatchPolicy::kOutOfOrder &&
+               config_.batch_path_max) {
+      // The MST cycle rule's path-max search is read-only until a swap
+      // commits: claim the component for reading so the group protocol
+      // runs all members' searches in one shared round.  A committing
+      // swap escalates to a write at commit time, deferring the
+      // same-component members planned behind it back to pending.
+      op.kind = BatchOpKind::kPathMax;
+      op.reads[op.num_reads++] = op.cx;
     } else {
       // The MST cycle rule may displace a tree edge anywhere on the
       // x..y path: the whole component counts as rewritten and the
@@ -886,9 +905,32 @@ bool DynamicForest::ops_conflict(const BatchOp& a, const BatchOp& b) {
   return writes_hit(a, b) || writes_hit(b, a);
 }
 
+bool DynamicForest::ops_conflict_ordering(const BatchOp& a,
+                                          const BatchOp& b) {
+  if (ops_conflict(a, b)) return true;
+  // A cycle-rule insert may commit a swap that rewrites the component
+  // it only reads at plan time; nothing may be reordered across it
+  // within that component (its search — and the records a reordered
+  // non-tree op would add or remove — must observe serial order).
+  const auto pathmax_hits = [](const BatchOp& pm, const BatchOp& c) {
+    if (pm.kind != BatchOpKind::kPathMax) return false;
+    for (std::size_t i = 0; i < pm.num_reads; ++i) {
+      for (std::size_t j = 0; j < c.num_writes; ++j) {
+        if (pm.reads[i] == c.writes[j]) return true;
+      }
+      for (std::size_t j = 0; j < c.num_reads; ++j) {
+        if (pm.reads[i] == c.reads[j]) return true;
+      }
+    }
+    return false;
+  };
+  return pathmax_hits(a, b) || pathmax_hits(b, a);
+}
+
 DynamicForest::WavePlan DynamicForest::plan_wave(
     std::span<const graph::Update> batch,
-    std::span<const std::size_t> pending) const {
+    std::span<const std::size_t> pending,
+    std::span<const BatchOp> avoid) const {
   WavePlan wave;
   if (config_.batch_policy == BatchPolicy::kPrefix) {
     // PR 2 baseline: a maximal independent *prefix* with exclusive
@@ -937,15 +979,19 @@ DynamicForest::WavePlan DynamicForest::plan_wave(
   //       the local transforms commutative).
   // Deferred updates keep their plan-time claims so later candidates can
   // test (a) against them; their classification is re-derived from the
-  // post-wave state on the next call.
-  std::vector<BatchOp> deferred;
+  // post-wave state on the next call.  Speculative planning seeds the
+  // list with the in-flight wave's ops: anything conflicting with them
+  // would read state that wave is about to rewrite, so it stays pending
+  // (and keeps everything ordered behind it pending too).
+  std::vector<BatchOp> deferred(avoid.begin(), avoid.end());
+  const std::size_t seeded = deferred.size();
   std::set<MachineId> coords;
   for (std::size_t i = 0; i < pending.size(); ++i) {
     BatchOp op = classify_op(batch[pending[i]], pending[i]);
     bool blocked = op.kind == BatchOpKind::kSerial;
     for (const BatchOp& d : deferred) {
       if (blocked) break;
-      blocked = ops_conflict(op, d);
+      blocked = ops_conflict_ordering(op, d);
     }
     if (!blocked) {
       bool fits =
@@ -955,7 +1001,9 @@ DynamicForest::WavePlan DynamicForest::plan_wave(
         fits = !ops_conflict(op, g);
       }
       if (fits) {
-        if (!deferred.empty()) ++wave.reordered;
+        // Overtaking an in-flight (avoid) op is not a reorder of the
+        // pending set; only deferred PENDING updates count.
+        if (deferred.size() > seeded) ++wave.reordered;
         if (op.kind != BatchOpKind::kNoop) coords.insert(op.coord);
         wave.group.push_back(std::move(op));
         wave.taken.push_back(i);
@@ -967,44 +1015,57 @@ DynamicForest::WavePlan DynamicForest::plan_wave(
   return wave;
 }
 
-void DynamicForest::run_group(std::vector<BatchOp> group) {
+DynamicForest::GroupPrep DynamicForest::run_group_prepare(
+    std::vector<BatchOp>& group, bool overlapped) {
   const MachineId mu = static_cast<MachineId>(machines_.size());
+  GroupPrep gp;
+  // Overlapped mode: this is the NEXT wave's read-only prepare riding
+  // the current wave's commit rounds, so deliveries are accounted as
+  // traffic without new rounds (see Cluster::finish_overlapped_round).
+  // gp.rounds still counts them: the scheduler charges back whatever
+  // exceeds the commit rounds they actually rode.
+  const auto finish = [&] {
+    ++gp.rounds;
+    if (overlapped) {
+      cluster_->finish_overlapped_round();
+    } else {
+      cluster_->finish_round();
+    }
+  };
 
   // Round 1 (scatter): the ingress ships each update to its coordinator
   // (= its edge machine), which runs the update's part of every shared
-  // round from here on.  Tree deletions receive the id of their
+  // round from here on.  Tree deletions — and cycle-rule inserts, whose
+  // swap would split the displaced edge out — receive the id of their
   // split-off component here (next_comp_id_ is ingress state).  O(1)
   // words per update from one sender.
   for (std::size_t i = 0; i < group.size(); ++i) {
     BatchOp& op = group[i];
-    if (op.kind == BatchOpKind::kTreeDelete) op.new_comp = next_comp_id_++;
+    if (op.kind == BatchOpKind::kTreeDelete ||
+        op.kind == BatchOpKind::kPathMax) {
+      op.new_comp = next_comp_id_++;
+    }
     cluster_->send(0, op.coord, kBatchScatter,
                    {static_cast<Word>(i), static_cast<Word>(op.kind), op.x,
                     op.y, op.w, op.new_comp});
   }
-  cluster_->finish_round();
+  finish();
 
-  std::vector<std::size_t> active;  // group indexes with real work
-  bool any_merge = false;
-  bool any_delete = false;
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (group[i].kind == BatchOpKind::kNoop) continue;
-    active.push_back(i);
-    any_merge = any_merge || group[i].kind == BatchOpKind::kMerge;
-    any_delete = any_delete || group[i].kind == BatchOpKind::kTreeDelete;
+    gp.active.push_back(i);
+    gp.any_merge = gp.any_merge || group[i].kind == BatchOpKind::kMerge;
+    gp.any_delete =
+        gp.any_delete || group[i].kind == BatchOpKind::kTreeDelete;
+    gp.any_pathmax =
+        gp.any_pathmax || group[i].kind == BatchOpKind::kPathMax;
   }
-  if (active.empty()) return;
-  // Merges need both component sizes, tree deletions the size of the
-  // component they split.
-  const auto needs_dir = [&](std::size_t i) {
-    return group[i].kind == BatchOpKind::kMerge ||
-           group[i].kind == BatchOpKind::kTreeDelete;
-  };
+  if (gp.active.empty()) return gp;
 
   // Round 2 (endpoint broadcast): each coordinator broadcasts its
   // update's endpoints — the per-update analogue of prepare round 1,
   // all sharing one round (O(sqrt N) words per coordinator).
-  for (std::size_t i : active) {
+  for (std::size_t i : gp.active) {
     const BatchOp& op = group[i];
     for (MachineId m = 0; m < mu; ++m) {
       if (m != op.coord) {
@@ -1013,35 +1074,66 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
       }
     }
   }
-  cluster_->finish_round();
+  finish();
 
   // Round 3 (replies): every machine scans its shard once per update
   // (machines run concurrently) and stages its f/l + component reply to
   // the update's coordinator; the coordinator's own contribution stays
   // local.  Shared analogue of prepare round 2.
   std::vector<std::vector<EndpointScan>> scans(
-      active.size(), std::vector<EndpointScan>(machines_.size()));
+      gp.active.size(), std::vector<EndpointScan>(machines_.size()));
   cluster_->for_each_machine([&](MachineId m) {
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      const BatchOp& op = group[active[a]];
+    for (std::size_t a = 0; a < gp.active.size(); ++a) {
+      const BatchOp& op = group[gp.active[a]];
       scans[a][m] = scan_endpoints(m, op.x, op.y);
       std::vector<Word> reply = scan_reply(scans[a][m]);
       if (!reply.empty() && m != op.coord) {
-        reply.insert(reply.begin(), static_cast<Word>(active[a]));
+        reply.insert(reply.begin(), static_cast<Word>(gp.active[a]));
         cluster_->send(m, op.coord, kBatchReply, std::move(reply));
       }
     }
   });
-  cluster_->finish_round();
-  std::vector<Prep> preps(active.size());
-  for (std::size_t a = 0; a < active.size(); ++a) {
-    preps[a] = fold_scans(scans[a]);
+  finish();
+  gp.preps.resize(gp.active.size());
+  for (std::size_t a = 0; a < gp.active.size(); ++a) {
+    gp.preps[a] = fold_scans(scans[a]);
   }
+  return gp;
+}
 
-  // Rounds 4-5 (directory): coordinators of merges and tree deletions
-  // query the component sizes and get the replies — prepare rounds 3-4,
-  // shared.  Deletions touch one component, merges two.
-  if (any_merge || any_delete) {
+DynamicForest::GroupOutcome DynamicForest::run_group_commit(
+    std::vector<BatchOp>& group, const GroupPrep& gp) {
+  const MachineId mu = static_cast<MachineId>(machines_.size());
+  GroupOutcome out;
+  const auto finish = [&] {
+    ++out.rounds;
+    cluster_->finish_round();
+  };
+  const std::vector<std::size_t>& active = gp.active;
+  if (active.empty()) return out;
+  std::vector<Prep> preps = gp.preps;  // sizes filled by the dir rounds
+  const bool any_merge = gp.any_merge;
+  const bool any_delete = gp.any_delete;
+  const bool any_pathmax = gp.any_pathmax;
+  // Merges need both component sizes; tree deletions — and cycle-rule
+  // inserts, whose swap would split — the size of the one they touch.
+  const auto needs_dir = [&](std::size_t i) {
+    return group[i].kind == BatchOpKind::kMerge ||
+           group[i].kind == BatchOpKind::kTreeDelete ||
+           group[i].kind == BatchOpKind::kPathMax;
+  };
+
+  // Rounds 4-5 (directory + shared path-max search): coordinators of
+  // merges, tree deletions, and cycle-rule inserts query the component
+  // sizes — prepare rounds 3-4, shared.  The cycle-rule inserts' x..y
+  // path-max search rides the same two rounds: the interval broadcasts
+  // share round 4 with the directory queries, every machine scans its
+  // shard once for ALL of them (concurrently), and the per-update local
+  // maxima ride round 5 with the size replies.  Proposals carry the
+  // candidate's four tour indexes so a committing swap can derive its
+  // split without re-querying the displaced edge's machine.
+  std::vector<std::optional<EdgeRec>> heaviest(active.size());
+  if (any_merge || any_delete || any_pathmax) {
     for (std::size_t a = 0; a < active.size(); ++a) {
       if (!needs_dir(active[a])) continue;
       const Prep& p = preps[a];
@@ -1051,7 +1143,40 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
         cluster_->send(coord, dir_machine(p.cy), kDirQuery, {p.cy});
       }
     }
-    cluster_->finish_round();
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const BatchOp& op = group[active[a]];
+      if (op.kind != BatchOpKind::kPathMax) continue;
+      const Prep& p = preps[a];
+      for (MachineId m = 0; m < mu; ++m) {
+        if (m != op.coord) {
+          cluster_->send(op.coord, m, kPathMaxBcast,
+                         {static_cast<Word>(active[a]), p.cx, p.fx, p.lx,
+                          p.fy, p.ly});
+        }
+      }
+    }
+    finish();
+    std::vector<std::vector<const EdgeRec*>> pmc;
+    if (any_pathmax) {
+      pmc.assign(machines_.size(),
+                 std::vector<const EdgeRec*>(active.size(), nullptr));
+      cluster_->for_each_machine([&](MachineId m) {
+        for (std::size_t a = 0; a < active.size(); ++a) {
+          const BatchOp& op = group[active[a]];
+          if (op.kind != BatchOpKind::kPathMax) continue;
+          const Prep& p = preps[a];
+          const EdgeRec* best =
+              path_max_local(m, p.cx, p.fx, p.lx, p.fy, p.ly);
+          pmc[m][a] = best;
+          if (best != nullptr && m != op.coord) {
+            cluster_->send(m, op.coord, kProposal,
+                           {static_cast<Word>(active[a]), best->u, best->v,
+                            best->w, best->iu1, best->iu2, best->iv1,
+                            best->iv2});
+          }
+        }
+      });
+    }
     for (std::size_t a = 0; a < active.size(); ++a) {
       if (!needs_dir(active[a])) continue;
       Prep& p = preps[a];
@@ -1065,49 +1190,141 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
         p.size_cy = p.size_cx;
       }
     }
-    cluster_->finish_round();
+    finish();
+    // Coordinator-side fold of the path-max proposals, mirroring the
+    // serial fold (machine order, strictly heavier wins) so a grouped
+    // search elects the same displaced edge as serial application.
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (group[active[a]].kind != BatchOpKind::kPathMax) continue;
+      for (MachineId m = 0; m < mu; ++m) {
+        const EdgeRec* c = pmc[m][a];
+        if (c != nullptr &&
+            (!heaviest[a].has_value() || c->w > heaviest[a]->w)) {
+          heaviest[a] = *c;
+        }
+      }
+    }
   }
 
-  // Round 6 (plan confirmation): coordinators report their update's
-  // claimed components to the ingress, which verifies the group's
-  // independence before anyone mutates state.  With the greedy
-  // conflict-graph plan every reported update is accepted.
+  // Cycle-rule decisions: an insert whose path max outweighs it wants to
+  // displace that edge (the swap); otherwise it commits as a non-tree
+  // record in the shared records round below.
+  std::vector<bool> want_swap(active.size(), false);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    const BatchOp& op = group[active[a]];
+    if (op.kind != BatchOpKind::kPathMax) continue;
+    want_swap[a] = heaviest[a].has_value() && heaviest[a]->w > op.w;
+  }
+
+  // Round 6 (commit-plan confirmation): coordinators report their
+  // update's claimed components and swap decisions to the ingress.  The
+  // ingress admits at most one swap per component — the smallest batch
+  // position — and defers every same-component member planned behind it
+  // back to the pending set: their searches and cached indexes are
+  // stale once the swap rewrites the tree, so they re-plan against the
+  // committed state (serial-order equivalence).
   for (std::size_t a = 0; a < active.size(); ++a) {
     const BatchOp& op = group[active[a]];
     cluster_->send(op.coord, 0, kBatchReady,
-                   {static_cast<Word>(active[a]), preps[a].cx, preps[a].cy});
+                   {static_cast<Word>(active[a]), preps[a].cx, preps[a].cy,
+                    want_swap[a] ? 1 : 0});
   }
-  cluster_->finish_round();
-
-  // Round 7 (merge broadcasts): every merge coordinator broadcasts its
-  // transform; all machines then apply every transform behind one
-  // barrier.  Disjoint components mean each record is touched by at most
-  // one transform, so applying them in group order on each machine is
-  // equivalent to any serial order.
-  std::vector<MergePlan> plans(active.size());
-  if (any_merge) {
+  finish();
+  std::vector<bool> deferred(active.size(), false);
+  std::vector<bool> commit_swap(active.size(), false);
+  if (any_pathmax) {
+    std::map<Word, std::size_t> swap_winner;  // component -> active index
     for (std::size_t a = 0; a < active.size(); ++a) {
-      if (group[active[a]].kind != BatchOpKind::kMerge) continue;
-      const BatchOp& op = group[active[a]];
-      plans[a] = make_merge(preps[a], op.x, op.y, /*resolve_crossing=*/false);
-      std::vector<Word> payload = merge_payload(plans[a].mb);
-      payload.insert(payload.begin(), static_cast<Word>(active[a]));
-      for (MachineId m = 0; m < mu; ++m) {
-        if (m != op.coord) cluster_->send(op.coord, m, kMergeBcast, payload);
+      if (!want_swap[a]) continue;
+      const auto [it, fresh] = swap_winner.emplace(preps[a].cx, a);
+      if (!fresh && group[active[a]].pos < group[active[it->second]].pos) {
+        it->second = a;
       }
     }
-    cluster_->finish_round();
+    for (const auto& [comp, win] : swap_winner) {
+      commit_swap[win] = true;
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        if (a == win) continue;
+        const BatchOp& op = group[active[a]];
+        if (op.cx != comp && op.cy != comp) continue;
+        if (op.pos > group[active[win]].pos) deferred[a] = true;
+      }
+    }
+  }
+
+  // Committing swaps and their displaced ("heaviest") edges.
+  std::vector<std::size_t> swaps;  // indexes into `active`
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (commit_swap[a] && !deferred[a]) swaps.push_back(a);
+  }
+
+  // Round 7 (merge broadcasts + cycle-rule verdicts): every merge
+  // coordinator broadcasts its transform; all machines then apply every
+  // transform behind one barrier.  Disjoint components mean each record
+  // is touched by at most one transform, so applying them in group
+  // order on each machine is equivalent to any serial order.  The same
+  // round carries the ingress's swap commit/defer verdicts and the
+  // committing swaps' displaced-edge endpoint broadcasts (the analogue
+  // of the deletions' round 2, discovered only after the search).
+  std::vector<MergePlan> plans(active.size());
+  bool round7 = false;
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (!commit_swap[a] && !deferred[a]) continue;
+    cluster_->send(0, group[active[a]].coord, kBatchVerdict,
+                   {static_cast<Word>(active[a]), commit_swap[a] ? 1 : 0});
+    round7 = true;
+  }
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (group[active[a]].kind != BatchOpKind::kMerge) continue;
+    const BatchOp& op = group[active[a]];
+    plans[a] = make_merge(preps[a], op.x, op.y, /*resolve_crossing=*/false);
+    std::vector<Word> payload = merge_payload(plans[a].mb);
+    payload.insert(payload.begin(), static_cast<Word>(active[a]));
+    for (MachineId m = 0; m < mu; ++m) {
+      if (m != op.coord) cluster_->send(op.coord, m, kMergeBcast, payload);
+    }
+    round7 = true;
+  }
+  for (const std::size_t a : swaps) {
+    const BatchOp& op = group[active[a]];
+    for (MachineId m = 0; m < mu; ++m) {
+      if (m != op.coord) {
+        cluster_->send(op.coord, m, kBatchEndpoints,
+                       {static_cast<Word>(active[a]), heaviest[a]->u,
+                        heaviest[a]->v});
+      }
+    }
+    round7 = true;
+  }
+  if (round7) finish();
+  // Behind round 7's barrier: apply the merge transforms and scan the
+  // displaced edges' endpoints (per machine, concurrently).  The swaps'
+  // components are disjoint from every merge's, so the scan is
+  // order-independent of the transform application.
+  std::vector<std::vector<EndpointScan>> hscans(
+      swaps.size(), std::vector<EndpointScan>(machines_.size()));
+  if (any_merge || !swaps.empty()) {
     cluster_->for_each_machine([&](MachineId m) {
       for (std::size_t a = 0; a < active.size(); ++a) {
         if (group[active[a]].kind != BatchOpKind::kMerge) continue;
         apply_merge_local(machines_[m], plans[a].mb);
+      }
+      for (std::size_t s = 0; s < swaps.size(); ++s) {
+        const std::size_t a = swaps[s];
+        const BatchOp& op = group[active[a]];
+        hscans[s][m] = scan_endpoints(m, heaviest[a]->u, heaviest[a]->v);
+        std::vector<Word> reply = scan_reply(hscans[s][m]);
+        if (!reply.empty() && m != op.coord) {
+          reply.insert(reply.begin(), static_cast<Word>(active[a]));
+          cluster_->send(m, op.coord, kBatchReply, std::move(reply));
+        }
       }
     });
   }
 
   // Round 8 (records + directory): coordinators own their updates' edge
   // records, so creation/deletion is machine-local; only directory
-  // deltas travel.
+  // deltas travel — plus the displaced-edge scan replies staged above.
   bool dir_round = false;
   for (std::size_t a = 0; a < active.size(); ++a) {
     if (group[active[a]].kind != BatchOpKind::kMerge) continue;
@@ -1118,8 +1335,9 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
     cluster_->send(coord, dir_machine(p.cy), kDirUpdate, {p.cy, 0});
     dir_round = true;
   }
-  if (dir_round) cluster_->finish_round();
+  if (dir_round || !swaps.empty()) finish();
   for (std::size_t a = 0; a < active.size(); ++a) {
+    if (deferred[a]) continue;  // bounced back to pending: no trace
     const BatchOp& op = group[active[a]];
     const Prep& p = preps[a];
     switch (op.kind) {
@@ -1139,68 +1357,168 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
         charge_edge_record(op.coord);
         break;
       }
+      case BatchOpKind::kPathMax: {
+        // Both cycle-rule outcomes first record (x, y) as a non-tree
+        // edge — the serial protocol does the same before demoting the
+        // displaced edge, so a committing swap's own record competes in
+        // its replacement search below.
+        machines_[op.coord].edges[edge_key(op.x, op.y)] =
+            make_nontree_record(p, op.x, op.y, op.w);
+        charge_edge_record(op.coord);
+        break;
+      }
       case BatchOpKind::kNontreeDelete: {
         machines_[op.coord].edges.erase(edge_key(op.x, op.y));
         release_edge_record(op.coord);
         break;
       }
       case BatchOpKind::kTreeDelete:  // handled below
-      case BatchOpKind::kSerial:      // never reaches run_group
+      case BatchOpKind::kSerial:      // never reaches a group
       case BatchOpKind::kNoop:
         break;
     }
   }
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (group[active[a]].kind == BatchOpKind::kPathMax && !deferred[a]) {
+      ++batch_stats_.path_max_grouped;
+    }
+  }
 
-  if (!any_delete) return;
+  // Outcome bookkeeping for the scheduler: deferred positions re-enter
+  // the pending set; written components and touched edge keys validate
+  // the next wave's speculative prepare.
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    const BatchOp& op = group[active[a]];
+    if (deferred[a]) {
+      out.deferred.push_back(op.pos);
+      continue;
+    }
+    out.touched_ekeys.insert(op.ekey);
+    switch (op.kind) {
+      case BatchOpKind::kMerge:
+        out.written_comps.insert(op.cx);
+        out.written_comps.insert(op.cy);
+        break;
+      case BatchOpKind::kTreeDelete:
+        out.written_comps.insert(preps[a].cx);
+        out.written_comps.insert(op.new_comp);
+        break;
+      case BatchOpKind::kPathMax:
+        if (commit_swap[a]) {
+          out.written_comps.insert(preps[a].cx);
+          out.written_comps.insert(op.new_comp);
+          out.touched_ekeys.insert(edge_key(heaviest[a]->u, heaviest[a]->v));
+        }
+        break;
+      default:
+        break;
+    }
+  }
 
-  // --- batched tree-edge deletions -----------------------------------------
+  if (!any_delete && swaps.empty()) return out;
+
+  // --- batched tree-edge deletions and cycle-rule swaps --------------------
   // Grouped splits followed by ONE shared replacement-edge search: the
-  // deletions' components are pairwise disjoint, so the split transforms
+  // cut components are pairwise disjoint, so the split transforms
   // commute, every crossing record is owned by exactly one split (it
   // keeps the split component's id), and the replacement merges resolve
   // only their own split's crossings (apply_merge_local guards on cx).
-  std::vector<std::size_t> dels;  // indexes into `active`
+  // A committing swap is a tree-edge deletion of its displaced path-max
+  // edge with demote semantics: the edge stays as a crossing non-tree
+  // record and competes in the shared replacement search, exactly like
+  // the serial cycle rule.
+  struct SplitItem {
+    std::size_t a;           // index into `active`
+    SplitPlan plan;
+    VertexId cut_u, cut_v;   // the cut edge, as passed to make_split
+    bool demote;             // swap: demote the cut record, don't erase
+  };
+  std::vector<SplitItem> items;
   for (std::size_t a = 0; a < active.size(); ++a) {
-    if (group[active[a]].kind == BatchOpKind::kTreeDelete) dels.push_back(a);
+    if (group[active[a]].kind == BatchOpKind::kTreeDelete && !deferred[a]) {
+      const BatchOp& op = group[active[a]];
+      SplitItem it;
+      it.a = a;
+      it.plan = make_split(preps[a], op.x, op.y, op.new_comp);
+      it.cut_u = op.x;
+      it.cut_v = op.y;
+      it.demote = false;
+      items.push_back(std::move(it));
+    }
   }
+  for (std::size_t s = 0; s < swaps.size(); ++s) {
+    const std::size_t a = swaps[s];
+    const BatchOp& op = group[active[a]];
+    // The displaced edge's prepare, assembled from the shared rounds:
+    // f/l from the rounds 7-8 scan, the record itself from the path-max
+    // proposal, the component size from the directory rounds.
+    Prep hp = fold_scans(hscans[s]);
+    hp.cx = hp.cy = preps[a].cx;
+    hp.size_cx = hp.size_cy = preps[a].size_cx;
+    hp.edge_exists = true;
+    hp.edge = *heaviest[a];
+    SplitItem it;
+    it.a = a;
+    it.plan = make_split(hp, heaviest[a]->u, heaviest[a]->v, op.new_comp);
+    it.cut_u = heaviest[a]->u;
+    it.cut_v = heaviest[a]->v;
+    it.demote = true;
+    items.push_back(std::move(it));
+  }
+  if (items.empty()) return out;
 
-  // Round 9 (split broadcasts): each deletion's coordinator derives its
+  // Round 9 (split broadcasts): each cut's coordinator derives its
   // split from the shared prepare results and broadcasts it; every
   // machine applies all of the group's splits behind one barrier.
-  std::vector<SplitPlan> splits(dels.size());
-  for (std::size_t d = 0; d < dels.size(); ++d) {
-    const BatchOp& op = group[active[dels[d]]];
-    splits[d] = make_split(preps[dels[d]], op.x, op.y, op.new_comp);
-    const SplitBcast& sb = splits[d].sb;
+  for (const SplitItem& it : items) {
+    const BatchOp& op = group[active[it.a]];
+    const SplitBcast& sb = it.plan.sb;
     const std::vector<Word> payload = {
-        static_cast<Word>(active[dels[d]]), sb.comp, sb.new_comp, sb.parent,
+        static_cast<Word>(active[it.a]), sb.comp, sb.new_comp, sb.parent,
         sb.child, sb.f_c, sb.l_c, sb.cached_parent, sb.cached_child};
     for (MachineId m = 0; m < mu; ++m) {
       if (m != op.coord) cluster_->send(op.coord, m, kSplitBcast, payload);
     }
   }
-  cluster_->finish_round();
+  finish();
   cluster_->for_each_machine([&](MachineId m) {
-    for (const SplitPlan& sp : splits) apply_split_local(machines_[m], sp.sb);
+    for (const SplitItem& it : items) {
+      apply_split_local(machines_[m], it.plan.sb);
+    }
   });
 
-  // Round 10 (cut records + directory): coordinators own their cut
-  // edges' records, so deletion is machine-local; only the directory
-  // deltas travel.
-  for (std::size_t d = 0; d < dels.size(); ++d) {
-    const BatchOp& op = group[active[dels[d]]];
-    const SplitPlan& sp = splits[d];
+  // Round 10 (cut records + directory): deletions' coordinators own
+  // their cut edges' records, so erasing is machine-local; a swap's
+  // displaced record lives on ITS edge machine, so the demote travels
+  // as a message (serial sends the same kDeleteRecord).  Directory
+  // deltas travel for both.
+  for (const SplitItem& it : items) {
+    const BatchOp& op = group[active[it.a]];
+    const SplitPlan& sp = it.plan;
+    if (it.demote) {
+      const EdgeKey ck(it.cut_u, it.cut_v);
+      cluster_->send(op.coord, edge_machine(it.cut_u, it.cut_v),
+                     kDeleteRecord,
+                     {ck.u, ck.v, 1, sp.sb.cached_parent,
+                      sp.sb.cached_child});
+    }
     cluster_->send(op.coord, dir_machine(sp.sb.comp), kDirUpdate,
                    {sp.sb.comp, sp.rest_size});
     cluster_->send(op.coord, dir_machine(sp.sb.new_comp), kDirUpdate,
                    {sp.sb.new_comp, sp.sub_size});
   }
-  cluster_->finish_round();
-  for (std::size_t d = 0; d < dels.size(); ++d) {
-    const BatchOp& op = group[active[dels[d]]];
-    const SplitPlan& sp = splits[d];
-    machines_[op.coord].edges.erase(op.ekey);
-    release_edge_record(op.coord);
+  finish();
+  for (const SplitItem& it : items) {
+    const BatchOp& op = group[active[it.a]];
+    const SplitPlan& sp = it.plan;
+    if (it.demote) {
+      const MachineId hm = edge_machine(it.cut_u, it.cut_v);
+      demote_record(machines_[hm].edges.at(edge_key(it.cut_u, it.cut_v)),
+                    sp.sb);
+    } else {
+      machines_[op.coord].edges.erase(op.ekey);
+      release_edge_record(op.coord);
+    }
     machines_[dir_machine(sp.sb.comp)].comp_sizes[sp.sb.comp] = sp.rest_size;
     machines_[dir_machine(sp.sb.new_comp)].comp_sizes[sp.sb.new_comp] =
         sp.sub_size;
@@ -1208,13 +1526,15 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
   }
 
   // Round 11 (shared replacement search): every machine scans its shard
-  // ONCE for all deletions (concurrently across machines), proposing its
-  // per-split best (min-weight) crossing candidate to that deletion's
+  // ONCE for all cuts (concurrently across machines), proposing its
+  // per-split best (min-weight) crossing candidate to that cut's
   // coordinator.
-  std::map<Word, std::size_t> owner;  // split component -> dels index
-  for (std::size_t d = 0; d < dels.size(); ++d) owner[splits[d].sb.comp] = d;
+  std::map<Word, std::size_t> owner;  // split component -> items index
+  for (std::size_t d = 0; d < items.size(); ++d) {
+    owner[items[d].plan.sb.comp] = d;
+  }
   std::vector<std::vector<const EdgeRec*>> cands(
-      machines_.size(), std::vector<const EdgeRec*>(dels.size(), nullptr));
+      machines_.size(), std::vector<const EdgeRec*>(items.size(), nullptr));
   cluster_->for_each_machine([&](MachineId m) {
     auto& local = cands[m];
     for (const auto& [k, rec] : machines_[m].edges) {
@@ -1224,17 +1544,17 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
       const EdgeRec*& best = local[it->second];
       if (best == nullptr || rec.w < best->w) best = &rec;
     }
-    for (std::size_t d = 0; d < dels.size(); ++d) {
+    for (std::size_t d = 0; d < items.size(); ++d) {
       if (local[d] == nullptr) continue;
-      const MachineId coord = group[active[dels[d]]].coord;
+      const MachineId coord = group[active[items[d].a]].coord;
       if (m == coord) continue;  // the coordinator's own scan stays local
       cluster_->send(m, coord, kProposal,
-                     {static_cast<Word>(active[dels[d]]), local[d]->u,
+                     {static_cast<Word>(active[items[d].a]), local[d]->u,
                       local[d]->v, local[d]->w,
                       local[d]->u_in_subtree ? 1 : 0});
     }
   });
-  cluster_->finish_round();
+  finish();
   struct Repl {
     bool found = false;
     EdgeRec rec;        // the winning candidate (copied before mutation)
@@ -1242,9 +1562,9 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
     Prep rp;
     MergePlan plan;
   };
-  std::vector<Repl> repl(dels.size());
+  std::vector<Repl> repl(items.size());
   bool any_repl = false;
-  for (std::size_t d = 0; d < dels.size(); ++d) {
+  for (std::size_t d = 0; d < items.size(); ++d) {
     const EdgeRec* best = nullptr;
     for (MachineId m = 0; m < mu; ++m) {
       const EdgeRec* c = cands[m][d];
@@ -1256,71 +1576,72 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
     repl[d].rec = *best;
     repl[d].a = best->u_in_subtree ? best->v : best->u;
     repl[d].b = best->u_in_subtree ? best->u : best->v;
+    out.touched_ekeys.insert(edge_key(repl[d].a, repl[d].b));
   }
-  if (!any_repl) return;
+  if (!any_repl) return out;
 
   // Rounds 12-13 (replacement re-scan): post-split f/l of each
   // replacement's endpoints, gathered exactly like rounds 2-3; the
   // coordinator already knows both side sizes from its own split.
-  for (std::size_t d = 0; d < dels.size(); ++d) {
+  for (std::size_t d = 0; d < items.size(); ++d) {
     if (!repl[d].found) continue;
-    const BatchOp& op = group[active[dels[d]]];
+    const BatchOp& op = group[active[items[d].a]];
     for (MachineId m = 0; m < mu; ++m) {
       if (m != op.coord) {
         cluster_->send(op.coord, m, kBatchEndpoints,
-                       {static_cast<Word>(active[dels[d]]), repl[d].a,
+                       {static_cast<Word>(active[items[d].a]), repl[d].a,
                         repl[d].b});
       }
     }
   }
-  cluster_->finish_round();
+  finish();
   std::vector<std::vector<EndpointScan>> rscans(
-      dels.size(), std::vector<EndpointScan>(machines_.size()));
+      items.size(), std::vector<EndpointScan>(machines_.size()));
   cluster_->for_each_machine([&](MachineId m) {
-    for (std::size_t d = 0; d < dels.size(); ++d) {
+    for (std::size_t d = 0; d < items.size(); ++d) {
       if (!repl[d].found) continue;
-      const BatchOp& op = group[active[dels[d]]];
+      const BatchOp& op = group[active[items[d].a]];
       rscans[d][m] = scan_endpoints(m, repl[d].a, repl[d].b);
       std::vector<Word> reply = scan_reply(rscans[d][m]);
       if (!reply.empty() && m != op.coord) {
-        reply.insert(reply.begin(), static_cast<Word>(active[dels[d]]));
+        reply.insert(reply.begin(), static_cast<Word>(active[items[d].a]));
         cluster_->send(m, op.coord, kBatchReply, std::move(reply));
       }
     }
   });
-  cluster_->finish_round();
-  for (std::size_t d = 0; d < dels.size(); ++d) {
+  finish();
+  for (std::size_t d = 0; d < items.size(); ++d) {
     if (!repl[d].found) continue;
     repl[d].rp = fold_scans(rscans[d]);
-    repl[d].rp.size_cx = splits[d].rest_size;
-    repl[d].rp.size_cy = splits[d].sub_size;
+    repl[d].rp.size_cx = items[d].plan.rest_size;
+    repl[d].rp.size_cy = items[d].plan.sub_size;
   }
 
   // Round 14 (replacement merges): broadcast every re-link transform,
   // then apply them all behind one barrier.
-  for (std::size_t d = 0; d < dels.size(); ++d) {
+  for (std::size_t d = 0; d < items.size(); ++d) {
     if (!repl[d].found) continue;
-    const BatchOp& op = group[active[dels[d]]];
+    const BatchOp& op = group[active[items[d].a]];
     repl[d].plan = make_merge(repl[d].rp, repl[d].a, repl[d].b,
                               /*resolve_crossing=*/true);
     std::vector<Word> payload = merge_payload(repl[d].plan.mb);
-    payload.insert(payload.begin(), static_cast<Word>(active[dels[d]]));
+    payload.insert(payload.begin(), static_cast<Word>(active[items[d].a]));
     for (MachineId m = 0; m < mu; ++m) {
       if (m != op.coord) cluster_->send(op.coord, m, kMergeBcast, payload);
     }
   }
-  cluster_->finish_round();
+  finish();
   cluster_->for_each_machine([&](MachineId m) {
-    for (std::size_t d = 0; d < dels.size(); ++d) {
+    for (std::size_t d = 0; d < items.size(); ++d) {
       if (repl[d].found) apply_merge_local(machines_[m], repl[d].plan.mb);
     }
   });
 
   // Round 15 (promotion + directory): the replacement records become
   // tree edges; the directory reflects the re-merges.
-  for (std::size_t d = 0; d < dels.size(); ++d) {
+  for (std::size_t d = 0; d < items.size(); ++d) {
     if (!repl[d].found) continue;
-    const BatchOp& op = group[active[dels[d]]];
+    const BatchOp& op = group[active[items[d].a]];
     const Prep& rp = repl[d].rp;
     const EdgeKey rkey(repl[d].a, repl[d].b);
     const etour::MergeNewIndexes& ni = repl[d].plan.ni;
@@ -1331,8 +1652,8 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
                    {rp.cx, rp.size_cx + rp.size_cy});
     cluster_->send(op.coord, dir_machine(rp.cy), kDirUpdate, {rp.cy, 0});
   }
-  cluster_->finish_round();
-  for (std::size_t d = 0; d < dels.size(); ++d) {
+  finish();
+  for (std::size_t d = 0; d < items.size(); ++d) {
     if (!repl[d].found) continue;
     const Prep& rp = repl[d].rp;
     const MachineId rm = edge_machine(repl[d].a, repl[d].b);
@@ -1343,6 +1664,7 @@ void DynamicForest::run_group(std::vector<BatchOp> group) {
     machines_[dir_machine(rp.cy)].comp_sizes.erase(rp.cy);
     cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
   }
+  return out;
 }
 
 void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
@@ -1351,11 +1673,45 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
   ++batch_stats_.batches;
   std::vector<std::size_t> pending(batch.size());
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  const bool pipeline = config_.batch_policy == BatchPolicy::kOutOfOrder &&
+                        config_.pipeline_waves;
+  // The next wave, planned and prepared speculatively against PRE-commit
+  // state while the current wave's commit rounds run (its rounds 1-3 are
+  // read-only, so they ride those rounds for free — see
+  // finish_overlapped_round).  Kept only when the commit's written
+  // components / touched edges prove the speculation untouched.
+  struct Spec {
+    WavePlan wave;
+    GroupPrep prep;
+  };
+  std::optional<Spec> spec;
+  const auto spec_survives = [](const Spec& s, const GroupOutcome& o) {
+    for (const BatchOp& op : s.wave.group) {
+      if (o.touched_ekeys.count(op.ekey) > 0) return false;
+      for (std::size_t i = 0; i < op.num_writes; ++i) {
+        if (o.written_comps.count(op.writes[i]) > 0) return false;
+      }
+      for (std::size_t i = 0; i < op.num_reads; ++i) {
+        if (o.written_comps.count(op.reads[i]) > 0) return false;
+      }
+    }
+    return true;
+  };
   while (!pending.empty()) {
-    WavePlan wave = plan_wave(batch, pending);
+    WavePlan wave;
+    GroupPrep gp;
+    bool prepared = false;
+    if (spec.has_value()) {
+      wave = std::move(spec->wave);
+      gp = std::move(spec->prep);
+      prepared = true;
+      spec.reset();
+      ++batch_stats_.waves_pipelined;
+    } else {
+      wave = plan_wave(batch, pending);
+    }
     if (wave.group.size() >= 2) {
       ++batch_stats_.groups;
-      batch_stats_.grouped_updates += wave.group.size();
       batch_stats_.reordered_updates += wave.reordered;
       batch_stats_.max_group =
           std::max<std::uint64_t>(batch_stats_.max_group, wave.group.size());
@@ -1364,7 +1720,7 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
           ++batch_stats_.batched_tree_deletes;
         }
       }
-      run_group(std::move(wave.group));
+      if (!prepared) gp = run_group_prepare(wave.group, /*overlapped=*/false);
       // Drop the consumed positions; the next wave re-plans what is left
       // against the post-group state.
       std::vector<std::size_t> rest;
@@ -1377,11 +1733,58 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
         }
         rest.push_back(pending[i]);
       }
+      // Speculate the NEXT wave's plan + read-only prepare against the
+      // pre-commit state, overlapping the current wave's commit rounds.
+      // Only group-sized waves are worth speculating: a lone head runs
+      // the serial protocol, which re-prepares anyway.
+      if (pipeline && !rest.empty()) {
+        Spec s;
+        // Seeding the plan with the in-flight group's ops keeps the
+        // speculation off the components this commit is rewriting, so
+        // it usually survives; dynamic escalations (a cycle-rule swap
+        // writing a component it only read at plan time) still
+        // invalidate it below.
+        s.wave = plan_wave(batch, rest, wave.group);
+        if (s.wave.group.size() >= 2) {
+          s.prep = run_group_prepare(s.wave.group, /*overlapped=*/true);
+          spec = std::move(s);
+        }
+      }
+      GroupOutcome outc = run_group_commit(wave.group, gp);
+      if (spec.has_value() && spec->prep.rounds > outc.rounds) {
+        // The speculative prepare issued more overlapped rounds than
+        // this commit phase had real rounds to ride; the excess cannot
+        // hide in any physically realizable schedule, so charge it
+        // (its traffic was already counted at delivery).
+        const dmpc::RoundRecord blank{};
+        for (std::uint64_t r = spec->prep.rounds - outc.rounds; r > 0; --r) {
+          cluster_->charge_round(blank);
+        }
+      }
+      batch_stats_.grouped_updates +=
+          wave.group.size() - outc.deferred.size();
+      batch_stats_.deferred_updates += outc.deferred.size();
+      if (!outc.deferred.empty()) {
+        // Deferred positions re-enter the pending set in batch order.
+        // The speculation was planned without them, so a speculated op
+        // could illegally overtake a deferred conflicting one: discard.
+        rest.insert(rest.end(), outc.deferred.begin(), outc.deferred.end());
+        std::sort(rest.begin(), rest.end());
+        if (spec.has_value()) {
+          spec.reset();
+          ++batch_stats_.speculation_misses;
+        }
+      } else if (spec.has_value() && !spec_survives(*spec, outc)) {
+        spec.reset();
+        ++batch_stats_.speculation_misses;
+      }
       pending.swap(rest);
       continue;
     }
     // Lone or conflicting head-of-batch update: the serial per-update
     // protocol (inside the batch's metrics group) preserves batch order.
+    // `spec` is empty here by construction: speculation only ever covers
+    // a group-sized wave, which the branch above consumes.
     const graph::Update& up = batch[pending.front()];
     ++batch_stats_.serial_updates;
     if (up.kind == graph::UpdateKind::kInsert) {

@@ -41,9 +41,12 @@
 // such groups via a conflict graph over edges, components (read/write
 // claims), and coordinator machines, executing non-conflicting updates
 // out of order while preserving the serial-equivalent final state, and
-// the group protocol covers batched tree-edge deletions: grouped splits
-// followed by one shared replacement-edge search round.  See
-// apply_batch below and BatchPolicy.
+// the group protocol covers batched tree-edge deletions (grouped splits
+// followed by one shared replacement-edge search round) and MST
+// cycle-rule inserts (one shared path-max round; committing swaps
+// escalate into the deletion pipeline).  Waves are pipelined: the next
+// wave's read-only prepare rounds speculatively overlap the current
+// wave's commit rounds.  See apply_batch below and BatchPolicy.
 //
 // Per-machine round work (shard scans, local transform application) is
 // submitted through Cluster::for_each_machine and so runs in parallel
@@ -62,6 +65,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -104,6 +108,15 @@ struct DynForestConfig {
   double eps = 0.1;          ///< MST approximation slack (bucketing)
   double memory_slack = 32;  ///< S = slack * sqrt(N) words per machine
   BatchPolicy batch_policy = BatchPolicy::kOutOfOrder;
+  /// Under kOutOfOrder, run MST cycle-rule inserts' x..y path-max search
+  /// as one shared group round (the search is read-only; only committing
+  /// swaps escalate to a write commit phase) instead of serializing each
+  /// such insert.  Disable to get the pre-path-max scheduler baseline.
+  bool batch_path_max = true;
+  /// Under kOutOfOrder, overlap the next wave's read-only prepare/scan
+  /// rounds with the current wave's commit rounds, invalidating the
+  /// speculation when a commit touches a speculated component or edge.
+  bool pipeline_waves = true;
 };
 
 class DynamicForest {
@@ -130,10 +143,14 @@ class DynamicForest {
   /// update that commutes with all earlier still-pending ones, runs the
   /// group through a single shared instance of the O(1)-round protocol
   /// — including batched tree-edge deletions (grouped splits + one
-  /// shared replacement search) — then re-plans against the new state.
-  /// Updates that cannot share rounds (MST cycle-rule inserts, lone
-  /// conflicting updates) fall back to the serial per-update protocols
-  /// in batch order.  The final state is identical to applying the
+  /// shared replacement search) and MST cycle-rule inserts (one shared
+  /// path-max round; committing swaps join the deletion pipeline, and
+  /// same-component members planned behind a committed swap defer to a
+  /// later wave) — then re-plans against the new state, speculatively
+  /// overlapping the next wave's read-only prepare rounds with the
+  /// current wave's commit rounds (pipeline_waves).  Lone conflicting
+  /// updates fall back to the serial per-update protocols in batch
+  /// order.  The final state is identical to applying the
   /// batch one update at a time with insert(x, y, w) / erase(x, y):
   /// Update::w is stored verbatim, so unweighted callers should carry
   /// the serial default of 1 (harness::Driver normalizes its batches
@@ -268,7 +285,9 @@ class DynamicForest {
     kNontreeInsert = 2,  // same-component insert (unweighted)
     kNontreeDelete = 3,  // delete of a non-tree record
     kTreeDelete = 4,     // batched split + shared replacement search
-    kSerial = 5,         // MST cycle-rule insert: never shares rounds
+    kSerial = 5,         // cycle-rule insert with path-max sharing off
+    kPathMax = 6,        // MST cycle-rule insert: shared path-max search
+                         // (read claim), swap commits escalate to writes
   };
 
   // One update of an independent group, pinned to its coordinator (= its
@@ -299,6 +318,34 @@ class DynamicForest {
     std::vector<BatchOp> group;
     std::vector<std::size_t> taken;  // indexes into `pending`
     std::uint64_t reordered = 0;
+  };
+
+  // The read-only prefix of a group run (rounds 1-3: scatter, endpoint
+  // broadcast, shard-scan replies), separated from the commit rounds so
+  // the scheduler can execute it speculatively for the NEXT wave while
+  // the current wave commits.
+  struct GroupPrep {
+    std::vector<std::size_t> active;  // group indexes with real work
+    std::vector<Prep> preps;          // parallel to `active`
+    bool any_merge = false;
+    bool any_delete = false;
+    bool any_pathmax = false;
+    // Rounds this prepare consumed.  For a speculative (overlapped)
+    // prepare they were charged as zero; the scheduler re-charges any
+    // excess over the commit rounds they actually rode (a 3-round
+    // prepare cannot hide behind a 1-round commit).
+    std::uint64_t rounds = 0;
+  };
+
+  // What a group's commit rounds did, for re-plan bookkeeping and for
+  // validating the next wave's speculative prepare: the batch positions
+  // it bounced back to pending (a committing cycle-rule swap rewrote
+  // their component), plus the components and edge keys it wrote.
+  struct GroupOutcome {
+    std::vector<std::size_t> deferred;  // batch positions to re-plan
+    std::set<Word> written_comps;
+    std::set<std::uint64_t> touched_ekeys;
+    std::uint64_t rounds = 0;  // commit rounds run (overlap headroom)
   };
 
   [[nodiscard]] std::uint64_t edge_key(VertexId u, VertexId v) const;
@@ -369,6 +416,11 @@ class DynamicForest {
   /// component.  Shared by the serial and the batched deletion protocol.
   [[nodiscard]] static SplitPlan make_split(const Prep& p, VertexId x,
                                             VertexId y, Word new_comp);
+  /// The MST cycle rule's demote: the cut edge stays in the graph as a
+  /// crossing non-tree record (its endpoints straddle its own split, so
+  /// it competes in the replacement search).  Shared by the serial and
+  /// the batched swap protocol.
+  static void demote_record(EdgeRec& rec, const SplitBcast& sb);
 
   /// Update protocols without the begin_update()/end_update() wrapper
   /// (apply_batch runs many of them inside one metrics group).
@@ -385,18 +437,49 @@ class DynamicForest {
   /// deliberately NOT part of this: they are a same-group resource
   /// constraint, not an ordering constraint.
   [[nodiscard]] static bool ops_conflict(const BatchOp& a, const BatchOp& b);
+  /// The ordering variant of ops_conflict: a cycle-rule insert's
+  /// component claim is a read at plan time but may ESCALATE to a write
+  /// when its swap commits, so for the may-this-overtake-that test (a
+  /// candidate running before an earlier still-pending update) either
+  /// side's kPathMax read counts as a write.  Within a wave the relaxed
+  /// ops_conflict still applies — there the commit phase enforces the
+  /// order by admitting one swap per component and deferring the
+  /// members planned behind it.
+  [[nodiscard]] static bool ops_conflict_ordering(const BatchOp& a,
+                                                  const BatchOp& b);
 
   /// Plans the next wave over the still-pending batch positions: under
   /// kOutOfOrder, every pending update (in batch order) that commutes
   /// with all earlier still-pending ones and fits the group's resource
   /// constraints (distinct coordinators, non-overlapping claims); under
   /// kPrefix, the PR 2 maximal independent prefix (exclusive claims,
-  /// tree deletions and cycle-rule inserts end it).
+  /// tree deletions and cycle-rule inserts end it).  `avoid` (used for
+  /// speculative planning during the previous wave's commit) seeds the
+  /// conflict set: pending updates conflicting with those in-flight ops
+  /// are left pending, as are updates ordered behind them, so the
+  /// speculated wave reads only state the in-flight commit cannot touch.
   [[nodiscard]] WavePlan plan_wave(std::span<const graph::Update> batch,
-                                   std::span<const std::size_t> pending) const;
-  /// Runs one independent group through the shared-round protocol
-  /// (mutates the ops to assign split-off component ids at scatter).
-  void run_group(std::vector<BatchOp> group);
+                                   std::span<const std::size_t> pending,
+                                   std::span<const BatchOp> avoid = {}) const;
+  /// The heaviest local tree edge of `comp` on the tree path between the
+  /// subtree intervals of x ([fx,lx]) and y ([fy,ly]) — the per-machine
+  /// share of the path-max search (ancestor-XOR criterion).  Shared by
+  /// the serial cycle-rule protocol and the group's path-max round.
+  [[nodiscard]] const EdgeRec* path_max_local(MachineId m, Word comp, Word fx,
+                                              Word lx, Word fy,
+                                              Word ly) const;
+  /// Rounds 1-3 of a group run: scatter to coordinators (assigns
+  /// split-off component ids, so the group is mutated), endpoint
+  /// broadcasts, and the shard-scan replies folded into per-update
+  /// Preps.  With `overlapped` the rounds are accounted as riding the
+  /// previous wave's commit rounds (speculative prepare).
+  GroupPrep run_group_prepare(std::vector<BatchOp>& group, bool overlapped);
+  /// The rest of the group protocol: directory + shared path-max rounds,
+  /// commit-plan confirmation, merge broadcasts, records, and the
+  /// grouped split / shared-replacement-search pipeline (tree deletions
+  /// and committing cycle-rule swaps together).
+  GroupOutcome run_group_commit(std::vector<BatchOp>& group,
+                                const GroupPrep& gp);
 
   /// Memory accounting helpers.
   void charge_edge_record(MachineId m);

@@ -52,6 +52,12 @@ RoundRecord Cluster::finish_round() {
   return rec;
 }
 
+RoundRecord Cluster::finish_overlapped_round() {
+  const RoundRecord rec = buffer_.deliver(capacity_, metrics_);
+  metrics_.record_overlapped_round(rec);
+  return rec;
+}
+
 const std::vector<Message>& Cluster::inbox(MachineId m) const {
   check_machine(m, "inbox");
   return buffer_.inbox(m);

@@ -85,6 +85,20 @@ class Cluster {
   /// is the barrier: never call it with for_each_machine tasks in flight.
   RoundRecord finish_round();
 
+  /// Like finish_round(), but accounts the delivery as *overlapped* with
+  /// an already-charged round of the same update: the traffic still
+  /// counts toward the update's totals and per-round maxima, but the
+  /// update's round count does not grow.  Models pipelined protocol
+  /// phases — read-only prepare rounds of the next wave riding the
+  /// commit rounds of the current one.  Two caveats the caller owns:
+  /// the per-machine S-word cap is enforced per delivery, not on the
+  /// union with the round being ridden (a machine touched by both may
+  /// see up to 2S words in the merged physical round), and nothing here
+  /// bounds how many overlapped deliveries ride one real round — the
+  /// scheduler must re-charge any excess (see apply_batch's deficit
+  /// accounting).
+  RoundRecord finish_overlapped_round();
+
   /// Inbox of machine `m`: the messages delivered at the last
   /// finish_round().  Cleared by the next finish_round().
   [[nodiscard]] const std::vector<Message>& inbox(MachineId m) const;

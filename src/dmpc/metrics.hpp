@@ -79,6 +79,18 @@ struct BatchScheduleStats {
   std::uint64_t reordered_updates = 0; ///< ran before an earlier batch entry
   std::uint64_t batched_tree_deletes = 0;  ///< tree-edge deletions grouped
   std::uint64_t max_group = 0;         ///< largest group size seen
+  /// MST cycle-rule inserts whose x..y path-max search ran in a shared
+  /// group round instead of a serial per-update protocol.
+  std::uint64_t path_max_grouped = 0;
+  /// Group members returned to the pending set because a committing
+  /// cycle-rule swap rewrote their component under them.
+  std::uint64_t deferred_updates = 0;
+  /// Waves whose prepare/scan rounds overlapped the previous wave's
+  /// commit rounds (speculation kept).
+  std::uint64_t waves_pipelined = 0;
+  /// Speculative prepares thrown away because the previous wave's
+  /// commits touched a speculated component or edge.
+  std::uint64_t speculation_misses = 0;
 
   [[nodiscard]] double mean_group_size() const {
     return groups == 0 ? 0.0
@@ -125,6 +137,23 @@ class Metrics {
       }
       current_.total_comm_words += r.comm_words * count;
     }
+  }
+
+  /// Records a round whose messages share an already-charged synchronous
+  /// round (pipelined protocol phases: a speculative prepare overlapping
+  /// the previous wave's commit rounds).  The traffic and activity count
+  /// toward the current update's totals and per-round maxima — the words
+  /// really move — but the round count does not: in the model the
+  /// messages ride a round that is already being paid for.
+  void record_overlapped_round(const RoundRecord& r) {
+    if (!in_update_) return;
+    if (r.active_machines > current_.max_active_machines) {
+      current_.max_active_machines = r.active_machines;
+    }
+    if (r.comm_words > current_.max_comm_words) {
+      current_.max_comm_words = r.comm_words;
+    }
+    current_.total_comm_words += r.comm_words;
   }
 
   void record_pair_traffic(MachineId from, MachineId to, WordCount words) {

@@ -232,6 +232,70 @@ UpdateStream interleaved_delete_stream(std::size_t n, std::size_t length,
   return out;
 }
 
+UpdateStream weighted_interleaved_delete_stream(std::size_t n,
+                                                std::size_t length,
+                                                std::size_t paths,
+                                                std::size_t chords_per_path,
+                                                std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  paths = std::max<std::size_t>(1, std::min(paths, n / 2));
+  const std::size_t per =
+      std::min(n / paths, std::max<std::size_t>(2, length / (2 * paths)));
+  UpdateStream out;
+  out.reserve(length);
+  // Path edges: light weights, remembered so every re-insertion carries
+  // the edge's original weight (the stream stays MST-stable burst to
+  // burst).  Chords: strictly heavier than any path edge, so a deleted
+  // path edge's replacement is always a chord the re-insertion then
+  // displaces via the cycle rule.
+  std::uniform_int_distribution<Weight> light(1, 10);
+  std::uniform_int_distribution<Weight> heavy(100, 200);
+  std::map<EdgeKey, Weight> path_weight;
+  std::vector<std::pair<VertexId, VertexId>> ranges;  // [lo, hi) per path
+  std::set<EdgeKey> present;
+  for (std::size_t p = 0; p < paths; ++p) {
+    const VertexId lo = static_cast<VertexId>(p * per);
+    const VertexId hi = static_cast<VertexId>(lo + per);
+    ranges.emplace_back(lo, hi);
+    for (VertexId u = lo; u + 1 < hi; ++u) {
+      const EdgeKey k(u, u + 1);
+      const Weight w = light(rng);
+      present.insert(k);
+      path_weight[k] = w;
+      out.push_back({UpdateKind::kInsert, k.u, k.v, w});
+    }
+  }
+  for (const auto& [lo, hi] : ranges) {
+    std::uniform_int_distribution<VertexId> pick(lo, hi - 1);
+    for (std::size_t c = 0; c < chords_per_path && out.size() < length; ++c) {
+      const VertexId u = pick(rng);
+      const VertexId v = pick(rng);
+      if (u == v) continue;
+      EdgeKey k(u, v);
+      if (path_weight.count(k) > 0) continue;  // keep path edges light
+      if (!present.insert(k).second) continue;
+      out.push_back({UpdateKind::kInsert, k.u, k.v, heavy(rng)});
+    }
+  }
+  // Interleaved delete/re-insert bursts, one path edge per path each.
+  while (out.size() + 2 * paths <= length) {
+    std::vector<EdgeKey> burst;
+    burst.reserve(paths);
+    for (const auto& [lo, hi] : ranges) {
+      std::uniform_int_distribution<VertexId> pick(lo, hi - 2);
+      const VertexId u = pick(rng);
+      burst.emplace_back(u, u + 1);
+    }
+    for (const EdgeKey& k : burst) {
+      out.push_back({UpdateKind::kDelete, k.u, k.v, 0});
+    }
+    for (const EdgeKey& k : burst) {
+      out.push_back({UpdateKind::kInsert, k.u, k.v, path_weight.at(k)});
+    }
+  }
+  return out;
+}
+
 bool apply_update(DynamicGraph& g, const Update& up) {
   return up.kind == UpdateKind::kInsert ? g.insert_edge(up.u, up.v)
                                         : g.delete_edge(up.u, up.v);

@@ -73,6 +73,21 @@ UpdateStream interleaved_delete_stream(std::size_t n, std::size_t length,
                                        bool weighted = false,
                                        Weight max_weight = 1000);
 
+/// Weighted variant of interleaved_delete_stream for the MST cycle
+/// rule: path edges carry light weights (re-inserted with the SAME
+/// weight each burst) while every chord is strictly heavier, so each
+/// burst's deletions promote a heavy chord as the replacement and the
+/// re-insertions then find that chord as their path maximum and swap it
+/// back out.  Every burst is therefore `paths` independent tree-edge
+/// deletions followed by `paths` independent cycle-rule swap inserts —
+/// the adversary for a batch scheduler that serializes the path-max
+/// search, and the workload behind the weighted-batched budget.
+UpdateStream weighted_interleaved_delete_stream(std::size_t n,
+                                                std::size_t length,
+                                                std::size_t paths,
+                                                std::size_t chords_per_path,
+                                                std::uint64_t seed);
+
 /// Applies one update to g; returns false if it was a no-op (insert of a
 /// present edge / delete of an absent one).  The dynamic algorithms'
 /// insert/erase preconditions forbid no-ops, so shadow-graph consumers

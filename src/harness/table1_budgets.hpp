@@ -47,5 +47,14 @@ inline constexpr double kBatchedConnectivityRoundsPerUpdate = 3.8;
 /// deletion per group), where grouped splits + the shared replacement
 /// search must keep the out-of-order scheduler under this bound.
 inline constexpr double kDeleteHeavyRoundsPerUpdate = 4.5;
+/// Weighted (MST) delete-heavy interleaved stream at batch = 16
+/// (graph::weighted_interleaved_delete_stream: every burst is a set of
+/// independent tree-edge deletions followed by a set of independent
+/// cycle-rule swap inserts), mean rounds per update with the shared
+/// path-max round + pipelined waves.  Measured ~4.1 on bench_table1's
+/// stream at n = 1024; the scheduler that serializes cycle-rule inserts
+/// (batch_path_max = false, the PR 3 behavior) measures ~8.0, so this
+/// budget is what keeps the grouped path-max search load-bearing.
+inline constexpr double kWeightedDeleteHeavyRoundsPerUpdate = 5.0;
 
 }  // namespace harness::budgets

@@ -46,20 +46,30 @@ class BatchSchedulerStress : public ::testing::TestWithParam<StressCase> {};
 TEST_P(BatchSchedulerStress, MatchesSerialReplay) {
   const auto [seed, batch_size, weighted] = GetParam();
   const std::size_t n = 48;
-  // Rotate through the stream shapes: uniformly random churn, the
-  // bridge adversary (serialized tree deletions), and the delete-heavy
-  // interleaved adversary (batched tree deletions).
+  // Rotate through the stream shapes: uniformly random churn (with a
+  // tiny weight range on even seeds, so weighted runs hit equal-weight
+  // cycle-rule ties), the bridge adversary (serialized tree deletions),
+  // the delete-heavy interleaved adversary (batched tree deletions),
+  // and — weighted — its cycle-rule variant, whose bursts mix grouped
+  // tree deletions with grouped path-max swaps (mid-path displacements,
+  // rejected swaps, and same-component deferrals across the seeds).
   graph::UpdateStream stream;
-  switch (seed % 3) {
+  switch (seed % 4) {
     case 0:
-      stream = graph::random_stream(n, 300, 0.6, seed, weighted);
+      stream = graph::random_stream(n, 300, 0.6, seed, weighted,
+                                    seed % 2 == 0 ? 6 : 1000);
       break;
     case 1:
       stream = graph::bridge_adversary_stream(n, 2 * n + 200, n / 4, seed,
                                               weighted);
       break;
-    default:
+    case 2:
       stream = graph::interleaved_delete_stream(n, 300, 5, 2, seed, weighted);
+      break;
+    default:
+      stream = weighted ? graph::weighted_interleaved_delete_stream(n, 300, 5,
+                                                                    2, seed)
+                        : graph::interleaved_delete_stream(n, 300, 5, 3, seed);
       break;
   }
 

@@ -378,6 +378,222 @@ TEST(BatchScheduler, MatchesSerialOnDeleteHeavyInterleavedStream) {
   EXPECT_TRUE(batched.validate(&why)) << why;
 }
 
+// The ISSUE 4 acceptance criterion: on the weighted delete-heavy
+// interleaved stream at batch 16 — whose bursts are independent
+// tree-edge deletions followed by independent cycle-rule swap inserts —
+// the shared path-max round plus pipelined waves must improve
+// rounds/update by at least 25% over the PR 3 scheduler (which
+// serializes every cycle-rule insert), with identical final state.
+TEST(BatchScheduler, GroupedCycleRuleInsertsBeatSerializedAtBatch16) {
+  const std::size_t n = 128;
+  const auto stream =
+      graph::weighted_interleaved_delete_stream(n, 600, 8, 3, 97);
+
+  auto run_config = [&](bool path_max, bool pipeline) {
+    auto forest = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n,
+                              .m_cap = 4 * n,
+                              .weighted = true,
+                              .batch_path_max = path_max,
+                              .pipeline_waves = pipeline});
+    forest->preprocess(graph::WeightedEdgeList{});
+    Driver driver(n, DriverConfig{.batch_size = 16,
+                                  .checkpoint_every = 0,
+                                  .weighted = true});
+    driver.add("mst", *forest);
+    driver.run(stream);
+    const auto* stats = driver.report().find("mst");
+    return std::pair(std::move(forest), stats->batch_agg.total_rounds);
+  };
+  auto [pr3, pr3_rounds] = run_config(false, false);
+  auto [grouped, grouped_rounds] = run_config(true, true);
+
+  // >= 25% fewer rounds per update (same applied-update count).
+  EXPECT_LE(4 * grouped_rounds, 3 * pr3_rounds)
+      << "grouped: " << grouped_rounds << " vs serialized: " << pr3_rounds;
+  EXPECT_GT(grouped->batch_stats().path_max_grouped, 0u);
+  EXPECT_EQ(pr3->batch_stats().path_max_grouped, 0u);
+
+  // Identical final state either way.
+  EXPECT_EQ(pr3->component_snapshot(), grouped->component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(*pr3), sorted_tree_edges(*grouped));
+  EXPECT_EQ(pr3->forest_weight(), grouped->forest_weight());
+  std::string why;
+  EXPECT_TRUE(grouped->validate(&why)) << why;
+}
+
+// Equal-weight tie: the cycle rule fires only on a STRICTLY heavier
+// path edge, so an insert matching its path max must stay non-tree —
+// in a shared path-max round exactly as serially.
+TEST(BatchScheduler, EqualWeightTiesInsertAsNontree) {
+  const std::size_t n = 16;
+  const graph::WeightedEdgeList initial = {
+      {0, 1, 5}, {1, 2, 5}, {4, 5, 5}, {5, 6, 5}};
+  auto make = [&] {
+    auto f = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n, .m_cap = 4 * n, .weighted = true});
+    f->preprocess(initial);
+    return f;
+  };
+  auto serial = make();
+  serial->insert(0, 2, 5);
+  serial->insert(4, 6, 5);
+
+  auto batched = make();
+  const std::vector<Update> batch = {
+      {UpdateKind::kInsert, 0, 2, 5},
+      {UpdateKind::kInsert, 4, 6, 5},
+  };
+  batched->apply_batch(std::span<const Update>(batch));
+
+  EXPECT_EQ(batched->batch_stats().path_max_grouped, 2u);
+  EXPECT_EQ(serial->component_snapshot(), batched->component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(*serial), sorted_tree_edges(*batched));
+  EXPECT_EQ(serial->forest_weight(), batched->forest_weight());
+  // No swap: the preprocessed tree survives.
+  EXPECT_EQ(sorted_tree_edges(*batched),
+            (std::vector<std::pair<dmpc::VertexId, dmpc::VertexId>>{
+                {0, 1}, {1, 2}, {4, 5}, {5, 6}}));
+  std::string why;
+  EXPECT_TRUE(batched->validate(&why)) << why;
+}
+
+// Swap-rejected inserts: a new edge heavier than its whole cycle path
+// must stay non-tree (the search runs, the swap does not).
+TEST(BatchScheduler, SwapRejectedInsertsStayNontree) {
+  const std::size_t n = 16;
+  const graph::WeightedEdgeList initial = {
+      {0, 1, 3}, {1, 2, 4}, {4, 5, 3}, {5, 6, 4}};
+  auto make = [&] {
+    auto f = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n, .m_cap = 4 * n, .weighted = true});
+    f->preprocess(initial);
+    return f;
+  };
+  auto serial = make();
+  serial->insert(0, 2, 10);
+  serial->insert(4, 6, 10);
+
+  auto batched = make();
+  const std::vector<Update> batch = {
+      {UpdateKind::kInsert, 0, 2, 10},
+      {UpdateKind::kInsert, 4, 6, 10},
+  };
+  batched->apply_batch(std::span<const Update>(batch));
+
+  EXPECT_EQ(batched->batch_stats().path_max_grouped, 2u);
+  EXPECT_EQ(serial->component_snapshot(), batched->component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(*serial), sorted_tree_edges(*batched));
+  EXPECT_EQ(sorted_tree_edges(*batched),
+            (std::vector<std::pair<dmpc::VertexId, dmpc::VertexId>>{
+                {0, 1}, {1, 2}, {4, 5}, {5, 6}}));
+  EXPECT_EQ(serial->forest_weight(), batched->forest_weight());
+  std::string why;
+  EXPECT_TRUE(batched->validate(&why)) << why;
+}
+
+// A grouped swap displacing a tree edge in the MIDDLE of the cycle path
+// (not adjacent to either endpoint): the demoted edge must become a
+// crossing candidate of its own split and lose the replacement search
+// to the lighter inserted edge.
+TEST(BatchScheduler, SwapDisplacesMidPathTreeEdge) {
+  const std::size_t n = 16;
+  const graph::WeightedEdgeList initial = {{0, 1, 1},  {1, 2, 9},
+                                           {2, 3, 1},  {12, 13, 1},
+                                           {13, 14, 9}, {14, 15, 1}};
+  auto make = [&] {
+    auto f = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n, .m_cap = 4 * n, .weighted = true});
+    f->preprocess(initial);
+    return f;
+  };
+  auto serial = make();
+  serial->insert(0, 3, 2);
+  serial->insert(12, 15, 2);
+
+  auto batched = make();
+  const std::vector<Update> batch = {
+      {UpdateKind::kInsert, 0, 3, 2},
+      {UpdateKind::kInsert, 12, 15, 2},
+  };
+  batched->apply_batch(std::span<const Update>(batch));
+
+  EXPECT_EQ(batched->batch_stats().path_max_grouped, 2u);
+  EXPECT_EQ(serial->component_snapshot(), batched->component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(*serial), sorted_tree_edges(*batched));
+  // The mid-path 9-weight edges were displaced by the new 2-weight ones.
+  EXPECT_EQ(sorted_tree_edges(*batched),
+            (std::vector<std::pair<dmpc::VertexId, dmpc::VertexId>>{
+                {0, 1}, {0, 3}, {2, 3}, {12, 13}, {12, 15}, {14, 15}}));
+  EXPECT_EQ(serial->forest_weight(), batched->forest_weight());
+  EXPECT_EQ(batched->forest_weight(), 2 * (1 + 1 + 2));
+  std::string why;
+  EXPECT_TRUE(batched->validate(&why)) << why;
+}
+
+// Two cycle-rule inserts in the SAME component that both want to swap:
+// only the earlier batch position may commit; the later one must be
+// deferred and re-planned against the committed tree, matching serial
+// application exactly.
+TEST(BatchScheduler, SameComponentSwapsDeferAndMatchSerial) {
+  const std::size_t n = 16;
+  const graph::WeightedEdgeList initial = {{0, 1, 9}, {1, 2, 9}, {2, 3, 9}};
+  auto make = [&] {
+    auto f = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n, .m_cap = 4 * n, .weighted = true});
+    f->preprocess(initial);
+    return f;
+  };
+  auto serial = make();
+  serial->insert(0, 2, 1);
+  serial->insert(1, 3, 1);
+
+  auto batched = make();
+  const std::vector<Update> batch = {
+      {UpdateKind::kInsert, 0, 2, 1},
+      {UpdateKind::kInsert, 1, 3, 1},
+  };
+  batched->apply_batch(std::span<const Update>(batch));
+
+  EXPECT_EQ(serial->component_snapshot(), batched->component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(*serial), sorted_tree_edges(*batched));
+  EXPECT_EQ(serial->forest_weight(), batched->forest_weight());
+  std::string why;
+  EXPECT_TRUE(batched->validate(&why)) << why;
+}
+
+// Regression: a later cycle-rule insert must not overtake an EARLIER
+// same-component pending insert (e.g. one held back by a coordinator
+// collision) and commit a swap the earlier update should have observed.
+// The plan-time ordering check treats a path-max read claim as a
+// potential write, so the later insert waits.  Found by review: with
+// read-read overtaking allowed, this batch promoted edge (5,6) where
+// serial replay keeps (1,6).
+TEST(BatchScheduler, SwapCannotOvertakeEarlierPendingSameComponentInsert) {
+  const std::size_t n = 12;
+  const graph::WeightedEdgeList initial = {{0, 1, 3}, {1, 2, 1}, {1, 3, 5},
+                                           {1, 4, 4}, {3, 5, 2}, {1, 6, 2},
+                                           {1, 7, 2}};
+  const std::vector<Update> batch = {
+      {UpdateKind::kInsert, 7, 2, 3}, {UpdateKind::kInsert, 7, 6, 5},
+      {UpdateKind::kInsert, 2, 3, 1}, {UpdateKind::kInsert, 6, 5, 2},
+      {UpdateKind::kInsert, 1, 4, 4}, {UpdateKind::kInsert, 6, 3, 2},
+  };
+  core::DynamicForest serial({.n = n, .m_cap = 8 * n, .weighted = true});
+  serial.preprocess(initial);
+  for (const Update& up : batch) serial.insert(up.u, up.v, up.w);
+
+  core::DynamicForest batched({.n = n, .m_cap = 8 * n, .weighted = true});
+  batched.preprocess(initial);
+  batched.apply_batch(std::span<const Update>(batch));
+
+  EXPECT_EQ(serial.component_snapshot(), batched.component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(serial), sorted_tree_edges(batched));
+  EXPECT_EQ(serial.forest_weight(), batched.forest_weight());
+  std::string why;
+  EXPECT_TRUE(batched.validate(&why)) << why;
+}
+
 TEST(ApplyBatch, HandlesNoopsAndNontreeOps) {
   const std::size_t n = 16;
   core::DynamicForest forest({.n = n, .m_cap = 4 * n});

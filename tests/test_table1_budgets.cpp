@@ -104,4 +104,34 @@ TEST(Table1Budgets, ApproximateMst) {
   expect_within(driver.report(), "mst", harness::budgets::kApproximateMst);
 }
 
+TEST(Table1Budgets, WeightedBatchedDeleteHeavy) {
+  // The weighted-batched gate: mean rounds per update of apply_batch at
+  // batch = 16 on the weighted delete-heavy adversary, whose bursts are
+  // independent tree-edge deletions plus independent cycle-rule swap
+  // inserts.  The shared path-max round + pipelined waves must keep this
+  // under the budget shared with bench_table1 --check (rounds per update
+  // is n-independent, so the same bound applies here at n = 256 and at
+  // the bench's n = 1024).
+  core::DynamicForest mst({.n = kN, .m_cap = kMCap, .weighted = true});
+  mst.preprocess(graph::WeightedEdgeList{});
+  harness::DriverConfig config{.batch_size = 16,
+                               .checkpoint_every = 0,
+                               .weighted = true};
+  harness::Driver driver(kN, config);
+  driver.add("mst", mst);
+  const auto& report = driver.run(
+      graph::weighted_interleaved_delete_stream(kN, 4 * kN, 8, 3, 10));
+  const auto* stats = report.find("mst");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_GT(report.applied, 0u);
+  const double rpu = static_cast<double>(stats->batch_agg.total_rounds) /
+                     static_cast<double>(report.applied);
+  EXPECT_LE(rpu, harness::budgets::kWeightedDeleteHeavyRoundsPerUpdate)
+      << "weighted batched rounds/update regressed";
+  // The budget is only meaningful if the stream actually exercised the
+  // grouped cycle-rule path.
+  EXPECT_GT(mst.batch_stats().path_max_grouped, 0u);
+  EXPECT_GT(mst.batch_stats().batched_tree_deletes, 0u);
+}
+
 }  // namespace
