@@ -162,11 +162,11 @@ inline void print_batch_row(const harness::DriverReport& report,
       stats->batched ? stats->batch_agg : stats->agg;
   std::string full_note = note;
   if (stats->scheduled) {
-    char sched[192];
+    char sched[224];
     std::snprintf(
         sched, sizeof sched,
         " | grp/batch=%.1f reord=%llu serial=%llu sdel=%llu pmax=%llu "
-        "pipe=%llu/%llu",
+        "pipe=%llu/%llu xb=%llu/%llu",
         stats->sched.groups_per_batch(),
         static_cast<unsigned long long>(stats->sched.reordered_updates),
         static_cast<unsigned long long>(stats->sched.serial_updates),
@@ -174,7 +174,10 @@ inline void print_batch_row(const harness::DriverReport& report,
         static_cast<unsigned long long>(stats->sched.path_max_grouped),
         static_cast<unsigned long long>(stats->sched.waves_pipelined),
         static_cast<unsigned long long>(stats->sched.waves_pipelined +
-                                        stats->sched.speculation_misses));
+                                        stats->sched.speculation_misses),
+        static_cast<unsigned long long>(stats->sched.batches_pipelined),
+        static_cast<unsigned long long>(stats->sched.batches_pipelined +
+                                        stats->sched.cross_batch_misses));
     full_note += sched;
   }
   std::printf("%-28s %12llu %12.2f %14llu %10zu   %s\n", name.c_str(),
@@ -219,7 +222,11 @@ inline bool batched_json_row(JsonReport& json,
           .u64("batched_tree_deletes", stats->sched.batched_tree_deletes)
           .u64("path_max_grouped", stats->sched.path_max_grouped)
           .u64("waves_pipelined", stats->sched.waves_pipelined)
-          .u64("speculation_misses", stats->sched.speculation_misses);
+          .u64("speculation_misses", stats->sched.speculation_misses)
+          .u64("deferred_updates", stats->sched.deferred_updates)
+          .u64("batches_pipelined", stats->sched.batches_pipelined)
+          .u64("cross_batch_misses", stats->sched.cross_batch_misses)
+          .num("pipeline_hit_rate", stats->sched.pipeline_hit_rate());
     }
   }
   if (budget_rpu != 0.0) {

@@ -335,6 +335,70 @@ int main(int argc, char** argv) {
         harness::budgets::kWeightedDeleteHeavyRoundsPerUpdate, wall);
   }
 
+  // Cross-batch pipelining (driver lookahead): on the WIDE delete-heavy
+  // adversaries (paths = 2x batch) consecutive batches touch disjoint
+  // path sets, so the driver's two-batch lookahead can overlap every
+  // batch's first prepare — and, with deeper speculation, its
+  // directory/path-max rounds — with the previous batch's tail commit.
+  // Each pair compares the PR 4 configuration (within-batch wave
+  // pipelining only) against cross-batch + deep speculation ON.
+  bench::print_batch_header(
+      "cross-batch pipelined batches (two-batch driver lookahead)");
+  auto run_xbatch = [&](bool weighted, bool pipelined,
+                        const graph::UpdateStream& stream,
+                        double* wall_seconds) {
+    core::DynamicForest forest({.n = kN,
+                                .m_cap = kMCap,
+                                .weighted = weighted,
+                                .speculate_deep = pipelined});
+    if (weighted) {
+      forest.preprocess(graph::WeightedEdgeList{});
+    } else {
+      forest.preprocess(graph::EdgeList{});
+    }
+    harness::DriverConfig config{.batch_size = 16,
+                                 .checkpoint_every = 0,
+                                 .weighted = weighted};
+    config.cross_batch_lookahead = pipelined;
+    harness::Driver driver(kN, config);
+    driver.add("forest", forest);
+    *wall_seconds = bench::timed_seconds([&] { driver.run(stream); });
+    return driver.report();
+  };
+  const auto wide_stream =
+      graph::interleaved_delete_stream(kN, 4000, 32, 2, 11);
+  const auto wide_weighted_stream =
+      graph::weighted_interleaved_delete_stream(kN, 4000, 32, 2, 12);
+  {
+    const auto& r = run_xbatch(false, false, wide_stream, &wall);
+    bench::print_batch_row(r, "forest", "wide delete-heavy, PR 4 config");
+    gate_batched_row(json, r, "forest", "connectivity delete-heavy wide pr4",
+                     0.0, wall);
+  }
+  {
+    const auto& r = run_xbatch(false, true, wide_stream, &wall);
+    bench::print_batch_row(r, "forest",
+                           "wide delete-heavy, cross-batch + deep");
+    gate_batched_row(json, r, "forest",
+                     "connectivity delete-heavy wide xbatch16",
+                     harness::budgets::kWideDeleteHeavyRoundsPerUpdate, wall);
+  }
+  {
+    const auto& r = run_xbatch(true, false, wide_weighted_stream, &wall);
+    bench::print_batch_row(r, "forest",
+                           "wide weighted delete-heavy, PR 4 config");
+    gate_batched_row(json, r, "forest", "mst delete-heavy wide pr4", 0.0,
+                     wall);
+  }
+  {
+    const auto& r = run_xbatch(true, true, wide_weighted_stream, &wall);
+    bench::print_batch_row(r, "forest",
+                           "wide weighted delete-heavy, cross-batch + deep");
+    gate_batched_row(
+        json, r, "forest", "mst delete-heavy wide xbatch16",
+        harness::budgets::kWeightedWideDeleteHeavyRoundsPerUpdate, wall);
+  }
+
   std::printf(
       "\nNotes: machines(wc)/comm(wc) are per-round worst cases; the\n"
       "reduction rows show rounds = sequential memory accesses with O(1)\n"

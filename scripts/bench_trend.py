@@ -1,20 +1,38 @@
 #!/usr/bin/env python3
-"""Wall-clock trend gate for the CI bench job.
+"""Trend gate for the CI bench job: wall-clock, rounds/update, and
+scheduler-counter trends.
 
 Compares the current BENCH_*.json artifacts (written by
 `bench_table1 --json` / `bench_scaling --json`) against the previous
 run's copies restored from the actions/cache baseline (keyed on main)
-and fails when any workload's wall-clock regressed by more than the
-threshold.
+and fails when any workload regressed:
 
-Rows are matched by (bench, name[, n]).  Sub-floor timings are ignored:
-CI runners are noisy and a 25% swing on a 20 ms row is weather, not a
-regression.  A missing baseline (first run, expired cache) passes with a
-notice — the save step repopulates it.
+  * wall-clock grew by more than --max-regress (sub-floor rows are
+    ignored: CI runners are noisy and a 25% swing on a 20 ms row is
+    weather, not a regression — unless the row grew PAST the floor);
+  * rounds_per_update grew by more than --max-rounds-regress (rounds
+    are deterministic, so this bound is tight);
+  * the pipeline hit rate (waves_pipelined / speculative attempts)
+    dropped by more than --max-hit-rate-drop, on rows with at least
+    --min-attempts baseline attempts;
+  * deferred_updates grew by more than --max-deferred-growth (plus a
+    small absolute slack for tiny counts).
+
+Rows are matched by (bench, name[, n]).  A missing baseline (first run,
+expired cache) passes with a notice — the save step repopulates it.  A
+BASELINE_SHA file in the baseline directory (stamped by the CI job when
+it stages a baseline) is logged so the comparison target is visible.
+
+With --summary PATH a markdown comparison table is appended there
+(pointed at $GITHUB_STEP_SUMMARY by CI), so regressions are readable
+from the job page without downloading artifacts.
 
 Usage:
   bench_trend.py --baseline DIR --current DIR \
-      [--max-regress 0.25] [--min-seconds 0.25]
+      [--max-regress 0.25] [--min-seconds 0.25] \
+      [--max-rounds-regress 0.05] [--max-hit-rate-drop 0.10] \
+      [--min-attempts 20] [--max-deferred-growth 0.25] \
+      [--summary PATH]
 """
 
 import argparse
@@ -24,19 +42,35 @@ import sys
 
 
 def load_rows(path):
-    """{(name, n): wall_seconds} for one BENCH_*.json report."""
+    """{(name, n): row-dict} for one BENCH_*.json report."""
     with open(path) as f:
         report = json.load(f)
     rows = {}
     for row in report.get("workloads", []):
-        wall = row.get("wall_seconds")
-        if wall is None:
-            continue
-        rows[(row.get("name"), row.get("n"))] = float(wall)
+        rows[(row.get("name"), row.get("n"))] = row
     return rows
 
 
-def main():
+def hit_rate(row, include_cross):
+    """Pipeline hit rate and attempt count of one row (None, 0 when the
+    row carries no scheduler counters).  With include_cross, cross-batch
+    boundary misses count as failed attempts: consumed carries already
+    land in waves_pipelined, so a lookahead that starts missing
+    wholesale drags the rate down instead of vanishing from the
+    denominator.  The caller sets include_cross only when BOTH compared
+    rows carry the counter — a baseline predating it must be compared
+    with the formula it was measured under, not fail spuriously."""
+    hits = row.get("waves_pipelined")
+    misses = row.get("speculation_misses")
+    if hits is None or misses is None:
+        return None, 0
+    attempts = hits + misses
+    if include_cross:
+        attempts += row.get("cross_batch_misses", 0)
+    return (hits / attempts if attempts else None), attempts
+
+
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
                     help="directory with the previous run's BENCH_*.json")
@@ -46,9 +80,24 @@ def main():
                     help="fail when wall-clock grows by more than this "
                          "fraction (default 0.25)")
     ap.add_argument("--min-seconds", type=float, default=0.25,
-                    help="ignore rows whose baseline wall-clock is below "
-                         "this floor (default 0.25)")
-    args = ap.parse_args()
+                    help="ignore wall-clock rows below this floor "
+                         "(default 0.25)")
+    ap.add_argument("--max-rounds-regress", type=float, default=0.05,
+                    help="fail when rounds_per_update grows by more than "
+                         "this fraction (default 0.05)")
+    ap.add_argument("--max-hit-rate-drop", type=float, default=0.10,
+                    help="fail when the pipeline hit rate drops by more "
+                         "than this (absolute, default 0.10)")
+    ap.add_argument("--min-attempts", type=int, default=20,
+                    help="gate the hit rate only on rows with at least "
+                         "this many baseline attempts (default 20)")
+    ap.add_argument("--max-deferred-growth", type=float, default=0.25,
+                    help="fail when deferred_updates grows by more than "
+                         "this fraction plus a slack of 8 (default 0.25)")
+    ap.add_argument("--summary", default=None,
+                    help="append a markdown comparison table to this file "
+                         "(e.g. $GITHUB_STEP_SUMMARY)")
+    args = ap.parse_args(argv)
 
     names = [n for n in sorted(os.listdir(args.current))
              if n.startswith("BENCH_") and n.endswith(".json")]
@@ -57,7 +106,15 @@ def main():
               file=sys.stderr)
         return 2
 
-    regressions = []
+    sha_path = os.path.join(args.baseline, "BASELINE_SHA")
+    baseline_sha = None
+    if os.path.exists(sha_path):
+        with open(sha_path) as f:
+            baseline_sha = f.read().strip()
+        print(f"bench_trend: comparing against baseline from {baseline_sha}")
+
+    regressions = []  # (bench, label, metric, detail)
+    table = []        # markdown rows
     compared = 0
     for name in names:
         base_path = os.path.join(args.baseline, name)
@@ -67,37 +124,129 @@ def main():
             continue
         base = load_rows(base_path)
         cur = load_rows(os.path.join(args.current, name))
-        for key, base_wall in sorted(base.items()):
+        for key, brow in sorted(base.items(), key=lambda kv: str(kv[0])):
             if key not in cur:
                 # A renamed/removed workload silently losing coverage is
                 # worth a visible notice, not a failure.
                 print(f"bench_trend: {name}: baseline row {key[0]!r} "
                       "missing from current run — not compared")
                 continue
-            cur_wall = cur[key]
-            # Noise floor: skip only when BOTH sides are tiny, so a row
-            # that grew from sub-floor to large is still gated.
-            if base_wall < args.min_seconds and cur_wall < args.min_seconds:
-                continue
-            compared += 1
-            ratio = cur_wall / base_wall
-            marker = ""
-            if ratio > 1.0 + args.max_regress:
-                marker = "  <-- REGRESSION"
-                regressions.append((name, key, base_wall, cur_wall))
+            crow = cur[key]
             label = key[0] if key[1] is None else f"{key[0]} (n={key[1]})"
-            print(f"{name}: {label}: {base_wall:.3f}s -> {cur_wall:.3f}s "
-                  f"({ratio:.2f}x baseline){marker}")
+            compared += 1
+            row_bad = []
+
+            # A metric the baseline has but the current run lost (a
+            # renamed key, dropped sched counters) silently disables its
+            # gate — make that loss visible, like the missing-row notice.
+            for metric in ("wall_seconds", "rounds_per_update",
+                           "waves_pipelined", "deferred_updates"):
+                if brow.get(metric) is not None and \
+                        crow.get(metric) is None:
+                    print(f"bench_trend: {name}: {label}: baseline has "
+                          f"{metric!r} but the current run lost it — "
+                          "that gate is not applied")
+
+            # Wall-clock (noise floor: skip only when BOTH sides are
+            # tiny, so a row that grew from sub-floor to large is still
+            # gated).
+            bw, cw = brow.get("wall_seconds"), crow.get("wall_seconds")
+            wall_note = "-"
+            if bw is not None and cw is not None:
+                if bw >= args.min_seconds or cw >= args.min_seconds:
+                    ratio = cw / bw if bw > 0 else float("inf")
+                    wall_note = f"{bw:.2f}s -> {cw:.2f}s"
+                    if ratio > 1.0 + args.max_regress:
+                        row_bad.append("wall-clock")
+                        regressions.append(
+                            (name, label, "wall-clock",
+                             f"{bw:.3f}s -> {cw:.3f}s"))
+                else:
+                    wall_note = f"{bw:.2f}s -> {cw:.2f}s (sub-floor)"
+
+            # Rounds per update: deterministic, so gated tightly.
+            br, cr = (brow.get("rounds_per_update"),
+                      crow.get("rounds_per_update"))
+            rounds_note = "-"
+            if br is not None and cr is not None:
+                rounds_note = f"{br:.2f} -> {cr:.2f}"
+                if br > 0 and cr > br * (1.0 + args.max_rounds_regress):
+                    row_bad.append("rounds/update")
+                    regressions.append(
+                        (name, label, "rounds/update",
+                         f"{br:.3f} -> {cr:.3f}"))
+
+            # Pipeline hit rate (within-batch waves + cross-batch
+            # carries both count through these counters).  A current run
+            # whose attempts collapsed to zero counts as rate 0.0 —
+            # losing speculation entirely is the worst drop, not a skip.
+            include_cross = ("cross_batch_misses" in brow and
+                             "cross_batch_misses" in crow)
+            brate, batt = hit_rate(brow, include_cross)
+            crate, _ = hit_rate(crow, include_cross)
+            has_cur_counters = crow.get("waves_pipelined") is not None
+            if crate is None and has_cur_counters:
+                crate = 0.0
+            rate_note = "-"
+            if brate is not None and crate is not None:
+                rate_note = f"{brate:.2f} -> {crate:.2f}"
+                if (batt >= args.min_attempts and
+                        crate < brate - args.max_hit_rate_drop):
+                    row_bad.append("pipeline hit rate")
+                    regressions.append(
+                        (name, label, "pipeline hit rate",
+                         f"{brate:.2f} -> {crate:.2f}"))
+
+            # Deferred updates: growth means the scheduler is bouncing
+            # more work back to the pending set.
+            bd, cd = (brow.get("deferred_updates"),
+                      crow.get("deferred_updates"))
+            deferred_note = "-"
+            if bd is not None and cd is not None:
+                deferred_note = f"{bd} -> {cd}"
+                if cd > bd * (1.0 + args.max_deferred_growth) + 8:
+                    row_bad.append("deferred updates")
+                    regressions.append(
+                        (name, label, "deferred updates", f"{bd} -> {cd}"))
+
+            verdict = "REGRESSION: " + ", ".join(row_bad) if row_bad \
+                else "ok"
+            marker = "  <-- REGRESSION" if row_bad else ""
+            print(f"{name}: {label}: wall {wall_note}, r/u {rounds_note}, "
+                  f"hit {rate_note}, deferred {deferred_note}{marker}")
+            table.append((name.removeprefix("BENCH_").removesuffix(".json"),
+                          label, wall_note, rounds_note, rate_note,
+                          deferred_note, verdict))
+
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write("## Bench trend vs baseline")
+            if baseline_sha:
+                f.write(f" (`{baseline_sha[:12]}`)")
+            f.write("\n\n")
+            if not table:
+                f.write("_No baseline rows to compare (first run or "
+                        "expired cache)._\n\n")
+            else:
+                f.write("| bench | workload | wall | rounds/upd | "
+                        "pipe hit | deferred | verdict |\n")
+                f.write("|---|---|---|---|---|---|---|\n")
+                for row in table:
+                    cells = " | ".join(str(c) for c in row)
+                    f.write(f"| {cells} |\n")
+                f.write("\n")
 
     if regressions:
-        print(f"\nbench_trend: {len(regressions)} wall-clock regression(s) "
-              f"beyond {args.max_regress:.0%}:", file=sys.stderr)
-        for name, key, base_wall, cur_wall in regressions:
-            print(f"  {name} {key[0]}: {base_wall:.3f}s -> {cur_wall:.3f}s",
-                  file=sys.stderr)
+        print(f"\nbench_trend: {len(regressions)} regression(s):",
+              file=sys.stderr)
+        for name, label, metric, detail in regressions:
+            print(f"  {name} {label}: {metric} {detail}", file=sys.stderr)
         return 1
-    print(f"bench_trend: {compared} row(s) within "
-          f"{args.max_regress:.0%} of baseline")
+    print(f"bench_trend: {compared} row(s) within bounds "
+          f"(wall {args.max_regress:.0%}, rounds "
+          f"{args.max_rounds_regress:.0%}, hit-rate drop "
+          f"{args.max_hit_rate_drop:.2f}, deferred growth "
+          f"{args.max_deferred_growth:.0%})")
     return 0
 
 

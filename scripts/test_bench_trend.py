@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_trend.py — the CI bench trend gate.
+
+Run directly (python3 scripts/test_bench_trend.py) or via ctest
+(registered as bench_trend_py, label tier1).  Each case stages a
+synthetic baseline/current BENCH_*.json pair in a temp directory and
+asserts the gate's exit code and, for the summary, its markdown output.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_trend", os.path.join(_HERE, "bench_trend.py"))
+bench_trend = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_trend)
+
+
+def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
+             xb_misses=None, deferred=None, n=None):
+    row = {"name": name, "wall_seconds": wall}
+    if n is not None:
+        row["n"] = n
+    if rounds is not None:
+        row["rounds_per_update"] = rounds
+    if hits is not None:
+        row["waves_pipelined"] = hits
+        row["speculation_misses"] = misses or 0
+    if xb_misses is not None:
+        row["cross_batch_misses"] = xb_misses
+    if deferred is not None:
+        row["deferred_updates"] = deferred
+    return row
+
+
+class BenchTrendTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.baseline = os.path.join(self.tmp.name, "baseline")
+        self.current = os.path.join(self.tmp.name, "current")
+        os.makedirs(self.baseline)
+        os.makedirs(self.current)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, directory, rows, bench="table1"):
+        path = os.path.join(directory, f"BENCH_{bench}.json")
+        with open(path, "w") as f:
+            json.dump({"bench": bench, "within_budget": True,
+                       "workloads": rows}, f)
+
+    def gate(self, *extra):
+        return bench_trend.main(["--baseline", self.baseline,
+                                 "--current", self.current, *extra])
+
+    def test_identical_runs_pass(self):
+        rows = [make_row("w", wall=2.0, rounds=3.0, hits=50, misses=5,
+                         deferred=10)]
+        self.write(self.baseline, rows)
+        self.write(self.current, rows)
+        self.assertEqual(self.gate(), 0)
+
+    def test_missing_baseline_passes_with_notice(self):
+        self.write(self.current, [make_row("w")])
+        self.assertEqual(self.gate(), 0)
+
+    def test_wall_clock_regression_fails(self):
+        self.write(self.baseline, [make_row("w", wall=1.0)])
+        self.write(self.current, [make_row("w", wall=1.6)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_sub_floor_wall_noise_is_ignored(self):
+        self.write(self.baseline, [make_row("w", wall=0.01)])
+        self.write(self.current, [make_row("w", wall=0.02)])
+        self.assertEqual(self.gate(), 0)
+
+    def test_sub_floor_row_growing_past_floor_is_gated(self):
+        self.write(self.baseline, [make_row("w", wall=0.01)])
+        self.write(self.current, [make_row("w", wall=1.0)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_rounds_per_update_regression_fails(self):
+        # The ISSUE acceptance case: a synthetic rounds/update regression
+        # must fail the job even with identical wall-clock.
+        self.write(self.baseline, [make_row("w", wall=1.0, rounds=3.0)])
+        self.write(self.current, [make_row("w", wall=1.0, rounds=3.4)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_rounds_within_tolerance_passes(self):
+        self.write(self.baseline, [make_row("w", rounds=3.0)])
+        self.write(self.current, [make_row("w", rounds=3.1)])
+        self.assertEqual(self.gate(), 0)
+
+    def test_pipeline_hit_rate_drop_fails(self):
+        self.write(self.baseline,
+                   [make_row("w", hits=90, misses=10)])  # rate 0.90
+        self.write(self.current,
+                   [make_row("w", hits=50, misses=50)])  # rate 0.50
+        self.assertEqual(self.gate(), 1)
+
+    def test_total_loss_of_pipelining_fails(self):
+        # Zero attempts in the current run is a rate of 0, not a skip —
+        # disabling speculation entirely must not slip past the gate.
+        self.write(self.baseline,
+                   [make_row("w", hits=90, misses=10)])  # rate 0.90
+        self.write(self.current,
+                   [make_row("w", hits=0, misses=0)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_cross_batch_misses_count_as_failed_attempts(self):
+        # Carries that start missing wholesale must drag the rate down,
+        # not vanish from the denominator: 50/(50+10) = 0.83 baseline vs
+        # 50/(50+10+40) = 0.50 current.
+        self.write(self.baseline,
+                   [make_row("w", hits=50, misses=10, xb_misses=0)])
+        self.write(self.current,
+                   [make_row("w", hits=50, misses=10, xb_misses=40)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_pre_cross_batch_baseline_compares_under_old_formula(self):
+        # A baseline produced before the cross_batch_misses counter
+        # existed must not false-fail against a current run that counts
+        # boundary misses: both sides drop the counter and compare the
+        # within-batch rate only.
+        self.write(self.baseline,
+                   [make_row("w", hits=50, misses=0)])  # old-era row
+        self.write(self.current,
+                   [make_row("w", hits=50, misses=0, xb_misses=60)])
+        self.assertEqual(self.gate(), 0)
+
+    def test_hit_rate_ignored_below_min_attempts(self):
+        self.write(self.baseline, [make_row("w", hits=3, misses=1)])
+        self.write(self.current, [make_row("w", hits=0, misses=4)])
+        self.assertEqual(self.gate(), 0)
+
+    def test_deferred_updates_growth_fails(self):
+        self.write(self.baseline, [make_row("w", deferred=20)])
+        self.write(self.current, [make_row("w", deferred=120)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_deferred_small_count_slack(self):
+        # Tiny counts get an absolute slack: 0 -> 5 is not a regression.
+        self.write(self.baseline, [make_row("w", deferred=0)])
+        self.write(self.current, [make_row("w", deferred=5)])
+        self.assertEqual(self.gate(), 0)
+
+    def test_rows_matched_by_name_and_n(self):
+        self.write(self.baseline, [make_row("w", rounds=3.0, n=256),
+                                   make_row("w", rounds=1.0, n=1024)])
+        self.write(self.current, [make_row("w", rounds=3.0, n=256),
+                                  make_row("w", rounds=2.0, n=1024)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_summary_table_written(self):
+        self.write(self.baseline, [make_row("w", wall=1.0, rounds=3.0)])
+        self.write(self.current, [make_row("w", wall=1.0, rounds=3.4)])
+        with open(os.path.join(self.baseline, "BASELINE_SHA"), "w") as f:
+            f.write("0123456789abcdef\n")
+        summary = os.path.join(self.tmp.name, "summary.md")
+        self.assertEqual(self.gate("--summary", summary), 1)
+        with open(summary) as f:
+            text = f.read()
+        self.assertIn("## Bench trend vs baseline", text)
+        self.assertIn("0123456789ab", text)  # stamped baseline SHA
+        self.assertIn("| table1 | w |", text)
+        self.assertIn("REGRESSION: rounds/update", text)
+
+    def test_summary_on_first_run_names_the_missing_baseline(self):
+        self.write(self.current, [make_row("w")])
+        summary = os.path.join(self.tmp.name, "summary.md")
+        self.assertEqual(self.gate("--summary", summary), 0)
+        with open(summary) as f:
+            self.assertIn("No baseline rows", f.read())
+
+    def test_lost_metric_prints_a_notice(self):
+        # Dropping a gated metric from the current JSON must not fail,
+        # but the disabled gate has to be called out.
+        import contextlib
+        import io
+        self.write(self.baseline, [make_row("w", rounds=3.0)])
+        self.write(self.current, [{"name": "w", "wall_seconds": 1.0}])
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            self.assertEqual(self.gate(), 0)
+        self.assertIn("lost it", out.getvalue())
+        self.assertIn("rounds_per_update", out.getvalue())
+
+    def test_empty_current_dir_errors(self):
+        self.assertEqual(self.gate(), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -51,6 +51,20 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Whether the batch now being applied is the lookahead a carried
+/// cross-batch speculation was built for, element for element.
+bool same_updates(const std::vector<graph::Update>& a,
+                  std::span<const graph::Update> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].u != b[i].u || a[i].v != b[i].v ||
+        a[i].w != b[i].w) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 DynamicForest::DynamicForest(const DynForestConfig& config)
@@ -105,6 +119,7 @@ void DynamicForest::preprocess(const graph::EdgeList& edges) {
 }
 
 void DynamicForest::preprocess(const graph::WeightedEdgeList& edges) {
+  carry_.reset();  // rebuilt state invalidates any carried speculation
   // Select the spanning forest.  The MST variant considers edges bucket by
   // bucket in increasing (1+eps) weight classes — exactly the paper's
   // bucketization, which is what makes the result a (1+eps)-approximate
@@ -798,12 +813,23 @@ void DynamicForest::erase_impl(VertexId x, VertexId y) {
 }
 
 void DynamicForest::insert(VertexId x, VertexId y, Weight w) {
+  // A serial update between apply_batch calls rewrites state a carried
+  // cross-batch speculation read; the fingerprint match cannot see
+  // that, so the carry must die here.
+  if (carry_.has_value()) {
+    carry_.reset();
+    ++batch_stats_.cross_batch_misses;
+  }
   cluster_->begin_update();
   insert_impl(x, y, w);
   cluster_->end_update();
 }
 
 void DynamicForest::erase(VertexId x, VertexId y) {
+  if (carry_.has_value()) {
+    carry_.reset();
+    ++batch_stats_.cross_batch_misses;
+  }
   cluster_->begin_update();
   erase_impl(x, y);
   cluster_->end_update();
@@ -1098,23 +1124,34 @@ DynamicForest::GroupPrep DynamicForest::run_group_prepare(
   for (std::size_t a = 0; a < gp.active.size(); ++a) {
     gp.preps[a] = fold_scans(scans[a]);
   }
+  // Deeper speculation: the directory and shared path-max rounds are
+  // read-only too, so a pipelined wave runs them against pre-commit
+  // state as well — 2 more rounds hidden behind the in-flight commit,
+  // guarded by the same written-component/edge invalidation.
+  if (overlapped && config_.speculate_deep) {
+    gp.rounds += run_group_dir(group, gp, /*overlapped=*/true);
+  }
   return gp;
 }
 
-DynamicForest::GroupOutcome DynamicForest::run_group_commit(
-    std::vector<BatchOp>& group, const GroupPrep& gp) {
+std::uint64_t DynamicForest::run_group_dir(std::vector<BatchOp>& group,
+                                           GroupPrep& gp, bool overlapped) {
   const MachineId mu = static_cast<MachineId>(machines_.size());
-  GroupOutcome out;
-  const auto finish = [&] {
-    ++out.rounds;
-    cluster_->finish_round();
-  };
   const std::vector<std::size_t>& active = gp.active;
-  if (active.empty()) return out;
-  std::vector<Prep> preps = gp.preps;  // sizes filled by the dir rounds
-  const bool any_merge = gp.any_merge;
-  const bool any_delete = gp.any_delete;
-  const bool any_pathmax = gp.any_pathmax;
+  gp.dir_done = true;
+  gp.heaviest.assign(active.size(), std::nullopt);
+  if (active.empty() || !(gp.any_merge || gp.any_delete || gp.any_pathmax)) {
+    return 0;
+  }
+  std::uint64_t rounds = 0;
+  const auto finish = [&] {
+    ++rounds;
+    if (overlapped) {
+      cluster_->finish_overlapped_round();
+    } else {
+      cluster_->finish_round();
+    }
+  };
   // Merges need both component sizes; tree deletions — and cycle-rule
   // inserts, whose swap would split — the size of the one they touch.
   const auto needs_dir = [&](std::size_t i) {
@@ -1132,79 +1169,99 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
   // maxima ride round 5 with the size replies.  Proposals carry the
   // candidate's four tour indexes so a committing swap can derive its
   // split without re-querying the displaced edge's machine.
-  std::vector<std::optional<EdgeRec>> heaviest(active.size());
-  if (any_merge || any_delete || any_pathmax) {
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      if (!needs_dir(active[a])) continue;
-      const Prep& p = preps[a];
-      const MachineId coord = group[active[a]].coord;
-      cluster_->send(coord, dir_machine(p.cx), kDirQuery, {p.cx});
-      if (p.cy != p.cx) {
-        cluster_->send(coord, dir_machine(p.cy), kDirQuery, {p.cy});
-      }
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (!needs_dir(active[a])) continue;
+    const Prep& p = gp.preps[a];
+    const MachineId coord = group[active[a]].coord;
+    cluster_->send(coord, dir_machine(p.cx), kDirQuery, {p.cx});
+    if (p.cy != p.cx) {
+      cluster_->send(coord, dir_machine(p.cy), kDirQuery, {p.cy});
     }
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      const BatchOp& op = group[active[a]];
-      if (op.kind != BatchOpKind::kPathMax) continue;
-      const Prep& p = preps[a];
-      for (MachineId m = 0; m < mu; ++m) {
-        if (m != op.coord) {
-          cluster_->send(op.coord, m, kPathMaxBcast,
-                         {static_cast<Word>(active[a]), p.cx, p.fx, p.lx,
-                          p.fy, p.ly});
-        }
-      }
-    }
-    finish();
-    std::vector<std::vector<const EdgeRec*>> pmc;
-    if (any_pathmax) {
-      pmc.assign(machines_.size(),
-                 std::vector<const EdgeRec*>(active.size(), nullptr));
-      cluster_->for_each_machine([&](MachineId m) {
-        for (std::size_t a = 0; a < active.size(); ++a) {
-          const BatchOp& op = group[active[a]];
-          if (op.kind != BatchOpKind::kPathMax) continue;
-          const Prep& p = preps[a];
-          const EdgeRec* best =
-              path_max_local(m, p.cx, p.fx, p.lx, p.fy, p.ly);
-          pmc[m][a] = best;
-          if (best != nullptr && m != op.coord) {
-            cluster_->send(m, op.coord, kProposal,
-                           {static_cast<Word>(active[a]), best->u, best->v,
-                            best->w, best->iu1, best->iu2, best->iv1,
-                            best->iv2});
-          }
-        }
-      });
-    }
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      if (!needs_dir(active[a])) continue;
-      Prep& p = preps[a];
-      const MachineId coord = group[active[a]].coord;
-      p.size_cx = machines_[dir_machine(p.cx)].comp_sizes.at(p.cx);
-      cluster_->send(dir_machine(p.cx), coord, kDirReply, {p.cx, p.size_cx});
-      if (p.cy != p.cx) {
-        p.size_cy = machines_[dir_machine(p.cy)].comp_sizes.at(p.cy);
-        cluster_->send(dir_machine(p.cy), coord, kDirReply, {p.cy, p.size_cy});
-      } else {
-        p.size_cy = p.size_cx;
-      }
-    }
-    finish();
-    // Coordinator-side fold of the path-max proposals, mirroring the
-    // serial fold (machine order, strictly heavier wins) so a grouped
-    // search elects the same displaced edge as serial application.
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      if (group[active[a]].kind != BatchOpKind::kPathMax) continue;
-      for (MachineId m = 0; m < mu; ++m) {
-        const EdgeRec* c = pmc[m][a];
-        if (c != nullptr &&
-            (!heaviest[a].has_value() || c->w > heaviest[a]->w)) {
-          heaviest[a] = *c;
-        }
+  }
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    const BatchOp& op = group[active[a]];
+    if (op.kind != BatchOpKind::kPathMax) continue;
+    const Prep& p = gp.preps[a];
+    for (MachineId m = 0; m < mu; ++m) {
+      if (m != op.coord) {
+        cluster_->send(op.coord, m, kPathMaxBcast,
+                       {static_cast<Word>(active[a]), p.cx, p.fx, p.lx, p.fy,
+                        p.ly});
       }
     }
   }
+  finish();
+  std::vector<std::vector<const EdgeRec*>> pmc;
+  if (gp.any_pathmax) {
+    pmc.assign(machines_.size(),
+               std::vector<const EdgeRec*>(active.size(), nullptr));
+    cluster_->for_each_machine([&](MachineId m) {
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const BatchOp& op = group[active[a]];
+        if (op.kind != BatchOpKind::kPathMax) continue;
+        const Prep& p = gp.preps[a];
+        const EdgeRec* best = path_max_local(m, p.cx, p.fx, p.lx, p.fy, p.ly);
+        pmc[m][a] = best;
+        if (best != nullptr && m != op.coord) {
+          cluster_->send(m, op.coord, kProposal,
+                         {static_cast<Word>(active[a]), best->u, best->v,
+                          best->w, best->iu1, best->iu2, best->iv1,
+                          best->iv2});
+        }
+      }
+    });
+  }
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (!needs_dir(active[a])) continue;
+    Prep& p = gp.preps[a];
+    const MachineId coord = group[active[a]].coord;
+    p.size_cx = machines_[dir_machine(p.cx)].comp_sizes.at(p.cx);
+    cluster_->send(dir_machine(p.cx), coord, kDirReply, {p.cx, p.size_cx});
+    if (p.cy != p.cx) {
+      p.size_cy = machines_[dir_machine(p.cy)].comp_sizes.at(p.cy);
+      cluster_->send(dir_machine(p.cy), coord, kDirReply, {p.cy, p.size_cy});
+    } else {
+      p.size_cy = p.size_cx;
+    }
+  }
+  finish();
+  // Coordinator-side fold of the path-max proposals, mirroring the
+  // serial fold (machine order, strictly heavier wins) so a grouped
+  // search elects the same displaced edge as serial application.
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    if (group[active[a]].kind != BatchOpKind::kPathMax) continue;
+    for (MachineId m = 0; m < mu; ++m) {
+      const EdgeRec* c = pmc[m][a];
+      if (c != nullptr &&
+          (!gp.heaviest[a].has_value() || c->w > gp.heaviest[a]->w)) {
+        gp.heaviest[a] = *c;
+      }
+    }
+  }
+  return rounds;
+}
+
+DynamicForest::GroupOutcome DynamicForest::run_group_commit(
+    std::vector<BatchOp>& group, GroupPrep& gp) {
+  const MachineId mu = static_cast<MachineId>(machines_.size());
+  GroupOutcome out;
+  const auto finish = [&] {
+    ++out.rounds;
+    cluster_->finish_round();
+  };
+  const std::vector<std::size_t>& active = gp.active;
+  if (active.empty()) return out;
+  // Directory sizes + path-max maxima: already gathered when a deep
+  // speculative prepare ran rounds 4-5 overlapped; otherwise run them
+  // here at full cost.
+  if (!gp.dir_done) {
+    out.rounds += run_group_dir(group, gp, /*overlapped=*/false);
+  }
+  std::vector<Prep>& preps = gp.preps;
+  std::vector<std::optional<EdgeRec>>& heaviest = gp.heaviest;
+  const bool any_merge = gp.any_merge;
+  const bool any_delete = gp.any_delete;
+  const bool any_pathmax = gp.any_pathmax;
 
   // Cycle-rule decisions: an insert whose path max outweighs it wants to
   // displace that edge (the swap); otherwise it commits as a non-tree
@@ -1668,6 +1725,37 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
 }
 
 void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
+  apply_batch(batch, std::span<const graph::Update>{});
+}
+
+void DynamicForest::charge_overlap_deficit(std::uint64_t prep_rounds,
+                                           std::uint64_t ridden) {
+  if (prep_rounds <= ridden) return;
+  const dmpc::RoundRecord blank{};
+  for (std::uint64_t r = prep_rounds - ridden; r > 0; --r) {
+    cluster_->charge_round(blank);
+  }
+}
+
+std::optional<DynamicForest::CarrySpec> DynamicForest::plan_cross_carry(
+    std::span<const graph::Update> lookahead,
+    std::span<const BatchOp> avoid) {
+  CarrySpec s;
+  std::vector<std::size_t> next_pending(lookahead.size());
+  for (std::size_t i = 0; i < next_pending.size(); ++i) next_pending[i] = i;
+  s.wave = plan_wave(lookahead, next_pending, avoid);
+  // A wave of fewer than 2 ops is not worth carrying: everything in the
+  // next batch conflicts with (or is ordered behind a conflict with)
+  // the closing tail, and the boundary degrades to plain back-to-back
+  // serialization (counted as a cross_batch_miss by the caller).
+  if (s.wave.group.size() < 2) return std::nullopt;
+  s.prep = run_group_prepare(s.wave.group, /*overlapped=*/true);
+  s.batch.assign(lookahead.begin(), lookahead.end());
+  return s;
+}
+
+void DynamicForest::apply_batch(std::span<const graph::Update> batch,
+                                std::span<const graph::Update> lookahead) {
   if (batch.empty()) return;
   cluster_->begin_update();
   ++batch_stats_.batches;
@@ -1685,8 +1773,39 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
     GroupPrep prep;
   };
   std::optional<Spec> spec;
-  const auto spec_survives = [](const Spec& s, const GroupOutcome& o) {
-    for (const BatchOp& op : s.wave.group) {
+  // The first wave's fresh plan, when the carry-consumption check below
+  // already computed one: the first loop iteration reuses it instead of
+  // planning the same wave twice.
+  std::optional<WavePlan> first_plan;
+  // Consume the speculation carried across the apply_batch boundary: the
+  // previous call planned + prepared THIS batch's first wave away from
+  // its closing wave's claims and validated it against that commit, so
+  // it is usable exactly when this batch is the lookahead it was built
+  // for (a direct caller may apply something else — then it is dropped
+  // and planning starts from scratch, today's serialization).
+  if (carry_.has_value()) {
+    bool usable = pipeline && same_updates(carry_->batch, batch);
+    if (usable) {
+      // The carried wave was planned AWAY from the previous batch's
+      // closing claims, so it can be a strict subset of what a fresh
+      // plan against the committed state would take.  Consuming a
+      // fragment forces an extra wave onto this batch — often costlier
+      // than the prepare rounds the carry hides — so it is only used
+      // when it is at least as large as the fresh first wave.
+      WavePlan fresh = plan_wave(batch, pending);
+      usable = carry_->wave.group.size() >= fresh.group.size();
+      if (!usable) first_plan = std::move(fresh);
+    }
+    if (usable) {
+      spec.emplace(Spec{std::move(carry_->wave), std::move(carry_->prep)});
+      ++batch_stats_.batches_pipelined;
+    } else {
+      ++batch_stats_.cross_batch_misses;
+    }
+    carry_.reset();
+  }
+  const auto spec_survives = [](const WavePlan& w, const GroupOutcome& o) {
+    for (const BatchOp& op : w.group) {
       if (o.touched_ekeys.count(op.ekey) > 0) return false;
       for (std::size_t i = 0; i < op.num_writes; ++i) {
         if (o.written_comps.count(op.writes[i]) > 0) return false;
@@ -1707,6 +1826,9 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
       prepared = true;
       spec.reset();
       ++batch_stats_.waves_pipelined;
+    } else if (first_plan.has_value()) {
+      wave = std::move(*first_plan);
+      first_plan.reset();
     } else {
       wave = plan_wave(batch, pending);
     }
@@ -1736,7 +1858,11 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
       // Speculate the NEXT wave's plan + read-only prepare against the
       // pre-commit state, overlapping the current wave's commit rounds.
       // Only group-sized waves are worth speculating: a lone head runs
-      // the serial protocol, which re-prepares anyway.
+      // the serial protocol, which re-prepares anyway.  On the batch's
+      // FINAL wave the same mechanism reaches across the apply_batch
+      // boundary instead: the lookahead batch's first wave is planned
+      // away from this wave's claims and carried to the next call.
+      std::optional<CarrySpec> cross;
       if (pipeline && !rest.empty()) {
         Spec s;
         // Seeding the plan with the in-flight group's ops keeps the
@@ -1749,18 +1875,17 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
           s.prep = run_group_prepare(s.wave.group, /*overlapped=*/true);
           spec = std::move(s);
         }
+      } else if (pipeline && rest.empty() && !lookahead.empty()) {
+        cross = plan_cross_carry(lookahead, wave.group);
       }
       GroupOutcome outc = run_group_commit(wave.group, gp);
-      if (spec.has_value() && spec->prep.rounds > outc.rounds) {
-        // The speculative prepare issued more overlapped rounds than
-        // this commit phase had real rounds to ride; the excess cannot
-        // hide in any physically realizable schedule, so charge it
-        // (its traffic was already counted at delivery).
-        const dmpc::RoundRecord blank{};
-        for (std::uint64_t r = spec->prep.rounds - outc.rounds; r > 0; --r) {
-          cluster_->charge_round(blank);
-        }
+      std::uint64_t spec_rounds = 0;
+      if (spec.has_value()) {
+        spec_rounds = spec->prep.rounds;
+      } else if (cross.has_value()) {
+        spec_rounds = cross->prep.rounds;
       }
+      charge_overlap_deficit(spec_rounds, outc.rounds);
       batch_stats_.grouped_updates +=
           wave.group.size() - outc.deferred.size();
       batch_stats_.deferred_updates += outc.deferred.size();
@@ -1768,16 +1893,25 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
         // Deferred positions re-enter the pending set in batch order.
         // The speculation was planned without them, so a speculated op
         // could illegally overtake a deferred conflicting one: discard.
+        // A carried cross-batch wave likewise: the deferred members of
+        // THIS batch must commit before the next batch starts.
         rest.insert(rest.end(), outc.deferred.begin(), outc.deferred.end());
         std::sort(rest.begin(), rest.end());
         if (spec.has_value()) {
           spec.reset();
           ++batch_stats_.speculation_misses;
         }
-      } else if (spec.has_value() && !spec_survives(*spec, outc)) {
-        spec.reset();
-        ++batch_stats_.speculation_misses;
+        cross.reset();
+      } else {
+        if (spec.has_value() && !spec_survives(spec->wave, outc)) {
+          spec.reset();
+          ++batch_stats_.speculation_misses;
+        }
+        if (cross.has_value() && !spec_survives(cross->wave, outc)) {
+          cross.reset();
+        }
       }
+      if (cross.has_value()) carry_ = std::move(cross);
       pending.swap(rest);
       continue;
     }
@@ -1787,12 +1921,45 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
     // a group-sized wave, which the branch above consumes.
     const graph::Update& up = batch[pending.front()];
     ++batch_stats_.serial_updates;
+    // When this is the batch's LAST update, the lookahead's first wave
+    // can ride the serial protocol's rounds just like a grouped tail:
+    // plan it away from this op's claims, prepare it overlapped, and
+    // validate it against the op's claim closure (everything a serial
+    // protocol writes — splits, replacement promotions, demotes — stays
+    // inside its claimed components and its own edge key).
+    std::optional<CarrySpec> cross;
+    std::optional<BatchOp> tail_op;
+    if (pipeline && pending.size() == 1 && !lookahead.empty()) {
+      tail_op.emplace(classify_op(up, pending.front()));
+      cross =
+          plan_cross_carry(lookahead, std::span<const BatchOp>(&*tail_op, 1));
+    }
+    const std::uint64_t rounds_before = cluster_->metrics().current_rounds();
     if (up.kind == graph::UpdateKind::kInsert) {
       insert_impl(up.u, up.v, up.w);
     } else {
       erase_impl(up.u, up.v);
     }
+    if (cross.has_value()) {
+      charge_overlap_deficit(
+          cross->prep.rounds,
+          cluster_->metrics().current_rounds() - rounds_before);
+      GroupOutcome synth;
+      synth.touched_ekeys.insert(tail_op->ekey);
+      for (std::size_t i = 0; i < tail_op->num_writes; ++i) {
+        synth.written_comps.insert(tail_op->writes[i]);
+      }
+      if (spec_survives(cross->wave, synth)) carry_ = std::move(cross);
+    }
     pending.erase(pending.begin());
+  }
+  // Each call with a lookahead is one boundary attempt: it either
+  // carried a speculative first wave to the next call, or the boundary
+  // falls back to plain serialization — a miss, whatever prevented the
+  // carry (wholesale conflicts, an invalidating commit, a deferral, or
+  // a serial-fallback tail with nothing to ride).
+  if (pipeline && !lookahead.empty() && !carry_.has_value()) {
+    ++batch_stats_.cross_batch_misses;
   }
   cluster_->end_update();
 }

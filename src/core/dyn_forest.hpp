@@ -117,6 +117,14 @@ struct DynForestConfig {
   /// rounds with the current wave's commit rounds, invalidating the
   /// speculation when a commit touches a speculated component or edge.
   bool pipeline_waves = true;
+  /// Deepen pipelined speculation past the prepare scans: the directory
+  /// queries and the shared path-max search (commit rounds 4-5) are
+  /// read-only until a swap or merge commits, so a speculated wave runs
+  /// them against pre-commit state too — up to 2 more rounds hidden per
+  /// pipelined wave.  The same written-component/edge invalidation (and
+  /// the deficit charge-back) applies.  Off = the PR 4 behavior, where
+  /// only prepare rounds 1-3 speculate.
+  bool speculate_deep = true;
 };
 
 class DynamicForest {
@@ -156,6 +164,21 @@ class DynamicForest {
   /// the serial default of 1 (harness::Driver normalizes its batches
   /// this way when configured unweighted).
   void apply_batch(std::span<const graph::Update> batch);
+
+  /// apply_batch with cross-batch lookahead: `lookahead` is the NEXT
+  /// batch the caller will apply (may be empty).  While this batch's
+  /// final wave commits, the lookahead's first wave is planned AWAY from
+  /// the in-flight claims and its read-only rounds run speculatively
+  /// against pre-commit state (overlapped accounting) — the wave
+  /// pipelining mechanism lifted across the apply_batch boundary.  The
+  /// carried speculation is consumed by the next apply_batch call IF its
+  /// batch matches `lookahead` element for element and this batch's
+  /// commits left the speculated components and edges untouched;
+  /// otherwise it is dropped (sched.cross_batch_misses) and the next
+  /// call plans from scratch, exactly today's serialization.  Final
+  /// state is identical to back-to-back apply_batch(batch) calls.
+  void apply_batch(std::span<const graph::Update> batch,
+                   std::span<const graph::Update> lookahead);
 
   /// Cumulative scheduling statistics over all apply_batch calls
   /// (groups formed, serial fallbacks, out-of-order executions).
@@ -330,6 +353,12 @@ class DynamicForest {
     bool any_merge = false;
     bool any_delete = false;
     bool any_pathmax = false;
+    // Deeper speculation (rounds 4-5): whether the directory sizes in
+    // `preps` and the path-max results in `heaviest` were already
+    // gathered (speculatively, for a pipelined wave), so the commit can
+    // skip its own directory/path-max rounds.
+    bool dir_done = false;
+    std::vector<std::optional<EdgeRec>> heaviest;  // parallel to `active`
     // Rounds this prepare consumed.  For a speculative (overlapped)
     // prepare they were charged as zero; the scheduler re-charges any
     // excess over the commit rounds they actually rode (a 3-round
@@ -474,22 +503,57 @@ class DynamicForest {
   /// Preps.  With `overlapped` the rounds are accounted as riding the
   /// previous wave's commit rounds (speculative prepare).
   GroupPrep run_group_prepare(std::vector<BatchOp>& group, bool overlapped);
-  /// The rest of the group protocol: directory + shared path-max rounds,
-  /// commit-plan confirmation, merge broadcasts, records, and the
-  /// grouped split / shared-replacement-search pipeline (tree deletions
-  /// and committing cycle-rule swaps together).
-  GroupOutcome run_group_commit(std::vector<BatchOp>& group,
-                                const GroupPrep& gp);
+  /// Rounds 4-5 of a group run: directory size queries/replies plus the
+  /// shared path-max search, writing the sizes into gp.preps and the
+  /// per-insert maxima into gp.heaviest.  Read-only against machine
+  /// state, so a pipelined wave may run it speculatively (`overlapped`,
+  /// config speculate_deep); returns the rounds it consumed.
+  std::uint64_t run_group_dir(std::vector<BatchOp>& group, GroupPrep& gp,
+                              bool overlapped);
+  /// The rest of the group protocol: directory + shared path-max rounds
+  /// (unless gp.dir_done already gathered them), commit-plan
+  /// confirmation, merge broadcasts, records, and the grouped split /
+  /// shared-replacement-search pipeline (tree deletions and committing
+  /// cycle-rule swaps together).
+  GroupOutcome run_group_commit(std::vector<BatchOp>& group, GroupPrep& gp);
 
   /// Memory accounting helpers.
   void charge_edge_record(MachineId m);
   void release_edge_record(MachineId m);
+
+  // A speculative first wave carried across the apply_batch boundary:
+  // planned and prepared (overlapped) against the previous batch's
+  // pre-commit state, consumed by the next apply_batch call when its
+  // batch matches `batch` element for element.  The prepare's rounds
+  // were already settled (overlapped traffic + deficit charge) in the
+  // batch that created it.
+  struct CarrySpec {
+    std::vector<graph::Update> batch;  // the lookahead this was built for
+    WavePlan wave;
+    GroupPrep prep;
+  };
+
+  /// Plans the lookahead batch's first wave away from `avoid` (the
+  /// closing wave's ops, or the serial tail op) and runs its read-only
+  /// rounds overlapped.  Returns nullopt when fewer than 2 ops survive
+  /// the avoid seeding — nothing worth carrying across the boundary.
+  std::optional<CarrySpec> plan_cross_carry(
+      std::span<const graph::Update> lookahead,
+      std::span<const BatchOp> avoid);
+
+  /// Re-charges the rounds a speculative prepare issued beyond what the
+  /// commit (or serial protocol) it rode actually ran: the excess cannot
+  /// hide in any physically realizable schedule.  Traffic was already
+  /// counted at delivery, so the make-up rounds are blank.
+  void charge_overlap_deficit(std::uint64_t prep_rounds,
+                              std::uint64_t ridden);
 
   DynForestConfig config_;
   std::unique_ptr<dmpc::Cluster> cluster_;
   std::vector<MachineState> machines_;
   Word next_comp_id_;  // ingress-local state (machine 0)
   dmpc::BatchScheduleStats batch_stats_;
+  std::optional<CarrySpec> carry_;
 
   static constexpr Word kEdgeRecWords = 12;
   static constexpr Word kVertexRecWords = 3;

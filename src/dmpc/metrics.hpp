@@ -91,6 +91,15 @@ struct BatchScheduleStats {
   /// Speculative prepares thrown away because the previous wave's
   /// commits touched a speculated component or edge.
   std::uint64_t speculation_misses = 0;
+  /// apply_batch calls whose FIRST wave was planned and prepared across
+  /// the previous apply_batch call's tail commit (driver-side two-batch
+  /// lookahead; the carried prepare rode the closing batch's rounds).
+  std::uint64_t batches_pipelined = 0;
+  /// Cross-batch lookahead attempts dropped: the next batch conflicted
+  /// wholesale with the closing batch's in-flight claims, the closing
+  /// commit invalidated the carried speculation (or deferred members),
+  /// or the batch eventually applied did not match the lookahead.
+  std::uint64_t cross_batch_misses = 0;
 
   [[nodiscard]] double mean_group_size() const {
     return groups == 0 ? 0.0
@@ -101,6 +110,20 @@ struct BatchScheduleStats {
     return batches == 0 ? 0.0
                         : static_cast<double>(groups) /
                               static_cast<double>(batches);
+  }
+  /// Fraction of speculative attempts that survived to execution:
+  /// within-batch waves (hits land in waves_pipelined, failures in
+  /// speculation_misses) and cross-batch boundary attempts (a consumed
+  /// carry also counts into waves_pipelined; a failed boundary into
+  /// cross_batch_misses) share one rate, so a lookahead that starts
+  /// missing wholesale drags it down instead of vanishing from the
+  /// denominator.
+  [[nodiscard]] double pipeline_hit_rate() const {
+    const std::uint64_t attempts =
+        waves_pipelined + speculation_misses + cross_batch_misses;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(waves_pipelined) /
+                               static_cast<double>(attempts);
   }
 };
 
@@ -162,6 +185,12 @@ class Metrics {
 
   [[nodiscard]] const std::vector<RoundRecord>& rounds() const {
     return rounds_;
+  }
+  /// Rounds charged to the in-flight update so far.  The batch scheduler
+  /// uses the delta around a serial-fallback update to know how many
+  /// real rounds a cross-batch speculative prepare rode.
+  [[nodiscard]] std::uint64_t current_rounds() const {
+    return current_.rounds;
   }
   [[nodiscard]] const UpdateAggregate& aggregate() const { return aggregate_; }
   [[nodiscard]] const UpdateRecord& last_update() const {

@@ -28,11 +28,17 @@ Driver::Driver(std::size_t n, DriverConfig config)
     : config_(config), shadow_(n) {}
 
 void Driver::seed(const graph::EdgeList& edges) {
-  for (auto [u, v] : edges) shadow_.insert_edge(u, v);
+  for (auto [u, v] : edges) {
+    shadow_.insert_edge(u, v);
+    if (lag_shadow_) lag_shadow_->insert_edge(u, v);
+  }
 }
 
 void Driver::seed(const graph::WeightedEdgeList& edges) {
-  for (const auto& e : edges) shadow_.insert_edge(e.u, e.v);
+  for (const auto& e : edges) {
+    shadow_.insert_edge(e.u, e.v);
+    if (lag_shadow_) lag_shadow_->insert_edge(e.u, e.v);
+  }
 }
 
 void Driver::run_checkpoint() {
@@ -45,7 +51,10 @@ void Driver::run_checkpoint() {
                             std::to_string(report_.applied) + ": " + why);
     }
   }
-  const Checkpoint cp{report_.applied, shadow_};
+  // In lookahead mode the filter shadow runs one buffered batch ahead of
+  // the algorithms; checkpoints see the lagged copy, which matches what
+  // the algorithms have actually applied.
+  const Checkpoint cp{report_.applied, lag_shadow_ ? *lag_shadow_ : shadow_};
   for (const CheckpointFn& fn : checkpoint_fns_) fn(cp);
   ++report_.checkpoints;
 }
@@ -56,15 +65,31 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
     AlgorithmStats stats;
     stats.name = h.name;
     stats.instrumented = static_cast<bool>(h.last_update);
-    stats.batched = batching() && static_cast<bool>(h.apply_batch);
+    stats.batched = batching() && (static_cast<bool>(h.apply_batch) ||
+                                   static_cast<bool>(h.apply_batch_ahead));
     stats.scheduled = stats.batched && static_cast<bool>(h.sched_stats);
     report_.algorithms.push_back(std::move(stats));
   }
-  // The open batch's effective updates (already applied to the shadow).
-  // Per-update algorithms consume them immediately; batch-applicable ones
-  // receive the whole vector at the batch boundary.
+  // Cross-batch lookahead: buffer TWO batches, so a lookahead-capable
+  // algorithm sees each closing batch together with the next one and can
+  // overlap the next batch's first prepare with this batch's tail
+  // commit.  Per-update algorithms registered alongside are fed at the
+  // same (batch-close) time, so every checkpoint still observes all
+  // algorithms at the same committed step.
+  const bool lookahead =
+      batching() && config_.cross_batch_lookahead &&
+      std::any_of(handles_.begin(), handles_.end(), [](const Handle& h) {
+        return static_cast<bool>(h.apply_batch_ahead);
+      });
+  if (lookahead && !lag_shadow_) {
+    lag_shadow_ = std::make_unique<graph::DynamicGraph>(shadow_);
+  }
+  // The open batch's effective updates (already applied to the filter
+  // shadow), plus — in lookahead mode — the previous full batch, held
+  // back until its lookahead is known.
   std::vector<graph::Update> batch;
-  // Per-algorithm accumulation of the open batch's per-update records
+  std::vector<graph::Update> held;
+  // Per-algorithm accumulation of a closing batch's per-update records
   // (serial instrumented algorithms only).
   std::vector<dmpc::UpdateRecord> batch_acc(handles_.size());
   std::size_t batches_since_checkpoint = 0;
@@ -72,23 +97,53 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
   // final checkpoint is skipped when the last batch landed on a
   // checkpoint boundary (no duplicate oracle sweeps on identical state).
   bool at_checkpoint = false;
-  const auto close_batch = [&] {
+  // Set when stop_when_ fires at a checkpoint: the run returns without
+  // applying anything further (buffered batches included).
+  bool stopped = false;
+  const auto close_batch = [&](const std::vector<graph::Update>& b,
+                               std::span<const graph::Update> next) {
     for (std::size_t i = 0; i < handles_.size(); ++i) {
       const Handle& h = handles_[i];
-      if (batching() && h.apply_batch) {
-        h.apply_batch(std::span<const graph::Update>(batch));
+      if (batching() && (h.apply_batch || h.apply_batch_ahead)) {
+        if (h.apply_batch_ahead && (lookahead || !h.apply_batch)) {
+          std::span<const graph::Update> ahead;
+          if (lookahead) ahead = next;
+          h.apply_batch_ahead(std::span<const graph::Update>(b), ahead);
+        } else {
+          h.apply_batch(std::span<const graph::Update>(b));
+        }
         if (h.last_update) {
           report_.algorithms[i].batch_agg.absorb(h.last_update());
         }
         // The algorithm's scheduler stats are cumulative; keep the
         // report's copy current after every batch.
         if (h.sched_stats) report_.algorithms[i].sched = h.sched_stats();
-      } else if (h.last_update) {
-        report_.algorithms[i].batch_agg.absorb(batch_acc[i]);
-        batch_acc[i] = dmpc::UpdateRecord{};
+      } else {
+        for (const graph::Update& up : b) {
+          h.apply(up);
+          if (h.last_update) {
+            const dmpc::UpdateRecord rec = h.last_update();
+            report_.algorithms[i].agg.absorb(rec);
+            accumulate(batch_acc[i], rec);
+          }
+        }
+        if (h.last_update) {
+          report_.algorithms[i].batch_agg.absorb(batch_acc[i]);
+          batch_acc[i] = dmpc::UpdateRecord{};
+        }
       }
     }
-    batch.clear();
+    report_.applied += b.size();
+    if (lag_shadow_) {
+      for (const graph::Update& up : b) {
+        graph::apply_update(*lag_shadow_, up);
+      }
+    }
+    // This close committed new state, so whatever checkpoint ran before
+    // it is stale — essential for the post-loop close of the HELD batch,
+    // which otherwise inherits the flag from the previous batch's
+    // checkpoint and silently skips the final one.
+    at_checkpoint = false;
     ++report_.batches;
     for (const auto& fn : batch_end_fns_) fn();
     if (config_.checkpoint_every != 0 &&
@@ -96,9 +151,11 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
       batches_since_checkpoint = 0;
       run_checkpoint();
       at_checkpoint = true;
+      if (stop_when_ && stop_when_()) stopped = true;
     }
   };
   for (const graph::Update& up : stream) {
+    if (stopped) break;
     // Enforce the algorithms' preconditions against the shadow: inserts of
     // present edges and deletes of absent ones are no-ops and are dropped.
     if (!graph::apply_update(shadow_, up)) {
@@ -113,23 +170,49 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
     graph::Update queued = up;
     if (!config_.weighted) queued.w = 1;
     batch.push_back(queued);
-    for (std::size_t i = 0; i < handles_.size(); ++i) {
-      const Handle& h = handles_[i];
-      if (batching() && h.apply_batch) continue;  // applied at batch close
-      h.apply(up);
-      if (h.last_update) {
-        const dmpc::UpdateRecord rec = h.last_update();
-        report_.algorithms[i].agg.absorb(rec);
-        accumulate(batch_acc[i], rec);
+    at_checkpoint = false;
+    if (batch.size() == config_.batch_size) {
+      if (lookahead) {
+        if (!held.empty()) {
+          close_batch(held, std::span<const graph::Update>(batch));
+          held.clear();
+        }
+        held.swap(batch);
+      } else {
+        close_batch(batch, {});
+        batch.clear();
       }
     }
-    ++report_.applied;
-    at_checkpoint = false;
-    if (batch.size() == config_.batch_size) close_batch();
-    if (stop_when_ && at_checkpoint && stop_when_()) return report_;
   }
-  if (!batch.empty()) close_batch();
-  if (config_.final_checkpoint && !at_checkpoint) run_checkpoint();
+  if (!stopped && !held.empty()) {
+    close_batch(held, std::span<const graph::Update>(batch));
+    held.clear();
+  }
+  if (!stopped && !batch.empty()) {
+    close_batch(batch, {});
+    batch.clear();
+  }
+  if (stopped) {
+    // The buffered batches were filtered into the shadow but never
+    // reached the algorithms; roll the shadow back over them (newest
+    // first) so a later run() on this driver filters against the
+    // committed state, not a future it abandoned.
+    const auto unapply = [&](const std::vector<graph::Update>& b) {
+      for (auto it = b.rbegin(); it != b.rend(); ++it) {
+        if (it->kind == graph::UpdateKind::kInsert) {
+          shadow_.delete_edge(it->u, it->v);
+        } else {
+          shadow_.insert_edge(it->u, it->v);
+        }
+      }
+    };
+    unapply(batch);
+    unapply(held);
+    return report_;
+  }
+  if (config_.final_checkpoint && !at_checkpoint) {
+    run_checkpoint();
+  }
   return report_;
 }
 

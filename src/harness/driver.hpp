@@ -27,6 +27,14 @@
 //     replaying the batch one update at a time.  Set
 //     DriverConfig::use_apply_batch = false to force the per-update
 //     path.
+//   * an `apply_batch(batch, lookahead)` overload (the
+//     LookaheadBatchApplicable concept) additionally makes the driver
+//     buffer TWO batches and pass the next batch alongside the closing
+//     one, so the algorithm can overlap the next batch's first
+//     read-only rounds with the closing batch's tail commit
+//     (cross-batch pipelining; opt out with
+//     DriverConfig::cross_batch_lookahead = false).  Checkpoints still
+//     observe committed state only, via a lagged shadow copy.
 //
 // Updates are grouped into batches of `batch_size`; checkpoints and the
 // on_batch_end hooks fire only at batch boundaries, so batched and
@@ -91,6 +99,17 @@ concept BatchApplicable =
       a.apply_batch(batch);
     };
 
+/// Batch-applicable algorithms that additionally accept the NEXT batch
+/// as a lookahead, so they can overlap its first read-only protocol
+/// rounds with the closing batch's tail commit (cross-batch
+/// pipelining).  The driver buffers two batches for such algorithms —
+/// see DriverConfig::cross_batch_lookahead.
+template <typename A>
+concept LookaheadBatchApplicable =
+    requires(A a, std::span<const graph::Update> batch) {
+      a.apply_batch(batch, batch);
+    };
+
 /// Batch-applicable algorithms whose scheduler also reports how batches
 /// were partitioned (groups, serial fallbacks, out-of-order runs); the
 /// driver snapshots the stats into AlgorithmStats::sched after every
@@ -137,6 +156,14 @@ struct DriverConfig {
   bool use_apply_batch = true;  ///< prefer apply_batch() if batch_size > 1
   ExecutorKind executor = ExecutorKind::kSerial;
   std::size_t executor_threads = 0;  ///< 0 = hardware concurrency
+  /// Buffer TWO batches and hand LookaheadBatchApplicable algorithms the
+  /// next batch alongside the closing one, so batch k+1's first wave can
+  /// be planned and its read-only prepare rounds overlapped with batch
+  /// k's tail commit (cross-batch pipelining).  Checkpoints still fire
+  /// in committed-batch order (the driver keeps a lagged shadow for
+  /// them).  Only effective when batching; per-update runs and plain
+  /// BatchApplicable algorithms are unaffected.
+  bool cross_batch_lookahead = true;
 };
 
 /// Per-registered-algorithm results of a run.
@@ -205,6 +232,12 @@ class Driver {
         alg.apply_batch(batch);
       };
     }
+    if constexpr (LookaheadBatchApplicable<A>) {
+      h.apply_batch_ahead = [&alg](std::span<const graph::Update> batch,
+                                   std::span<const graph::Update> next) {
+        alg.apply_batch(batch, next);
+      };
+    }
     if constexpr (BatchScheduled<A>) {
       h.sched_stats = [&alg]() -> dmpc::BatchScheduleStats {
         return std::as_const(alg).batch_stats();
@@ -268,6 +301,9 @@ class Driver {
     std::function<dmpc::UpdateRecord()> last_update;   // may be empty
     std::function<void(std::span<const graph::Update>)>
         apply_batch;                                   // may be empty
+    std::function<void(std::span<const graph::Update>,
+                       std::span<const graph::Update>)>
+        apply_batch_ahead;                             // may be empty
     std::function<dmpc::BatchScheduleStats()> sched_stats;  // may be empty
   };
 
@@ -278,6 +314,10 @@ class Driver {
 
   DriverConfig config_;
   graph::DynamicGraph shadow_;
+  /// Lookahead mode only: `shadow_` runs one buffered batch ahead of the
+  /// algorithms (it filters no-ops as the stream is read), so checkpoint
+  /// callbacks get this lagged copy, advanced as batches actually close.
+  std::unique_ptr<graph::DynamicGraph> lag_shadow_;
   std::shared_ptr<dmpc::ThreadPoolExecutor> pool_;  // shared across clusters
   std::vector<Handle> handles_;
   std::vector<CheckpointFn> checkpoint_fns_;

@@ -56,5 +56,18 @@ inline constexpr double kDeleteHeavyRoundsPerUpdate = 4.5;
 /// (batch_path_max = false, the PR 3 behavior) measures ~8.0, so this
 /// budget is what keeps the grouped path-max search load-bearing.
 inline constexpr double kWeightedDeleteHeavyRoundsPerUpdate = 5.0;
+/// Wide (paths = 2x batch) delete-heavy interleaved streams at batch 16
+/// with cross-batch pipelining + deeper speculation ON: consecutive
+/// batches touch disjoint path sets, so every batch's first
+/// prepare/directory rounds ride the previous batch's tail commit via
+/// the driver's two-batch lookahead.  Measured ~2.04 (unweighted) and
+/// ~2.27 (weighted) on bench_table1's wide streams at n = 1024; the PR 4
+/// configuration (no lookahead, shallow speculation) measures ~2.28 /
+/// ~2.53, so these budgets sit BELOW it on purpose — losing the
+/// cross-batch overlap trips the gate, not just a protocol regression.
+/// (Rounds are deterministic, so the ~10% headroom over the measured
+/// values is slack for benign protocol tweaks, not for noise.)
+inline constexpr double kWideDeleteHeavyRoundsPerUpdate = 2.25;
+inline constexpr double kWeightedWideDeleteHeavyRoundsPerUpdate = 2.5;
 
 }  // namespace harness::budgets

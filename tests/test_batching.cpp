@@ -594,6 +594,252 @@ TEST(BatchScheduler, SwapCannotOvertakeEarlierPendingSameComponentInsert) {
   EXPECT_TRUE(batched.validate(&why)) << why;
 }
 
+// --- ISSUE 5: cross-batch pipelining + deeper speculation ------------------
+
+/// Runs `stream` at batch 16 with either the full configuration
+/// (cross-batch lookahead + deep speculation) or the PR 4 one
+/// (within-batch wave pipelining only), returning the forest and its
+/// total batched rounds.
+std::pair<std::unique_ptr<core::DynamicForest>, std::uint64_t>
+run_delete_heavy(const graph::UpdateStream& stream, std::size_t n,
+                 bool weighted, bool cross_batch_deep) {
+  auto forest = std::make_unique<core::DynamicForest>(
+      core::DynForestConfig{.n = n,
+                            .m_cap = 4 * n,
+                            .weighted = weighted,
+                            .speculate_deep = cross_batch_deep});
+  if (weighted) {
+    forest->preprocess(graph::WeightedEdgeList{});
+  } else {
+    forest->preprocess(graph::EdgeList{});
+  }
+  DriverConfig config{.batch_size = 16, .checkpoint_every = 0,
+                      .weighted = weighted};
+  config.cross_batch_lookahead = cross_batch_deep;
+  Driver driver(n, config);
+  driver.add("forest", *forest);
+  driver.run(stream);
+  const auto* stats = driver.report().find("forest");
+  return {std::move(forest), stats->batch_agg.total_rounds};
+}
+
+// The ISSUE 5 acceptance criterion (unweighted half): on the wide
+// delete-heavy interleaved stream (paths = 2x batch, so consecutive
+// batches hit disjoint path sets) at batch 16, cross-batch pipelining +
+// deeper speculation must cut total rounds by >= 10% over the PR 4
+// configuration, with identical final state.
+TEST(CrossBatchPipeline, DeleteHeavyBeatsPr4ConfigAtBatch16) {
+  const std::size_t n = 256;
+  const auto stream = graph::interleaved_delete_stream(n, 2000, 32, 2, 7);
+
+  auto [pr4, pr4_rounds] = run_delete_heavy(stream, n, false, false);
+  auto [piped, piped_rounds] = run_delete_heavy(stream, n, false, true);
+
+  EXPECT_LE(10 * piped_rounds, 9 * pr4_rounds)
+      << "pipelined: " << piped_rounds << " vs PR 4: " << pr4_rounds;
+  EXPECT_GT(piped->batch_stats().batches_pipelined, 0u);
+  EXPECT_EQ(pr4->batch_stats().batches_pipelined, 0u);
+  EXPECT_EQ(pr4->batch_stats().cross_batch_misses, 0u);
+
+  EXPECT_EQ(pr4->component_snapshot(), piped->component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(*pr4).size(), sorted_tree_edges(*piped).size());
+  std::string why;
+  EXPECT_TRUE(piped->validate(&why)) << why;
+}
+
+// The weighted half: same criterion on the weighted adversary, whose
+// reinserts are cycle-rule swaps — the carried wave also speculates
+// through the shared path-max/directory rounds (deeper speculation).
+TEST(CrossBatchPipeline, WeightedDeleteHeavyBeatsPr4ConfigAtBatch16) {
+  const std::size_t n = 256;
+  const auto stream =
+      graph::weighted_interleaved_delete_stream(n, 2000, 32, 2, 7);
+
+  auto [pr4, pr4_rounds] = run_delete_heavy(stream, n, true, false);
+  auto [piped, piped_rounds] = run_delete_heavy(stream, n, true, true);
+
+  EXPECT_LE(10 * piped_rounds, 9 * pr4_rounds)
+      << "pipelined: " << piped_rounds << " vs PR 4: " << pr4_rounds;
+  EXPECT_GT(piped->batch_stats().batches_pipelined, 0u);
+
+  EXPECT_EQ(pr4->component_snapshot(), piped->component_snapshot());
+  EXPECT_EQ(sorted_tree_edges(*pr4), sorted_tree_edges(*piped));
+  EXPECT_EQ(pr4->forest_weight(), piped->forest_weight());
+  std::string why;
+  EXPECT_TRUE(piped->validate(&why)) << why;
+}
+
+// An empty lookahead (the stream ends, or the caller has nothing
+// buffered) must behave exactly like the single-span apply_batch: no
+// carry, no counters, identical state.
+TEST(CrossBatchPipeline, EmptyLookaheadIsPlainApplyBatch) {
+  const std::size_t n = 16;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  const std::vector<Update> batch = {
+      {UpdateKind::kInsert, 0, 1, 1},
+      {UpdateKind::kInsert, 2, 3, 1},
+      {UpdateKind::kInsert, 4, 5, 1},
+  };
+  forest.apply_batch(std::span<const Update>(batch),
+                     std::span<const Update>{});
+  EXPECT_TRUE(forest.connected(0, 1));
+  EXPECT_TRUE(forest.connected(4, 5));
+  EXPECT_EQ(forest.batch_stats().batches_pipelined, 0u);
+  EXPECT_EQ(forest.batch_stats().cross_batch_misses, 0u);
+  std::string why;
+  EXPECT_TRUE(forest.validate(&why)) << why;
+}
+
+// A next batch whose every op conflicts with the closing batch (here:
+// it deletes exactly the edges the closing batch inserts) cannot be
+// speculated — the lookahead must degrade to today's serialization,
+// counted as a cross_batch_miss, with serial-equivalent state.
+TEST(CrossBatchPipeline, AllConflictingNextBatchDegradesToSerialization) {
+  // n chosen so the four merges land on distinct coordinator machines
+  // and commit as ONE wave: the lookahead is then planned against fully
+  // pre-commit state, where every delete shares its edge key with an
+  // in-flight insert and nothing can be speculated.
+  const std::size_t n = 32;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  const std::vector<Update> first = {
+      {UpdateKind::kInsert, 0, 1, 1},
+      {UpdateKind::kInsert, 2, 3, 1},
+      {UpdateKind::kInsert, 4, 5, 1},
+      {UpdateKind::kInsert, 6, 7, 1},
+  };
+  const std::vector<Update> second = {
+      {UpdateKind::kDelete, 0, 1, 1},
+      {UpdateKind::kDelete, 2, 3, 1},
+      {UpdateKind::kDelete, 4, 5, 1},
+      {UpdateKind::kDelete, 6, 7, 1},
+  };
+  forest.apply_batch(std::span<const Update>(first),
+                     std::span<const Update>(second));
+  ASSERT_EQ(forest.batch_stats().groups, 1u);  // the premise: one wave
+  ASSERT_EQ(forest.batch_stats().serial_updates, 0u);
+  EXPECT_EQ(forest.batch_stats().batches_pipelined, 0u);
+  EXPECT_GE(forest.batch_stats().cross_batch_misses, 1u);
+  forest.apply_batch(std::span<const Update>(second));
+  EXPECT_FALSE(forest.connected(0, 1));
+  EXPECT_FALSE(forest.connected(6, 7));
+  EXPECT_EQ(forest.batch_stats().batches_pipelined, 0u);
+  std::string why;
+  EXPECT_TRUE(forest.validate(&why)) << why;
+}
+
+// A carried speculation is keyed to the exact lookahead batch: applying
+// something else next must drop it (a miss) and replan from scratch.
+TEST(CrossBatchPipeline, MismatchedNextBatchDropsTheCarry) {
+  const std::size_t n = 32;
+  auto make = [&] {
+    auto f = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n, .m_cap = 4 * n});
+    f->preprocess(graph::EdgeList{});
+    return f;
+  };
+  const std::vector<Update> first = {
+      {UpdateKind::kInsert, 0, 1, 1},
+      {UpdateKind::kInsert, 2, 3, 1},
+  };
+  const std::vector<Update> promised = {
+      {UpdateKind::kInsert, 8, 9, 1},
+      {UpdateKind::kInsert, 10, 11, 1},
+  };
+  const std::vector<Update> actual = {
+      {UpdateKind::kInsert, 12, 13, 1},
+      {UpdateKind::kInsert, 14, 15, 1},
+  };
+  auto forest = make();
+  forest->apply_batch(std::span<const Update>(first),
+                      std::span<const Update>(promised));
+  forest->apply_batch(std::span<const Update>(actual));
+  EXPECT_EQ(forest->batch_stats().batches_pipelined, 0u);
+  EXPECT_GE(forest->batch_stats().cross_batch_misses, 1u);
+
+  auto serial = make();
+  for (const Update& up : first) serial->insert(up.u, up.v, up.w);
+  for (const Update& up : actual) serial->insert(up.u, up.v, up.w);
+  EXPECT_EQ(serial->component_snapshot(), forest->component_snapshot());
+  std::string why;
+  EXPECT_TRUE(forest->validate(&why)) << why;
+}
+
+// A serial insert/erase between the two apply_batch calls rewrites state
+// the carried speculation read; the fingerprint cannot see that, so the
+// carry must be invalidated, not consumed.
+TEST(CrossBatchPipeline, SerialUpdateBetweenBatchesInvalidatesTheCarry) {
+  const std::size_t n = 32;
+  auto make = [&] {
+    auto f = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n, .m_cap = 4 * n});
+    f->preprocess(graph::EdgeList{});
+    return f;
+  };
+  const std::vector<Update> first = {
+      {UpdateKind::kInsert, 0, 1, 1},
+      {UpdateKind::kInsert, 2, 3, 1},
+  };
+  const std::vector<Update> next = {
+      {UpdateKind::kInsert, 8, 9, 1},
+      {UpdateKind::kInsert, 10, 11, 1},
+  };
+  auto forest = make();
+  forest->apply_batch(std::span<const Update>(first),
+                      std::span<const Update>(next));
+  // Merging 8 into a bigger component stales the carried prepare for
+  // the (8,9) merge (its directory size and tour reads are pre-insert).
+  forest->insert(8, 12);
+  forest->apply_batch(std::span<const Update>(next));
+  EXPECT_EQ(forest->batch_stats().batches_pipelined, 0u);
+  EXPECT_GE(forest->batch_stats().cross_batch_misses, 1u);
+
+  auto serial = make();
+  for (const Update& up : first) serial->insert(up.u, up.v, up.w);
+  serial->insert(8, 12);
+  for (const Update& up : next) serial->insert(up.u, up.v, up.w);
+  EXPECT_EQ(serial->component_snapshot(), forest->component_snapshot());
+  std::string why;
+  EXPECT_TRUE(forest->validate(&why)) << why;
+}
+
+// Driver-side opt-outs: use_apply_batch = false bypasses the lookahead
+// buffer entirely (per-update path, no batches at all), and
+// cross_batch_lookahead = false keeps batching but never buffers.
+TEST(CrossBatchPipeline, DriverOptOutsBypassTheBuffer) {
+  const std::size_t n = 128;
+  const auto stream = graph::interleaved_delete_stream(n, 600, 32, 2, 23);
+  auto run_with = [&](bool use_apply_batch, bool lookahead) {
+    auto forest = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n, .m_cap = 4 * n});
+    forest->preprocess(graph::EdgeList{});
+    DriverConfig config{.batch_size = 16, .checkpoint_every = 0};
+    config.use_apply_batch = use_apply_batch;
+    config.cross_batch_lookahead = lookahead;
+    Driver driver(n, config);
+    driver.add("forest", *forest);
+    driver.run(stream);
+    return forest;
+  };
+  auto per_update = run_with(false, true);
+  EXPECT_EQ(per_update->batch_stats().batches, 0u);
+  EXPECT_EQ(per_update->batch_stats().batches_pipelined, 0u);
+  EXPECT_EQ(per_update->batch_stats().cross_batch_misses, 0u);
+
+  auto no_lookahead = run_with(true, false);
+  EXPECT_GT(no_lookahead->batch_stats().batches, 0u);
+  EXPECT_EQ(no_lookahead->batch_stats().batches_pipelined, 0u);
+  EXPECT_EQ(no_lookahead->batch_stats().cross_batch_misses, 0u);
+
+  auto with_lookahead = run_with(true, true);
+  EXPECT_GT(with_lookahead->batch_stats().batches_pipelined, 0u);
+  EXPECT_EQ(per_update->component_snapshot(),
+            with_lookahead->component_snapshot());
+  EXPECT_EQ(no_lookahead->component_snapshot(),
+            with_lookahead->component_snapshot());
+}
+
 TEST(ApplyBatch, HandlesNoopsAndNontreeOps) {
   const std::size_t n = 16;
   core::DynamicForest forest({.n = n, .m_cap = 4 * n});

@@ -235,6 +235,8 @@ void expect_same_sched(const core::DynamicForest& a,
   EXPECT_EQ(sa.deferred_updates, sb.deferred_updates);
   EXPECT_EQ(sa.waves_pipelined, sb.waves_pipelined);
   EXPECT_EQ(sa.speculation_misses, sb.speculation_misses);
+  EXPECT_EQ(sa.batches_pipelined, sb.batches_pipelined);
+  EXPECT_EQ(sa.cross_batch_misses, sb.cross_batch_misses);
 }
 
 TEST(ExecutorDeterminism, ThreadPoolMatchesSerialPerUpdate) {
@@ -292,6 +294,24 @@ TEST(ExecutorDeterminism, PipelinedWeightedWavesMatchSerial) {
   // cycle-rule machinery, not just matched trivially.
   EXPECT_GT(serial->batch_stats().path_max_grouped, 0u);
   EXPECT_GT(serial->batch_stats().waves_pipelined, 0u);
+}
+
+// Cross-batch pipelining: the driver's two-batch lookahead plans the
+// next batch's first wave on the driver thread and carries it across the
+// apply_batch boundary; under the thread pool the carry hits/misses and
+// all inboxes/metrics must match the serial executor exactly.  The wide
+// (paths > batch) delete-heavy adversary makes consecutive batches touch
+// disjoint path sets, so carries actually survive.
+TEST(ExecutorDeterminism, CrossBatchCarriedWavesMatchSerial) {
+  const std::size_t n = 96;
+  const auto stream = graph::interleaved_delete_stream(n, 800, 32, 2, 23);
+  const auto serial =
+      run_forest(harness::ExecutorKind::kSerial, 16, stream, n);
+  const auto pooled =
+      run_forest(harness::ExecutorKind::kThreadPool, 16, stream, n);
+  expect_identical(*serial, *pooled);
+  expect_same_sched(*serial, *pooled);
+  EXPECT_GT(serial->batch_stats().batches_pipelined, 0u);
 }
 
 }  // namespace

@@ -137,6 +137,90 @@ TEST(HarnessDriver, StopWhenAbortsRunAfterCheckpoint) {
   EXPECT_EQ(rec.seen.size(), 4u);
 }
 
+TEST(HarnessDriver, LookaheadCheckpointsSeeCommittedStateOnly) {
+  // With a lookahead-capable algorithm registered, the driver buffers
+  // two batches and its filter shadow runs one batch ahead; checkpoint
+  // callbacks must still observe exactly the committed state (the
+  // lagged shadow), or every oracle cross-check would compare the
+  // algorithms against a future graph.
+  const std::size_t n = 32;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  Driver driver(n, DriverConfig{.batch_size = 4, .checkpoint_every = 1});
+  driver.add("forest", forest);
+  std::vector<std::pair<std::size_t, std::size_t>> seen;  // (step, edges)
+  driver.on_checkpoint([&](const harness::Checkpoint& cp) {
+    seen.emplace_back(cp.step, cp.shadow.num_edges());
+  });
+  graph::UpdateStream stream;
+  for (dmpc::VertexId v = 0; v < 10; ++v) {
+    stream.push_back({UpdateKind::kInsert, 2 * v, 2 * v + 1});
+  }
+  const auto& report = driver.run(stream);
+  EXPECT_EQ(report.applied, 10u);
+  // Checkpoints at the batch boundaries 4, 8 and the trailing partial
+  // batch, each seeing exactly the committed number of edges — not the
+  // buffered batch the shadow has already filtered.
+  EXPECT_EQ(seen, (std::vector<std::pair<std::size_t, std::size_t>>{
+                      {4, 4}, {8, 8}, {10, 10}}));
+}
+
+TEST(HarnessDriver, LookaheadRunsTheFinalCheckpointOnTheHeldBatch) {
+  // The post-loop close of the HELD batch commits new state after the
+  // in-loop close of the penultimate batch may have checkpointed; the
+  // final checkpoint must still fire on it (regression: a stale
+  // at_checkpoint flag skipped it, leaving the last batch unvalidated).
+  const std::size_t n = 64;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  Driver driver(n, DriverConfig{.batch_size = 4, .checkpoint_every = 2});
+  driver.add("forest", forest);
+  std::vector<std::size_t> checkpoint_steps;
+  driver.on_checkpoint([&](const harness::Checkpoint& cp) {
+    checkpoint_steps.push_back(cp.step);
+  });
+  graph::UpdateStream stream;
+  for (dmpc::VertexId v = 0; v < 12; ++v) {
+    stream.push_back({UpdateKind::kInsert, 2 * v, 2 * v + 1});
+  }
+  driver.run(stream);
+  // Cadence checkpoint at batch 2 (step 8), final checkpoint on the
+  // held third batch (step 12) — identical to a non-lookahead run.
+  EXPECT_EQ(checkpoint_steps, (std::vector<std::size_t>{8, 12}));
+}
+
+TEST(HarnessDriver, StopDuringLookaheadRollsBackTheFilterShadow) {
+  // stop_when can fire while the lookahead buffer still holds batches
+  // that were filtered into the shadow but never reached the
+  // algorithms; the driver must roll the shadow back over them, or a
+  // later run() on the same driver would drop their re-application as
+  // "duplicates" and silently diverge the algorithms from the oracle.
+  const std::size_t n = 32;
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  Driver driver(n, DriverConfig{.batch_size = 2, .checkpoint_every = 1});
+  driver.add("forest", forest);
+  bool stop = false;
+  driver.stop_when([&] { return stop; });
+  driver.on_checkpoint([&](const harness::Checkpoint& cp) {
+    if (cp.step >= 2) stop = true;
+  });
+  graph::UpdateStream stream;
+  for (dmpc::VertexId v = 0; v < 8; ++v) {
+    stream.push_back({UpdateKind::kInsert, 2 * v, 2 * v + 1});
+  }
+  driver.run(stream);
+  // The stop fired after the first batch closed (step 2); the buffered
+  // second batch must have been rolled back out of the shadow.
+  EXPECT_EQ(driver.report().applied, 2u);
+  EXPECT_EQ(driver.shadow().num_edges(), 2u);
+  // Re-applying an edge from the dropped buffer is NOT a duplicate.
+  driver.run({{UpdateKind::kInsert, 4, 5}});
+  EXPECT_EQ(driver.report().skipped, 0u);
+  EXPECT_EQ(driver.report().applied, 3u);
+  EXPECT_TRUE(forest.connected(4, 5));
+}
+
 TEST(HarnessDriver, AggregatesPerUpdateMetricsPerAlgorithm) {
   const std::size_t n = 16;
   core::MaximalMatching mm({.n = n, .m_cap = 4 * n});
