@@ -1,163 +1,198 @@
-// Wall-clock microbenchmarks (google-benchmark): per-update simulator
-// latency of each dynamic algorithm and the sequential substrate.  Not a
-// paper artifact (the paper reports no wall-clock numbers) — this guards
-// the simulator's own performance.
-#include <benchmark/benchmark.h>
-
+// Wall-clock microbenchmarks, dependency-free (plain main over
+// bench_common.hpp — no google-benchmark).  Not a paper artifact (the
+// paper reports no wall-clock numbers); this guards the simulator's own
+// performance:
+//
+//   * executor round-dispatch overhead: one round of `count` near-empty
+//     machine tasks under SerialExecutor vs ThreadPoolExecutor — the
+//     wake/join cost every DynamicForest round pays;
+//   * the pooled batched-update path at n = 2^17: the same adversarial
+//     delete/re-insert stream applied through apply_batch under the
+//     serial executor, a 1-thread pool and an 8-thread pool.  The
+//     1-vs-8-thread ratio is the wall-clock speedup row; rounds,
+//     communication, scheduler counters and the forest weight must be
+//     byte-identical across all three executors (that is the determinism
+//     contract of the pooled folds), and `--check` makes a mismatch
+//     fatal.
+//
+// `--json BENCH_micro.json` writes the rows for the CI bench-trend gate.
+#include <cstdio>
 #include <memory>
+#include <span>
 
-#include "core/cs_matching.hpp"
-#include "dmpc/executor.hpp"
-#include "graph/graph.hpp"
+#include "bench_common.hpp"
 #include "core/dyn_forest.hpp"
-#include "core/maximal_matching.hpp"
+#include "dmpc/executor.hpp"
 #include "graph/update_stream.hpp"
-#include "seq/hdt.hpp"
 
 namespace {
 
-using graph::Update;
-using graph::UpdateKind;
+constexpr std::size_t kForestN = std::size_t{1} << 17;
+constexpr std::size_t kForestUpdates = 512;
+constexpr std::size_t kForestBatch = 16;
+constexpr int kExecIters = 4096;
 
-void BM_DynForestUpdate(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
-  forest.preprocess(graph::cycle(n));
-  auto stream = graph::clean_stream(
-      n, graph::bridge_adversary_stream(n, 4096, n / 4, 1));
-  graph::DynamicGraph shadow(n);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const Update& up = stream[i++ % stream.size()];
-    // The stream wraps around, so guard against replayed duplicates.
-    if (up.kind == UpdateKind::kInsert) {
-      if (!shadow.insert_edge(up.u, up.v)) continue;
-      forest.insert(up.u, up.v);
-    } else {
-      if (!shadow.delete_edge(up.u, up.v)) continue;
-      forest.erase(up.u, up.v);
-    }
-  }
-}
-BENCHMARK(BM_DynForestUpdate)->Arg(256)->Arg(1024);
-
-void BM_MaximalMatchingUpdate(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  core::MaximalMatching mm({.n = n, .m_cap = 4 * n});
-  mm.preprocess({});
-  auto stream = graph::clean_stream(
-      n, graph::matched_edge_adversary_stream(n, 4096, 2));
-  graph::DynamicGraph shadow(n);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const Update& up = stream[i++ % stream.size()];
-    // The stream wraps around, so guard against replayed duplicates.
-    if (up.kind == UpdateKind::kInsert) {
-      if (!shadow.insert_edge(up.u, up.v)) continue;
-      mm.insert(up.u, up.v);
-    } else {
-      if (!shadow.delete_edge(up.u, up.v)) continue;
-      mm.erase(up.u, up.v);
-    }
-  }
-}
-BENCHMARK(BM_MaximalMatchingUpdate)->Arg(256)->Arg(1024);
-
-void BM_CsMatchingUpdate(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  core::CsMatching cs({.n = n, .seed = 3});
-  auto stream = graph::random_stream(n, 4096, 0.6, 3);
-  graph::DynamicGraph shadow(n);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const Update& up = stream[i++ % stream.size()];
-    // The stream wraps around, so guard against replayed duplicates.
-    if (up.kind == UpdateKind::kInsert) {
-      if (!shadow.insert_edge(up.u, up.v)) continue;
-      cs.insert(up.u, up.v);
-    } else {
-      if (!shadow.delete_edge(up.u, up.v)) continue;
-      cs.erase(up.u, up.v);
-    }
-  }
-}
-BENCHMARK(BM_CsMatchingUpdate)->Arg(256)->Arg(1024);
-
-// Pure round-dispatch overhead of the executors: one round of `count`
-// near-empty machine tasks.  This is the hot path DynamicForest drives
-// several times per update, and what the thread pool's wake/join cost is
-// measured against (the ROADMAP "thundering herd" item).
-void BM_SerialExecutorRound(benchmark::State& state) {
-  dmpc::SerialExecutor exec;
-  const std::size_t count = static_cast<std::size_t>(state.range(0));
+/// Seconds for `iters` executor rounds of `count` near-empty tasks.
+double executor_round_seconds(dmpc::RoundExecutor& exec, std::size_t count,
+                              int iters) {
   std::vector<std::uint64_t> sink(count, 0);
-  for (auto _ : state) {
-    exec.run(count, [&](std::size_t i) { sink[i] += i; });
-    benchmark::DoNotOptimize(sink.data());
-  }
-}
-BENCHMARK(BM_SerialExecutorRound)->Arg(8)->Arg(64)->Arg(512);
-
-void BM_ThreadPoolRound(benchmark::State& state) {
-  dmpc::ThreadPoolExecutor pool(4);
-  const std::size_t count = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint64_t> sink(count, 0);
-  for (auto _ : state) {
-    pool.run(count, [&](std::size_t i) { sink[i] += i; });
-    benchmark::DoNotOptimize(sink.data());
-  }
-}
-BENCHMARK(BM_ThreadPoolRound)->Arg(8)->Arg(64)->Arg(512);
-
-// Per-update simulator latency with the thread-pool executor installed on
-// the forest's cluster — the wall-clock counterpart of the serial
-// BM_DynForestUpdate above.  At these machine counts (sqrt(5n) machines:
-// ~36 at n=256, ~72 at n=1024) the per-round work is tiny, so this is
-// dominated by round-dispatch overhead.
-void BM_DynForestUpdatePooled(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
-  forest.cluster().set_executor(std::make_shared<dmpc::ThreadPoolExecutor>(4));
-  forest.preprocess(graph::cycle(n));
-  auto stream = graph::clean_stream(
-      n, graph::bridge_adversary_stream(n, 4096, n / 4, 1));
-  graph::DynamicGraph shadow(n);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const Update& up = stream[i++ % stream.size()];
-    // The stream wraps around, so guard against replayed duplicates.
-    if (up.kind == UpdateKind::kInsert) {
-      if (!shadow.insert_edge(up.u, up.v)) continue;
-      forest.insert(up.u, up.v);
-    } else {
-      if (!shadow.delete_edge(up.u, up.v)) continue;
-      forest.erase(up.u, up.v);
+  return bench::timed_seconds([&] {
+    for (int it = 0; it < iters; ++it) {
+      exec.run(count, [&](std::size_t i) { sink[i] += i; });
     }
-  }
+  });
 }
-BENCHMARK(BM_DynForestUpdatePooled)->Arg(256)->Arg(1024);
 
-void BM_HdtSequentialUpdate(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  seq::AccessCounter counter;
-  seq::HdtConnectivity hdt(n, counter);
-  auto stream = graph::random_stream(n, 8192, 0.6, 4);
-  graph::DynamicGraph shadow(n);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const Update& up = stream[i++ % stream.size()];
-    // The stream wraps around, so guard against replayed duplicates.
-    if (up.kind == UpdateKind::kInsert) {
-      if (!shadow.insert_edge(up.u, up.v)) continue;
-      hdt.insert(up.u, up.v);
-    } else {
-      if (!shadow.delete_edge(up.u, up.v)) continue;
-      hdt.erase(up.u, up.v);
+/// One full pooled-forest run: preprocess a cycle, then apply the
+/// adversarial tail of the stream in batches under `exec`.
+struct ForestRun {
+  double preprocess_seconds = 0;
+  double update_seconds = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_comm_words = 0;
+  dmpc::BatchScheduleStats sched;
+  graph::Weight weight = 0;
+};
+
+ForestRun run_forest(const std::shared_ptr<dmpc::RoundExecutor>& exec,
+                     const graph::UpdateStream& stream) {
+  ForestRun out;
+  core::DynamicForest forest({.n = kForestN, .m_cap = 4 * kForestN});
+  forest.cluster().set_executor(exec);
+  out.preprocess_seconds =
+      bench::timed_seconds([&] { forest.preprocess(graph::cycle(kForestN)); });
+  // Separate the update phase from preprocessing in the aggregate.
+  forest.cluster().metrics().reset();
+  const std::size_t start = stream.size() - kForestUpdates;
+  out.update_seconds = bench::timed_seconds([&] {
+    for (std::size_t i = 0; i < kForestUpdates; i += kForestBatch) {
+      forest.apply_batch(std::span<const graph::Update>(
+          stream.data() + start + i, kForestBatch));
     }
-  }
+  });
+  const dmpc::UpdateAggregate& agg = forest.cluster().metrics().aggregate();
+  out.total_rounds = agg.total_rounds;
+  out.total_comm_words = agg.total_comm_words;
+  out.sched = forest.batch_stats();
+  out.weight = forest.forest_weight();
+  return out;
 }
-BENCHMARK(BM_HdtSequentialUpdate)->Arg(1024)->Arg(8192);
+
+/// The determinism contract: every counter the simulator reports must be
+/// identical no matter which executor ran the rounds.
+bool matches_serial(const ForestRun& run, const ForestRun& serial) {
+  return run.total_rounds == serial.total_rounds &&
+         run.total_comm_words == serial.total_comm_words &&
+         run.weight == serial.weight &&
+         run.sched.batches == serial.sched.batches &&
+         run.sched.groups == serial.sched.groups &&
+         run.sched.grouped_updates == serial.sched.grouped_updates &&
+         run.sched.serial_updates == serial.sched.serial_updates &&
+         run.sched.reordered_updates == serial.sched.reordered_updates &&
+         run.sched.batched_tree_deletes == serial.sched.batched_tree_deletes &&
+         run.sched.max_group == serial.sched.max_group &&
+         run.sched.path_max_grouped == serial.sched.path_max_grouped &&
+         run.sched.deferred_updates == serial.sched.deferred_updates &&
+         run.sched.waves_pipelined == serial.sched.waves_pipelined &&
+         run.sched.speculation_misses == serial.sched.speculation_misses &&
+         run.sched.batches_pipelined == serial.sched.batches_pipelined &&
+         run.sched.cross_batch_misses == serial.sched.cross_batch_misses;
+}
+
+void forest_json_row(bench::JsonReport& json, const std::string& name,
+                     const ForestRun& run) {
+  json.row(name)
+      .num("wall_seconds", run.update_seconds)
+      .num("preprocess_seconds", run.preprocess_seconds)
+      .u64("updates", kForestUpdates)
+      .num("rounds_per_update", static_cast<double>(run.total_rounds) /
+                                    static_cast<double>(kForestUpdates))
+      .u64("total_rounds", run.total_rounds)
+      .u64("total_comm_words", run.total_comm_words)
+      .u64("serial_updates", run.sched.serial_updates)
+      .u64("grouped_updates", run.sched.grouped_updates);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::CliArgs args = bench::parse_cli(argc, argv);
+  bench::JsonReport json("micro");
+  bool ok = true;
+
+  // --- Executor round dispatch ------------------------------------------
+  std::printf("\n=== executor round dispatch (ns/round) ===\n");
+  std::printf("%-10s %14s %14s\n", "count", "serial", "pool(4)");
+  dmpc::SerialExecutor serial_exec;
+  dmpc::ThreadPoolExecutor pool_exec(4);
+  for (std::size_t count : {std::size_t{8}, std::size_t{64},
+                            std::size_t{512}}) {
+    const double s =
+        executor_round_seconds(serial_exec, count, kExecIters) / kExecIters;
+    const double p =
+        executor_round_seconds(pool_exec, count, kExecIters) / kExecIters;
+    std::printf("%-10zu %14.0f %14.0f\n", count, s * 1e9, p * 1e9);
+    json.row("executor_round_serial_c" + std::to_string(count))
+        .num("ns_per_round", s * 1e9);
+    json.row("executor_round_pool4_c" + std::to_string(count))
+        .num("ns_per_round", p * 1e9);
+  }
+
+  // --- Pooled batched-update path at n = 2^17 ---------------------------
+  // The adversarial tail deletes spanning-tree edges and re-inserts them,
+  // so every update drives replacement-edge scans across all ~sqrt(5n)
+  // machines — the per-round work the pool parallelizes.
+  const auto stream = graph::clean_stream(
+      kForestN, graph::bridge_adversary_stream(
+                    kForestN, (kForestN - 1) + kForestUpdates + 1, 0, 1));
+
+  const ForestRun serial = run_forest(
+      std::make_shared<dmpc::SerialExecutor>(), stream);
+  const ForestRun pool1 = run_forest(
+      std::make_shared<dmpc::ThreadPoolExecutor>(1), stream);
+  const ForestRun pool8 = run_forest(
+      std::make_shared<dmpc::ThreadPoolExecutor>(8), stream);
+
+  const bool pool1_ok = matches_serial(pool1, serial);
+  const bool pool8_ok = matches_serial(pool8, serial);
+  const double speedup =
+      pool8.update_seconds > 0 ? pool1.update_seconds / pool8.update_seconds
+                               : 0.0;
+
+  std::printf("\n=== pooled batched updates, n=%zu (%zu updates, "
+              "batch=%zu) ===\n",
+              kForestN, kForestUpdates, kForestBatch);
+  std::printf("%-18s %12s %12s %14s %8s\n", "executor", "updates(s)",
+              "rnds/upd", "comm words", "match");
+  const auto print_run = [&](const char* name, const ForestRun& r, bool m) {
+    std::printf("%-18s %12.3f %12.2f %14llu %8s\n", name, r.update_seconds,
+                static_cast<double>(r.total_rounds) / kForestUpdates,
+                static_cast<unsigned long long>(r.total_comm_words),
+                m ? "yes" : "NO");
+  };
+  print_run("serial", serial, true);
+  print_run("pool(1)", pool1, pool1_ok);
+  print_run("pool(8)", pool8, pool8_ok);
+  std::printf("speedup pool(8) vs pool(1): %.2fx\n", speedup);
+  if (!pool1_ok || !pool8_ok) {
+    std::fprintf(stderr, "DETERMINISM VIOLATION: pooled run diverged from "
+                         "the serial executor\n");
+    ok = false;
+  }
+
+  forest_json_row(json, "dynforest_batched_serial_n131072", serial);
+  forest_json_row(json, "dynforest_batched_pool1_n131072", pool1);
+  json.flag("matches_serial", pool1_ok);
+  forest_json_row(json, "dynforest_batched_pool8_n131072", pool8);
+  json.flag("matches_serial", pool8_ok).num("speedup_vs_1thread", speedup);
+  json.row("dynforest_pool_speedup_8v1")
+      .num("speedup", speedup)
+      .flag("within_budget", pool1_ok && pool8_ok);
+
+  if (!args.json_path.empty() && !json.write(args.json_path, ok)) {
+    std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+    return 1;
+  }
+  if (args.check && !ok) return 1;
+  return 0;
+}

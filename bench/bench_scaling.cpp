@@ -79,6 +79,41 @@ void print_series(const char* name, std::size_t n,
       .flag("within_budget", ok);
 }
 
+/// Batched connectivity on a thread-pool executor: the out-of-order
+/// scheduler shares protocol rounds between independent updates (tree
+/// deletions included), so rounds/update drops below the per-update
+/// protocol's constant as N grows while the state stays byte-identical
+/// to the serial run.
+void run_batched_connectivity(std::size_t n) {
+  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  forest.preprocess(graph::EdgeList{});
+  harness::DriverConfig config{.batch_size = 16, .checkpoint_every = 0};
+  config.executor = harness::ExecutorKind::kThreadPool;
+  harness::Driver driver(n, config);
+  driver.add("alg", forest);
+  const double wall = bench::timed_seconds([&] {
+    driver.run(graph::random_stream(n, 4 * kStream, 0.75, 16));
+  });
+  const auto& report = driver.report();
+  const auto& agg = report.find("alg")->batch_agg;
+  const double rpu = bench::rounds_per_update(report, "alg");
+  const auto& sched = report.find("alg")->sched;
+  std::printf("%-24s n=%7zu batches=%4zu | rounds/update=%6.2f "
+              "(vs ~6 serial) comm(tot)=%8llu grp/batch=%.1f "
+              "reord=%llu sdel=%llu\n",
+              "connectivity (batch=16)", n, report.batches, rpu,
+              static_cast<unsigned long long>(agg.total_comm_words),
+              sched.groups_per_batch(),
+              static_cast<unsigned long long>(sched.reordered_updates),
+              static_cast<unsigned long long>(sched.batched_tree_deletes));
+  g_within_budget =
+      bench::batched_json_row(
+          g_json, report, "alg",
+          "connectivity batch=16 n=" + std::to_string(n),
+          harness::budgets::kBatchedConnectivityRoundsPerUpdate, wall) &&
+      g_within_budget;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,43 +182,18 @@ int main(int argc, char** argv) {
       print_series("(2+eps)-approx", n, agg, harness::budgets::kCsMatching,
                    wall);
     }
-    {
-      // Batched connectivity on a thread-pool executor: the out-of-order
-      // scheduler shares protocol rounds between independent updates
-      // (tree deletions included), so rounds/update drops below the
-      // per-update protocol's constant as N grows while the state stays
-      // byte-identical to the serial run.
-      core::DynamicForest forest({.n = n, .m_cap = m_cap});
-      forest.preprocess(graph::EdgeList{});
-      harness::DriverConfig config{.batch_size = 16, .checkpoint_every = 0};
-      config.executor = harness::ExecutorKind::kThreadPool;
-      harness::Driver driver(n, config);
-      driver.add("alg", forest);
-      const double wall = bench::timed_seconds([&] {
-        driver.run(graph::random_stream(n, 4 * kStream, 0.75, 16));
-      });
-      const auto& report = driver.report();
-      const auto& agg = report.find("alg")->batch_agg;
-      const double rpu = bench::rounds_per_update(report, "alg");
-      const auto& sched = report.find("alg")->sched;
-      std::printf("%-24s n=%6zu batches=%4zu | rounds/update=%6.2f "
-                  "(vs ~6 serial) comm(tot)=%8llu grp/batch=%.1f "
-                  "reord=%llu sdel=%llu\n",
-                  "connectivity (batch=16)", n, report.batches, rpu,
-                  static_cast<unsigned long long>(agg.total_comm_words),
-                  sched.groups_per_batch(),
-                  static_cast<unsigned long long>(sched.reordered_updates),
-                  static_cast<unsigned long long>(
-                      sched.batched_tree_deletes));
-      g_within_budget =
-          bench::batched_json_row(
-              g_json, report, "alg",
-              "connectivity batch=16 n=" + std::to_string(n),
-              harness::budgets::kBatchedConnectivityRoundsPerUpdate, wall) &&
-          g_within_budget;
-    }
+    run_batched_connectivity(n);
     std::printf("\n");
   }
+  // Large-n extension of the batched series only: the per-update
+  // algorithms above would dominate the job's wall clock at these sizes,
+  // and the batched path is the one whose wall-clock story matters
+  // (pooled folds + SoA scans), so it alone is swept toward n = 10^6.
+  std::printf("Batched connectivity, large n:\n");
+  for (const std::size_t n : {65536u, 262144u, 1048576u}) {
+    run_batched_connectivity(n);
+  }
+  std::printf("\n");
   std::printf("Shapes to read off: rounds flat everywhere; comm/sqrtN\n"
               "roughly constant for the sqrt(N) algorithms; (2+eps) and the\n"
               "maximal-matching machine counts do not grow with sqrt(N).\n");

@@ -152,6 +152,10 @@ void DynamicForest::preprocess(const graph::WeightedEdgeList& edges) {
 
   // Build one E-tour per non-singleton component, rooted at the smallest
   // vertex, and record every vertex's component id and first appearance.
+  // The per-root builds are independent, so they run on the installed
+  // executor; every tree edge and vertex belongs to exactly one root, so
+  // the parallel writes are disjoint and the root-order merge below is
+  // deterministic whichever executor ran them.
   std::vector<Word> comp_of(config_.n);
   std::vector<Word> first_idx(config_.n, etour::kNoIndex);
   std::map<EdgeKey, etour::EdgeIndexes> tree_idx;
@@ -160,21 +164,31 @@ void DynamicForest::preprocess(const graph::WeightedEdgeList& edges) {
     const std::size_t root = dsu.find(static_cast<std::size_t>(v));
     comp_of[static_cast<std::size_t>(v)] = static_cast<Word>(root);
   }
+  std::vector<VertexId> roots;
   for (VertexId root = 0; root < static_cast<VertexId>(config_.n); ++root) {
-    if (comp_of[static_cast<std::size_t>(root)] != root) continue;
-    const auto tour = etour::build_tour(tree_adj, root);
-    if (tour.empty()) {
-      comp_size[root] = 1;
-      continue;
-    }
+    if (comp_of[static_cast<std::size_t>(root)] == root) roots.push_back(root);
+  }
+  struct RootBuild {
+    std::vector<std::pair<EdgeKey, etour::EdgeIndexes>> tree_idx;
+    Word size = 1;
+  };
+  std::vector<RootBuild> built(roots.size());
+  exec().run(roots.size(), [&](std::size_t r) {
+    const auto tour = etour::build_tour(tree_adj, roots[r]);
+    if (tour.empty()) return;  // singleton, size stays 1
+    RootBuild& rb = built[r];
     for (const auto& [key, idx] : etour::indexes_from_tour(tour)) {
-      tree_idx[key] = idx;
+      rb.tree_idx.emplace_back(key, idx);
     }
     std::set<VertexId> members(tour.begin(), tour.end());
     for (const auto& [w, fi] : etour::first_indexes_of_tour(tour)) {
       first_idx[static_cast<std::size_t>(w)] = fi;
     }
-    comp_size[root] = static_cast<Word>(members.size());
+    rb.size = static_cast<Word>(members.size());
+  });
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    for (const auto& [key, idx] : built[r].tree_idx) tree_idx[key] = idx;
+    comp_size[roots[r]] = built[r].size;
   }
 
   // Distribute the records (memory-charged), replacing the initial
@@ -193,29 +207,38 @@ void DynamicForest::preprocess(const graph::WeightedEdgeList& edges) {
   for (const auto& [comp, size] : comp_size) {
     machines_[dir_machine(comp)].comp_sizes[comp] = size;
   }
+  // Each machine installs its own bucket of edge records (pure reads of
+  // comp_of / tree_idx / first_idx, writes only to its own shard and
+  // memory meter), so the distribution parallelizes; per-machine
+  // insertion order is input order either way.
+  std::vector<std::vector<std::size_t>> edges_by_machine(machines_.size());
   for (std::size_t i = 0; i < edges.size(); ++i) {
-    const auto& e = edges[i];
-    const EdgeKey key(e.u, e.v);
-    EdgeRec rec;
-    rec.u = key.u;
-    rec.v = key.v;
-    rec.comp = comp_of[static_cast<std::size_t>(key.u)];
-    rec.tree = is_tree[i];
-    rec.w = e.w;
-    if (rec.tree) {
-      const etour::EdgeIndexes& idx = tree_idx.at(key);
-      rec.iu1 = idx.u1;
-      rec.iu2 = idx.u2;
-      rec.iv1 = idx.v1;
-      rec.iv2 = idx.v2;
-    } else {
-      rec.iu1 = first_idx[static_cast<std::size_t>(key.u)];
-      rec.iv1 = first_idx[static_cast<std::size_t>(key.v)];
-    }
-    const MachineId m = edge_machine(key.u, key.v);
-    machines_[m].edges[edge_key(key.u, key.v)] = rec;
-    charge_edge_record(m);
+    edges_by_machine[edge_machine(edges[i].u, edges[i].v)].push_back(i);
   }
+  cluster_->for_each_machine([&](MachineId m) {
+    for (std::size_t i : edges_by_machine[m]) {
+      const auto& e = edges[i];
+      const EdgeKey key(e.u, e.v);
+      EdgeRec rec;
+      rec.u = key.u;
+      rec.v = key.v;
+      rec.comp = comp_of[static_cast<std::size_t>(key.u)];
+      rec.tree = is_tree[i];
+      rec.w = e.w;
+      if (rec.tree) {
+        const etour::EdgeIndexes& idx = tree_idx.at(key);
+        rec.iu1 = idx.u1;
+        rec.iu2 = idx.u2;
+        rec.iv1 = idx.v1;
+        rec.iv2 = idx.v2;
+      } else {
+        rec.iu1 = first_idx[static_cast<std::size_t>(key.u)];
+        rec.iv1 = first_idx[static_cast<std::size_t>(key.v)];
+      }
+      machines_[m].edges.put(edge_key(key.u, key.v), rec);
+      charge_edge_record(m);
+    }
+  });
 
   // Charge the O(log n)-round, all-machines, O(N)-communication cost of
   // the contraction-based preprocessing the paper builds on ([3] plus the
@@ -241,22 +264,23 @@ DynamicForest::EndpointScan DynamicForest::scan_endpoints(MachineId m,
                                                           VertexId x,
                                                           VertexId y) const {
   const MachineState& ms = machines_[m];
+  const EdgeShard& es = ms.edges;
   EndpointScan s;
-  for (const auto& [key, rec] : ms.edges) {
-    if (!rec.tree) continue;
-    auto touch = [&](VertexId side, Word i1, Word i2) {
-      if (side == x) {
-        s.fx = s.has_x ? std::min(s.fx, std::min(i1, i2)) : std::min(i1, i2);
-        s.lx = s.has_x ? std::max(s.lx, std::max(i1, i2)) : std::max(i1, i2);
-        s.has_x = true;
-      } else if (side == y) {
-        s.fy = s.has_y ? std::min(s.fy, std::min(i1, i2)) : std::min(i1, i2);
-        s.ly = s.has_y ? std::max(s.ly, std::max(i1, i2)) : std::max(i1, i2);
-        s.has_y = true;
-      }
-    };
-    touch(rec.u, rec.iu1, rec.iu2);
-    touch(rec.v, rec.iv1, rec.iv2);
+  auto touch = [&](VertexId side, Word i1, Word i2) {
+    if (side == x) {
+      s.fx = s.has_x ? std::min(s.fx, std::min(i1, i2)) : std::min(i1, i2);
+      s.lx = s.has_x ? std::max(s.lx, std::max(i1, i2)) : std::max(i1, i2);
+      s.has_x = true;
+    } else if (side == y) {
+      s.fy = s.has_y ? std::min(s.fy, std::min(i1, i2)) : std::min(i1, i2);
+      s.ly = s.has_y ? std::max(s.ly, std::max(i1, i2)) : std::max(i1, i2);
+      s.has_y = true;
+    }
+  };
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    if (es.tree[i] == 0) continue;
+    touch(es.u[i], es.iu1[i], es.iu2[i]);
+    touch(es.v[i], es.iv1[i], es.iv2[i]);
   }
   if (m == vertex_machine(x)) {
     s.hosts_x = true;
@@ -267,10 +291,10 @@ DynamicForest::EndpointScan DynamicForest::scan_endpoints(MachineId m,
     s.cy = ms.vertices.at(y).comp;
   }
   if (m == edge_machine(x, y)) {
-    const auto it = ms.edges.find(edge_key(x, y));
-    if (it != ms.edges.end()) {
+    const std::ptrdiff_t slot = es.find(edge_key(x, y));
+    if (slot != EdgeShard::kNpos) {
       s.edge_here = true;
-      s.edge = it->second;
+      s.edge = es.get(static_cast<std::size_t>(slot));
     }
   }
   return s;
@@ -367,37 +391,40 @@ void DynamicForest::apply_merge_local(MachineState& ms, const MergeBcast& mb) {
   auto tx_xform = [&](Word i) {
     return i == etour::kNoIndex ? i : etour::merge_shift_tx(i, mp);
   };
-  for (auto& [key, rec] : ms.edges) {
+  EdgeShard& es = ms.edges;
+  for (std::size_t i = 0; i < es.size(); ++i) {
     // Crossing records keep their pre-split component id, which is the
     // rest side cx of the re-merge that resolves them.  The guard scopes
     // resolution to this merge's own split: a batched deletion group
     // applies several replacement merges behind one barrier, and each
     // must leave the other splits' crossing records alone.
-    if (rec.crossing && mb.resolve_crossing && rec.comp == mb.cx) {
-      rec.iu1 = rec.u_in_subtree ? ty_xform(rec.iu1) : tx_xform(rec.iu1);
-      rec.iv1 = rec.v_in_subtree ? ty_xform(rec.iv1) : tx_xform(rec.iv1);
+    if (es.crossing[i] != 0 && mb.resolve_crossing && es.comp[i] == mb.cx) {
+      es.iu1[i] = es.u_in_subtree[i] != 0 ? ty_xform(es.iu1[i])
+                                          : tx_xform(es.iu1[i]);
+      es.iv1[i] = es.v_in_subtree[i] != 0 ? ty_xform(es.iv1[i])
+                                          : tx_xform(es.iv1[i]);
       // Endpoints that were singletons before this merge (kNoIndex cached)
       // gain their first appearances now; the broadcast carries them.
-      if (rec.u == mb.x) rec.iu1 = mb.cached_x;
-      if (rec.u == mb.y) rec.iu1 = mb.cached_y;
-      if (rec.v == mb.x) rec.iv1 = mb.cached_x;
-      if (rec.v == mb.y) rec.iv1 = mb.cached_y;
-      rec.comp = mb.cx;
-      rec.crossing = false;
-      rec.u_in_subtree = rec.v_in_subtree = false;
+      if (es.u[i] == mb.x) es.iu1[i] = mb.cached_x;
+      if (es.u[i] == mb.y) es.iu1[i] = mb.cached_y;
+      if (es.v[i] == mb.x) es.iv1[i] = mb.cached_x;
+      if (es.v[i] == mb.y) es.iv1[i] = mb.cached_y;
+      es.comp[i] = mb.cx;
+      es.crossing[i] = 0;
+      es.u_in_subtree[i] = es.v_in_subtree[i] = 0;
       continue;
     }
-    if (rec.comp == mb.cy) {
-      rec.iu1 = ty_xform(rec.iu1);
-      rec.iu2 = rec.tree ? ty_xform(rec.iu2) : rec.iu2;
-      rec.iv1 = ty_xform(rec.iv1);
-      rec.iv2 = rec.tree ? ty_xform(rec.iv2) : rec.iv2;
-      rec.comp = mb.cx;
-    } else if (rec.comp == mb.cx) {
-      rec.iu1 = tx_xform(rec.iu1);
-      rec.iu2 = rec.tree ? tx_xform(rec.iu2) : rec.iu2;
-      rec.iv1 = tx_xform(rec.iv1);
-      rec.iv2 = rec.tree ? tx_xform(rec.iv2) : rec.iv2;
+    if (es.comp[i] == mb.cy) {
+      es.iu1[i] = ty_xform(es.iu1[i]);
+      es.iu2[i] = es.tree[i] != 0 ? ty_xform(es.iu2[i]) : es.iu2[i];
+      es.iv1[i] = ty_xform(es.iv1[i]);
+      es.iv2[i] = es.tree[i] != 0 ? ty_xform(es.iv2[i]) : es.iv2[i];
+      es.comp[i] = mb.cx;
+    } else if (es.comp[i] == mb.cx) {
+      es.iu1[i] = tx_xform(es.iu1[i]);
+      es.iu2[i] = es.tree[i] != 0 ? tx_xform(es.iu2[i]) : es.iu2[i];
+      es.iv1[i] = tx_xform(es.iv1[i]);
+      es.iv2[i] = es.tree[i] != 0 ? tx_xform(es.iv2[i]) : es.iv2[i];
     }
   }
   for (auto& [v, rec] : ms.vertices) {
@@ -420,34 +447,37 @@ void DynamicForest::apply_split_local(MachineState& ms, const SplitBcast& sb) {
     return etour::split_in_subtree(i, sp) ? etour::split_shift_subtree(i, sp)
                                           : etour::split_shift_rest(i, sp);
   };
-  for (auto& [key, rec] : ms.edges) {
-    if (rec.comp != sb.comp) continue;
-    if (key == cut_key) continue;  // deleted by an explicit message next round
-    if (rec.tree) {
-      const bool inside = etour::split_in_subtree(rec.iu1, sp);
-      rec.iu1 = xform(rec.iu1);
-      rec.iu2 = xform(rec.iu2);
-      rec.iv1 = xform(rec.iv1);
-      rec.iv2 = xform(rec.iv2);
-      if (inside) rec.comp = sb.new_comp;
+  EdgeShard& es = ms.edges;
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    if (es.comp[i] != sb.comp) continue;
+    if (es.key_at(i) == cut_key) {
+      continue;  // deleted by an explicit message next round
+    }
+    if (es.tree[i] != 0) {
+      const bool inside = etour::split_in_subtree(es.iu1[i], sp);
+      es.iu1[i] = xform(es.iu1[i]);
+      es.iu2[i] = xform(es.iu2[i]);
+      es.iv1[i] = xform(es.iv1[i]);
+      es.iv2[i] = xform(es.iv2[i]);
+      if (inside) es.comp[i] = sb.new_comp;
     } else {
-      const bool su = etour::split_in_subtree(rec.iu1, sp);
-      const bool sv = etour::split_in_subtree(rec.iv1, sp);
-      rec.iu1 = xform(rec.iu1);
-      rec.iv1 = xform(rec.iv1);
+      const bool su = etour::split_in_subtree(es.iu1[i], sp);
+      const bool sv = etour::split_in_subtree(es.iv1[i], sp);
+      es.iu1[i] = xform(es.iu1[i]);
+      es.iv1[i] = xform(es.iv1[i]);
       // Cached indexes that were copies of the cut edge's own entries
       // became stale; the broadcast carries fresh appearances for the two
       // endpoints.
-      if (rec.u == sb.parent) rec.iu1 = sb.cached_parent;
-      if (rec.u == sb.child) rec.iu1 = sb.cached_child;
-      if (rec.v == sb.parent) rec.iv1 = sb.cached_parent;
-      if (rec.v == sb.child) rec.iv1 = sb.cached_child;
+      if (es.u[i] == sb.parent) es.iu1[i] = sb.cached_parent;
+      if (es.u[i] == sb.child) es.iu1[i] = sb.cached_child;
+      if (es.v[i] == sb.parent) es.iv1[i] = sb.cached_parent;
+      if (es.v[i] == sb.child) es.iv1[i] = sb.cached_child;
       if (su == sv) {
-        if (su) rec.comp = sb.new_comp;
+        if (su) es.comp[i] = sb.new_comp;
       } else {
-        rec.crossing = true;
-        rec.u_in_subtree = su;
-        rec.v_in_subtree = sv;
+        es.crossing[i] = 1;
+        es.u_in_subtree[i] = su ? 1 : 0;
+        es.v_in_subtree[i] = sv ? 1 : 0;
       }
     }
   }
@@ -558,7 +588,7 @@ void DynamicForest::insert_nontree_record(const Prep& p, VertexId x,
   cluster_->send(0, m, kNewRecord,
                  {rec.u, rec.v, rec.comp, rec.w, rec.iu1, rec.iv1});
   cluster_->finish_round();
-  machines_[m].edges[edge_key(x, y)] = rec;
+  machines_[m].edges.put(edge_key(x, y), rec);
   charge_edge_record(m);
 }
 
@@ -577,7 +607,7 @@ void DynamicForest::link_components(const Prep& p, VertexId x, VertexId y,
                  {p.cx, p.size_cx + p.size_cy});
   cluster_->send(0, dir_machine(p.cy), kDirUpdate, {p.cy, 0});
   cluster_->finish_round();
-  machines_[em].edges[edge_key(x, y)] = rec;
+  machines_[em].edges.put(edge_key(x, y), rec);
   charge_edge_record(em);
   machines_[dir_machine(p.cx)].comp_sizes[p.cx] = p.size_cx + p.size_cy;
   machines_[dir_machine(p.cy)].comp_sizes.erase(p.cy);
@@ -666,7 +696,12 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
                  {sb.new_comp, sub_size});
   cluster_->finish_round();
   if (demote) {
-    demote_record(machines_[em].edges.at(edge_key(x, y)), sb);
+    EdgeShard& des = machines_[em].edges;
+    const std::size_t dslot =
+        static_cast<std::size_t>(des.find(edge_key(x, y)));
+    EdgeRec drec = des.get(dslot);
+    demote_record(drec, sb);
+    des.set(dslot, drec);
   } else {
     machines_[em].edges.erase(edge_key(x, y));
     release_edge_record(em);
@@ -677,24 +712,30 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
 
   // Replacement search: every machine scans its shard (concurrently) and
   // proposes its best (min-weight) crossing candidate to the ingress.
-  std::vector<const EdgeRec*> candidates(machines_.size(), nullptr);
+  // The scan streams the crossing/weight columns; only the winning slot
+  // is materialized into a record.
+  std::vector<std::optional<EdgeRec>> candidates(machines_.size());
   cluster_->for_each_machine([&](MachineId m) {
-    const EdgeRec* local_best = nullptr;
-    for (const auto& [k, rec] : machines_[m].edges) {
-      if (!rec.crossing) continue;
-      if (local_best == nullptr || rec.w < local_best->w) local_best = &rec;
+    const EdgeShard& es = machines_[m].edges;
+    std::ptrdiff_t best_slot = EdgeShard::kNpos;
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      if (es.crossing[i] == 0) continue;
+      if (best_slot == EdgeShard::kNpos || es.w[i] < es.w[best_slot]) {
+        best_slot = static_cast<std::ptrdiff_t>(i);
+      }
     }
-    candidates[m] = local_best;
-    if (local_best != nullptr) {
+    if (best_slot != EdgeShard::kNpos) {
+      const EdgeRec local_best = es.get(static_cast<std::size_t>(best_slot));
+      candidates[m] = local_best;
       cluster_->send(m, 0, kProposal,
-                     {local_best->u, local_best->v, local_best->w,
-                      local_best->u_in_subtree ? 1 : 0});
+                     {local_best.u, local_best.v, local_best.w,
+                      local_best.u_in_subtree ? 1 : 0});
     }
   });
   cluster_->finish_round();
   std::optional<EdgeRec> best;
-  for (const EdgeRec* cand : candidates) {
-    if (cand == nullptr) continue;
+  for (const std::optional<EdgeRec>& cand : candidates) {
+    if (!cand.has_value()) continue;
     if (!best.has_value() || cand->w < best->w) best = *cand;
   }
   if (!best.has_value()) return;  // genuinely disconnected
@@ -711,7 +752,6 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
   // directory reflects the re-merge.
   const EdgeKey rkey(a, b);
   const MachineId rm = edge_machine(a, b);
-  EdgeRec& rrec = machines_[rm].edges.at(edge_key(a, b));
   cluster_->send(0, rm, kPromote,
                  {rkey.u, rkey.v, plan.ni.x_enter, plan.ni.x_exit,
                   plan.ni.y_enter, plan.ni.y_exit});
@@ -719,22 +759,24 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
                  {rp.cx, rp.size_cx + rp.size_cy});
   cluster_->send(0, dir_machine(rp.cy), kDirUpdate, {rp.cy, 0});
   cluster_->finish_round();
-  rrec = make_tree_record(a, b, rrec.w, rp.cx, plan.ni);
+  machines_[rm].edges.put(edge_key(a, b),
+                          make_tree_record(a, b, best->w, rp.cx, plan.ni));
   machines_[dir_machine(rp.cx)].comp_sizes[rp.cx] = rp.size_cx + rp.size_cy;
   machines_[dir_machine(rp.cy)].comp_sizes.erase(rp.cy);
   cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
 }
 
-const DynamicForest::EdgeRec* DynamicForest::path_max_local(
+std::optional<DynamicForest::EdgeRec> DynamicForest::path_max_local(
     MachineId m, Word comp, Word fx, Word lx, Word fy, Word ly) const {
-  const EdgeRec* local_best = nullptr;
-  for (const auto& [k, rec] : machines_[m].edges) {
-    if (!rec.tree || rec.comp != comp) continue;
+  const EdgeShard& es = machines_[m].edges;
+  std::ptrdiff_t best_slot = EdgeShard::kNpos;
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    if (es.tree[i] == 0 || es.comp[i] != comp) continue;
     // Child endpoint owns the inner index pair.
-    const Word u_lo = std::min(rec.iu1, rec.iu2);
-    const Word u_hi = std::max(rec.iu1, rec.iu2);
-    const Word v_lo = std::min(rec.iv1, rec.iv2);
-    const Word v_hi = std::max(rec.iv1, rec.iv2);
+    const Word u_lo = std::min(es.iu1[i], es.iu2[i]);
+    const Word u_hi = std::max(es.iu1[i], es.iu2[i]);
+    const Word v_lo = std::min(es.iv1[i], es.iv2[i]);
+    const Word v_hi = std::max(es.iv1[i], es.iv2[i]);
     Word f_c, l_c;
     if (u_lo > v_lo) {
       f_c = u_lo;
@@ -746,9 +788,12 @@ const DynamicForest::EdgeRec* DynamicForest::path_max_local(
     const bool anc_x = f_c <= fx && lx <= l_c;
     const bool anc_y = f_c <= fy && ly <= l_c;
     if (anc_x == anc_y) continue;  // not on the tree path
-    if (local_best == nullptr || rec.w > local_best->w) local_best = &rec;
+    if (best_slot == EdgeShard::kNpos || es.w[i] > es.w[best_slot]) {
+      best_slot = static_cast<std::ptrdiff_t>(i);
+    }
   }
-  return local_best;
+  if (best_slot == EdgeShard::kNpos) return std::nullopt;
+  return es.get(static_cast<std::size_t>(best_slot));
 }
 
 void DynamicForest::insert_impl(VertexId x, VertexId y, Weight w) {
@@ -767,20 +812,18 @@ void DynamicForest::insert_impl(VertexId x, VertexId y, Weight w) {
   // tree records with the ancestor-XOR criterion (concurrently) and
   // proposes its local maximum.
   dmpc::broadcast(*cluster_, 0, kPathMaxBcast, {p.cx, p.fx, p.lx, p.fy, p.ly});
-  std::vector<const EdgeRec*> candidates(machines_.size(), nullptr);
+  std::vector<std::optional<EdgeRec>> candidates(machines_.size());
   cluster_->for_each_machine([&](MachineId m) {
-    const EdgeRec* local_best = path_max_local(m, p.cx, p.fx, p.lx, p.fy,
-                                               p.ly);
-    candidates[m] = local_best;
-    if (local_best != nullptr) {
+    candidates[m] = path_max_local(m, p.cx, p.fx, p.lx, p.fy, p.ly);
+    if (candidates[m].has_value()) {
       cluster_->send(m, 0, kProposal,
-                     {local_best->u, local_best->v, local_best->w});
+                     {candidates[m]->u, candidates[m]->v, candidates[m]->w});
     }
   });
   cluster_->finish_round();
   std::optional<EdgeRec> heaviest;
-  for (const EdgeRec* cand : candidates) {
-    if (cand == nullptr) continue;
+  for (const std::optional<EdgeRec>& cand : candidates) {
+    if (!cand.has_value()) continue;
     if (!heaviest.has_value() || cand->w > heaviest->w) heaviest = *cand;
   }
 
@@ -866,8 +909,9 @@ DynamicForest::BatchOp DynamicForest::classify_op(const graph::Update& up,
   op.w = up.w;
   op.ekey = edge_key(op.x, op.y);
   op.coord = edge_machine(op.x, op.y);
-  const auto it = machines_[op.coord].edges.find(op.ekey);
-  const bool exists = it != machines_[op.coord].edges.end();
+  const EdgeShard& es = machines_[op.coord].edges;
+  const std::ptrdiff_t slot = es.find(op.ekey);
+  const bool exists = slot != EdgeShard::kNpos;
   if (up.kind == graph::UpdateKind::kInsert) {
     if (exists) return op;  // duplicate insert: kNoop
     op.cx = machines_[vertex_machine(op.x)].vertices.at(op.x).comp;
@@ -901,8 +945,8 @@ DynamicForest::BatchOp DynamicForest::classify_op(const graph::Update& up,
     return op;
   }
   if (!exists) return op;  // absent delete: kNoop
-  op.cx = op.cy = it->second.comp;
-  if (it->second.tree) {
+  op.cx = op.cy = es.comp[slot];
+  if (es.tree[slot] != 0) {
     op.kind = BatchOpKind::kTreeDelete;
     op.writes[op.num_writes++] = op.cx;
   } else {
@@ -1121,9 +1165,13 @@ DynamicForest::GroupPrep DynamicForest::run_group_prepare(
   });
   finish();
   gp.preps.resize(gp.active.size());
-  for (std::size_t a = 0; a < gp.active.size(); ++a) {
+  // The per-update scan folds are independent reductions over disjoint
+  // rows of the scan matrix, so they run on the installed executor; each
+  // fold is itself sequential over machines, so the result is identical
+  // whichever executor ran it.
+  cluster_->executor().run(gp.active.size(), [&](std::size_t a) {
     gp.preps[a] = fold_scans(scans[a]);
-  }
+  });
   // Deeper speculation: the directory and shared path-max rounds are
   // read-only too, so a pipelined wave runs them against pre-commit
   // state as well — 2 more rounds hidden behind the in-flight commit,
@@ -1191,23 +1239,24 @@ std::uint64_t DynamicForest::run_group_dir(std::vector<BatchOp>& group,
     }
   }
   finish();
-  std::vector<std::vector<const EdgeRec*>> pmc;
+  std::vector<std::vector<std::optional<EdgeRec>>> pmc;
   if (gp.any_pathmax) {
     pmc.assign(machines_.size(),
-               std::vector<const EdgeRec*>(active.size(), nullptr));
+               std::vector<std::optional<EdgeRec>>(active.size()));
     cluster_->for_each_machine([&](MachineId m) {
       for (std::size_t a = 0; a < active.size(); ++a) {
         const BatchOp& op = group[active[a]];
         if (op.kind != BatchOpKind::kPathMax) continue;
         const Prep& p = gp.preps[a];
-        const EdgeRec* best = path_max_local(m, p.cx, p.fx, p.lx, p.fy, p.ly);
-        pmc[m][a] = best;
-        if (best != nullptr && m != op.coord) {
+        std::optional<EdgeRec> best =
+            path_max_local(m, p.cx, p.fx, p.lx, p.fy, p.ly);
+        if (best.has_value() && m != op.coord) {
           cluster_->send(m, op.coord, kProposal,
                          {static_cast<Word>(active[a]), best->u, best->v,
                           best->w, best->iu1, best->iu2, best->iv1,
                           best->iv2});
         }
+        pmc[m][a] = std::move(best);
       }
     });
   }
@@ -1231,8 +1280,8 @@ std::uint64_t DynamicForest::run_group_dir(std::vector<BatchOp>& group,
   for (std::size_t a = 0; a < active.size(); ++a) {
     if (group[active[a]].kind != BatchOpKind::kPathMax) continue;
     for (MachineId m = 0; m < mu; ++m) {
-      const EdgeRec* c = pmc[m][a];
-      if (c != nullptr &&
+      const std::optional<EdgeRec>& c = pmc[m][a];
+      if (c.has_value() &&
           (!gp.heaviest[a].has_value() || c->w > gp.heaviest[a]->w)) {
         gp.heaviest[a] = *c;
       }
@@ -1399,8 +1448,9 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
     const Prep& p = preps[a];
     switch (op.kind) {
       case BatchOpKind::kMerge: {
-        machines_[op.coord].edges[edge_key(op.x, op.y)] =
-            make_tree_record(op.x, op.y, op.w, p.cx, plans[a].ni);
+        machines_[op.coord].edges.put(
+            edge_key(op.x, op.y),
+            make_tree_record(op.x, op.y, op.w, p.cx, plans[a].ni));
         charge_edge_record(op.coord);
         machines_[dir_machine(p.cx)].comp_sizes[p.cx] =
             p.size_cx + p.size_cy;
@@ -1409,8 +1459,8 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
         break;
       }
       case BatchOpKind::kNontreeInsert: {
-        machines_[op.coord].edges[edge_key(op.x, op.y)] =
-            make_nontree_record(p, op.x, op.y, op.w);
+        machines_[op.coord].edges.put(
+            edge_key(op.x, op.y), make_nontree_record(p, op.x, op.y, op.w));
         charge_edge_record(op.coord);
         break;
       }
@@ -1419,8 +1469,8 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
         // edge — the serial protocol does the same before demoting the
         // displaced edge, so a committing swap's own record competes in
         // its replacement search below.
-        machines_[op.coord].edges[edge_key(op.x, op.y)] =
-            make_nontree_record(p, op.x, op.y, op.w);
+        machines_[op.coord].edges.put(
+            edge_key(op.x, op.y), make_nontree_record(p, op.x, op.y, op.w));
         charge_edge_record(op.coord);
         break;
       }
@@ -1569,9 +1619,12 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
     const BatchOp& op = group[active[it.a]];
     const SplitPlan& sp = it.plan;
     if (it.demote) {
-      const MachineId hm = edge_machine(it.cut_u, it.cut_v);
-      demote_record(machines_[hm].edges.at(edge_key(it.cut_u, it.cut_v)),
-                    sp.sb);
+      EdgeShard& hes = machines_[edge_machine(it.cut_u, it.cut_v)].edges;
+      const std::size_t hslot =
+          static_cast<std::size_t>(hes.find(edge_key(it.cut_u, it.cut_v)));
+      EdgeRec hrec = hes.get(hslot);
+      demote_record(hrec, sp.sb);
+      hes.set(hslot, hrec);
     } else {
       machines_[op.coord].edges.erase(op.ekey);
       release_edge_record(op.coord);
@@ -1590,19 +1643,24 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
   for (std::size_t d = 0; d < items.size(); ++d) {
     owner[items[d].plan.sb.comp] = d;
   }
-  std::vector<std::vector<const EdgeRec*>> cands(
-      machines_.size(), std::vector<const EdgeRec*>(items.size(), nullptr));
+  std::vector<std::vector<std::optional<EdgeRec>>> cands(
+      machines_.size(), std::vector<std::optional<EdgeRec>>(items.size()));
   cluster_->for_each_machine([&](MachineId m) {
-    auto& local = cands[m];
-    for (const auto& [k, rec] : machines_[m].edges) {
-      if (!rec.crossing) continue;
-      const auto it = owner.find(rec.comp);
+    const EdgeShard& es = machines_[m].edges;
+    std::vector<std::ptrdiff_t> best(items.size(), EdgeShard::kNpos);
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      if (es.crossing[i] == 0) continue;
+      const auto it = owner.find(es.comp[i]);
       if (it == owner.end()) continue;  // unreachable: splits own crossings
-      const EdgeRec*& best = local[it->second];
-      if (best == nullptr || rec.w < best->w) best = &rec;
+      std::ptrdiff_t& b = best[it->second];
+      if (b == EdgeShard::kNpos || es.w[i] < es.w[b]) {
+        b = static_cast<std::ptrdiff_t>(i);
+      }
     }
+    auto& local = cands[m];
     for (std::size_t d = 0; d < items.size(); ++d) {
-      if (local[d] == nullptr) continue;
+      if (best[d] == EdgeShard::kNpos) continue;
+      local[d] = es.get(static_cast<std::size_t>(best[d]));
       const MachineId coord = group[active[items[d].a]].coord;
       if (m == coord) continue;  // the coordinator's own scan stays local
       cluster_->send(m, coord, kProposal,
@@ -1622,12 +1680,12 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
   std::vector<Repl> repl(items.size());
   bool any_repl = false;
   for (std::size_t d = 0; d < items.size(); ++d) {
-    const EdgeRec* best = nullptr;
+    std::optional<EdgeRec> best;
     for (MachineId m = 0; m < mu; ++m) {
-      const EdgeRec* c = cands[m][d];
-      if (c != nullptr && (best == nullptr || c->w < best->w)) best = c;
+      const std::optional<EdgeRec>& c = cands[m][d];
+      if (c.has_value() && (!best.has_value() || c->w < best->w)) best = *c;
     }
-    if (best == nullptr) continue;  // genuinely disconnected
+    if (!best.has_value()) continue;  // genuinely disconnected
     repl[d].found = true;
     any_repl = true;
     repl[d].rec = *best;
@@ -1667,12 +1725,14 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
     }
   });
   finish();
-  for (std::size_t d = 0; d < items.size(); ++d) {
-    if (!repl[d].found) continue;
+  // Per-replacement scan folds, pooled like the prepare folds (distinct
+  // repl slots, machine-order reduction inside each fold).
+  cluster_->executor().run(items.size(), [&](std::size_t d) {
+    if (!repl[d].found) return;
     repl[d].rp = fold_scans(rscans[d]);
     repl[d].rp.size_cx = items[d].plan.rest_size;
     repl[d].rp.size_cy = items[d].plan.sub_size;
-  }
+  });
 
   // Round 14 (replacement merges): broadcast every re-link transform,
   // then apply them all behind one barrier.
@@ -1714,9 +1774,10 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
     if (!repl[d].found) continue;
     const Prep& rp = repl[d].rp;
     const MachineId rm = edge_machine(repl[d].a, repl[d].b);
-    machines_[rm].edges.at(edge_key(repl[d].a, repl[d].b)) =
+    machines_[rm].edges.put(
+        edge_key(repl[d].a, repl[d].b),
         make_tree_record(repl[d].a, repl[d].b, repl[d].rec.w, rp.cx,
-                         repl[d].plan.ni);
+                         repl[d].plan.ni));
     machines_[dir_machine(rp.cx)].comp_sizes[rp.cx] = rp.size_cx + rp.size_cy;
     machines_[dir_machine(rp.cy)].comp_sizes.erase(rp.cy);
     cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
@@ -1969,12 +2030,14 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch,
 // ---------------------------------------------------------------------------
 
 std::vector<VertexId> DynamicForest::component_snapshot() const {
+  // Vertices are partitioned across machines, so the per-machine fills
+  // write disjoint elements of `raw` and run on the installed executor.
   std::vector<Word> raw(config_.n);
-  for (const auto& ms : machines_) {
-    for (const auto& [v, rec] : ms.vertices) {
+  exec().run(machines_.size(), [&](std::size_t m) {
+    for (const auto& [v, rec] : machines_[m].vertices) {
       raw[static_cast<std::size_t>(v)] = rec.comp;
     }
-  }
+  });
   // Canonicalize to the smallest member vertex id.
   std::map<Word, VertexId> smallest;
   for (std::size_t v = 0; v < raw.size(); ++v) {
@@ -1988,22 +2051,35 @@ std::vector<VertexId> DynamicForest::component_snapshot() const {
 }
 
 Weight DynamicForest::forest_weight() const {
-  Weight total = 0;
-  for (const auto& ms : machines_) {
-    for (const auto& [k, rec] : ms.edges) {
-      if (rec.tree) total += rec.w;
+  // Per-machine partial sums over the tree/weight columns, merged in
+  // machine order (integer addition, so the merge order is cosmetic).
+  std::vector<Weight> partial(machines_.size(), 0);
+  exec().run(machines_.size(), [&](std::size_t m) {
+    const EdgeShard& es = machines_[m].edges;
+    Weight sum = 0;
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      if (es.tree[i] != 0) sum += es.w[i];
     }
-  }
+    partial[m] = sum;
+  });
+  Weight total = 0;
+  for (Weight p : partial) total += p;
   return total;
 }
 
 std::vector<std::pair<VertexId, VertexId>> DynamicForest::tree_edges() const {
-  std::vector<std::pair<VertexId, VertexId>> out;
-  for (const auto& ms : machines_) {
-    for (const auto& [k, rec] : ms.edges) {
-      if (rec.tree) out.emplace_back(rec.u, rec.v);
+  // Per-machine collection concatenated in machine order: the same
+  // sequence the serial walk produced.
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> partial(
+      machines_.size());
+  exec().run(machines_.size(), [&](std::size_t m) {
+    const EdgeShard& es = machines_[m].edges;
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      if (es.tree[i] != 0) partial[m].emplace_back(es.u[i], es.v[i]);
     }
-  }
+  });
+  std::vector<std::pair<VertexId, VertexId>> out;
+  for (const auto& p : partial) out.insert(out.end(), p.begin(), p.end());
   return out;
 }
 
@@ -2012,70 +2088,107 @@ bool DynamicForest::validate(std::string* why) const {
     if (why != nullptr) *why = msg;
     return false;
   };
-  // Collect per-component tree indexes and vertex data.
+  // Phase 1 (pooled, per machine): each machine flattens its shard into
+  // plain vectors.  The serial machine-order merge below rebuilds the
+  // same global maps whichever executor ran the collection, so the
+  // verdict — and the failure message — is byte-identical under
+  // SerialExecutor and ThreadPoolExecutor.
+  struct MachinePart {
+    bool crossing = false;
+    std::vector<std::pair<Word, std::pair<EdgeKey, etour::EdgeIndexes>>> tree;
+    std::vector<EdgeRec> nontree;
+  };
+  std::vector<MachinePart> parts(machines_.size());
+  exec().run(machines_.size(), [&](std::size_t m) {
+    MachinePart& pt = parts[m];
+    const EdgeShard& es = machines_[m].edges;
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      const EdgeRec rec = es.get(i);
+      if (rec.crossing) {
+        pt.crossing = true;
+      } else if (rec.tree) {
+        pt.tree.emplace_back(
+            rec.comp,
+            std::pair{EdgeKey(rec.u, rec.v),
+                      etour::EdgeIndexes{rec.iu1, rec.iu2, rec.iv1, rec.iv2}});
+      } else {
+        pt.nontree.push_back(rec);
+      }
+    }
+  });
   std::map<Word, std::map<EdgeKey, etour::EdgeIndexes>> comp_edges;
   std::map<Word, std::set<VertexId>> comp_members;
   std::map<VertexId, VertexRec> vrecs;
   std::map<Word, Word> dir;
-  for (const auto& ms : machines_) {
-    for (const auto& [k, rec] : ms.edges) {
-      if (rec.crossing) return fail("unresolved crossing record");
-      if (rec.tree) {
-        comp_edges[rec.comp][EdgeKey(rec.u, rec.v)] =
-            etour::EdgeIndexes{rec.iu1, rec.iu2, rec.iv1, rec.iv2};
-      }
+  std::vector<EdgeRec> nontree;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    if (parts[m].crossing) return fail("unresolved crossing record");
+    for (const auto& [comp, edge] : parts[m].tree) {
+      comp_edges[comp][edge.first] = edge.second;
     }
-    for (const auto& [v, rec] : ms.vertices) {
+    nontree.insert(nontree.end(), parts[m].nontree.begin(),
+                   parts[m].nontree.end());
+    for (const auto& [v, rec] : machines_[m].vertices) {
       vrecs[v] = rec;
       comp_members[rec.comp].insert(v);
     }
-    for (const auto& [c, s] : ms.comp_sizes) dir[c] = s;
+    for (const auto& [c, s] : machines_[m].comp_sizes) dir[c] = s;
   }
-  std::map<VertexId, std::set<Word>> global_appearances;
-  for (const auto& [comp, members] : comp_members) {
+
+  // Phase 2 (pooled, per component): the full-tour walks are independent
+  // pure reads of the merged maps.  Failures surface in component order —
+  // the order the serial walk would have hit them.
+  std::vector<const std::pair<const Word, std::set<VertexId>>*> comps;
+  comps.reserve(comp_members.size());
+  for (const auto& entry : comp_members) comps.push_back(&entry);
+  std::vector<std::optional<std::string>> comp_err(comps.size());
+  std::vector<std::map<VertexId, std::set<Word>>> comp_apps(comps.size());
+  exec().run(comps.size(), [&](std::size_t c) {
+    const Word comp = comps[c]->first;
+    const std::set<VertexId>& members = comps[c]->second;
+    auto err = [&](std::string msg) { comp_err[c] = std::move(msg); };
     const auto dit = dir.find(comp);
-    if (dit == dir.end()) return fail("missing directory entry");
+    if (dit == dir.end()) return err("missing directory entry");
     if (dit->second != static_cast<Word>(members.size())) {
-      return fail("directory size mismatch for component " +
-                  std::to_string(comp));
+      return err("directory size mismatch for component " +
+                 std::to_string(comp));
     }
     const Word elen = etour::elength(static_cast<Word>(members.size()));
     std::map<Word, VertexId> tour;
-    std::set<Word> vertex_indexes_seen;
     const auto eit = comp_edges.find(comp);
     if (members.size() == 1) {
-      if (eit != comp_edges.end()) return fail("singleton with tree edges");
+      if (eit != comp_edges.end()) return err("singleton with tree edges");
       const VertexRec& vr = vrecs.at(*members.begin());
       if (vr.cached_idx != etour::kNoIndex) {
-        return fail("singleton with a cached tour index");
+        return err("singleton with a cached tour index");
       }
-      continue;
+      return;
     }
-    if (eit == comp_edges.end()) return fail("component without tree edges");
-    std::map<VertexId, std::set<Word>> appearances;
+    if (eit == comp_edges.end()) return err("component without tree edges");
+    std::map<VertexId, std::set<Word>>& appearances = comp_apps[c];
     for (const auto& [key, idx] : eit->second) {
       for (auto [w, i] : {std::pair{key.u, idx.u1}, std::pair{key.u, idx.u2},
                           std::pair{key.v, idx.v1}, std::pair{key.v, idx.v2}}) {
-        if (i < 1 || i > elen) return fail("tour index out of range");
-        if (!tour.emplace(i, w).second) return fail("duplicate tour index");
+        if (i < 1 || i > elen) return err("tour index out of range");
+        if (!tour.emplace(i, w).second) return err("duplicate tour index");
         appearances[w].insert(i);
       }
     }
     if (static_cast<Word>(tour.size()) != elen) {
-      return fail("tour incomplete for component " + std::to_string(comp));
+      return err("tour incomplete for component " + std::to_string(comp));
     }
     // Closed-walk property.
     std::vector<VertexId> seq;
     seq.reserve(static_cast<std::size_t>(elen));
     for (const auto& [i, w] : tour) seq.push_back(w);
-    if (seq.front() != seq.back()) return fail("tour not closed");
+    if (seq.front() != seq.back()) return err("tour not closed");
     for (std::size_t k = 1; 2 * k < seq.size(); ++k) {
-      if (seq[2 * k - 1] != seq[2 * k]) return fail("tour walk broken");
+      if (seq[2 * k - 1] != seq[2 * k]) return err("tour walk broken");
     }
     for (std::size_t k = 0; 2 * k + 1 < seq.size(); ++k) {
       const EdgeKey kk(seq[2 * k], seq[2 * k + 1]);
       if (eit->second.count(kk) == 0) {
-        return fail("tour traverses a non-tree edge");
+        return err("tour traverses a non-tree edge");
       }
     }
     // Every member vertex appears, and cached indexes are genuine
@@ -2083,31 +2196,43 @@ bool DynamicForest::validate(std::string* why) const {
     for (VertexId v : members) {
       const auto ait = appearances.find(v);
       if (ait == appearances.end()) {
-        return fail("vertex " + std::to_string(v) + " missing from tour");
+        return err("vertex " + std::to_string(v) + " missing from tour");
       }
       const VertexRec& vr = vrecs.at(v);
       if (ait->second.count(vr.cached_idx) == 0) {
-        return fail("stale cached index for vertex " + std::to_string(v));
+        return err("stale cached index for vertex " + std::to_string(v));
       }
-      global_appearances[v] = ait->second;
     }
+  });
+  std::map<VertexId, std::set<Word>> global_appearances;
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    if (comp_err[c].has_value()) return fail(*comp_err[c]);
+    // Vertices belong to exactly one component, so the merge is disjoint.
+    global_appearances.merge(comp_apps[c]);
   }
-  // Non-tree records: component consistency and cached-appearance checks
-  // (a stale cached index would silently corrupt a future split's
-  // crossing detection, so this is the load-bearing invariant).
-  for (const auto& ms : machines_) {
-    for (const auto& [k, rec] : ms.edges) {
-      if (rec.tree) continue;
-      if (vrecs.at(rec.u).comp != rec.comp ||
-          vrecs.at(rec.v).comp != rec.comp) {
-        return fail("non-tree record with inconsistent component");
-      }
-      if (global_appearances[rec.u].count(rec.iu1) == 0 ||
-          global_appearances[rec.v].count(rec.iv1) == 0) {
-        return fail("stale cached index on non-tree edge (" +
-                    std::to_string(rec.u) + "," + std::to_string(rec.v) + ")");
-      }
+
+  // Phase 3 (pooled, per non-tree record): component consistency and
+  // cached-appearance checks (a stale cached index would silently corrupt
+  // a future split's crossing detection, so this is the load-bearing
+  // invariant).  First failure in machine-then-slot order, as before.
+  std::vector<std::optional<std::string>> nt_err(nontree.size());
+  exec().run(nontree.size(), [&](std::size_t i) {
+    const EdgeRec& rec = nontree[i];
+    if (vrecs.at(rec.u).comp != rec.comp ||
+        vrecs.at(rec.v).comp != rec.comp) {
+      nt_err[i] = "non-tree record with inconsistent component";
+      return;
     }
+    const auto au = global_appearances.find(rec.u);
+    const auto av = global_appearances.find(rec.v);
+    if (au == global_appearances.end() || au->second.count(rec.iu1) == 0 ||
+        av == global_appearances.end() || av->second.count(rec.iv1) == 0) {
+      nt_err[i] = "stale cached index on non-tree edge (" +
+                  std::to_string(rec.u) + "," + std::to_string(rec.v) + ")";
+    }
+  });
+  for (const std::optional<std::string>& e : nt_err) {
+    if (e.has_value()) return fail(*e);
   }
   return true;
 }

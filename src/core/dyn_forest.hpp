@@ -52,7 +52,13 @@
 // submitted through Cluster::for_each_machine and so runs in parallel
 // under a ThreadPoolExecutor, with identical results to the serial
 // executor (per-sender staging shards are merged deterministically at
-// the finish_round barrier).
+// the finish_round barrier).  Edge records are stored per machine in a
+// structure-of-arrays shard (EdgeShard) so those scans stream dense
+// columns instead of hash-map nodes, and the driver-side serial folds —
+// per-update scan reductions, preprocessing's tour builds, validate()'s
+// full-tour walk, the snapshot helpers — also run on the installed
+// executor with deterministic merge order (byte-identical results under
+// SerialExecutor and ThreadPoolExecutor).
 //
 // Preprocessing ("starts from an arbitrary graph") computes a spanning
 // forest — bucketed by (1+eps) weight classes for the MST variant — builds
@@ -234,8 +240,138 @@ class DynamicForest {
     Word cached_idx = etour::kNoIndex;
   };
 
+  /// Structure-of-arrays storage for one machine's edge records.  The
+  /// replacement-search and path-max scans walk the whole shard testing a
+  /// couple of fields per record; dense per-field columns let those scans
+  /// touch only the bytes they read (and vectorize) instead of striding
+  /// over hash-map nodes.  Slots are dense [0, size()); erase swap-removes
+  /// the last slot in, so slot order depends on the shard's full mutation
+  /// history — callers may rely on it only being identical across
+  /// executors (the mutation sequence is), never on any particular order.
+  class EdgeShard {
+   public:
+    static constexpr std::ptrdiff_t kNpos = -1;
+
+    [[nodiscard]] std::size_t size() const { return keys_.size(); }
+    [[nodiscard]] std::ptrdiff_t find(std::uint64_t key) const {
+      const auto it = index_.find(key);
+      return it == index_.end() ? kNpos
+                                : static_cast<std::ptrdiff_t>(it->second);
+    }
+    [[nodiscard]] bool contains(std::uint64_t key) const {
+      return index_.find(key) != index_.end();
+    }
+    [[nodiscard]] std::uint64_t key_at(std::size_t s) const { return keys_[s]; }
+
+    [[nodiscard]] EdgeRec get(std::size_t s) const {
+      EdgeRec r;
+      r.u = u[s];
+      r.v = v[s];
+      r.comp = comp[s];
+      r.tree = tree[s] != 0;
+      r.w = w[s];
+      r.iu1 = iu1[s];
+      r.iu2 = iu2[s];
+      r.iv1 = iv1[s];
+      r.iv2 = iv2[s];
+      r.crossing = crossing[s] != 0;
+      r.u_in_subtree = u_in_subtree[s] != 0;
+      r.v_in_subtree = v_in_subtree[s] != 0;
+      return r;
+    }
+
+    void set(std::size_t s, const EdgeRec& r) {
+      u[s] = r.u;
+      v[s] = r.v;
+      comp[s] = r.comp;
+      tree[s] = r.tree ? 1 : 0;
+      w[s] = r.w;
+      iu1[s] = r.iu1;
+      iu2[s] = r.iu2;
+      iv1[s] = r.iv1;
+      iv2[s] = r.iv2;
+      crossing[s] = r.crossing ? 1 : 0;
+      u_in_subtree[s] = r.u_in_subtree ? 1 : 0;
+      v_in_subtree[s] = r.v_in_subtree ? 1 : 0;
+    }
+
+    /// Insert-or-overwrite under `key`.
+    void put(std::uint64_t key, const EdgeRec& r) {
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        set(it->second, r);
+        return;
+      }
+      index_.emplace(key, static_cast<std::uint32_t>(keys_.size()));
+      keys_.push_back(key);
+      u.push_back(r.u);
+      v.push_back(r.v);
+      comp.push_back(r.comp);
+      tree.push_back(r.tree ? 1 : 0);
+      w.push_back(r.w);
+      iu1.push_back(r.iu1);
+      iu2.push_back(r.iu2);
+      iv1.push_back(r.iv1);
+      iv2.push_back(r.iv2);
+      crossing.push_back(r.crossing ? 1 : 0);
+      u_in_subtree.push_back(r.u_in_subtree ? 1 : 0);
+      v_in_subtree.push_back(r.v_in_subtree ? 1 : 0);
+    }
+
+    /// Swap-remove; absent keys are a no-op.
+    void erase(std::uint64_t key) {
+      const auto it = index_.find(key);
+      if (it == index_.end()) return;
+      const std::size_t s = it->second;
+      index_.erase(it);
+      const std::size_t last = keys_.size() - 1;
+      if (s != last) {
+        keys_[s] = keys_[last];
+        u[s] = u[last];
+        v[s] = v[last];
+        comp[s] = comp[last];
+        tree[s] = tree[last];
+        w[s] = w[last];
+        iu1[s] = iu1[last];
+        iu2[s] = iu2[last];
+        iv1[s] = iv1[last];
+        iv2[s] = iv2[last];
+        crossing[s] = crossing[last];
+        u_in_subtree[s] = u_in_subtree[last];
+        v_in_subtree[s] = v_in_subtree[last];
+        index_[keys_[s]] = static_cast<std::uint32_t>(s);
+      }
+      keys_.pop_back();
+      u.pop_back();
+      v.pop_back();
+      comp.pop_back();
+      tree.pop_back();
+      w.pop_back();
+      iu1.pop_back();
+      iu2.pop_back();
+      iv1.pop_back();
+      iv2.pop_back();
+      crossing.pop_back();
+      u_in_subtree.pop_back();
+      v_in_subtree.pop_back();
+    }
+
+    // The columns, slot-indexed.  Mutators above keep them parallel;
+    // transform loops (apply_merge_local / apply_split_local) write the
+    // index columns in place.
+    std::vector<VertexId> u, v;
+    std::vector<Word> comp;
+    std::vector<Weight> w;
+    std::vector<Word> iu1, iu2, iv1, iv2;
+    std::vector<std::uint8_t> tree, crossing, u_in_subtree, v_in_subtree;
+
+   private:
+    std::vector<std::uint64_t> keys_;
+    std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  };
+
   struct MachineState {
-    std::unordered_map<std::uint64_t, EdgeRec> edges;
+    EdgeShard edges;
     std::unordered_map<VertexId, VertexRec> vertices;
     std::unordered_map<Word, Word> comp_sizes;  // directory shard
   };
@@ -494,9 +630,10 @@ class DynamicForest {
   /// subtree intervals of x ([fx,lx]) and y ([fy,ly]) — the per-machine
   /// share of the path-max search (ancestor-XOR criterion).  Shared by
   /// the serial cycle-rule protocol and the group's path-max round.
-  [[nodiscard]] const EdgeRec* path_max_local(MachineId m, Word comp, Word fx,
-                                              Word lx, Word fy,
-                                              Word ly) const;
+  /// Returns a copy: SoA slots are not stable across shard mutation.
+  [[nodiscard]] std::optional<EdgeRec> path_max_local(MachineId m, Word comp,
+                                                      Word fx, Word lx,
+                                                      Word fy, Word ly) const;
   /// Rounds 1-3 of a group run: scatter to coordinators (assigns
   /// split-off component ids, so the group is mutated), endpoint
   /// broadcasts, and the shard-scan replies folded into per-update
@@ -520,6 +657,14 @@ class DynamicForest {
   /// Memory accounting helpers.
   void charge_edge_record(MachineId m);
   void release_edge_record(MachineId m);
+
+  /// The installed round executor, reachable from const introspection
+  /// helpers (validate, snapshots): RoundExecutor::run only schedules the
+  /// supplied tasks, it does not touch the cluster state the const-ness
+  /// of those helpers protects.
+  [[nodiscard]] dmpc::RoundExecutor& exec() const {
+    return const_cast<dmpc::Cluster&>(*cluster_).executor();
+  }
 
   // A speculative first wave carried across the apply_batch boundary:
   // planned and prepared (overlapped) against the previous batch's

@@ -30,20 +30,21 @@ void Cluster::check_machine(MachineId m, const char* what) const {
   }
 }
 
-void Cluster::send(MachineId from, MachineId to, Message msg) {
+void Cluster::send(MachineId from, MachineId to, const Message& msg) {
   check_machine(from, "send(from)");
   check_machine(to, "send(to)");
-  msg.from = from;
-  msg.to = to;
-  buffer_.stage(std::move(msg));
+  Message staged = msg;
+  staged.from = from;
+  staged.to = to;
+  buffer_.stage(staged);
 }
 
 void Cluster::send(MachineId from, MachineId to, Word tag,
-                   std::vector<Word> payload) {
+                   std::span<const Word> payload) {
   Message msg;
   msg.tag = tag;
-  msg.payload = std::move(payload);
-  send(from, to, std::move(msg));
+  msg.payload = payload;
+  send(from, to, msg);
 }
 
 RoundRecord Cluster::finish_round() {

@@ -30,7 +30,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -72,12 +74,20 @@ class Cluster {
   /// (send with from == m); see executor.hpp for the full contract.
   void for_each_machine(const std::function<void(MachineId)>& work);
 
-  /// Stage a message for delivery at the end of the current round.
-  /// Thread-safe across distinct senders (per-sender staging shards).
-  void send(MachineId from, MachineId to, Message msg);
+  /// Stage a message for delivery at the end of the current round; the
+  /// payload view is copied into the sender's staging arena during the
+  /// call.  Thread-safe across distinct senders (per-sender shards).
+  void send(MachineId from, MachineId to, const Message& msg);
 
-  /// Convenience: tag-only or tag+payload staging.
-  void send(MachineId from, MachineId to, Word tag, std::vector<Word> payload);
+  /// Convenience: tag+payload staging.  The span binds to vectors,
+  /// arrays, and subranges alike; the brace-list overload covers the
+  /// ubiquitous O(1)-word protocol messages without touching the heap.
+  void send(MachineId from, MachineId to, Word tag,
+            std::span<const Word> payload);
+  void send(MachineId from, MachineId to, Word tag,
+            std::initializer_list<Word> payload) {
+    send(from, to, tag, std::span<const Word>(payload.begin(), payload.size()));
+  }
 
   /// Deliver all staged messages, enforce per-machine send/receive caps,
   /// record the round in the metrics, and make messages available in the

@@ -4,9 +4,17 @@
 // payload of words.  Its communication cost is `payload.size() + 1`: the tag
 // travels in one header word, matching the paper's convention that an O(1)
 // size message costs O(1) communication.
+//
+// Payloads are views (std::span) into storage owned elsewhere: the sender's
+// buffer before staging, the RoundBuffer's per-receiver inbox arena after
+// delivery.  Cluster::send copies the viewed words into the sender's staging
+// arena during the call, so the span only has to stay valid for the send
+// expression itself — passing a temporary vector or a brace list is fine.
+// This is what keeps the per-round message path allocation-free in steady
+// state (see round_buffer.hpp).
 #pragma once
 
-#include <utility>
+#include <span>
 #include <vector>
 
 #include "dmpc/types.hpp"
@@ -17,31 +25,50 @@ struct Message {
   MachineId from = kNoMachine;
   MachineId to = kNoMachine;
   Word tag = 0;
-  std::vector<Word> payload;
+  std::span<const Word> payload;
 
   [[nodiscard]] WordCount cost_words() const { return payload.size() + 1; }
 };
 
-/// Incrementally builds a message payload.  Keeps call sites terse:
+/// Incrementally builds a message payload in a reusable buffer.  Keeps
+/// call sites terse:
 ///   cluster.send(a, b, MsgBuilder{kTagX}.add(u).add(v).take());
+/// take() returns a Message viewing the builder's buffer: the builder must
+/// outlive the send() call, which a temporary in the send expression does
+/// (the words are copied into the staging arena before the full expression
+/// ends).  reset() restarts the builder without releasing its capacity, so
+/// one builder per machine amortizes to zero allocations across a scan.
 class MsgBuilder {
  public:
-  explicit MsgBuilder(Word tag) { msg_.tag = tag; }
+  explicit MsgBuilder(Word tag) : tag_(tag) {}
 
   MsgBuilder& add(Word w) {
-    msg_.payload.push_back(w);
+    words_.push_back(w);
     return *this;
   }
 
-  MsgBuilder& add_range(const std::vector<Word>& ws) {
-    msg_.payload.insert(msg_.payload.end(), ws.begin(), ws.end());
+  MsgBuilder& add_range(std::span<const Word> ws) {
+    words_.insert(words_.end(), ws.begin(), ws.end());
     return *this;
   }
 
-  [[nodiscard]] Message take() && { return std::move(msg_); }
+  /// Restarts the payload under a new tag, keeping the buffer capacity.
+  MsgBuilder& reset(Word tag) {
+    tag_ = tag;
+    words_.clear();
+    return *this;
+  }
+
+  [[nodiscard]] Message take() const {
+    Message msg;
+    msg.tag = tag_;
+    msg.payload = words_;
+    return msg;
+  }
 
  private:
-  Message msg_;
+  Word tag_;
+  std::vector<Word> words_;
 };
 
 }  // namespace dmpc

@@ -4,6 +4,16 @@
 
 namespace dmpc {
 
+std::map<std::pair<MachineId, MachineId>, WordCount> Metrics::pair_traffic()
+    const {
+  std::map<std::pair<MachineId, MachineId>, WordCount> out;
+  for (const auto& [key, words] : pair_traffic_) {
+    out[{static_cast<MachineId>(key >> 32),
+         static_cast<MachineId>(key & 0xffffffffu)}] = words;
+  }
+  return out;
+}
+
 double Metrics::pair_entropy_bits() const {
   WordCount total = 0;
   for (const auto& [pair, words] : pair_traffic_) total += words;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -179,8 +180,11 @@ class Metrics {
     current_.total_comm_words += r.comm_words;
   }
 
+  /// Hot path: called once per delivered message at the round barrier,
+  /// so the histogram lives in a hash map keyed on the packed pair; the
+  /// ordered view callers see is built on demand by pair_traffic().
   void record_pair_traffic(MachineId from, MachineId to, WordCount words) {
-    pair_traffic_[{from, to}] += words;
+    pair_traffic_[pack_pair(from, to)] += words;
   }
 
   [[nodiscard]] const std::vector<RoundRecord>& rounds() const {
@@ -196,10 +200,11 @@ class Metrics {
   [[nodiscard]] const UpdateRecord& last_update() const {
     return last_update_;
   }
-  [[nodiscard]] const std::map<std::pair<MachineId, MachineId>, WordCount>&
-  pair_traffic() const {
-    return pair_traffic_;
-  }
+  /// Per-(sender,receiver) traffic histogram in pair order.  Built on
+  /// demand: the internal store is unordered for the per-message hot
+  /// path, and only diagnostics/tests want the sorted view.
+  [[nodiscard]] std::map<std::pair<MachineId, MachineId>, WordCount>
+  pair_traffic() const;
 
   /// Shannon entropy (bits) of the normalized per-(sender,receiver)
   /// communication distribution — the Section 8 metric.  Higher means the
@@ -214,12 +219,17 @@ class Metrics {
   void reset();
 
  private:
+  static std::uint64_t pack_pair(MachineId from, MachineId to) {
+    return (static_cast<std::uint64_t>(from) << 32) |
+           static_cast<std::uint64_t>(to);
+  }
+
   std::vector<RoundRecord> rounds_;
   UpdateRecord current_{};
   UpdateRecord last_update_{};
   bool in_update_ = false;
   UpdateAggregate aggregate_{};
-  std::map<std::pair<MachineId, MachineId>, WordCount> pair_traffic_;
+  std::unordered_map<std::uint64_t, WordCount> pair_traffic_;
 };
 
 }  // namespace dmpc

@@ -3,7 +3,7 @@
 namespace dmpc {
 
 RoundRecord broadcast(Cluster& cluster, MachineId from, Word tag,
-                      const std::vector<Word>& payload) {
+                      std::span<const Word> payload) {
   for (MachineId m = 0; m < cluster.size(); ++m) {
     if (m == from) continue;
     cluster.send(from, m, tag, payload);
@@ -12,7 +12,7 @@ RoundRecord broadcast(Cluster& cluster, MachineId from, Word tag,
 }
 
 RoundRecord broadcast_to(Cluster& cluster, MachineId from, Word tag,
-                         const std::vector<Word>& payload,
+                         std::span<const Word> payload,
                          const std::vector<MachineId>& targets) {
   for (MachineId m : targets) {
     if (m == from) continue;

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "dmpc/cluster.hpp"
@@ -16,14 +18,27 @@ namespace dmpc {
 
 /// One machine sends the same O(1)-size payload to every other machine
 /// (1 round; `from` plus all recipients are active; O(#machines) words).
-/// Returns the round record.
+/// Returns the round record.  The brace-list overload keeps the common
+/// {x, y} protocol broadcasts off the heap.
 RoundRecord broadcast(Cluster& cluster, MachineId from, Word tag,
-                      const std::vector<Word>& payload);
+                      std::span<const Word> payload);
+inline RoundRecord broadcast(Cluster& cluster, MachineId from, Word tag,
+                             std::initializer_list<Word> payload) {
+  return broadcast(cluster, from, tag,
+                   std::span<const Word>(payload.begin(), payload.size()));
+}
 
 /// Broadcast to an explicit subset of machines.
 RoundRecord broadcast_to(Cluster& cluster, MachineId from, Word tag,
-                         const std::vector<Word>& payload,
+                         std::span<const Word> payload,
                          const std::vector<MachineId>& targets);
+inline RoundRecord broadcast_to(Cluster& cluster, MachineId from, Word tag,
+                                std::initializer_list<Word> payload,
+                                const std::vector<MachineId>& targets) {
+  return broadcast_to(cluster, from, tag,
+                      std::span<const Word>(payload.begin(), payload.size()),
+                      targets);
+}
 
 /// Every machine in `senders` sends its (short) payload to `root`
 /// (1 round).  `payloads[i]` goes with `senders[i]`; empty payloads are

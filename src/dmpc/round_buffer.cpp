@@ -1,55 +1,92 @@
 #include "dmpc/round_buffer.hpp"
 
+#include <algorithm>
 #include <string>
-#include <utility>
 
 #include "dmpc/cluster.hpp"
 
 namespace dmpc {
 
+void RoundBuffer::clear_staged() {
+  for (Shard& shard : staged_) {
+    shard.words.clear();  // clear() keeps capacity: the high-water reuse
+    shard.recs.clear();
+  }
+}
+
 RoundRecord RoundBuffer::deliver(WordCount capacity, Metrics& metrics) {
   const std::size_t mu = inboxes_.size();
-  std::vector<WordCount> sent(mu, 0);
-  std::vector<WordCount> received(mu, 0);
-  std::vector<bool> active(mu, false);
+  std::fill(sent_.begin(), sent_.end(), 0);
+  std::fill(received_.begin(), received_.end(), 0);
+  std::fill(active_.begin(), active_.end(), 0);
 
   RoundRecord rec;
-  for (auto& in : inboxes_) in.clear();
+  for (Inbox& in : inboxes_) {
+    in.words.clear();
+    in.msgs.clear();
+  }
 
-  // Merge the per-sender shards in sender order; within a shard the
-  // staging order is preserved.  This is the determinism anchor: the
+  // Pass 1 — accounting, in sender order (the determinism anchor: the
   // same staged multiset of messages yields the same inboxes and the
-  // same accounting regardless of which threads staged them.
+  // same accounting regardless of which threads staged them).  This also
+  // produces the per-receiver word totals that pass 2 needs to reserve
+  // the inbox arenas up front: the delivered Message views point into
+  // those arenas, so they must not reallocate while pass 2 appends.
   for (MachineId from = 0; from < mu; ++from) {
-    for (Message& msg : staged_[from]) {
-      const WordCount cost = msg.cost_words();
-      sent[from] += cost;
-      received[msg.to] += cost;
-      active[from] = true;
-      active[msg.to] = true;
+    for (const StagedRec& sr : staged_[from].recs) {
+      const WordCount cost = sr.len + 1;
+      sent_[from] += cost;
+      received_[sr.to] += cost;
+      active_[from] = 1;
+      active_[sr.to] = 1;
       rec.comm_words += cost;
       ++rec.messages;
-      metrics.record_pair_traffic(from, msg.to, cost);
-      inboxes_[msg.to].push_back(std::move(msg));
+      metrics.record_pair_traffic(from, sr.to, cost);
     }
-    staged_[from].clear();
   }
 
   for (MachineId m = 0; m < mu; ++m) {
-    if (sent[m] > capacity) {
+    if (sent_[m] > capacity) {
+      clear_staged();
       throw CommOverflowError("machine " + std::to_string(m) + " sent " +
-                              std::to_string(sent[m]) +
+                              std::to_string(sent_[m]) +
                               " words in one round (cap " +
                               std::to_string(capacity) + ")");
     }
-    if (received[m] > capacity) {
+    if (received_[m] > capacity) {
+      clear_staged();
       throw CommOverflowError("machine " + std::to_string(m) + " received " +
-                              std::to_string(received[m]) +
+                              std::to_string(received_[m]) +
                               " words in one round (cap " +
                               std::to_string(capacity) + ")");
     }
-    if (active[m]) ++rec.active_machines;
+    if (active_[m] != 0) ++rec.active_machines;
   }
+
+  // Pass 2 — merge the shards into the inbox arenas, still in sender
+  // order with per-sender FIFO preserved.
+  for (MachineId to = 0; to < mu; ++to) {
+    // received_ counts one header word per message on top of the
+    // payloads, so it over-reserves slightly; what matters is that the
+    // arena never grows past it mid-merge.
+    inboxes_[to].words.reserve(received_[to]);
+  }
+  for (MachineId from = 0; from < mu; ++from) {
+    Shard& shard = staged_[from];
+    for (const StagedRec& sr : shard.recs) {
+      Inbox& in = inboxes_[sr.to];
+      const std::size_t off = in.words.size();
+      in.words.insert(in.words.end(), shard.words.begin() + sr.off,
+                      shard.words.begin() + sr.off + sr.len);
+      Message msg;
+      msg.from = from;
+      msg.to = sr.to;
+      msg.tag = sr.tag;
+      msg.payload = std::span<const Word>(in.words.data() + off, sr.len);
+      in.msgs.push_back(msg);
+    }
+  }
+  clear_staged();
   return rec;
 }
 

@@ -9,9 +9,17 @@
 // inbox contents are byte-identical no matter which executor staged
 // them.  All Metrics accounting happens here, at the barrier, which is
 // what keeps the metrics stream race-free without any locking.
+//
+// Storage is arena-shaped and reused across rounds: each sender shard is
+// one flat Word arena plus a record list, each inbox is one flat Word
+// arena plus the delivered Message views into it.  stage() appends to the
+// sender's arena and deliver() clears everything back to empty while
+// keeping the high-water capacity, so in steady state neither side of a
+// round touches the allocator.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dmpc/message.hpp"
@@ -23,34 +31,69 @@ namespace dmpc {
 class RoundBuffer {
  public:
   explicit RoundBuffer(std::size_t num_machines)
-      : staged_(num_machines), inboxes_(num_machines) {}
+      : staged_(num_machines),
+        inboxes_(num_machines),
+        sent_(num_machines, 0),
+        received_(num_machines, 0),
+        active_(num_machines, 0) {}
 
   [[nodiscard]] std::size_t num_machines() const { return inboxes_.size(); }
 
-  /// Stages a message for delivery at the end of the current round.
+  /// Stages a message for delivery at the end of the current round,
+  /// copying its payload into the sender's shard arena (the caller's
+  /// payload storage may be reused immediately after the call).
   /// msg.from/msg.to must already be validated by the caller.  Safe to
   /// call concurrently for *distinct* senders (one shard per sender);
   /// two concurrent stagings from the same sender are a data race.
-  void stage(Message msg) {
-    staged_[msg.from].push_back(std::move(msg));
+  void stage(const Message& msg) {
+    Shard& shard = staged_[msg.from];
+    shard.recs.push_back({msg.to, msg.tag,
+                          static_cast<std::uint32_t>(shard.words.size()),
+                          static_cast<std::uint32_t>(msg.payload.size())});
+    shard.words.insert(shard.words.end(), msg.payload.begin(),
+                       msg.payload.end());
   }
 
   /// Inbox of machine `m`: the messages delivered by the last deliver().
+  /// The payload views point into the inbox arena and stay valid until
+  /// the next deliver().
   [[nodiscard]] const std::vector<Message>& inbox(MachineId m) const {
-    return inboxes_[m];
+    return inboxes_[m].msgs;
   }
 
   /// The barrier step: replaces the previous round's inboxes with the
   /// staged messages (merged in sender order), records per-pair traffic
   /// into `metrics`, enforces the per-machine send/receive caps
   /// (throwing CommOverflowError — defined in cluster.hpp — on
-  /// violation) and returns the round's record.  Must be called from a
-  /// single thread with no round tasks in flight.
+  /// violation) and returns the round's record.  On overflow the staged
+  /// shards are dropped and every inbox is left empty.  Must be called
+  /// from a single thread with no round tasks in flight.
   RoundRecord deliver(WordCount capacity, Metrics& metrics);
 
  private:
-  std::vector<std::vector<Message>> staged_;  // one shard per sender
-  std::vector<std::vector<Message>> inboxes_;
+  struct StagedRec {
+    MachineId to;
+    Word tag;
+    std::uint32_t off;  // payload offset into the shard arena
+    std::uint32_t len;  // payload length in words
+  };
+  struct Shard {
+    std::vector<Word> words;     // payload arena, reused across rounds
+    std::vector<StagedRec> recs;
+  };
+  struct Inbox {
+    std::vector<Word> words;     // payload arena, reused across rounds
+    std::vector<Message> msgs;   // views into `words`
+  };
+
+  void clear_staged();
+
+  std::vector<Shard> staged_;  // one shard per sender
+  std::vector<Inbox> inboxes_;
+  // deliver() scratch, reused across rounds.
+  std::vector<WordCount> sent_;
+  std::vector<WordCount> received_;
+  std::vector<std::uint8_t> active_;
 };
 
 }  // namespace dmpc

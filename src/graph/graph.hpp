@@ -2,13 +2,17 @@
 //
 // The DMPC algorithms never see these directly — they receive update
 // streams — but tests, oracles and generators operate on them.
+//
+// Edge and adjacency membership is hash-based (O(1) amortized updates).
+// Iteration order of edges()/neighbors()/weights() is therefore
+// unspecified; edge_list() sorts on demand and is the deterministic view.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
-#include <set>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -26,6 +30,21 @@ struct EdgeKey {
 
   EdgeKey(VertexId a, VertexId b) : u(std::min(a, b)), v(std::max(a, b)) {}
   auto operator<=>(const EdgeKey&) const = default;
+};
+
+/// Hash for EdgeKey: packs (u,v) into one 64-bit word and mixes it.
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& e) const noexcept {
+    std::uint64_t x = (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(e.u))
+                       << 32) |
+                      static_cast<std::uint32_t>(e.v);
+    // splitmix64 finalizer.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
 };
 
 /// A fully-dynamic undirected graph over vertices [0, n).
@@ -57,7 +76,9 @@ class DynamicGraph {
     return true;
   }
 
-  [[nodiscard]] const std::set<VertexId>& neighbors(VertexId u) const {
+  /// Neighbor set of u. Iteration order is unspecified.
+  [[nodiscard]] const std::unordered_set<VertexId>& neighbors(
+      VertexId u) const {
     return adj_[static_cast<std::size_t>(u)];
   }
 
@@ -65,18 +86,25 @@ class DynamicGraph {
     return adj_[static_cast<std::size_t>(u)].size();
   }
 
-  [[nodiscard]] const std::set<EdgeKey>& edges() const { return edges_; }
+  /// Edge set. Iteration order is unspecified; use edge_list() when a
+  /// deterministic order matters.
+  [[nodiscard]] const std::unordered_set<EdgeKey, EdgeKeyHash>& edges() const {
+    return edges_;
+  }
 
+  /// All edges sorted by (u, v) — deterministic regardless of the
+  /// insertion/deletion history.
   [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edge_list() const {
     std::vector<std::pair<VertexId, VertexId>> out;
     out.reserve(edges_.size());
     for (const auto& e : edges_) out.emplace_back(e.u, e.v);
+    std::sort(out.begin(), out.end());
     return out;
   }
 
  private:
-  std::vector<std::set<VertexId>> adj_;
-  std::set<EdgeKey> edges_;
+  std::vector<std::unordered_set<VertexId>> adj_;
+  std::unordered_set<EdgeKey, EdgeKeyHash> edges_;
 };
 
 /// A fully-dynamic weighted undirected graph (for MST).
@@ -107,13 +135,16 @@ class WeightedDynamicGraph {
   }
 
   [[nodiscard]] const DynamicGraph& unweighted() const { return g_; }
-  [[nodiscard]] const std::map<EdgeKey, Weight>& weights() const {
+
+  /// Weight map. Iteration order is unspecified.
+  [[nodiscard]] const std::unordered_map<EdgeKey, Weight, EdgeKeyHash>&
+  weights() const {
     return weights_;
   }
 
  private:
   DynamicGraph g_;
-  std::map<EdgeKey, Weight> weights_;
+  std::unordered_map<EdgeKey, Weight, EdgeKeyHash> weights_;
 };
 
 }  // namespace graph

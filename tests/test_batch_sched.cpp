@@ -12,10 +12,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/dyn_forest.hpp"
+#include "dmpc/executor.hpp"
 #include "graph/update_stream.hpp"
 #include "harness/checks.hpp"
 #include "harness/driver.hpp"
@@ -40,6 +42,8 @@ struct StressCase {
   std::size_t batch_size;
   bool weighted;
 };
+
+std::vector<StressCase> stress_cases();
 
 class BatchSchedulerStress : public ::testing::TestWithParam<StressCase> {};
 
@@ -102,6 +106,99 @@ TEST_P(BatchSchedulerStress, MatchesSerialReplay) {
   EXPECT_TRUE(batched.validate(&why)) << "seed " << seed << ": " << why;
   EXPECT_TRUE(serial.validate(&why)) << "seed " << seed << ": " << why;
 }
+
+/// Pooled-executor bit-identity: the SAME batched schedule run once under
+/// the serial executor and once on the thread pool must agree on every
+/// observable — final state, the full tree-edge sequence (merge order is
+/// part of the contract), validate()'s verdict, the metrics stream, and
+/// every scheduler counter.  This is what licenses running the driver's
+/// serial folds (fold_scans, validate(), preprocess, the snapshot
+/// helpers) on the pool.
+class PooledExecutorBitIdentity : public ::testing::TestWithParam<StressCase> {
+};
+
+TEST_P(PooledExecutorBitIdentity, MatchesSerialExecutor) {
+  const auto [seed, batch_size, weighted] = GetParam();
+  const std::size_t n = 48;
+  graph::UpdateStream stream;
+  switch (seed % 4) {
+    case 0:
+      stream = graph::random_stream(n, 300, 0.6, seed, weighted,
+                                    seed % 2 == 0 ? 6 : 1000);
+      break;
+    case 1:
+      stream = graph::bridge_adversary_stream(n, 2 * n + 200, n / 4, seed,
+                                              weighted);
+      break;
+    case 2:
+      stream = graph::interleaved_delete_stream(n, 300, 5, 2, seed, weighted);
+      break;
+    default:
+      stream = weighted ? graph::weighted_interleaved_delete_stream(n, 300, 5,
+                                                                    2, seed)
+                        : graph::interleaved_delete_stream(n, 300, 5, 3, seed);
+      break;
+  }
+
+  const auto run = [&](const std::shared_ptr<dmpc::RoundExecutor>& exec) {
+    auto forest = std::make_unique<core::DynamicForest>(
+        core::DynForestConfig{.n = n, .m_cap = 4 * n, .weighted = weighted});
+    forest->cluster().set_executor(exec);
+    forest->preprocess(graph::WeightedEdgeList{});
+    Driver driver(n, DriverConfig{.batch_size = batch_size,
+                                  .checkpoint_every = 0,
+                                  .weighted = weighted});
+    driver.add("forest", *forest);
+    driver.run(stream);
+    return forest;
+  };
+  const auto serial = run(std::make_shared<dmpc::SerialExecutor>());
+  const auto pooled = run(std::make_shared<dmpc::ThreadPoolExecutor>(4));
+
+  EXPECT_EQ(serial->component_snapshot(), pooled->component_snapshot())
+      << "seed " << seed;
+  EXPECT_EQ(serial->tree_edges(), pooled->tree_edges()) << "seed " << seed;
+  EXPECT_EQ(serial->forest_weight(), pooled->forest_weight())
+      << "seed " << seed;
+  EXPECT_EQ(canonical_directory(*serial), canonical_directory(*pooled))
+      << "seed " << seed;
+  std::string swhy, pwhy;
+  EXPECT_EQ(serial->validate(&swhy), pooled->validate(&pwhy))
+      << "seed " << seed;
+  EXPECT_EQ(swhy, pwhy) << "seed " << seed;
+
+  const auto& sagg = serial->cluster().metrics().aggregate();
+  const auto& pagg = pooled->cluster().metrics().aggregate();
+  EXPECT_EQ(sagg.total_rounds, pagg.total_rounds) << "seed " << seed;
+  EXPECT_EQ(sagg.total_comm_words, pagg.total_comm_words) << "seed " << seed;
+  EXPECT_EQ(sagg.worst_rounds, pagg.worst_rounds) << "seed " << seed;
+  EXPECT_EQ(sagg.updates, pagg.updates) << "seed " << seed;
+
+  const dmpc::BatchScheduleStats& ss = serial->batch_stats();
+  const dmpc::BatchScheduleStats& ps = pooled->batch_stats();
+  EXPECT_EQ(ss.batches, ps.batches) << "seed " << seed;
+  EXPECT_EQ(ss.groups, ps.groups) << "seed " << seed;
+  EXPECT_EQ(ss.grouped_updates, ps.grouped_updates) << "seed " << seed;
+  EXPECT_EQ(ss.serial_updates, ps.serial_updates) << "seed " << seed;
+  EXPECT_EQ(ss.reordered_updates, ps.reordered_updates) << "seed " << seed;
+  EXPECT_EQ(ss.batched_tree_deletes, ps.batched_tree_deletes)
+      << "seed " << seed;
+  EXPECT_EQ(ss.max_group, ps.max_group) << "seed " << seed;
+  EXPECT_EQ(ss.path_max_grouped, ps.path_max_grouped) << "seed " << seed;
+  EXPECT_EQ(ss.deferred_updates, ps.deferred_updates) << "seed " << seed;
+  EXPECT_EQ(ss.waves_pipelined, ps.waves_pipelined) << "seed " << seed;
+  EXPECT_EQ(ss.speculation_misses, ps.speculation_misses) << "seed " << seed;
+  EXPECT_EQ(ss.batches_pipelined, ps.batches_pipelined) << "seed " << seed;
+  EXPECT_EQ(ss.cross_batch_misses, ps.cross_batch_misses) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PooledExecutorBitIdentity, ::testing::ValuesIn(stress_cases()),
+    [](const ::testing::TestParamInfo<StressCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_batch" +
+             std::to_string(info.param.batch_size) +
+             (info.param.weighted ? "_weighted" : "_unweighted");
+    });
 
 std::vector<StressCase> stress_cases() {
   std::vector<StressCase> cases;

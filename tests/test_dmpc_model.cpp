@@ -3,6 +3,9 @@
 // and the Section 8 entropy metric.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "dmpc/cluster.hpp"
 #include "dmpc/memory.hpp"
 #include "dmpc/primitives.hpp"
@@ -47,7 +50,8 @@ TEST(Cluster, DeliversMessagesAtRoundEnd) {
   RoundRecord rec = c.finish_round();
   ASSERT_EQ(c.inbox(2).size(), 1u);
   EXPECT_EQ(c.inbox(2)[0].tag, 7);
-  EXPECT_EQ(c.inbox(2)[0].payload, (std::vector<Word>{1, 2, 3}));
+  EXPECT_TRUE(std::ranges::equal(c.inbox(2)[0].payload,
+                                 std::vector<Word>{1, 2, 3}));
   EXPECT_EQ(c.inbox(2)[0].from, 0u);
   EXPECT_EQ(rec.active_machines, 2u);
   EXPECT_EQ(rec.comm_words, 4u);  // 3 payload + 1 tag word

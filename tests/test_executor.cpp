@@ -158,7 +158,7 @@ TEST(Cluster, SetExecutorNullRestoresSerial) {
 
 bool same_message(const Message& a, const Message& b) {
   return a.from == b.from && a.to == b.to && a.tag == b.tag &&
-         a.payload == b.payload;
+         std::ranges::equal(a.payload, b.payload);
 }
 
 void expect_identical(const core::DynamicForest& a,

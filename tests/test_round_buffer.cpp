@@ -1,0 +1,186 @@
+// RoundBuffer: the arena-backed staging/delivery path behind every
+// Cluster round.  These tests pin the properties the allocation-free
+// design must preserve:
+//   * repeated stage/deliver cycles produce byte-identical inboxes while
+//     the arenas are reused at high-water capacity (steady state);
+//   * delivery merges shards in sender order with per-sender FIFO;
+//   * an overflowing round throws CommOverflowError, drops the staged
+//     shards and leaves every inbox empty, and the buffer keeps working
+//     afterwards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dmpc/cluster.hpp"
+#include "dmpc/metrics.hpp"
+#include "dmpc/round_buffer.hpp"
+
+namespace {
+
+using dmpc::MachineId;
+using dmpc::Message;
+using dmpc::Metrics;
+using dmpc::RoundBuffer;
+using dmpc::Word;
+
+Message make_msg(MachineId from, MachineId to, Word tag,
+                 std::span<const Word> payload) {
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.tag = tag;
+  msg.payload = payload;
+  return msg;
+}
+
+/// A value copy of one delivered inbox (the Message payloads are views
+/// into the inbox arena, so comparisons across deliver() calls must
+/// materialize them).
+struct InboxCopy {
+  struct Msg {
+    MachineId from, to;
+    Word tag;
+    std::vector<Word> payload;
+    bool operator==(const Msg&) const = default;
+  };
+  std::vector<Msg> msgs;
+  bool operator==(const InboxCopy&) const = default;
+};
+
+InboxCopy copy_inbox(const RoundBuffer& buf, MachineId m) {
+  InboxCopy out;
+  for (const Message& msg : buf.inbox(m)) {
+    out.msgs.push_back({msg.from, msg.to, msg.tag,
+                        {msg.payload.begin(), msg.payload.end()}});
+  }
+  return out;
+}
+
+/// Stages the same deterministic message pattern every cycle: each
+/// machine sends to every other machine a payload derived from the pair.
+void stage_pattern(RoundBuffer& buf, std::size_t machines) {
+  std::vector<Word> payload;
+  for (MachineId from = 0; from < static_cast<MachineId>(machines); ++from) {
+    for (MachineId to = 0; to < static_cast<MachineId>(machines); ++to) {
+      if (to == from) continue;
+      payload.clear();
+      for (Word w = 0; w <= static_cast<Word>(from + to); ++w) {
+        payload.push_back(1000 * from + 10 * to + w);
+      }
+      buf.stage(make_msg(from, to, /*tag=*/from + 1, payload));
+    }
+  }
+}
+
+TEST(RoundBuffer, RepeatedDeliverCyclesAreByteIdentical) {
+  constexpr std::size_t kMachines = 5;
+  constexpr int kCycles = 6;
+  RoundBuffer buf(kMachines);
+  Metrics metrics;
+
+  std::vector<InboxCopy> first(kMachines);
+  const Word* arena_probe = nullptr;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    stage_pattern(buf, kMachines);
+    const dmpc::RoundRecord rec = buf.deliver(/*capacity=*/1 << 20, metrics);
+    EXPECT_EQ(rec.messages, kMachines * (kMachines - 1)) << "cycle " << cycle;
+    for (MachineId m = 0; m < static_cast<MachineId>(kMachines); ++m) {
+      if (cycle == 0) {
+        first[m] = copy_inbox(buf, m);
+        EXPECT_FALSE(first[m].msgs.empty());
+      } else {
+        EXPECT_EQ(copy_inbox(buf, m), first[m])
+            << "inbox " << m << " diverged at cycle " << cycle;
+      }
+    }
+    // Steady state: once the arenas reached high-water capacity the
+    // delivered views must point into the SAME storage every cycle — no
+    // reallocation on the round path.
+    const Word* data = buf.inbox(0).front().payload.data();
+    if (cycle == 1) {
+      arena_probe = data;
+    } else if (cycle > 1) {
+      EXPECT_EQ(data, arena_probe)
+          << "inbox arena reallocated in steady state at cycle " << cycle;
+    }
+  }
+}
+
+TEST(RoundBuffer, MergesInSenderOrderWithPerSenderFifo) {
+  RoundBuffer buf(3);
+  Metrics metrics;
+  const std::vector<Word> a{1}, b{2}, c{3}, d{4};
+  // Stage out of sender order; delivery must order by sender, FIFO
+  // within a sender.
+  buf.stage(make_msg(2, 0, 20, a));
+  buf.stage(make_msg(1, 0, 10, b));
+  buf.stage(make_msg(1, 0, 11, c));
+  buf.stage(make_msg(0, 1, 1, d));
+  buf.deliver(/*capacity=*/64, metrics);
+
+  const auto& inbox0 = buf.inbox(0);
+  ASSERT_EQ(inbox0.size(), 3u);
+  EXPECT_EQ(inbox0[0].from, 1);
+  EXPECT_EQ(inbox0[0].tag, 10);
+  EXPECT_EQ(inbox0[1].from, 1);
+  EXPECT_EQ(inbox0[1].tag, 11);
+  EXPECT_EQ(inbox0[2].from, 2);
+  EXPECT_EQ(inbox0[2].tag, 20);
+  ASSERT_EQ(buf.inbox(1).size(), 1u);
+  EXPECT_EQ(buf.inbox(1)[0].from, 0);
+  ASSERT_TRUE(buf.inbox(2).empty());
+}
+
+TEST(RoundBuffer, OverflowThrowsDropsStagedAndEmptiesInboxes) {
+  constexpr std::size_t kMachines = 3;
+  RoundBuffer buf(kMachines);
+  Metrics metrics;
+
+  // A successful round first, so the inboxes hold something that MUST be
+  // gone after the failed round (no stale views may survive).
+  const std::vector<Word> small{7, 8};
+  buf.stage(make_msg(0, 1, 1, small));
+  buf.deliver(/*capacity=*/16, metrics);
+  ASSERT_EQ(buf.inbox(1).size(), 1u);
+
+  // Now blow the per-machine cap: payload + tag word exceeds capacity.
+  const std::vector<Word> big(32, 99);
+  buf.stage(make_msg(0, 1, 2, big));
+  buf.stage(make_msg(2, 0, 3, small));
+  EXPECT_THROW(buf.deliver(/*capacity=*/16, metrics),
+               dmpc::CommOverflowError);
+  for (MachineId m = 0; m < static_cast<MachineId>(kMachines); ++m) {
+    EXPECT_TRUE(buf.inbox(m).empty()) << "inbox " << m;
+  }
+
+  // The staged shards were dropped with the failed round: the next
+  // deliver() must see ONLY what is staged after the failure, and the
+  // result must match a fresh buffer fed the same messages.
+  buf.stage(make_msg(1, 2, 4, small));
+  buf.deliver(/*capacity=*/16, metrics);
+
+  RoundBuffer fresh(kMachines);
+  Metrics fresh_metrics;
+  fresh.stage(make_msg(1, 2, 4, small));
+  fresh.deliver(/*capacity=*/16, fresh_metrics);
+  for (MachineId m = 0; m < static_cast<MachineId>(kMachines); ++m) {
+    EXPECT_EQ(copy_inbox(buf, m), copy_inbox(fresh, m)) << "inbox " << m;
+  }
+}
+
+TEST(RoundBuffer, EmptyRoundDeliversEmptyInboxes) {
+  RoundBuffer buf(2);
+  Metrics metrics;
+  const std::vector<Word> p{1, 2, 3};
+  buf.stage(make_msg(0, 1, 1, p));
+  buf.deliver(/*capacity=*/8, metrics);
+  ASSERT_EQ(buf.inbox(1).size(), 1u);
+  // A round with nothing staged clears the previous round's inboxes.
+  const dmpc::RoundRecord rec = buf.deliver(/*capacity=*/8, metrics);
+  EXPECT_EQ(rec.messages, 0u);
+  EXPECT_TRUE(buf.inbox(0).empty());
+  EXPECT_TRUE(buf.inbox(1).empty());
+}
+
+}  // namespace
