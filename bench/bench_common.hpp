@@ -179,6 +179,21 @@ inline void print_batch_row(const harness::DriverReport& report,
         static_cast<unsigned long long>(stats->sched.batches_pipelined +
                                         stats->sched.cross_batch_misses));
     full_note += sched;
+    if (stats->sched.stages > 0) {
+      // Batch-dynamic protocol rows: stages run, k-way transforms, the
+      // replacement-cascade volume, and net-op-compression elisions.
+      char bdyn[160];
+      std::snprintf(
+          bdyn, sizeof bdyn,
+          " stg=%llu kway=%llu/%llu casc=%llu/%llu elide=%llu",
+          static_cast<unsigned long long>(stats->sched.stages),
+          static_cast<unsigned long long>(stats->sched.kway_splits),
+          static_cast<unsigned long long>(stats->sched.kway_joins),
+          static_cast<unsigned long long>(stats->sched.cascade_rounds),
+          static_cast<unsigned long long>(stats->sched.cascade_links),
+          static_cast<unsigned long long>(stats->sched.elided_updates));
+      full_note += bdyn;
+    }
   }
   std::printf("%-28s %12llu %12.2f %14llu %10zu   %s\n", name.c_str(),
               static_cast<unsigned long long>(agg.total_rounds),
@@ -226,7 +241,13 @@ inline bool batched_json_row(JsonReport& json,
           .u64("deferred_updates", stats->sched.deferred_updates)
           .u64("batches_pipelined", stats->sched.batches_pipelined)
           .u64("cross_batch_misses", stats->sched.cross_batch_misses)
-          .num("pipeline_hit_rate", stats->sched.pipeline_hit_rate());
+          .num("pipeline_hit_rate", stats->sched.pipeline_hit_rate())
+          .u64("stages", stats->sched.stages)
+          .u64("kway_splits", stats->sched.kway_splits)
+          .u64("kway_joins", stats->sched.kway_joins)
+          .u64("cascade_rounds", stats->sched.cascade_rounds)
+          .u64("cascade_links", stats->sched.cascade_links)
+          .u64("elided_updates", stats->sched.elided_updates);
     }
   }
   if (budget_rpu != 0.0) {

@@ -8,17 +8,21 @@
 //     wake/join cost every DynamicForest round pays;
 //   * the pooled batched-update path at n = 2^17: the same adversarial
 //     delete/re-insert stream applied through apply_batch under the
-//     serial executor, a 1-thread pool and an 8-thread pool.  The
-//     1-vs-8-thread ratio is the wall-clock speedup row; rounds,
-//     communication, scheduler counters and the forest weight must be
-//     byte-identical across all three executors (that is the determinism
-//     contract of the pooled folds), and `--check` makes a mismatch
-//     fatal.
+//     serial executor, a 1-thread pool and a pool sized to the machine
+//     (std::thread::hardware_concurrency()).  The 1-vs-max-thread ratio
+//     is the wall-clock speedup row; rounds, communication, scheduler
+//     counters and the forest weight must be byte-identical across all
+//     three executors (that is the determinism contract of the pooled
+//     folds), and `--check` makes a mismatch fatal.
 //
-// `--json BENCH_micro.json` writes the rows for the CI bench-trend gate.
+// `--json BENCH_micro.json` writes the rows for the CI bench-trend gate,
+// including the detected core count: the gate skips wall-clock
+// comparisons between runs whose core counts differ (a runner-hardware
+// change is not a regression).
 #include <cstdio>
 #include <memory>
 #include <span>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "core/dyn_forest.hpp"
@@ -57,7 +61,14 @@ struct ForestRun {
 ForestRun run_forest(const std::shared_ptr<dmpc::RoundExecutor>& exec,
                      const graph::UpdateStream& stream) {
   ForestRun out;
-  core::DynamicForest forest({.n = kForestN, .m_cap = 4 * kForestN});
+  // Pinned to the wave scheduler: this bench measures the executor's
+  // cost on the replacement-scan rounds the pool parallelizes.  The
+  // batch-dynamic default would net-op-compress the adversary's
+  // delete/re-insert pairs away entirely (0 rounds — see bench_table1's
+  // bdyn rows for that protocol's wall-clock), leaving nothing to time.
+  core::DynamicForest forest({.n = kForestN,
+                              .m_cap = 4 * kForestN,
+                              .batch_policy = core::BatchPolicy::kWave});
   forest.cluster().set_executor(exec);
   out.preprocess_seconds =
       bench::timed_seconds([&] { forest.preprocess(graph::cycle(kForestN)); });
@@ -146,48 +157,62 @@ int main(int argc, char** argv) {
       kForestN, graph::bridge_adversary_stream(
                     kForestN, (kForestN - 1) + kForestUpdates + 1, 0, 1));
 
+  // Size the wide pool to the machine instead of a hardcoded 8: CI
+  // runners and dev boxes differ, and the trend gate compares wall-clock
+  // only between runs with the same core count (emitted below).
+  const unsigned detected = std::thread::hardware_concurrency();
+  const unsigned cores = detected == 0 ? 8 : detected;
+
   const ForestRun serial = run_forest(
       std::make_shared<dmpc::SerialExecutor>(), stream);
   const ForestRun pool1 = run_forest(
       std::make_shared<dmpc::ThreadPoolExecutor>(1), stream);
-  const ForestRun pool8 = run_forest(
-      std::make_shared<dmpc::ThreadPoolExecutor>(8), stream);
+  const ForestRun poolmax = run_forest(
+      std::make_shared<dmpc::ThreadPoolExecutor>(cores), stream);
 
   const bool pool1_ok = matches_serial(pool1, serial);
-  const bool pool8_ok = matches_serial(pool8, serial);
-  const double speedup =
-      pool8.update_seconds > 0 ? pool1.update_seconds / pool8.update_seconds
-                               : 0.0;
+  const bool poolmax_ok = matches_serial(poolmax, serial);
+  const double speedup = poolmax.update_seconds > 0
+                             ? pool1.update_seconds / poolmax.update_seconds
+                             : 0.0;
 
   std::printf("\n=== pooled batched updates, n=%zu (%zu updates, "
-              "batch=%zu) ===\n",
-              kForestN, kForestUpdates, kForestBatch);
+              "batch=%zu, %u cores) ===\n",
+              kForestN, kForestUpdates, kForestBatch, cores);
   std::printf("%-18s %12s %12s %14s %8s\n", "executor", "updates(s)",
               "rnds/upd", "comm words", "match");
-  const auto print_run = [&](const char* name, const ForestRun& r, bool m) {
-    std::printf("%-18s %12.3f %12.2f %14llu %8s\n", name, r.update_seconds,
+  const auto print_run = [&](const std::string& name, const ForestRun& r,
+                             bool m) {
+    std::printf("%-18s %12.3f %12.2f %14llu %8s\n", name.c_str(),
+                r.update_seconds,
                 static_cast<double>(r.total_rounds) / kForestUpdates,
                 static_cast<unsigned long long>(r.total_comm_words),
                 m ? "yes" : "NO");
   };
   print_run("serial", serial, true);
   print_run("pool(1)", pool1, pool1_ok);
-  print_run("pool(8)", pool8, pool8_ok);
-  std::printf("speedup pool(8) vs pool(1): %.2fx\n", speedup);
-  if (!pool1_ok || !pool8_ok) {
+  print_run("pool(" + std::to_string(cores) + ")", poolmax, poolmax_ok);
+  std::printf("speedup pool(%u) vs pool(1): %.2fx\n", cores, speedup);
+  if (!pool1_ok || !poolmax_ok) {
     std::fprintf(stderr, "DETERMINISM VIOLATION: pooled run diverged from "
                          "the serial executor\n");
     ok = false;
   }
 
+  // Stable row names (the thread count is a field, not part of the
+  // name) so the trend gate keeps matching rows across machines.
   forest_json_row(json, "dynforest_batched_serial_n131072", serial);
+  json.u64("cores", cores);
   forest_json_row(json, "dynforest_batched_pool1_n131072", pool1);
-  json.flag("matches_serial", pool1_ok);
-  forest_json_row(json, "dynforest_batched_pool8_n131072", pool8);
-  json.flag("matches_serial", pool8_ok).num("speedup_vs_1thread", speedup);
-  json.row("dynforest_pool_speedup_8v1")
+  json.u64("cores", cores).flag("matches_serial", pool1_ok);
+  forest_json_row(json, "dynforest_batched_poolmax_n131072", poolmax);
+  json.u64("cores", cores)
+      .flag("matches_serial", poolmax_ok)
+      .num("speedup_vs_1thread", speedup);
+  json.row("dynforest_pool_speedup_maxv1")
+      .u64("cores", cores)
       .num("speedup", speedup)
-      .flag("within_budget", pool1_ok && pool8_ok);
+      .flag("within_budget", pool1_ok && poolmax_ok);
 
   if (!args.json_path.empty() && !json.write(args.json_path, ok)) {
     std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());

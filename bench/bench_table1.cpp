@@ -89,6 +89,22 @@ void gate_batched_row(bench::JsonReport& json,
       g_within_budget;
 }
 
+/// The O(1)-protocol rows additionally promise ZERO serial-fallback
+/// updates on their streams (the batch-dynamic acceptance criterion):
+/// every update must flow through a shared constant-round stage.
+void gate_zero_serial(const harness::DriverReport& report,
+                      const std::string& name, const char* row_name) {
+  const harness::AlgorithmStats* stats = report.find(name);
+  if (stats == nullptr || !stats->scheduled) return;
+  if (stats->sched.serial_updates != 0) {
+    g_within_budget = false;
+    std::fprintf(
+        stderr, "BUDGET VIOLATION: %s serial-fallback updates %llu != 0\n",
+        row_name,
+        static_cast<unsigned long long>(stats->sched.serial_updates));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,7 +235,7 @@ int main(int argc, char** argv) {
   double wall = 0;
   {
     const auto& r = run_connectivity(1, ExecutorKind::kSerial,
-                                     BatchPolicy::kOutOfOrder, random_stream,
+                                     BatchPolicy::kWave, random_stream,
                                      &wall);
     bench::print_batch_row(r, "connectivity", "random, serial baseline");
     gate_batched_row(json, r, "connectivity", "connectivity random serial",
@@ -235,7 +251,7 @@ int main(int argc, char** argv) {
   }
   {
     const auto& r = run_connectivity(16, ExecutorKind::kSerial,
-                                     BatchPolicy::kOutOfOrder, random_stream,
+                                     BatchPolicy::kWave, random_stream,
                                      &wall);
     bench::print_batch_row(r, "connectivity", "random, batch=16 out-of-order");
     gate_batched_row(json, r, "connectivity", "connectivity random ooo16",
@@ -244,7 +260,7 @@ int main(int argc, char** argv) {
   }
   {
     const auto& r = run_connectivity(16, ExecutorKind::kThreadPool,
-                                     BatchPolicy::kOutOfOrder, random_stream,
+                                     BatchPolicy::kWave, random_stream,
                                      &wall);
     bench::print_batch_row(r, "connectivity",
                            "random, batch=16 ooo + thread pool");
@@ -253,7 +269,7 @@ int main(int argc, char** argv) {
   }
   {
     const auto& r = run_connectivity(1, ExecutorKind::kSerial,
-                                     BatchPolicy::kOutOfOrder, delete_stream,
+                                     BatchPolicy::kWave, delete_stream,
                                      &wall);
     bench::print_batch_row(r, "connectivity", "delete-heavy, serial baseline");
     gate_batched_row(json, r, "connectivity",
@@ -269,13 +285,35 @@ int main(int argc, char** argv) {
   }
   {
     const auto& r = run_connectivity(16, ExecutorKind::kSerial,
-                                     BatchPolicy::kOutOfOrder, delete_stream,
+                                     BatchPolicy::kWave, delete_stream,
                                      &wall);
     bench::print_batch_row(r, "connectivity",
                            "delete-heavy, batch=16 out-of-order");
     gate_batched_row(json, r, "connectivity",
                      "connectivity delete-heavy ooo16",
                      harness::budgets::kDeleteHeavyRoundsPerUpdate, wall);
+  }
+  {
+    // The O(1)-round batch-dynamic protocol on the same streams: the
+    // whole batch classified once, all tree deletions as one k-way
+    // split, one replacement cascade, all merges as one k-way join.
+    const auto& r = run_connectivity(16, ExecutorKind::kSerial,
+                                     BatchPolicy::kBatchDynamic,
+                                     random_stream, &wall);
+    bench::print_batch_row(r, "connectivity", "random, batch=16 batch-dyn");
+    gate_batched_row(json, r, "connectivity", "connectivity random bdyn16",
+                     0.0, wall);
+  }
+  {
+    const auto& r = run_connectivity(16, ExecutorKind::kSerial,
+                                     BatchPolicy::kBatchDynamic,
+                                     delete_stream, &wall);
+    bench::print_batch_row(r, "connectivity",
+                           "delete-heavy, batch=16 batch-dyn");
+    gate_batched_row(
+        json, r, "connectivity", "connectivity delete-heavy bdyn16",
+        harness::budgets::kBatchDynamicDeleteHeavyRoundsPerUpdate, wall);
+    gate_zero_serial(r, "connectivity", "connectivity delete-heavy bdyn16");
   }
 
   // Weighted (MST) batched section: every burst of the weighted
@@ -287,11 +325,12 @@ int main(int argc, char** argv) {
   bench::print_batch_header(
       "batched (1+eps)-MST (cycle-rule inserts share the path-max round)");
   auto run_mst = [&](std::size_t batch_size, bool path_max, bool pipeline,
-                     const graph::UpdateStream& stream,
+                     BatchPolicy policy, const graph::UpdateStream& stream,
                      double* wall_seconds) {
     core::DynamicForest mst({.n = kN,
                              .m_cap = kMCap,
                              .weighted = true,
+                             .batch_policy = policy,
                              .batch_path_max = path_max,
                              .pipeline_waves = pipeline});
     mst.preprocess(graph::WeightedEdgeList{});
@@ -306,12 +345,14 @@ int main(int argc, char** argv) {
   const auto weighted_stream =
       graph::weighted_interleaved_delete_stream(kN, 2000, 8, 3, 10);
   {
-    const auto& r = run_mst(1, true, true, weighted_stream, &wall);
+    const auto& r =
+        run_mst(1, true, true, BatchPolicy::kWave, weighted_stream, &wall);
     bench::print_batch_row(r, "mst", "weighted delete-heavy, serial");
     gate_batched_row(json, r, "mst", "mst delete-heavy serial", 0.0, wall);
   }
   {
-    const auto& r = run_mst(16, false, false, weighted_stream, &wall);
+    const auto& r =
+        run_mst(16, false, false, BatchPolicy::kWave, weighted_stream, &wall);
     bench::print_batch_row(r, "mst",
                            "weighted, batch=16 serialized cycle rule");
     gate_batched_row(json, r, "mst", "mst delete-heavy nopathmax16", 0.0,
@@ -320,19 +361,31 @@ int main(int argc, char** argv) {
   {
     // Path-max grouping alone (no pipelining): separates the genuinely
     // shared search rounds from the overlapped-prepare accounting.
-    const auto& r = run_mst(16, true, false, weighted_stream, &wall);
+    const auto& r =
+        run_mst(16, true, false, BatchPolicy::kWave, weighted_stream, &wall);
     bench::print_batch_row(r, "mst",
                            "weighted, batch=16 path-max, no pipeline");
     gate_batched_row(json, r, "mst", "mst delete-heavy pathmax16 nopipe",
                      0.0, wall);
   }
   {
-    const auto& r = run_mst(16, true, true, weighted_stream, &wall);
+    const auto& r =
+        run_mst(16, true, true, BatchPolicy::kWave, weighted_stream, &wall);
     bench::print_batch_row(r, "mst",
                            "weighted, batch=16 path-max + pipelined");
     gate_batched_row(
         json, r, "mst", "mst delete-heavy pathmax16",
         harness::budgets::kWeightedDeleteHeavyRoundsPerUpdate, wall);
+  }
+  {
+    const auto& r = run_mst(16, true, true, BatchPolicy::kBatchDynamic,
+                            weighted_stream, &wall);
+    bench::print_batch_row(r, "mst", "weighted, batch=16 batch-dyn");
+    gate_batched_row(
+        json, r, "mst", "mst delete-heavy bdyn16",
+        harness::budgets::kBatchDynamicWeightedDeleteHeavyRoundsPerUpdate,
+        wall);
+    gate_zero_serial(r, "mst", "mst delete-heavy bdyn16");
   }
 
   // Cross-batch pipelining (driver lookahead): on the WIDE delete-heavy
@@ -347,9 +400,13 @@ int main(int argc, char** argv) {
   auto run_xbatch = [&](bool weighted, bool pipelined,
                         const graph::UpdateStream& stream,
                         double* wall_seconds) {
+    // Pinned to the wave scheduler: these rows measure the PR 5
+    // cross-batch wave pipeline (the batch-dynamic protocol has no wave
+    // loop to overlap).
     core::DynamicForest forest({.n = kN,
                                 .m_cap = kMCap,
                                 .weighted = weighted,
+                                .batch_policy = BatchPolicy::kWave,
                                 .speculate_deep = pipelined});
     if (weighted) {
       forest.preprocess(graph::WeightedEdgeList{});

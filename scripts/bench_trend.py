@@ -9,14 +9,19 @@ and fails when any workload regressed:
 
   * wall-clock grew by more than --max-regress (sub-floor rows are
     ignored: CI runners are noisy and a 25% swing on a 20 ms row is
-    weather, not a regression — unless the row grew PAST the floor);
+    weather, not a regression — unless the row grew PAST the floor;
+    rows whose "cores" field differs between baseline and current are
+    skipped entirely: a runner-hardware change is not a regression);
   * rounds_per_update grew by more than --max-rounds-regress (rounds
     are deterministic, so this bound is tight);
   * the pipeline hit rate (waves_pipelined / speculative attempts)
     dropped by more than --max-hit-rate-drop, on rows with at least
     --min-attempts baseline attempts;
   * deferred_updates grew by more than --max-deferred-growth (plus a
-    small absolute slack for tiny counts).
+    small absolute slack for tiny counts);
+  * replacement-cascade rounds per batch (cascade_rounds / batches, the
+    batch-dynamic protocol's reconnection cost) grew by more than
+    --max-cascade-regress plus a small absolute slack.
 
 Rows are matched by (bench, name[, n]).  A missing baseline (first run,
 expired cache) passes with a notice — the save step repopulates it.  A
@@ -94,6 +99,10 @@ def main(argv=None):
     ap.add_argument("--max-deferred-growth", type=float, default=0.25,
                     help="fail when deferred_updates grows by more than "
                          "this fraction plus a slack of 8 (default 0.25)")
+    ap.add_argument("--max-cascade-regress", type=float, default=0.05,
+                    help="fail when replacement-cascade rounds per batch "
+                         "grow by more than this fraction plus a slack of "
+                         "0.25 rounds/batch (default 0.05)")
     ap.add_argument("--summary", default=None,
                     help="append a markdown comparison table to this file "
                          "(e.g. $GITHUB_STEP_SUMMARY)")
@@ -140,7 +149,8 @@ def main(argv=None):
             # renamed key, dropped sched counters) silently disables its
             # gate — make that loss visible, like the missing-row notice.
             for metric in ("wall_seconds", "rounds_per_update",
-                           "waves_pipelined", "deferred_updates"):
+                           "waves_pipelined", "deferred_updates",
+                           "cascade_rounds"):
                 if brow.get(metric) is not None and \
                         crow.get(metric) is None:
                     print(f"bench_trend: {name}: {label}: baseline has "
@@ -149,10 +159,18 @@ def main(argv=None):
 
             # Wall-clock (noise floor: skip only when BOTH sides are
             # tiny, so a row that grew from sub-floor to large is still
-            # gated).
+            # gated).  Rows that carry a core count are only compared
+            # when it matches: wall-clock measured on different hardware
+            # says nothing about the code.
             bw, cw = brow.get("wall_seconds"), crow.get("wall_seconds")
+            bcores, ccores = brow.get("cores"), crow.get("cores")
             wall_note = "-"
-            if bw is not None and cw is not None:
+            if (bcores is not None and ccores is not None and
+                    bcores != ccores):
+                wall_note = (f"skipped (cores {bcores} -> {ccores})")
+                print(f"bench_trend: {name}: {label}: core count changed "
+                      f"({bcores} -> {ccores}) — wall-clock not compared")
+            elif bw is not None and cw is not None:
                 if bw >= args.min_seconds or cw >= args.min_seconds:
                     ratio = cw / bw if bw > 0 else float("inf")
                     wall_note = f"{bw:.2f}s -> {cw:.2f}s"
@@ -209,14 +227,35 @@ def main(argv=None):
                     regressions.append(
                         (name, label, "deferred updates", f"{bd} -> {cd}"))
 
+            # Replacement-cascade rounds per batch: the batch-dynamic
+            # protocol's cost of reconnecting split fragments.  Rounds
+            # are deterministic, so growth past the tolerance (plus a
+            # small absolute slack for near-zero baselines) means the
+            # cascade got deeper, not noisier.
+            cascade_note = "-"
+            bcasc, ccasc = (brow.get("cascade_rounds"),
+                            crow.get("cascade_rounds"))
+            bbatches, cbatches = brow.get("batches"), crow.get("batches")
+            if (bcasc is not None and ccasc is not None and
+                    bbatches and cbatches):
+                bpb = bcasc / bbatches
+                cpb = ccasc / cbatches
+                cascade_note = f"{bpb:.2f} -> {cpb:.2f}"
+                if cpb > bpb * (1.0 + args.max_cascade_regress) + 0.25:
+                    row_bad.append("cascade rounds/batch")
+                    regressions.append(
+                        (name, label, "cascade rounds/batch",
+                         f"{bpb:.3f} -> {cpb:.3f}"))
+
             verdict = "REGRESSION: " + ", ".join(row_bad) if row_bad \
                 else "ok"
             marker = "  <-- REGRESSION" if row_bad else ""
             print(f"{name}: {label}: wall {wall_note}, r/u {rounds_note}, "
-                  f"hit {rate_note}, deferred {deferred_note}{marker}")
+                  f"hit {rate_note}, deferred {deferred_note}, "
+                  f"cascade {cascade_note}{marker}")
             table.append((name.removeprefix("BENCH_").removesuffix(".json"),
                           label, wall_note, rounds_note, rate_note,
-                          deferred_note, verdict))
+                          deferred_note, cascade_note, verdict))
 
     if args.summary:
         with open(args.summary, "a") as f:
@@ -229,8 +268,8 @@ def main(argv=None):
                         "expired cache)._\n\n")
             else:
                 f.write("| bench | workload | wall | rounds/upd | "
-                        "pipe hit | deferred | verdict |\n")
-                f.write("|---|---|---|---|---|---|---|\n")
+                        "pipe hit | deferred | cascade/batch | verdict |\n")
+                f.write("|---|---|---|---|---|---|---|---|\n")
                 for row in table:
                     cells = " | ".join(str(c) for c in row)
                     f.write(f"| {cells} |\n")
@@ -246,7 +285,8 @@ def main(argv=None):
           f"(wall {args.max_regress:.0%}, rounds "
           f"{args.max_rounds_regress:.0%}, hit-rate drop "
           f"{args.max_hit_rate_drop:.2f}, deferred growth "
-          f"{args.max_deferred_growth:.0%})")
+          f"{args.max_deferred_growth:.0%}, cascade growth "
+          f"{args.max_cascade_regress:.0%})")
     return 0
 
 

@@ -22,7 +22,8 @@ _SPEC.loader.exec_module(bench_trend)
 
 
 def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
-             xb_misses=None, deferred=None, n=None):
+             xb_misses=None, deferred=None, n=None, cascade=None,
+             batches=None, cores=None):
     row = {"name": name, "wall_seconds": wall}
     if n is not None:
         row["n"] = n
@@ -35,6 +36,11 @@ def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
         row["cross_batch_misses"] = xb_misses
     if deferred is not None:
         row["deferred_updates"] = deferred
+    if cascade is not None:
+        row["cascade_rounds"] = cascade
+        row["batches"] = batches if batches is not None else 100
+    if cores is not None:
+        row["cores"] = cores
     return row
 
 
@@ -142,6 +148,45 @@ class BenchTrendTest(unittest.TestCase):
     def test_deferred_updates_growth_fails(self):
         self.write(self.baseline, [make_row("w", deferred=20)])
         self.write(self.current, [make_row("w", deferred=120)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_cascade_rounds_per_batch_regression_fails(self):
+        # 2.0 -> 2.5 cascade rounds/batch is past the 5% + 0.25 slack.
+        self.write(self.baseline, [make_row("w", cascade=200, batches=100)])
+        self.write(self.current, [make_row("w", cascade=250, batches=100)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_cascade_within_tolerance_passes(self):
+        self.write(self.baseline, [make_row("w", cascade=200, batches=100)])
+        self.write(self.current, [make_row("w", cascade=205, batches=100)])
+        self.assertEqual(self.gate(), 0)
+
+    def test_cascade_normalized_by_batches(self):
+        # Twice the cascade rounds over twice the batches is flat.
+        self.write(self.baseline, [make_row("w", cascade=200, batches=100)])
+        self.write(self.current, [make_row("w", cascade=400, batches=200)])
+        self.assertEqual(self.gate(), 0)
+
+    def test_cascade_zero_baseline_gets_absolute_slack(self):
+        # A cascade-free baseline tolerates a trickle, not a flood.
+        self.write(self.baseline, [make_row("w", cascade=0, batches=100)])
+        self.write(self.current, [make_row("w", cascade=20, batches=100)])
+        self.assertEqual(self.gate(), 0)
+        self.write(self.current, [make_row("w", cascade=100, batches=100)])
+        self.assertEqual(self.gate(), 1)
+
+    def test_wall_clock_skipped_when_core_counts_differ(self):
+        # A 4-core baseline vs a 16-core runner: the 2x wall-clock swing
+        # is hardware, not code — the rounds gate still applies.
+        self.write(self.baseline,
+                   [make_row("w", wall=1.0, rounds=3.0, cores=4)])
+        self.write(self.current,
+                   [make_row("w", wall=2.0, rounds=3.0, cores=16)])
+        self.assertEqual(self.gate(), 0)
+
+    def test_wall_clock_gated_when_core_counts_match(self):
+        self.write(self.baseline, [make_row("w", wall=1.0, cores=4)])
+        self.write(self.current, [make_row("w", wall=2.0, cores=4)])
         self.assertEqual(self.gate(), 1)
 
     def test_deferred_small_count_slack(self):

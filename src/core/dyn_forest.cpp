@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "dmpc/primitives.hpp"
@@ -42,6 +43,18 @@ enum Tag : Word {
   // ingress tells each swap-or-deferred coordinator whether its update
   // commits this wave or returns to the pending set.
   kBatchVerdict,
+  // Batch-dynamic protocol (BatchPolicy::kBatchDynamic): k-way split
+  // descriptors, cached-index overrides for records whose surviving
+  // appearance a cut invalidated, per-fragment-pair replacement minima
+  // (machine -> pair collector -> component owner), cascade link grants
+  // (owner -> link edge machine), link broadcasts, and merge
+  // descriptors for the shared k-way join.
+  kCutBcast,
+  kCachedFix,
+  kPairMin,
+  kLinkGrant,
+  kLinkBcast,
+  kMergeDesc,
 };
 
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -216,6 +229,8 @@ void DynamicForest::preprocess(const graph::WeightedEdgeList& edges) {
     edges_by_machine[edge_machine(edges[i].u, edges[i].v)].push_back(i);
   }
   cluster_->for_each_machine([&](MachineId m) {
+    machines_[m].edges.reserve(machines_[m].edges.size() +
+                               edges_by_machine[m].size());
     for (std::size_t i : edges_by_machine[m]) {
       const auto& e = edges[i];
       const EdgeKey key(e.u, e.v);
@@ -926,7 +941,7 @@ DynamicForest::BatchOp DynamicForest::classify_op(const graph::Update& up,
       // read claim (two such ops may share it, a merge/split may not).
       op.kind = BatchOpKind::kNontreeInsert;
       op.reads[op.num_reads++] = op.cx;
-    } else if (config_.batch_policy == BatchPolicy::kOutOfOrder &&
+    } else if (config_.batch_policy != BatchPolicy::kPrefix &&
                config_.batch_path_max) {
       // The MST cycle rule's path-max search is read-only until a swap
       // commits: claim the component for reading so the group protocol
@@ -1785,6 +1800,847 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Batch-dynamic protocol (BatchPolicy::kBatchDynamic)
+// ---------------------------------------------------------------------------
+
+namespace {
+// Per-coordinator-machine op budget per kStageKWay stage: every non-noop
+// op makes its coordinator broadcast O(1)-word descriptors, and a machine
+// broadcasting b words costs b * mu send words in that round.  Bounding
+// the ops hashed onto one machine keeps a stage's descriptor rounds
+// inside the per-machine comm cap even before the chunked-broadcast
+// fallback kicks in.
+constexpr std::size_t kStageCoordBudget = 4;
+}  // namespace
+
+DynamicForest::StagePlan DynamicForest::plan_stage(
+    std::span<const graph::Update> batch,
+    std::span<const std::size_t> pending,
+    std::vector<BatchOp>& rejected) const {
+  StagePlan stage;
+  rejected.clear();
+  const BatchOp head = classify_op(batch[pending[0]], pending[0]);
+  if (head.kind == BatchOpKind::kSerial) {
+    stage.kind = StageKind::kStageSerial;
+    stage.ops.push_back(head);
+    stage.taken.push_back(0);
+    return stage;
+  }
+  if (head.kind == BatchOpKind::kPathMax) {
+    // Cycle-rule inserts keep the proven path-max wave machinery: the
+    // shared search is already one round, and a committing swap reuses
+    // the grouped split + replacement pipeline.
+    stage.kind = StageKind::kStageGroup;
+    WavePlan wave = plan_wave(batch, pending);
+    stage.ops = std::move(wave.group);
+    stage.taken = std::move(wave.taken);
+    stage.reordered = wave.reordered;
+    return stage;
+  }
+  stage.kind = StageKind::kStageKWay;
+  // Admission: one writer KIND per component — all-deletes ('d'),
+  // all-merges ('m'), or all-non-tree-record ops ('n') — with exclusive
+  // edge keys and a stage-local DSU keeping chained merges acyclic.
+  // Unlike a wave, MANY deletions may share a component (they become one
+  // k-way split) and merges may chain (they become one k-way join).
+  std::map<Word, char> comp_use;
+  std::set<std::uint64_t> ekeys;
+  std::map<Word, Word> dsu;
+  std::map<MachineId, std::size_t> coord_load;
+  const auto find = [&](Word c) {
+    while (true) {
+      const auto it = dsu.find(c);
+      if (it == dsu.end() || it->second == c) return c;
+      c = it->second;
+    }
+  };
+  const auto use = [&](Word c) {
+    const auto it = comp_use.find(c);
+    return it == comp_use.end() ? '\0' : it->second;
+  };
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    BatchOp op = classify_op(batch[pending[i]], pending[i]);
+    bool blocked = op.kind == BatchOpKind::kSerial ||
+                   op.kind == BatchOpKind::kPathMax;
+    for (const BatchOp& r : rejected) {
+      if (blocked) break;
+      blocked = ops_conflict_ordering(op, r);
+    }
+    bool fits = !blocked && ekeys.count(op.ekey) == 0;
+    if (fits && op.kind != BatchOpKind::kNoop) {
+      fits = coord_load[op.coord] < kStageCoordBudget;
+    }
+    if (fits) {
+      switch (op.kind) {
+        case BatchOpKind::kTreeDelete:
+          fits = use(op.cx) == '\0' || use(op.cx) == 'd';
+          break;
+        case BatchOpKind::kMerge:
+          fits = (use(op.cx) == '\0' || use(op.cx) == 'm') &&
+                 (use(op.cy) == '\0' || use(op.cy) == 'm') &&
+                 find(op.cx) != find(op.cy);
+          break;
+        case BatchOpKind::kNontreeInsert:
+        case BatchOpKind::kNontreeDelete:
+          fits = use(op.cx) == '\0' || use(op.cx) == 'n';
+          break;
+        default:
+          break;
+      }
+    }
+    if (!fits) {
+      rejected.push_back(std::move(op));
+      continue;
+    }
+    ekeys.insert(op.ekey);
+    switch (op.kind) {
+      case BatchOpKind::kTreeDelete:
+        comp_use[op.cx] = 'd';
+        break;
+      case BatchOpKind::kMerge:
+        comp_use[op.cx] = 'm';
+        comp_use[op.cy] = 'm';
+        dsu[find(op.cy)] = find(op.cx);  // x-side label survives
+        break;
+      case BatchOpKind::kNontreeInsert:
+      case BatchOpKind::kNontreeDelete:
+        comp_use[op.cx] = 'n';
+        break;
+      default:
+        break;
+    }
+    if (op.kind != BatchOpKind::kNoop) ++coord_load[op.coord];
+    if (!rejected.empty()) ++stage.reordered;
+    stage.ops.push_back(std::move(op));
+    stage.taken.push_back(i);
+  }
+  return stage;
+}
+
+void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
+  const MachineId mu = static_cast<MachineId>(machines_.size());
+  const dmpc::WordCount cap = cluster_->machine_capacity();
+  std::uint64_t rounds = 0;
+  // Multi-source broadcast with per-sender chunking: a sender whose
+  // staged broadcast words would overflow its round budget flushes the
+  // round for everyone.  Driver-deterministic — it depends only on the
+  // op sequence, never on executor scheduling.
+  std::vector<dmpc::WordCount> bload(machines_.size(), 0);
+  const auto finish = [&] {
+    cluster_->finish_round();
+    ++rounds;
+    std::fill(bload.begin(), bload.end(), 0);
+  };
+  const auto bcast = [&](MachineId from, Word tag,
+                         std::initializer_list<Word> payload) {
+    const dmpc::WordCount cost =
+        static_cast<dmpc::WordCount>(payload.size() + 2) *
+        static_cast<dmpc::WordCount>(mu - 1);
+    if (bload[from] != 0 && bload[from] + cost > cap) finish();
+    for (MachineId m = 0; m < mu; ++m) {
+      if (m != from) cluster_->send(from, m, tag, payload);
+    }
+    bload[from] += cost;
+  };
+
+  std::vector<std::size_t> dels, mrgs, nti, ntd;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    switch (ops[i].kind) {
+      case BatchOpKind::kTreeDelete: dels.push_back(i); break;
+      case BatchOpKind::kMerge: mrgs.push_back(i); break;
+      case BatchOpKind::kNontreeInsert: nti.push_back(i); break;
+      case BatchOpKind::kNontreeDelete: ntd.push_back(i); break;
+      default: break;
+    }
+  }
+  if (dels.empty() && mrgs.empty() && nti.empty() && ntd.empty()) return;
+
+  // ---- Round 1: ingress scatter + directory / vertex queries ----------
+  std::set<Word> size_comps;
+  std::set<VertexId> merge_verts;
+  std::map<VertexId, std::set<MachineId>> ntins_targets;
+  for (BatchOp& op : ops) {
+    if (op.kind == BatchOpKind::kNoop) continue;
+    if (op.kind == BatchOpKind::kTreeDelete) op.new_comp = next_comp_id_++;
+    cluster_->send(0, op.coord, kBatchScatter,
+                   {static_cast<Word>(op.kind), op.x, op.y,
+                    static_cast<Word>(op.w), op.cx, op.cy, op.new_comp});
+  }
+  for (const std::size_t i : dels) size_comps.insert(ops[i].cx);
+  for (const std::size_t i : mrgs) {
+    size_comps.insert(ops[i].cx);
+    size_comps.insert(ops[i].cy);
+    merge_verts.insert(ops[i].x);
+    merge_verts.insert(ops[i].y);
+  }
+  for (const std::size_t i : nti) {
+    ntins_targets[ops[i].x].insert(ops[i].coord);
+    ntins_targets[ops[i].y].insert(ops[i].coord);
+  }
+  for (const Word c : size_comps) {
+    cluster_->send(0, dir_machine(c), kDirQuery, {c});
+  }
+  {
+    std::set<VertexId> qverts = merge_verts;
+    for (const auto& [v, t] : ntins_targets) qverts.insert(v);
+    for (const VertexId v : qverts) {
+      cluster_->send(0, vertex_machine(v), kQuery, {v});
+    }
+  }
+  finish();
+  // Behind round 1: a non-tree deletion only touches its own record.
+  for (const std::size_t i : ntd) {
+    machines_[ops[i].coord].edges.erase(ops[i].ekey);
+    release_edge_record(ops[i].coord);
+  }
+  if (dels.empty() && mrgs.empty() && nti.empty()) return;
+
+  // ---- Round 2: directory replies, cached-index replies, and cut
+  // descriptor broadcasts ----------------------------------------------
+  std::map<Word, Word> comp_size;
+  for (const Word c : size_comps) {
+    const Word size = machines_[dir_machine(c)].comp_sizes.at(c);
+    comp_size[c] = size;
+    cluster_->send(dir_machine(c), 0, kDirReply, {c, size});
+  }
+  std::map<VertexId, Word> vert_idx;
+  for (const VertexId v : merge_verts) {
+    const Word idx = machines_[vertex_machine(v)].vertices.at(v).cached_idx;
+    vert_idx[v] = idx;
+    // Every machine resolves merge endpoints inside the shared join plan,
+    // so the cached appearance is broadcast, not just sent to the owner.
+    bcast(vertex_machine(v), kQueryReply, {v, idx});
+  }
+  for (const auto& [v, targets] : ntins_targets) {
+    const Word idx = machines_[vertex_machine(v)].vertices.at(v).cached_idx;
+    vert_idx[v] = idx;
+    if (merge_verts.count(v) != 0) continue;  // already broadcast
+    for (const MachineId t : targets) {
+      cluster_->send(vertex_machine(v), t, kQueryReply, {v, idx});
+    }
+  }
+  struct CutInfo {
+    std::size_t op = 0;  ///< index into ops
+    Word comp = 0, new_comp = 0;
+    VertexId parent = 0, child = 0;
+    Word f_c = 0, l_c = 0;
+  };
+  std::vector<CutInfo> cuts;  // batch order
+  for (const std::size_t i : dels) {
+    const BatchOp& op = ops[i];
+    const EdgeShard& des = machines_[op.coord].edges;
+    const EdgeRec e = des.get(static_cast<std::size_t>(des.find(op.ekey)));
+    const Word u_lo = std::min(e.iu1, e.iu2);
+    const Word u_hi = std::max(e.iu1, e.iu2);
+    const Word v_lo = std::min(e.iv1, e.iv2);
+    const Word v_hi = std::max(e.iv1, e.iv2);
+    CutInfo ci;
+    ci.op = i;
+    ci.comp = op.cx;
+    ci.new_comp = op.new_comp;
+    if (u_lo > v_lo) {  // u's appearances nest inside v's: u is the child
+      ci.child = e.u;
+      ci.parent = e.v;
+      ci.f_c = u_lo;
+      ci.l_c = u_hi;
+    } else {
+      ci.child = e.v;
+      ci.parent = e.u;
+      ci.f_c = v_lo;
+      ci.l_c = v_hi;
+    }
+    cuts.push_back(ci);
+    bcast(op.coord, kCutBcast,
+          {ci.comp, ci.new_comp, ci.parent, ci.child, ci.f_c, ci.l_c});
+  }
+  finish();
+  // Behind round 2: non-tree inserts commit their record at the
+  // coordinator with both endpoint appearances cached.
+  for (const std::size_t i : nti) {
+    const BatchOp& op = ops[i];
+    const EdgeKey key(op.x, op.y);
+    EdgeRec rec;
+    rec.u = key.u;
+    rec.v = key.v;
+    rec.comp = op.cx;
+    rec.tree = false;
+    rec.w = op.w;
+    rec.iu1 = vert_idx.at(rec.u);
+    rec.iv1 = vert_idx.at(rec.v);
+    machines_[op.coord].edges.put(op.ekey, rec);
+    charge_edge_record(op.coord);
+  }
+  if (dels.empty() && mrgs.empty()) return;
+
+  // Every machine now holds every cut descriptor: the k-way transform of
+  // each split component is constructed once from shared data.
+  struct SplitComp {
+    std::vector<etour::KWaySplit::Cut> ivals;
+    std::vector<std::size_t> cut_ids;  ///< into cuts, batch order
+    std::optional<etour::KWaySplit> split;
+    std::size_t base = 0;  ///< universe index of fragment 0
+  };
+  std::map<Word, SplitComp> splits;
+  for (std::size_t c = 0; c < cuts.size(); ++c) {
+    SplitComp& sc = splits[cuts[c].comp];
+    sc.ivals.push_back({cuts[c].f_c, cuts[c].l_c});
+    sc.cut_ids.push_back(c);
+  }
+  for (auto& [comp, sc] : splits) {
+    sc.split.emplace(etour::elength(comp_size.at(comp)), sc.ivals);
+    ++batch_stats_.kway_splits;
+  }
+
+  // ---- Replacement cascade (tree deletions only) ----------------------
+  struct Cand {
+    Weight w = 0;
+    VertexId u = 0, v = 0;
+    Word fu = 0, fv = 0;  ///< endpoint fragments
+    Word iu = 0, iv = 0;  ///< cached pre-split appearances (possibly removed)
+  };
+  struct LinkRec {
+    Word comp = 0;
+    Cand c;
+    Word ia = 0, ib = 0;      ///< fragment-original post-split indexes
+    std::size_t link_id = 0;  ///< assigned when applied to the join plan
+  };
+  std::vector<LinkRec> links;
+  // Min surviving appearance per (component, cut vertex): repairs cached
+  // indexes that were copies of removed tour entries.
+  std::map<std::pair<Word, VertexId>, Word> app;
+  // Per-vertex repaired (fragment, fragment-original index), derived from
+  // `app` at the owner and rebroadcast by each cut's coordinator.
+  std::map<std::pair<Word, VertexId>, std::pair<Word, Word>> fixes;
+  if (!dels.empty()) {
+    const std::uint64_t cascade_start = rounds;
+    std::map<Word, std::vector<VertexId>> cut_verts;
+    for (const CutInfo& ci : cuts) {
+      cut_verts[ci.comp].push_back(ci.parent);
+      cut_verts[ci.comp].push_back(ci.child);
+    }
+    for (auto& [comp, verts] : cut_verts) {
+      std::sort(verts.begin(), verts.end());
+      verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    }
+    const auto app_collector = [&](Word comp, VertexId vert) {
+      return static_cast<MachineId>(
+          splitmix64((static_cast<std::uint64_t>(comp) << 32) ^ vert) % mu);
+    };
+    const auto pair_collector = [&](Word comp, Word fa, Word fb) {
+      return static_cast<MachineId>(
+          splitmix64((static_cast<std::uint64_t>(comp) << 32) ^ (fa << 16) ^
+                     fb) %
+          mu);
+    };
+    // ---- Cascade round A: fragment-crossing scan.  Each machine folds
+    // its shard to per-(comp,vertex) appearance minima and per-fragment-
+    // pair best (w,u,v) crossing candidates, sent to hashed collectors
+    // (two-hop fold keeps any one receiver under the comm cap).
+    std::map<std::pair<Word, VertexId>, Word> best_app;
+    std::map<std::tuple<Word, Word, Word>, Cand> best;
+    std::vector<std::map<std::pair<Word, VertexId>, Word>> mapp(
+        machines_.size());
+    std::vector<std::map<std::tuple<Word, Word, Word>, Cand>> mbest(
+        machines_.size());
+    cluster_->for_each_machine([&](MachineId m) {
+      const EdgeShard& es = machines_[m].edges;
+      auto& lapp = mapp[m];
+      auto& lbest = mbest[m];
+      for (std::size_t s = 0; s < es.size(); ++s) {
+        const auto sit = splits.find(es.comp[s]);
+        if (sit == splits.end()) continue;
+        const etour::KWaySplit& sp = *sit->second.split;
+        if (es.tree[s] != 0) {
+          const std::vector<VertexId>& cv = cut_verts.find(es.comp[s])->second;
+          const auto touch = [&](VertexId vert, Word i1, Word i2) {
+            if (!std::binary_search(cv.begin(), cv.end(), vert)) return;
+            for (const Word entry : {i1, i2}) {
+              if (sp.removed(entry)) continue;
+              const auto [it, fresh] =
+                  lapp.emplace(std::make_pair(es.comp[s], vert), entry);
+              if (!fresh && entry < it->second) it->second = entry;
+            }
+          };
+          touch(es.u[s], es.iu1[s], es.iu2[s]);
+          touch(es.v[s], es.iv1[s], es.iv2[s]);
+        } else {
+          // Cached appearances locate the fragment even when the entry
+          // itself was removed (a removed entry sits positionally inside
+          // its owner vertex's fragment); only the index VALUE needs the
+          // owner-side fix, resolved after the Kruskal.
+          const Word fu = static_cast<Word>(sp.fragment_of(es.iu1[s]));
+          const Word fv = static_cast<Word>(sp.fragment_of(es.iv1[s]));
+          if (fu == fv) continue;
+          Cand c;
+          c.w = es.w[s];
+          c.u = es.u[s];
+          c.v = es.v[s];
+          c.fu = fu;
+          c.fv = fv;
+          c.iu = es.iu1[s];
+          c.iv = es.iv1[s];
+          const auto key = std::make_tuple(es.comp[s], std::min(fu, fv),
+                                           std::max(fu, fv));
+          const auto [it, fresh] = lbest.emplace(key, c);
+          if (!fresh && std::tie(c.w, c.u, c.v) <
+                            std::tie(it->second.w, it->second.u,
+                                     it->second.v)) {
+            it->second = c;
+          }
+        }
+      }
+      for (const auto& [k, entry] : lapp) {
+        cluster_->send(m, app_collector(k.first, k.second), kBatchReply,
+                       {k.first, k.second, entry});
+      }
+      for (const auto& [k, c] : lbest) {
+        cluster_->send(m,
+                       pair_collector(std::get<0>(k), std::get<1>(k),
+                                      std::get<2>(k)),
+                       kPairMin,
+                       {std::get<0>(k), c.fu, c.fv, static_cast<Word>(c.w),
+                        c.u, c.v, c.iu, c.iv});
+      }
+    });
+    finish();
+    // ---- Cascade round B: collectors fold and forward the survivors to
+    // each split component's owner machine.
+    for (MachineId m = 0; m < mu; ++m) {
+      for (const auto& [k, entry] : mapp[m]) {
+        const auto [it, fresh] = best_app.emplace(k, entry);
+        if (!fresh && entry < it->second) it->second = entry;
+      }
+      for (const auto& [k, c] : mbest[m]) {
+        const auto [it, fresh] = best.emplace(k, c);
+        if (!fresh && std::tie(c.w, c.u, c.v) <
+                          std::tie(it->second.w, it->second.u,
+                                   it->second.v)) {
+          it->second = c;
+        }
+      }
+    }
+    app = best_app;
+    for (const auto& [k, entry] : app) {
+      cluster_->send(app_collector(k.first, k.second), dir_machine(k.first),
+                     kBatchReply, {k.first, k.second, entry});
+    }
+    for (const auto& [k, c] : best) {
+      cluster_->send(
+          pair_collector(std::get<0>(k), std::get<1>(k), std::get<2>(k)),
+          dir_machine(std::get<0>(k)), kPairMin,
+          {std::get<0>(k), c.fu, c.fv, static_cast<Word>(c.w), c.u, c.v,
+           c.iu, c.iv});
+    }
+    finish();
+    // Behind it, each owner runs the fragment Kruskal: candidates in
+    // (w, u, v) order — the deterministic tie-break — link fragments
+    // still in different trees.  Link order is the shared replay order.
+    for (auto& [comp, sc] : splits) {
+      std::vector<Cand> cands;
+      for (const auto& [k, c] : best) {
+        if (std::get<0>(k) == comp) cands.push_back(c);
+      }
+      std::sort(cands.begin(), cands.end(),
+                [](const Cand& a, const Cand& b) {
+                  return std::tie(a.w, a.u, a.v) < std::tie(b.w, b.u, b.v);
+                });
+      std::vector<std::size_t> fd(sc.split->fragments());
+      for (std::size_t f = 0; f < fd.size(); ++f) fd[f] = f;
+      const auto froot = [&](std::size_t f) {
+        while (fd[f] != f) f = fd[f];
+        return f;
+      };
+      for (const Cand& c : cands) {
+        const std::size_t ru = froot(c.fu), rv = froot(c.fv);
+        if (ru == rv) continue;
+        fd[rv] = ru;
+        const auto resolve_end = [&](VertexId vert, Word raw) {
+          if (!sc.split->removed(raw)) return sc.split->new_index(raw);
+          const auto it = app.find(std::make_pair(comp, vert));
+          return it == app.end() ? etour::kNoIndex
+                                 : sc.split->new_index(it->second);
+        };
+        LinkRec lr;
+        lr.comp = comp;
+        lr.c = c;
+        lr.ia = resolve_end(c.u, c.iu);
+        lr.ib = resolve_end(c.v, c.iv);
+        links.push_back(lr);
+      }
+    }
+    // ---- Cascade round C: owners grant the chosen links to their edge
+    // machines and send repaired cached indexes to each cut coordinator.
+    for (const LinkRec& lr : links) {
+      cluster_->send(dir_machine(lr.comp), edge_machine(lr.c.u, lr.c.v),
+                     kLinkGrant,
+                     {lr.comp, lr.c.fu, lr.ia, lr.c.fv, lr.ib, lr.c.u,
+                      lr.c.v, static_cast<Word>(lr.c.w)});
+    }
+    for (const CutInfo& ci : cuts) {
+      const SplitComp& sc = splits.at(ci.comp);
+      const etour::KWaySplit& sp = *sc.split;
+      const auto fix_of = [&](VertexId vert, Word probe) {
+        const Word frag = static_cast<Word>(sp.fragment_of(probe));
+        const auto it = app.find(std::make_pair(ci.comp, vert));
+        const Word idx =
+            it == app.end() ? etour::kNoIndex : sp.new_index(it->second);
+        return std::make_pair(frag, idx);
+      };
+      const auto pfix = fix_of(ci.parent, ci.f_c - 1);
+      const auto cfix = fix_of(ci.child, ci.f_c);
+      fixes[std::make_pair(ci.comp, ci.parent)] = pfix;
+      fixes[std::make_pair(ci.comp, ci.child)] = cfix;
+      cluster_->send(dir_machine(ci.comp), ops[ci.op].coord, kCachedFix,
+                     {ci.comp, ci.parent, pfix.first, pfix.second, ci.child,
+                      cfix.first, cfix.second});
+    }
+    finish();
+    batch_stats_.cascade_rounds += rounds - cascade_start;
+    batch_stats_.cascade_links += links.size();
+  }
+
+  // ---- Shared fragment universe + k-way join plan ---------------------
+  // Fragment ids: split components ascending (fragment 0 keeps the old
+  // label, cut fragments take their op's pre-assigned new label), then
+  // merge components ascending as single whole-tour fragments.  Every
+  // machine derives the identical universe from the broadcast data.
+  struct Frag {
+    Word label = 0;
+    Word elen = 0;
+  };
+  std::vector<Frag> frags;
+  std::map<Word, std::size_t> comp_base;
+  for (auto& [comp, sc] : splits) {
+    sc.base = frags.size();
+    comp_base[comp] = sc.base;
+    const etour::KWaySplit& sp = *sc.split;
+    std::vector<Word> label_of(sp.fragments(), comp);
+    for (std::size_t j = 0; j < sc.cut_ids.size(); ++j) {
+      label_of[sp.fragment_of_cut(j)] = cuts[sc.cut_ids[j]].new_comp;
+    }
+    for (std::size_t f = 0; f < sp.fragments(); ++f) {
+      frags.push_back({label_of[f], sp.fragment_elength(f)});
+    }
+  }
+  std::set<Word> merge_comps;
+  for (const std::size_t i : mrgs) {
+    merge_comps.insert(ops[i].cx);
+    merge_comps.insert(ops[i].cy);
+  }
+  for (const Word c : merge_comps) {
+    comp_base[c] = frags.size();
+    frags.push_back({c, etour::elength(comp_size.at(c))});
+  }
+  std::vector<Word> elens;
+  elens.reserve(frags.size());
+  for (const Frag& f : frags) elens.push_back(f.elen);
+  etour::KWayJoinPlan plan(elens);
+  // Cascade links first (components ascending, Kruskal order within),
+  // then the batch merges in batch order.  The x side's label survives
+  // each link, matching the sequential merge.
+  for (LinkRec& lr : links) {
+    const std::size_t base = splits.at(lr.comp).base;
+    lr.link_id = plan.link(base + lr.c.fu, lr.ia, base + lr.c.fv, lr.ib);
+  }
+  struct MergeApp {
+    std::size_t op = 0;
+    std::size_t link_id = 0;
+  };
+  std::vector<MergeApp> mapply;
+  for (const std::size_t i : mrgs) {
+    const BatchOp& op = ops[i];
+    const std::size_t id =
+        plan.link(comp_base.at(op.cx), vert_idx.at(op.x), comp_base.at(op.cy),
+                  vert_idx.at(op.y));
+    mapply.push_back({i, id});
+  }
+  const auto final_label = [&](std::size_t frag) {
+    return frags[plan.tree_of(frag)].label;
+  };
+  {
+    std::set<std::size_t> join_roots;
+    for (const LinkRec& lr : links) {
+      join_roots.insert(plan.tree_of(splits.at(lr.comp).base + lr.c.fu));
+    }
+    for (const MergeApp& ma : mapply) {
+      join_roots.insert(plan.tree_of(comp_base.at(ops[ma.op].cx)));
+    }
+    batch_stats_.kway_joins += join_roots.size();
+  }
+
+  // ---- Commit round: merge descriptors, repaired cached indexes, and
+  // chosen links are broadcast so every machine can replay the composed
+  // split + join transform locally; the directory absorbs the final
+  // labels and sizes.
+  for (const std::size_t i : mrgs) {
+    const BatchOp& op = ops[i];
+    bcast(op.coord, kMergeDesc,
+          {op.cx, op.cy, op.x, op.y, static_cast<Word>(op.w)});
+  }
+  for (const CutInfo& ci : cuts) {
+    const auto& pfix = fixes.at(std::make_pair(ci.comp, ci.parent));
+    const auto& cfix = fixes.at(std::make_pair(ci.comp, ci.child));
+    bcast(ops[ci.op].coord, kCachedFix,
+          {ci.comp, ci.parent, pfix.first, pfix.second, ci.child, cfix.first,
+           cfix.second});
+  }
+  for (const LinkRec& lr : links) {
+    bcast(edge_machine(lr.c.u, lr.c.v), kLinkBcast,
+          {lr.comp, lr.c.fu, lr.ia, lr.c.fv, lr.ib, lr.c.u, lr.c.v,
+           static_cast<Word>(lr.c.w)});
+  }
+  std::vector<std::pair<Word, Word>> dir_writes;  // (label, size; 0 erases)
+  {
+    std::set<Word> surviving;
+    for (std::size_t f = 0; f < frags.size(); ++f) {
+      if (plan.tree_of(f) != f) continue;
+      surviving.insert(frags[f].label);
+      dir_writes.emplace_back(frags[f].label,
+                              etour::tree_size(plan.tree_elength(f)));
+    }
+    for (const auto& [c, base] : comp_base) {
+      if (surviving.count(c) == 0) dir_writes.emplace_back(c, 0);
+    }
+  }
+  for (const auto& [label, size] : dir_writes) {
+    cluster_->send(0, dir_machine(label), kDirUpdate, {label, size});
+  }
+  finish();
+
+  // ---- Behind the commit barrier: every machine transforms its shard
+  // and vertex records with the shared split/join algebra. --------------
+  std::set<std::uint64_t> cut_keys;
+  for (const CutInfo& ci : cuts) cut_keys.insert(ops[ci.op].ekey);
+  struct LinkInfo {
+    std::size_t link_id = 0;
+    Word fu = 0;
+  };
+  std::map<std::uint64_t, LinkInfo> link_keys;
+  for (const LinkRec& lr : links) {
+    link_keys[edge_key(lr.c.u, lr.c.v)] = {lr.link_id, lr.c.fu};
+  }
+  cluster_->for_each_machine([&](MachineId m) {
+    EdgeShard& es = machines_[m].edges;
+    for (std::size_t s = 0; s < es.size(); ++s) {
+      const Word comp = es.comp[s];
+      const auto sit = splits.find(comp);
+      if (sit != splits.end()) {
+        const SplitComp& sc = sit->second;
+        const etour::KWaySplit& sp = *sc.split;
+        if (cut_keys.count(es.key_at(s)) != 0) continue;  // erased below
+        if (es.tree[s] != 0) {
+          // A surviving tree edge's 4 entries all live in one fragment.
+          const std::size_t frag = sc.base + sp.fragment_of(es.iu1[s]);
+          es.iu1[s] = plan.map_index(frag, sp.new_index(es.iu1[s]));
+          es.iu2[s] = plan.map_index(frag, sp.new_index(es.iu2[s]));
+          es.iv1[s] = plan.map_index(frag, sp.new_index(es.iv1[s]));
+          es.iv2[s] = plan.map_index(frag, sp.new_index(es.iv2[s]));
+          es.comp[s] = final_label(frag);
+          continue;
+        }
+        const auto lit = link_keys.find(es.key_at(s));
+        if (lit != link_keys.end()) {
+          // Promoted replacement: the join plan owns its 4 new entries.
+          const etour::MergeNewIndexes ni =
+              plan.edge_indexes(lit->second.link_id);
+          es.tree[s] = 1;
+          es.iu1[s] = ni.x_enter;
+          es.iu2[s] = ni.x_exit;
+          es.iv1[s] = ni.y_enter;
+          es.iv2[s] = ni.y_exit;
+          es.comp[s] = final_label(sc.base + lit->second.fu);
+          continue;
+        }
+        const auto endpoint = [&](VertexId vert, Word raw) {
+          if (!sp.removed(raw)) {
+            return std::make_pair(sp.fragment_of(raw), sp.new_index(raw));
+          }
+          const auto& fx = fixes.at(std::make_pair(comp, vert));
+          return std::make_pair(static_cast<std::size_t>(fx.first),
+                                fx.second);
+        };
+        const auto pu = endpoint(es.u[s], es.iu1[s]);
+        const auto pv = endpoint(es.v[s], es.iv1[s]);
+        es.iu1[s] = plan.resolve(sc.base + pu.first, pu.second);
+        es.iv1[s] = plan.resolve(sc.base + pv.first, pv.second);
+        es.comp[s] = final_label(sc.base + pu.first);
+        continue;
+      }
+      const auto mbit = comp_base.find(comp);
+      if (mbit == comp_base.end()) continue;
+      const std::size_t base = mbit->second;
+      if (es.tree[s] != 0) {
+        es.iu1[s] = plan.map_index(base, es.iu1[s]);
+        es.iu2[s] = plan.map_index(base, es.iu2[s]);
+        es.iv1[s] = plan.map_index(base, es.iv1[s]);
+        es.iv2[s] = plan.map_index(base, es.iv2[s]);
+      } else {
+        es.iu1[s] = plan.map_index(base, es.iu1[s]);
+        es.iv1[s] = plan.map_index(base, es.iv1[s]);
+      }
+      es.comp[s] = final_label(base);
+    }
+    for (auto& [v, rec] : machines_[m].vertices) {
+      const auto sit = splits.find(rec.comp);
+      if (sit != splits.end()) {
+        const SplitComp& sc = sit->second;
+        const etour::KWaySplit& sp = *sc.split;
+        std::size_t frag;
+        Word idx;
+        if (!sp.removed(rec.cached_idx)) {
+          frag = sp.fragment_of(rec.cached_idx);
+          idx = sp.new_index(rec.cached_idx);
+        } else {
+          const auto& fx = fixes.at(std::make_pair(rec.comp, v));
+          frag = fx.first;
+          idx = fx.second;
+        }
+        rec.cached_idx = plan.resolve(sc.base + frag, idx);
+        rec.comp = final_label(sc.base + frag);
+        continue;
+      }
+      const auto mbit = comp_base.find(rec.comp);
+      if (mbit == comp_base.end()) continue;
+      rec.cached_idx = plan.resolve(mbit->second, rec.cached_idx);
+      rec.comp = final_label(mbit->second);
+    }
+  });
+  // Cut records vanish, merge edges become tree records at their
+  // coordinators, and the directory applies the staged writes.
+  for (const CutInfo& ci : cuts) {
+    machines_[ops[ci.op].coord].edges.erase(ops[ci.op].ekey);
+    release_edge_record(ops[ci.op].coord);
+  }
+  for (const MergeApp& ma : mapply) {
+    const BatchOp& op = ops[ma.op];
+    const etour::MergeNewIndexes ni = plan.edge_indexes(ma.link_id);
+    const Word label = final_label(comp_base.at(op.cx));
+    machines_[op.coord].edges.put(
+        op.ekey, make_tree_record(op.x, op.y, op.w, label, ni));
+    charge_edge_record(op.coord);
+  }
+  for (const auto& [label, size] : dir_writes) {
+    auto& dir = machines_[dir_machine(label)].comp_sizes;
+    if (size == 0) {
+      if (dir.erase(label) != 0) {
+        cluster_->memory(dir_machine(label)).release(kDirRecWords);
+      }
+      continue;
+    }
+    const auto [it, fresh] = dir.emplace(label, size);
+    if (fresh) {
+      cluster_->memory(dir_machine(label)).charge(kDirRecWords);
+    } else {
+      it->second = size;
+    }
+  }
+}
+
+void DynamicForest::apply_batch_dynamic(
+    std::span<const graph::Update> batch) {
+  cluster_->begin_update();
+  ++batch_stats_.batches;
+  // Net-op compression (unweighted only): the observable state —
+  // components, sizes, record set, forest weight — is path-independent
+  // for unweighted updates, so an insert/delete chain on one edge key
+  // collapses to its net effect before any protocol round runs.
+  std::vector<std::size_t> pending;
+  if (!config_.weighted) {
+    std::map<std::uint64_t, std::vector<std::size_t>> by_key;
+    std::vector<char> keep(batch.size(), 0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      by_key[edge_key(batch[i].u, batch[i].v)].push_back(i);
+    }
+    for (const auto& [key, positions] : by_key) {
+      const bool present0 =
+          machines_[edge_machine(batch[positions[0]].u,
+                                 batch[positions[0]].v)]
+              .edges.contains(key);
+      bool present = present0;
+      std::size_t first_del = SIZE_MAX, last_ins = SIZE_MAX;
+      for (const std::size_t i : positions) {
+        if (batch[i].kind == graph::UpdateKind::kInsert) {
+          if (!present) {
+            present = true;
+            last_ins = i;
+          }
+        } else if (present) {
+          present = false;
+          if (first_del == SIZE_MAX) first_del = i;
+        }
+      }
+      if (present == present0) {
+        batch_stats_.elided_updates += positions.size();
+        continue;
+      }
+      keep[present ? last_ins : first_del] = 1;
+      batch_stats_.elided_updates += positions.size() - 1;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (keep[i] != 0) pending.push_back(i);
+    }
+  } else {
+    pending.resize(batch.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  }
+  while (!pending.empty()) {
+    std::vector<BatchOp> rejected;
+    StagePlan stage = plan_stage(batch, pending, rejected);
+    ++batch_stats_.stages;
+    batch_stats_.reordered_updates += stage.reordered;
+    if (stage.kind == StageKind::kStageSerial) {
+      const graph::Update& up = batch[pending.front()];
+      ++batch_stats_.serial_updates;
+      if (up.kind == graph::UpdateKind::kInsert) {
+        insert_impl(up.u, up.v, up.w);
+      } else {
+        erase_impl(up.u, up.v);
+      }
+      pending.erase(pending.begin());
+      continue;
+    }
+    std::vector<std::size_t> rest;
+    rest.reserve(pending.size() - stage.taken.size());
+    {
+      std::size_t t = 0;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (t < stage.taken.size() && stage.taken[t] == i) {
+          ++t;
+          continue;
+        }
+        rest.push_back(pending[i]);
+      }
+    }
+    ++batch_stats_.groups;
+    batch_stats_.max_group =
+        std::max<std::uint64_t>(batch_stats_.max_group, stage.ops.size());
+    if (stage.kind == StageKind::kStageGroup) {
+      // Cycle-rule inserts reuse the wave-group machinery — even a lone
+      // one, so a weighted delete-heavy stream never counts a serial
+      // fallback for its path-max searches.
+      GroupPrep gp = run_group_prepare(stage.ops, /*overlapped=*/false);
+      GroupOutcome outc = run_group_commit(stage.ops, gp);
+      batch_stats_.grouped_updates += stage.ops.size() - outc.deferred.size();
+      batch_stats_.deferred_updates += outc.deferred.size();
+      if (!outc.deferred.empty()) {
+        rest.insert(rest.end(), outc.deferred.begin(), outc.deferred.end());
+        std::sort(rest.begin(), rest.end());
+      }
+    } else {
+      for (const BatchOp& op : stage.ops) {
+        if (op.kind == BatchOpKind::kTreeDelete) {
+          ++batch_stats_.batched_tree_deletes;
+        }
+      }
+      run_stage_kway(stage.ops);
+      batch_stats_.grouped_updates += stage.ops.size();
+    }
+    pending.swap(rest);
+  }
+  cluster_->end_update();
+}
+
 void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
   apply_batch(batch, std::span<const graph::Update>{});
 }
@@ -1818,11 +2674,20 @@ std::optional<DynamicForest::CarrySpec> DynamicForest::plan_cross_carry(
 void DynamicForest::apply_batch(std::span<const graph::Update> batch,
                                 std::span<const graph::Update> lookahead) {
   if (batch.empty()) return;
+  if (config_.batch_policy == BatchPolicy::kBatchDynamic) {
+    // The batch-dynamic protocol drains the whole batch in a constant
+    // number of stages and never leaves claims in flight at the batch
+    // boundary, so the cross-batch lookahead has nothing to ride:
+    // `lookahead` is ignored (batches_pipelined/cross_batch_misses stay
+    // untouched).
+    apply_batch_dynamic(batch);
+    return;
+  }
   cluster_->begin_update();
   ++batch_stats_.batches;
   std::vector<std::size_t> pending(batch.size());
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
-  const bool pipeline = config_.batch_policy == BatchPolicy::kOutOfOrder &&
+  const bool pipeline = config_.batch_policy == BatchPolicy::kWave &&
                         config_.pipeline_waves;
   // The next wave, planned and prepared speculatively against PRE-commit
   // state while the current wave's commit rounds run (its rounds 1-3 are

@@ -97,14 +97,28 @@ enum class BatchPolicy {
   /// tree-edge deletion or MST cycle-rule insert ends the prefix and
   /// runs serially.  Kept as the comparison baseline.
   kPrefix,
-  /// The batch scheduler: greedy conflict-graph coloring over the whole
-  /// batch.  Updates commuting with every earlier still-pending update
-  /// (disjoint read/write component claims, distinct edges) join the
-  /// current group out of order; tree-edge deletions batch through
+  /// The PR 3-5 wave scheduler: greedy conflict-graph coloring over the
+  /// whole batch.  Updates commuting with every earlier still-pending
+  /// update (disjoint read/write component claims, distinct edges) join
+  /// the current group out of order; tree-edge deletions batch through
   /// grouped splits plus a shared replacement search; groups are
   /// re-planned after every wave so deletions' component changes are
-  /// observed.  Final state is identical to serial application.
-  kOutOfOrder,
+  /// observed.  Final state is identical to serial application.  Kept as
+  /// the comparison baseline for kBatchDynamic.
+  kWave,
+  /// The batch-dynamic protocol: the whole batch — including updates
+  /// that CONFLICT (many deletions inside one component, chained merges)
+  /// — is processed in a constant number of stages, each a constant
+  /// number of rounds.  All admissible tree deletions of a stage run as
+  /// ONE k-way tour split per component (every stored index moves once,
+  /// regardless of the number of cuts), a single parallel replacement
+  /// cascade reconnects the fragments (per-fragment-pair minima folded
+  /// over two hops, a per-component Kruskal over the fragment multigraph
+  /// with deterministic (w,u,v) tie-breaks), and all merges plus
+  /// replacement links commit as one k-way join per final tree.
+  /// Unweighted insert/delete churn on one edge is net-op compressed
+  /// before planning.  Final state is identical to serial application.
+  kBatchDynamic,
 };
 
 struct DynForestConfig {
@@ -113,13 +127,15 @@ struct DynForestConfig {
   bool weighted = false;     ///< MST variant if true
   double eps = 0.1;          ///< MST approximation slack (bucketing)
   double memory_slack = 32;  ///< S = slack * sqrt(N) words per machine
-  BatchPolicy batch_policy = BatchPolicy::kOutOfOrder;
-  /// Under kOutOfOrder, run MST cycle-rule inserts' x..y path-max search
-  /// as one shared group round (the search is read-only; only committing
+  BatchPolicy batch_policy = BatchPolicy::kBatchDynamic;
+  /// Under kWave, run MST cycle-rule inserts' x..y path-max search as
+  /// one shared group round (the search is read-only; only committing
   /// swaps escalate to a write commit phase) instead of serializing each
   /// such insert.  Disable to get the pre-path-max scheduler baseline.
+  /// Under kBatchDynamic it additionally keeps cycle-rule inserts off
+  /// the serial path (they run through the shared path-max stage).
   bool batch_path_max = true;
-  /// Under kOutOfOrder, overlap the next wave's read-only prepare/scan
+  /// Under kWave, overlap the next wave's read-only prepare/scan
   /// rounds with the current wave's commit rounds, invalidating the
   /// speculation when a commit touches a speculated component or edge.
   bool pipeline_waves = true;
@@ -150,7 +166,16 @@ class DynamicForest {
 
   /// Applies a whole batch of updates, wrapped in ONE
   /// begin_update()/end_update() group.  Under the default
-  /// BatchPolicy::kOutOfOrder the scheduler partitions the batch into
+  /// BatchPolicy::kBatchDynamic the whole batch — conflicting updates
+  /// included — runs through a constant number of constant-round stages:
+  /// per-edge update chains are net-op compressed (unweighted), each
+  /// stage admits every remaining update it can order safely, executes
+  /// ALL its tree deletions as one k-way tour split per component, runs
+  /// ONE parallel replacement cascade over the resulting fragments, and
+  /// commits all merges plus replacement links as one k-way join per
+  /// final tree; MST cycle-rule inserts run through the shared path-max
+  /// machinery.  There is no serial fallback and no per-wave re-plan.
+  /// Under BatchPolicy::kWave the scheduler partitions the batch into
   /// groups of mutually independent updates (disjoint component
   /// read/write claims, distinct edges and coordinator machines) by
   /// greedy conflict-graph coloring: each wave picks every remaining
@@ -253,6 +278,27 @@ class DynamicForest {
     static constexpr std::ptrdiff_t kNpos = -1;
 
     [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+    /// Pre-size the key index and every field column (preprocess knows
+    /// the machine's record count up front, so the first post-preprocess
+    /// batch doesn't pay rehash/regrow mid-round).
+    void reserve(std::size_t n) {
+      index_.reserve(n);
+      keys_.reserve(n);
+      u.reserve(n);
+      v.reserve(n);
+      comp.reserve(n);
+      w.reserve(n);
+      iu1.reserve(n);
+      iu2.reserve(n);
+      iv1.reserve(n);
+      iv2.reserve(n);
+      tree.reserve(n);
+      crossing.reserve(n);
+      u_in_subtree.reserve(n);
+      v_in_subtree.reserve(n);
+    }
+
     [[nodiscard]] std::ptrdiff_t find(std::uint64_t key) const {
       const auto it = index_.find(key);
       return it == index_.end() ? kNpos
@@ -614,7 +660,7 @@ class DynamicForest {
                                                   const BatchOp& b);
 
   /// Plans the next wave over the still-pending batch positions: under
-  /// kOutOfOrder, every pending update (in batch order) that commutes
+  /// kWave, every pending update (in batch order) that commutes
   /// with all earlier still-pending ones and fits the group's resource
   /// constraints (distinct coordinators, non-overlapping claims); under
   /// kPrefix, the PR 2 maximal independent prefix (exclusive claims,
@@ -653,6 +699,48 @@ class DynamicForest {
   /// shared-replacement-search pipeline (tree deletions and committing
   /// cycle-rule swaps together).
   GroupOutcome run_group_commit(std::vector<BatchOp>& group, GroupPrep& gp);
+
+  // --- batch-dynamic protocol (BatchPolicy::kBatchDynamic) -----------------
+
+  enum class StageKind {
+    kStageSerial,  // one op that genuinely needs the serial protocol
+    kStageGroup,   // cycle-rule inserts: delegate to the path-max wave
+    kStageKWay,    // k-way split / cascade / k-way join stage
+  };
+
+  // One stage of the batch-dynamic protocol.  A kStageKWay stage admits
+  // every remaining update it can order safely — MANY tree deletions per
+  // component, chained merges — unlike a wave, which admits at most one
+  // writer per component.
+  struct StagePlan {
+    StageKind kind = StageKind::kStageKWay;
+    std::vector<BatchOp> ops;
+    std::vector<std::size_t> taken;  // indexes into `pending`
+    std::uint64_t reordered = 0;
+  };
+
+  /// Plans the next stage over the still-pending batch positions: the
+  /// first pending op picks the stage kind, then (for kStageKWay) every
+  /// later pending op joins if it can run out of order (no ordering
+  /// conflict with a rejected earlier op), its edge is unclaimed, and
+  /// its components carry at most one writer KIND (all-deletes,
+  /// all-merges via a stage-local DSU, or all-nontree ops per
+  /// component).  kStageGroup stages reuse plan_wave's admission.
+  [[nodiscard]] StagePlan plan_stage(std::span<const graph::Update> batch,
+                                     std::span<const std::size_t> pending,
+                                     std::vector<BatchOp>& rejected) const;
+
+  /// Executes one kStageKWay stage: scatter, cut/endpoint broadcasts,
+  /// surviving-appearance scans, the parallel replacement cascade
+  /// (per-(fragment,fragment) minima folded over two hops, per-component
+  /// fragment Kruskal), and one global k-way split+join transform pass
+  /// applied locally on every machine.  Adaptive: 1 round for pure
+  /// non-tree stages up to 8 with deletions needing reconnection.
+  void run_stage_kway(std::vector<BatchOp>& ops);
+
+  /// The apply_batch body under BatchPolicy::kBatchDynamic: net-op
+  /// compression (unweighted), then stages until the batch drains.
+  void apply_batch_dynamic(std::span<const graph::Update> batch);
 
   /// Memory accounting helpers.
   void charge_edge_record(MachineId m);

@@ -101,6 +101,25 @@ struct BatchScheduleStats {
   /// commit invalidated the carried speculation (or deferred members),
   /// or the batch eventually applied did not match the lookahead.
   std::uint64_t cross_batch_misses = 0;
+  /// Batch-dynamic protocol (BatchPolicy::kBatchDynamic) instrumentation.
+  /// Constant-round stages executed (each stage covers every admissible
+  /// update of the remaining batch in one shared schedule).
+  std::uint64_t stages = 0;
+  /// Tree deletions applied through a k-way tour split (all cuts of a
+  /// component moved in one composed transform).
+  std::uint64_t kway_splits = 0;
+  /// Links/merges applied through a k-way tour join (replacement links
+  /// and batch merges composed into one transform per final tree).
+  std::uint64_t kway_joins = 0;
+  /// Rounds spent inside replacement-search cascades (the per-fragment
+  /// proposal/resolution exchange after a k-way split).
+  std::uint64_t cascade_rounds = 0;
+  /// Replacement edges promoted by cascades (tree reconnections found).
+  std::uint64_t cascade_links = 0;
+  /// Updates elided by net-op compression: an unweighted insert/delete
+  /// chain on one edge whose net effect is a no-op (or collapses to a
+  /// single effective update) skips the protocol entirely.
+  std::uint64_t elided_updates = 0;
 
   [[nodiscard]] double mean_group_size() const {
     return groups == 0 ? 0.0

@@ -180,6 +180,181 @@ VertexId EulerForest::cut(VertexId u, VertexId v, Word new_comp) {
   return child;
 }
 
+std::vector<VertexId> EulerForest::cut_many(
+    const std::vector<std::pair<VertexId, VertexId>>& cut_edges,
+    const std::vector<Word>& new_comps) {
+  if (cut_edges.size() != new_comps.size()) {
+    throw std::invalid_argument("cut_many: one new component id per cut");
+  }
+  struct CutInfo {
+    std::size_t pos;  // position in the input list
+    EdgeKey key;
+    VertexId child;
+    KWaySplit::Cut cut;
+  };
+  std::map<Word, std::vector<CutInfo>> by_comp;
+  std::set<EdgeKey> seen;
+  std::vector<VertexId> children(cut_edges.size());
+  for (std::size_t i = 0; i < cut_edges.size(); ++i) {
+    const EdgeKey key(cut_edges[i].first, cut_edges[i].second);
+    if (!seen.insert(key).second) {
+      throw std::logic_error("cut_many: duplicate cut " +
+                             edge_str(key.u, key.v));
+    }
+    const auto it = edges_.find(key);
+    if (it == edges_.end()) {
+      throw std::logic_error("cut_many" + edge_str(key.u, key.v) +
+                             ": not a tree edge");
+    }
+    const EdgeIndexes idx = it->second;
+    const Word u_lo = std::min(idx.u1, idx.u2),
+               u_hi = std::max(idx.u1, idx.u2);
+    const Word v_lo = std::min(idx.v1, idx.v2),
+               v_hi = std::max(idx.v1, idx.v2);
+    CutInfo info{i, key, dmpc::kNoVertex, {}};
+    if (u_lo > v_lo && u_hi < v_hi) {
+      info.child = key.u;
+      info.cut = {u_lo, u_hi};
+    } else if (v_lo > u_lo && v_hi < u_hi) {
+      info.child = key.v;
+      info.cut = {v_lo, v_hi};
+    } else {
+      throw std::logic_error("cut_many" + edge_str(key.u, key.v) +
+                             ": inconsistent edge indexes");
+    }
+    children[i] = info.child;
+    by_comp[component(key.u)].push_back(info);
+  }
+
+  for (const auto& [c, infos] : by_comp) {
+    std::vector<KWaySplit::Cut> cuts;
+    cuts.reserve(infos.size());
+    for (const CutInfo& info : infos) cuts.push_back(info.cut);
+    const KWaySplit split(elength(comp_size_.at(c)), cuts);
+
+    for (const CutInfo& info : infos) {
+      edges_.erase(info.key);
+      auto& au = tree_adj_[static_cast<std::size_t>(info.key.u)];
+      au.erase(std::find(au.begin(), au.end(), info.key.v));
+      auto& av = tree_adj_[static_cast<std::size_t>(info.key.v)];
+      av.erase(std::find(av.begin(), av.end(), info.key.u));
+    }
+
+    std::vector<Word> frag_comp(split.fragments());
+    frag_comp[0] = c;
+    for (std::size_t j = 0; j < infos.size(); ++j) {
+      frag_comp[split.fragment_of_cut(j)] = new_comps[infos[j].pos];
+    }
+
+    // Decide membership from any surviving index (all of a vertex's
+    // surviving appearances lie in one fragment); vertices left with no
+    // indexes are singleton fragments — a cut's child endpoint lands in
+    // its own fragment, everything else stays with the old root.
+    std::vector<std::pair<std::size_t, std::size_t>> vert_frag;  // (v, frag)
+    std::vector<Word> frag_size(split.fragments(), 0);
+    for (std::size_t w = 0; w < comp_.size(); ++w) {
+      if (comp_[w] != c) continue;
+      const auto idxs = indexes_of(static_cast<VertexId>(w));
+      std::size_t frag = 0;
+      if (!idxs.empty()) {
+        frag = split.fragment_of(idxs.front());
+      } else {
+        for (std::size_t j = 0; j < infos.size(); ++j) {
+          if (infos[j].child == static_cast<VertexId>(w)) {
+            frag = split.fragment_of_cut(j);
+            break;
+          }
+        }
+      }
+      vert_frag.push_back({w, frag});
+      ++frag_size[frag];
+    }
+
+    transform_component(c, [&split](Word i) { return split.new_index(i); });
+
+    comp_size_.erase(c);
+    for (const auto& [w, frag] : vert_frag) comp_[w] = frag_comp[frag];
+    for (std::size_t frag = 0; frag < split.fragments(); ++frag) {
+      if (frag_size[frag] > 0) comp_size_[frag_comp[frag]] = frag_size[frag];
+    }
+  }
+  return children;
+}
+
+void EulerForest::link_many(
+    const std::vector<std::pair<VertexId, VertexId>>& new_links) {
+  if (new_links.empty()) return;
+  // Dense fragment ids for every component any link touches.
+  std::map<Word, std::size_t> frag_of_comp;
+  std::vector<Word> comp_of_frag;
+  std::vector<Word> elens;
+  const auto frag_id = [&](Word c) {
+    const auto [it, inserted] = frag_of_comp.try_emplace(c, comp_of_frag.size());
+    if (inserted) {
+      comp_of_frag.push_back(c);
+      elens.push_back(elength(comp_size_.at(c)));
+    }
+    return it->second;
+  };
+  for (const auto& [x, y] : new_links) {
+    frag_id(component(x));
+    frag_id(component(y));
+  }
+
+  KWayJoinPlan plan(elens);
+  struct Rec {
+    VertexId x, y;
+    std::size_t link_id;
+  };
+  std::vector<Rec> recs;
+  recs.reserve(new_links.size());
+  for (const auto& [x, y] : new_links) {
+    const std::size_t fx = frag_id(component(x));
+    const std::size_t fy = frag_id(component(y));
+    if (plan.same_tree(fx, fy)) {
+      throw std::logic_error("link_many" + edge_str(x, y) +
+                             ": endpoints already connected");
+    }
+    // Any stored appearance works as an anchor/pivot source; use the same
+    // ones the sequential link() reads.
+    recs.push_back({x, y, plan.link(fx, first_index(x), fy, last_index(y))});
+  }
+
+  for (auto& [key, idx] : edges_) {
+    const auto it = frag_of_comp.find(comp_[static_cast<std::size_t>(key.u)]);
+    if (it == frag_of_comp.end()) continue;
+    const std::size_t f = it->second;
+    idx.u1 = plan.map_index(f, idx.u1);
+    idx.u2 = plan.map_index(f, idx.u2);
+    idx.v1 = plan.map_index(f, idx.v1);
+    idx.v2 = plan.map_index(f, idx.v2);
+  }
+  for (const Rec& r : recs) {
+    const MergeNewIndexes ni = plan.edge_indexes(r.link_id);
+    const EdgeKey key(r.x, r.y);
+    EdgeIndexes idx;
+    if (key.u == r.x) {
+      idx = {ni.x_enter, ni.x_exit, ni.y_enter, ni.y_exit};
+    } else {
+      idx = {ni.y_enter, ni.y_exit, ni.x_enter, ni.x_exit};
+    }
+    edges_[key] = idx;
+    tree_adj_[static_cast<std::size_t>(r.x)].push_back(r.y);
+    tree_adj_[static_cast<std::size_t>(r.y)].push_back(r.x);
+  }
+
+  for (const Word c : comp_of_frag) comp_size_.erase(c);
+  for (std::size_t w = 0; w < comp_.size(); ++w) {
+    const auto it = frag_of_comp.find(comp_[w]);
+    if (it == frag_of_comp.end()) continue;
+    comp_[w] = comp_of_frag[plan.tree_of(it->second)];
+  }
+  for (std::size_t f = 0; f < comp_of_frag.size(); ++f) {
+    if (plan.tree_of(f) != f) continue;
+    comp_size_[comp_of_frag[f]] = tree_size(plan.tree_elength(f));
+  }
+}
+
 std::vector<VertexId> EulerForest::tour(VertexId v) const {
   const Word c = component(v);
   const Word elen = elength(comp_size_.at(c));

@@ -68,6 +68,25 @@ class EulerForest {
   /// root of the split-off tree).  Precondition: is_tree_edge(u, v).
   VertexId cut(VertexId u, VertexId v, Word new_comp);
 
+  /// Cuts k distinct tree edges (possibly spanning several components) in
+  /// one batched k-way transform per component: every stored index moves
+  /// exactly once, regardless of how many cuts its component receives.
+  /// The i-th cut's subtree becomes component `new_comps[i]`; the fragment
+  /// containing each old root keeps its component id.  Returns the child
+  /// endpoints in input order.  Equivalent to calling cut() k times (in
+  /// any order) — the property tests pin index-exact agreement.
+  std::vector<VertexId> cut_many(
+      const std::vector<std::pair<VertexId, VertexId>>& cut_edges,
+      const std::vector<Word>& new_comps);
+
+  /// Links k edges in one batched k-way join: each link reroots the y-side
+  /// tree at y and splices it after an appearance of x, with all index
+  /// maps composed per fragment and applied once.  Links may chain (later
+  /// links may touch trees formed by earlier ones); each combined
+  /// component keeps the x side's id, like link().  Precondition: the two
+  /// endpoints of every link are in different trees at that link's turn.
+  void link_many(const std::vector<std::pair<VertexId, VertexId>>& new_links);
+
   /// The tour of v's component as a vertex sequence (empty for
   /// singletons).  Rebuilding it from the stored per-edge indexes also
   /// verifies they form a permutation of 1..ELength.

@@ -23,6 +23,10 @@
 // pin Figure 1 in a golden test.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
 #include "dmpc/types.hpp"
 
 namespace etour {
@@ -138,5 +142,298 @@ constexpr Word split_subtree_elength(const SplitParams& p) {
 constexpr bool is_ancestor(Word f_u, Word l_u, Word f_v, Word l_v) {
   return f_u <= f_v && l_v <= l_u;
 }
+
+// ---------------------------------------------------------------------------
+// Appearance-parity helpers for the k-way (batched) transforms.
+//
+// In the 4-entries-per-edge encoding, entries (2t-1, 2t) are the (source,
+// destination) of traversal t, and the destination of traversal t equals
+// the source of traversal t+1.  Hence from ANY stored appearance of a
+// vertex we can derive both an even appearance (a valid splice anchor for
+// a merge) and an odd appearance (a valid rotation pivot for a reroot)
+// without another scan round: entry i-1 (for odd i > 1) and entry i+1
+// (for even i < elen) name the same vertex, and the root owns both entry
+// 1 and entry elen.  Every transform above preserves entry parity (reroot
+// rotates at an odd pivot, shifts add even amounts), so these identities
+// hold in composed coordinates too.
+// ---------------------------------------------------------------------------
+
+/// An even appearance of the vertex owning appearance i (tour length elen).
+constexpr Word even_anchor(Word i, Word elen) {
+  if (i % 2 == 0) return i;
+  return i == 1 ? elen : i - 1;
+}
+
+/// An odd appearance of the vertex owning appearance i, usable as a reroot
+/// pivot; returns 0 when the vertex is already the root (no reroot needed).
+constexpr Word odd_pivot(Word i, Word elen) {
+  if (i == 1 || i == elen) return 0;
+  return i % 2 == 1 ? i : i + 1;
+}
+
+// ---------------------------------------------------------------------------
+// K-way split: delete k tree edges of ONE tree in a single shared
+// transform.  The cut set is given by each deleted edge's child-subtree
+// interval [f_c, l_c] in the pre-split tour; distinct tree edges own
+// disjoint entry sets, so their 4-entry boundary groups {f_c-1, f_c, l_c,
+// l_c+1} never collide, and subtree intervals are laminar.  The result is
+// k+1 fragments: fragment 0 is the remainder containing the old root;
+// fragment j+1 (in sorted-f_c order; see fragment_of_cut for the original
+// numbering) is cut j's subtree minus any nested cut subtrees.
+//
+// Applying the k cuts sequentially in ANY order through the single-split
+// formulas above yields exactly these fragments with exactly these
+// indexes — the property tests pin that equivalence.
+// ---------------------------------------------------------------------------
+class KWaySplit {
+ public:
+  struct Cut {
+    Word f_c;  ///< child endpoint's first appearance (pre-split coords)
+    Word l_c;  ///< child endpoint's last appearance
+  };
+
+  KWaySplit(Word elen, const std::vector<Cut>& cuts) : elen_(elen) {
+    const std::size_t k = cuts.size();
+    std::vector<std::size_t> order(k);
+    for (std::size_t j = 0; j < k; ++j) order[j] = j;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return cuts[a].f_c < cuts[b].f_c;
+    });
+    cuts_.resize(k);
+    frag_of_cut_.resize(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      cuts_[j] = cuts[order[j]];
+      frag_of_cut_[order[j]] = j + 1;
+    }
+    // Laminar-forest structure: parent fragment of each cut via a stack
+    // over the f_c-sorted intervals.
+    parent_.assign(k, 0);
+    children_.assign(k + 1, {});
+    std::vector<std::size_t> stack;
+    for (std::size_t j = 0; j < k; ++j) {
+      while (!stack.empty() && cuts_[stack.back()].l_c < cuts_[j].f_c)
+        stack.pop_back();
+      parent_[j] = stack.empty() ? 0 : stack.back() + 1;
+      children_[parent_[j]].push_back(j);
+      stack.push_back(j);
+    }
+    elens_.assign(k + 1, 0);
+    elens_[0] = elen_;
+    for (std::size_t j = 0; j < k; ++j)
+      elens_[j + 1] = cuts_[j].l_c - cuts_[j].f_c - 1;
+    for (std::size_t j = 0; j < k; ++j)
+      elens_[parent_[j]] -= cuts_[j].l_c - cuts_[j].f_c + 3;
+    removed_.reserve(4 * k);
+    for (const Cut& c : cuts_) {
+      removed_.push_back(c.f_c - 1);
+      removed_.push_back(c.f_c);
+      removed_.push_back(c.l_c);
+      removed_.push_back(c.l_c + 1);
+    }
+    std::sort(removed_.begin(), removed_.end());
+  }
+
+  /// Number of resulting fragments (k + 1).
+  std::size_t fragments() const { return cuts_.size() + 1; }
+
+  /// Fragment id of the subtree split off by the i-th cut of the
+  /// constructor's (unsorted) cut list.
+  std::size_t fragment_of_cut(std::size_t cut) const {
+    return frag_of_cut_[cut];
+  }
+
+  /// True iff pre-split tour index i is one of the 4k removed entries
+  /// (an entry owned by a deleted edge).
+  bool removed(Word i) const {
+    return std::binary_search(removed_.begin(), removed_.end(), i);
+  }
+
+  /// Fragment containing surviving pre-split index i: the innermost cut
+  /// interval containing i, else the root fragment.
+  std::size_t fragment_of(Word i) const {
+    std::size_t lo = 0, hi = cuts_.size();
+    while (lo < hi) {  // count of cuts with f_c <= i
+      const std::size_t mid = (lo + hi) / 2;
+      if (cuts_[mid].f_c <= i)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    if (lo == 0) return 0;
+    std::size_t frag = lo;  // cut (lo - 1) -> fragment lo
+    while (frag != 0 && cuts_[frag - 1].l_c < i) frag = parent_[frag - 1];
+    return frag;
+  }
+
+  /// Post-split index of surviving pre-split index i within its fragment.
+  Word new_index(Word i) const {
+    const std::size_t frag = fragment_of(i);
+    Word idx = frag == 0 ? i : i - cuts_[frag - 1].f_c;
+    for (const std::size_t m : children_[frag]) {
+      if (cuts_[m].l_c + 1 < i) idx -= cuts_[m].l_c - cuts_[m].f_c + 3;
+    }
+    return idx;
+  }
+
+  /// ELength of a fragment's tour.
+  Word fragment_elength(std::size_t frag) const { return elens_[frag]; }
+
+ private:
+  Word elen_;
+  std::vector<Cut> cuts_;                        ///< sorted by f_c
+  std::vector<std::size_t> frag_of_cut_;         ///< original cut -> fragment
+  std::vector<std::size_t> parent_;              ///< cut -> parent fragment
+  std::vector<std::vector<std::size_t>> children_;  ///< fragment -> cuts
+  std::vector<Word> elens_;                      ///< fragment -> ELength
+  std::vector<Word> removed_;                    ///< sorted removed entries
+};
+
+// ---------------------------------------------------------------------------
+// K-way join: link k edges across a set of fragments in one shared
+// transform.  Each fragment carries a chain of index maps (rotations for
+// reroots, threshold-shifts for splices); a link reroots the absorbed
+// tree at its y endpoint and splices it after an even appearance of x,
+// exactly like the sequential merge, but anchors/pivots are derived from
+// ANY stored appearance via even_anchor/odd_pivot, so links can be applied
+// in arbitrary order over already-composed trees (no pre-order needed).
+// The 4 entries of each inserted edge live in a pseudo-chain created at
+// link time so later splices shift them too.  All decisions are pure
+// functions of the inputs — every machine (and the serial reference)
+// composes an identical plan from the same link descriptors.
+// ---------------------------------------------------------------------------
+class KWayJoinPlan {
+ public:
+  explicit KWayJoinPlan(std::vector<Word> fragment_elens)
+      : tree_elen_(std::move(fragment_elens)) {
+    const std::size_t f = tree_elen_.size();
+    chains_.resize(f);
+    dsu_.resize(f);
+    members_.resize(f);
+    adopted_.assign(f, Adopted{});
+    for (std::size_t i = 0; i < f; ++i) {
+      dsu_[i] = i;
+      members_[i] = {i};
+    }
+  }
+
+  /// Link x (in fragment x_frag at original appearance ix; kNoIndex if the
+  /// fragment is a singleton) to y (y_frag, iy).  x's tree absorbs y's
+  /// tree (y becomes the child endpoint, as in the sequential merge).
+  /// Returns the link id for edge_indexes().  Precondition: the two
+  /// fragments are in different trees.
+  std::size_t link(std::size_t x_frag, Word ix, std::size_t y_frag, Word iy) {
+    const std::size_t ra = find(x_frag), rb = find(y_frag);
+    const Word elen_a = tree_elen_[ra], elen_b = tree_elen_[rb];
+    const Word px = resolve(x_frag, ix);
+    const Word py = resolve(y_frag, iy);
+    if (elen_b > 0) {
+      const Word pivot = odd_pivot(py, elen_b);
+      if (pivot != 0) append(rb, Step{elen_b, pivot, 0});
+    }
+    const Word anchor = (px == kNoIndex || elen_a == 0)
+                            ? 0
+                            : even_anchor(px, elen_a);
+    append(ra, Step{0, anchor, elen_b + 4});
+    append(rb, Step{0, 0, anchor + 2});
+    const std::size_t chain = chains_.size();
+    chains_.emplace_back();
+    members_[ra].push_back(chain);
+    const MergeParams mp{anchor, elen_b};
+    links_.push_back(Link{chain, merge_new_indexes(mp)});
+    if (ix == kNoIndex && adopted_[x_frag].chain == kNone)
+      adopted_[x_frag] = Adopted{chain, links_.back().base.x_enter};
+    if (iy == kNoIndex && adopted_[y_frag].chain == kNone)
+      adopted_[y_frag] = Adopted{chain, links_.back().base.y_enter};
+    // Union: rb's members join ra; ra stays the representative, so the
+    // final tree is labeled by the x side (matching the sequential merge,
+    // where the combined component keeps x's id).
+    for (const std::size_t m : members_[rb]) members_[ra].push_back(m);
+    members_[rb].clear();
+    dsu_[rb] = ra;
+    tree_elen_[ra] = elen_a + elen_b + 4;
+    return links_.size() - 1;
+  }
+
+  /// Map an original fragment index to its final composed position.
+  Word map_index(std::size_t frag, Word i) const {
+    return apply_chain(frag, i);
+  }
+
+  /// Final positions of the 4 entries owned by a link's inserted edge.
+  MergeNewIndexes edge_indexes(std::size_t link_id) const {
+    const Link& l = links_[link_id];
+    return {apply_chain(l.chain, l.base.x_enter),
+            apply_chain(l.chain, l.base.x_exit),
+            apply_chain(l.chain, l.base.y_enter),
+            apply_chain(l.chain, l.base.y_exit)};
+  }
+
+  /// Current position of the vertex owning a (possibly singleton)
+  /// fragment-original appearance — kNoIndex only for a never-linked
+  /// singleton.
+  Word resolve(std::size_t frag, Word i) const {
+    if (i != kNoIndex) return apply_chain(frag, i);
+    const Adopted& a = adopted_[frag];
+    if (a.chain == kNone) return kNoIndex;
+    return apply_chain(a.chain, a.base);
+  }
+
+  /// Representative fragment of a fragment's final tree (the x-side label
+  /// survives every link).
+  std::size_t tree_of(std::size_t frag) const { return find(frag); }
+
+  bool same_tree(std::size_t a, std::size_t b) const {
+    return find(a) == find(b);
+  }
+
+  /// Final tour length of a fragment's tree.
+  Word tree_elength(std::size_t frag) const { return tree_elen_[find(frag)]; }
+
+  std::size_t num_links() const { return links_.size(); }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Step {
+    Word rot_elen;    ///< nonzero: rotation of a tour of this length
+    Word threshold;   ///< rotation pivot, or shift threshold
+    Word add;         ///< shift amount (shifts only)
+  };
+  struct Link {
+    std::size_t chain;      ///< pseudo-chain carrying the edge's entries
+    MergeNewIndexes base;   ///< entries in at-link-time coordinates
+  };
+  struct Adopted {
+    std::size_t chain = kNone;  ///< chain holding a singleton's first entry
+    Word base = kNoIndex;
+  };
+
+  static Word apply_step(Word i, const Step& s) {
+    if (s.rot_elen != 0)
+      return ((i + s.rot_elen - s.threshold) % s.rot_elen) + 1;
+    return i > s.threshold ? i + s.add : i;
+  }
+
+  Word apply_chain(std::size_t chain, Word i) const {
+    for (const Step& s : chains_[chain]) i = apply_step(i, s);
+    return i;
+  }
+
+  std::size_t find(std::size_t f) const {
+    while (dsu_[f] != f) f = dsu_[f];
+    return f;
+  }
+
+  void append(std::size_t root, const Step& s) {
+    for (const std::size_t m : members_[root]) chains_[m].push_back(s);
+  }
+
+  std::vector<Word> tree_elen_;                ///< per-representative ELength
+  std::vector<std::vector<Step>> chains_;      ///< fragment/pseudo op chains
+  std::vector<std::size_t> dsu_;               ///< fragment union-find
+  std::vector<std::vector<std::size_t>> members_;  ///< root -> chain ids
+  std::vector<Adopted> adopted_;               ///< singleton first entries
+  std::vector<Link> links_;
+};
 
 }  // namespace etour

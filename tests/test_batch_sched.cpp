@@ -41,14 +41,15 @@ struct StressCase {
   std::uint64_t seed;
   std::size_t batch_size;
   bool weighted;
+  core::BatchPolicy policy;
 };
 
-std::vector<StressCase> stress_cases();
+std::vector<StressCase> stress_cases(core::BatchPolicy policy);
 
 class BatchSchedulerStress : public ::testing::TestWithParam<StressCase> {};
 
 TEST_P(BatchSchedulerStress, MatchesSerialReplay) {
-  const auto [seed, batch_size, weighted] = GetParam();
+  const auto [seed, batch_size, weighted, policy] = GetParam();
   const std::size_t n = 48;
   // Rotate through the stream shapes: uniformly random churn (with a
   // tiny weight range on even seeds, so weighted runs hit equal-weight
@@ -84,7 +85,10 @@ TEST_P(BatchSchedulerStress, MatchesSerialReplay) {
   serial_driver.add("forest", serial);
   serial_driver.run(stream);
 
-  core::DynamicForest batched({.n = n, .m_cap = 4 * n, .weighted = weighted});
+  core::DynamicForest batched({.n = n,
+                               .m_cap = 4 * n,
+                               .weighted = weighted,
+                               .batch_policy = policy});
   batched.preprocess(graph::WeightedEdgeList{});
   Driver batched_driver(n, DriverConfig{.batch_size = batch_size,
                                         .checkpoint_every = 4,
@@ -118,7 +122,7 @@ class PooledExecutorBitIdentity : public ::testing::TestWithParam<StressCase> {
 };
 
 TEST_P(PooledExecutorBitIdentity, MatchesSerialExecutor) {
-  const auto [seed, batch_size, weighted] = GetParam();
+  const auto [seed, batch_size, weighted, policy] = GetParam();
   const std::size_t n = 48;
   graph::UpdateStream stream;
   switch (seed % 4) {
@@ -142,7 +146,10 @@ TEST_P(PooledExecutorBitIdentity, MatchesSerialExecutor) {
 
   const auto run = [&](const std::shared_ptr<dmpc::RoundExecutor>& exec) {
     auto forest = std::make_unique<core::DynamicForest>(
-        core::DynForestConfig{.n = n, .m_cap = 4 * n, .weighted = weighted});
+        core::DynForestConfig{.n = n,
+                              .m_cap = 4 * n,
+                              .weighted = weighted,
+                              .batch_policy = policy});
     forest->cluster().set_executor(exec);
     forest->preprocess(graph::WeightedEdgeList{});
     Driver driver(n, DriverConfig{.batch_size = batch_size,
@@ -190,33 +197,52 @@ TEST_P(PooledExecutorBitIdentity, MatchesSerialExecutor) {
   EXPECT_EQ(ss.speculation_misses, ps.speculation_misses) << "seed " << seed;
   EXPECT_EQ(ss.batches_pipelined, ps.batches_pipelined) << "seed " << seed;
   EXPECT_EQ(ss.cross_batch_misses, ps.cross_batch_misses) << "seed " << seed;
+  // Batch-dynamic protocol counters (all zero under kWave, where the
+  // protocol never runs — asserting them there guards exactly that).
+  EXPECT_EQ(ss.stages, ps.stages) << "seed " << seed;
+  EXPECT_EQ(ss.kway_splits, ps.kway_splits) << "seed " << seed;
+  EXPECT_EQ(ss.kway_joins, ps.kway_joins) << "seed " << seed;
+  EXPECT_EQ(ss.cascade_rounds, ps.cascade_rounds) << "seed " << seed;
+  EXPECT_EQ(ss.cascade_links, ps.cascade_links) << "seed " << seed;
+  EXPECT_EQ(ss.elided_updates, ps.elided_updates) << "seed " << seed;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Seeds, PooledExecutorBitIdentity, ::testing::ValuesIn(stress_cases()),
-    [](const ::testing::TestParamInfo<StressCase>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_batch" +
-             std::to_string(info.param.batch_size) +
-             (info.param.weighted ? "_weighted" : "_unweighted");
-    });
-
-std::vector<StressCase> stress_cases() {
+std::vector<StressCase> stress_cases(core::BatchPolicy policy) {
   std::vector<StressCase> cases;
   for (std::uint64_t seed = 1; seed <= 24; ++seed) {
     // Vary the batch size with the seed so group shapes differ: 4..32.
     const std::size_t batch_size = 4 << (seed % 4);
-    cases.push_back({seed, batch_size, false});
-    cases.push_back({seed, batch_size, true});
+    cases.push_back({seed, batch_size, false, policy});
+    cases.push_back({seed, batch_size, true, policy});
   }
   return cases;
 }
 
+std::string stress_case_name(const ::testing::TestParamInfo<StressCase>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_batch" +
+         std::to_string(info.param.batch_size) +
+         (info.param.weighted ? "_weighted" : "_unweighted");
+}
+
+// Two 48-case sweeps per suite: the O(1)-round batch-dynamic protocol
+// (the default policy) and the PR 5 wave scheduler it replaced, which
+// stays covered as the comparison baseline.
 INSTANTIATE_TEST_SUITE_P(
-    Seeds, BatchSchedulerStress, ::testing::ValuesIn(stress_cases()),
-    [](const ::testing::TestParamInfo<StressCase>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_batch" +
-             std::to_string(info.param.batch_size) +
-             (info.param.weighted ? "_weighted" : "_unweighted");
-    });
+    BatchDynamic, PooledExecutorBitIdentity,
+    ::testing::ValuesIn(stress_cases(core::BatchPolicy::kBatchDynamic)),
+    stress_case_name);
+INSTANTIATE_TEST_SUITE_P(
+    Wave, PooledExecutorBitIdentity,
+    ::testing::ValuesIn(stress_cases(core::BatchPolicy::kWave)),
+    stress_case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchDynamic, BatchSchedulerStress,
+    ::testing::ValuesIn(stress_cases(core::BatchPolicy::kBatchDynamic)),
+    stress_case_name);
+INSTANTIATE_TEST_SUITE_P(
+    Wave, BatchSchedulerStress,
+    ::testing::ValuesIn(stress_cases(core::BatchPolicy::kWave)),
+    stress_case_name);
 
 }  // namespace

@@ -166,7 +166,10 @@ TEST(ApplyBatch, PreservesOrderWithinConflictingBatch) {
 
 TEST(ApplyBatch, ConflictingChainFallsBackToSerial) {
   const std::size_t n = 16;
-  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  // Pinned to the wave baseline: the batch-dynamic protocol admits a
+  // whole merge chain into one k-way join stage (see test_batch_sched).
+  core::DynamicForest forest(
+      {.n = n, .m_cap = 4 * n, .batch_policy = core::BatchPolicy::kWave});
   forest.preprocess(graph::EdgeList{});
   // A path: every insert shares a component with its predecessor, so no
   // two of them can share rounds — all must fall back to the serial
@@ -187,7 +190,9 @@ TEST(ApplyBatch, ConflictingChainFallsBackToSerial) {
 
 TEST(BatchScheduler, ExecutesIndependentUpdatesOutOfOrder) {
   const std::size_t n = 16;
-  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  // Wave baseline: batch-dynamic admits the whole batch without reorder.
+  core::DynamicForest forest(
+      {.n = n, .m_cap = 4 * n, .batch_policy = core::BatchPolicy::kWave});
   forest.preprocess(graph::EdgeList{});
   // insert(1,2) conflicts with insert(0,1); the two later independent
   // inserts must overtake it into the first group instead of ending the
@@ -305,7 +310,7 @@ TEST(BatchScheduler, DeleteHeavyBeatsPrefixPlannerAtBatch16) {
     return std::pair(std::move(forest), stats->batch_agg.total_rounds);
   };
   auto [prefix, prefix_rounds] = run_policy(core::BatchPolicy::kPrefix);
-  auto [ooo, ooo_rounds] = run_policy(core::BatchPolicy::kOutOfOrder);
+  auto [ooo, ooo_rounds] = run_policy(core::BatchPolicy::kWave);
 
   EXPECT_LT(ooo_rounds, prefix_rounds);
   EXPECT_GT(ooo->batch_stats().batched_tree_deletes, 0u);
@@ -607,6 +612,7 @@ run_delete_heavy(const graph::UpdateStream& stream, std::size_t n,
       core::DynForestConfig{.n = n,
                             .m_cap = 4 * n,
                             .weighted = weighted,
+                            .batch_policy = core::BatchPolicy::kWave,
                             .speculate_deep = cross_batch_deep});
   if (weighted) {
     forest->preprocess(graph::WeightedEdgeList{});
@@ -701,7 +707,8 @@ TEST(CrossBatchPipeline, AllConflictingNextBatchDegradesToSerialization) {
   // pre-commit state, where every delete shares its edge key with an
   // in-flight insert and nothing can be speculated.
   const std::size_t n = 32;
-  core::DynamicForest forest({.n = n, .m_cap = 4 * n});
+  core::DynamicForest forest(
+      {.n = n, .m_cap = 4 * n, .batch_policy = core::BatchPolicy::kWave});
   forest.preprocess(graph::EdgeList{});
   const std::vector<Update> first = {
       {UpdateKind::kInsert, 0, 1, 1},
@@ -734,8 +741,8 @@ TEST(CrossBatchPipeline, AllConflictingNextBatchDegradesToSerialization) {
 TEST(CrossBatchPipeline, MismatchedNextBatchDropsTheCarry) {
   const std::size_t n = 32;
   auto make = [&] {
-    auto f = std::make_unique<core::DynamicForest>(
-        core::DynForestConfig{.n = n, .m_cap = 4 * n});
+    auto f = std::make_unique<core::DynamicForest>(core::DynForestConfig{
+        .n = n, .m_cap = 4 * n, .batch_policy = core::BatchPolicy::kWave});
     f->preprocess(graph::EdgeList{});
     return f;
   };
@@ -772,8 +779,8 @@ TEST(CrossBatchPipeline, MismatchedNextBatchDropsTheCarry) {
 TEST(CrossBatchPipeline, SerialUpdateBetweenBatchesInvalidatesTheCarry) {
   const std::size_t n = 32;
   auto make = [&] {
-    auto f = std::make_unique<core::DynamicForest>(
-        core::DynForestConfig{.n = n, .m_cap = 4 * n});
+    auto f = std::make_unique<core::DynamicForest>(core::DynForestConfig{
+        .n = n, .m_cap = 4 * n, .batch_policy = core::BatchPolicy::kWave});
     f->preprocess(graph::EdgeList{});
     return f;
   };
@@ -811,8 +818,8 @@ TEST(CrossBatchPipeline, DriverOptOutsBypassTheBuffer) {
   const std::size_t n = 128;
   const auto stream = graph::interleaved_delete_stream(n, 600, 32, 2, 23);
   auto run_with = [&](bool use_apply_batch, bool lookahead) {
-    auto forest = std::make_unique<core::DynamicForest>(
-        core::DynForestConfig{.n = n, .m_cap = 4 * n});
+    auto forest = std::make_unique<core::DynamicForest>(core::DynForestConfig{
+        .n = n, .m_cap = 4 * n, .batch_policy = core::BatchPolicy::kWave});
     forest->preprocess(graph::EdgeList{});
     DriverConfig config{.batch_size = 16, .checkpoint_every = 0};
     config.use_apply_batch = use_apply_batch;

@@ -4,9 +4,13 @@
 // and random trees.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <map>
 #include <numeric>
 #include <random>
 #include <set>
+#include <vector>
 
 #include "etour/euler_forest.hpp"
 #include "etour/tour_builder.hpp"
@@ -114,6 +118,221 @@ TEST(TransformAlgebra, AncestorTestMatchesIntervalContainment) {
   EXPECT_TRUE(etour::is_ancestor(8, 17, 8, 17));  // weak (self)
   EXPECT_FALSE(etour::is_ancestor(2, 7, 10, 15)); // disjoint intervals
 }
+
+TEST(TransformAlgebra, AnchorAndPivotDerivableFromAnyAppearance) {
+  // even_anchor / odd_pivot must name the SAME vertex as the appearance
+  // they were derived from, for every entry of a real tour — this is what
+  // lets the batched protocol splice/reroot from any cached index without
+  // an extra scan round.
+  std::mt19937_64 rng(7);
+  etour::EulerForest forest(12);
+  for (int step = 0; step < 60; ++step) {
+    const auto u = static_cast<VertexId>(rng() % 12);
+    const auto v = static_cast<VertexId>(rng() % 12);
+    if (u == v || forest.connected(u, v)) continue;
+    forest.link(u, v);
+  }
+  std::set<Word> seen_comps;
+  for (VertexId v = 0; v < 12; ++v) {
+    if (forest.component_size(v) <= 1) continue;
+    if (!seen_comps.insert(forest.component(v)).second) continue;
+    const auto seq = forest.tour(v);
+    const Word elen = static_cast<Word>(seq.size());
+    for (Word i = 1; i <= elen; ++i) {
+      const Word a = etour::even_anchor(i, elen);
+      EXPECT_EQ(a % 2, 0u) << "i=" << i;
+      EXPECT_EQ(seq[a - 1], seq[i - 1]) << "anchor of i=" << i;
+      const Word p = etour::odd_pivot(i, elen);
+      if (p == 0) {
+        // Derived "already root": the appearance must belong to the root.
+        EXPECT_EQ(seq[i - 1], seq.front()) << "pivot of i=" << i;
+      } else {
+        EXPECT_EQ(p % 2, 1u) << "i=" << i;
+        EXPECT_EQ(seq[p - 1], seq[i - 1]) << "pivot of i=" << i;
+      }
+    }
+  }
+}
+
+/// Tree edges with their four indexes, as plain comparable values.
+std::map<graph::EdgeKey, std::array<Word, 4>> edges_snapshot(
+    const etour::EulerForest& f) {
+  std::map<graph::EdgeKey, std::array<Word, 4>> out;
+  for (const auto& [key, idx] : f.tree_edges()) {
+    out[key] = {idx.u1, idx.u2, idx.v1, idx.v2};
+  }
+  return out;
+}
+
+std::map<VertexId, Word> component_map(const etour::EulerForest& f) {
+  std::map<VertexId, Word> out;
+  for (VertexId v = 0; v < static_cast<VertexId>(f.num_vertices()); ++v) {
+    out[v] = f.component(v);
+  }
+  return out;
+}
+
+class KWayTransformTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KWayTransformTest, CutManyIsIndexIdenticalToSequentialCuts) {
+  // Over random forests and random cut sets (including nested, adjacent,
+  // and vertex-sharing cuts), the batched k-way split must produce
+  // index-identical fragments to k sequential cut() calls — in whatever
+  // order the cuts are applied.
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = 16;
+  for (int round = 0; round < 40; ++round) {
+    etour::EulerForest forest(n);
+    std::vector<std::pair<VertexId, VertexId>> links;
+    const int target_links = 4 + static_cast<int>(rng() % 11);
+    for (int tries = 0; tries < 200 && static_cast<int>(links.size()) <
+                                           target_links; ++tries) {
+      const auto u = static_cast<VertexId>(rng() % n);
+      const auto v = static_cast<VertexId>(rng() % n);
+      if (u == v || forest.connected(u, v)) continue;
+      forest.link(u, v);
+      links.emplace_back(u, v);
+    }
+    if (links.empty()) continue;
+    // Random cut subset (1..all edges).
+    std::shuffle(links.begin(), links.end(), rng);
+    const std::size_t k = 1 + rng() % links.size();
+    std::vector<std::pair<VertexId, VertexId>> cuts(links.begin(),
+                                                    links.begin() + k);
+    std::vector<Word> new_comps;
+    for (std::size_t j = 0; j < k; ++j) {
+      new_comps.push_back(static_cast<Word>(1000 + j));
+    }
+
+    etour::EulerForest batched = forest;
+    const auto children = batched.cut_many(cuts, new_comps);
+
+    etour::EulerForest sequential = forest;
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::vector<VertexId> seq_children(k);
+    for (const std::size_t j : order) {
+      seq_children[j] = sequential.cut(cuts[j].first, cuts[j].second,
+                                       new_comps[j]);
+    }
+
+    EXPECT_EQ(children, seq_children) << "seed " << GetParam();
+    EXPECT_EQ(edges_snapshot(batched), edges_snapshot(sequential))
+        << "seed " << GetParam() << " round " << round;
+    EXPECT_EQ(component_map(batched), component_map(sequential));
+    std::string why;
+    EXPECT_TRUE(batched.validate(&why)) << why;
+  }
+}
+
+TEST_P(KWayTransformTest, LinkManyMatchesSequentialLinks) {
+  // The batched k-way join must produce the same TREE as k sequential
+  // link() calls in the same order: same tree-edge set, same component
+  // ids and sizes, and a structurally valid tour.  (The tours themselves
+  // may be rotations of each other — anchors are derived from different
+  // appearances — so indexes are not compared.)
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = 18;
+  for (int round = 0; round < 40; ++round) {
+    etour::EulerForest forest(n);
+    for (int tries = 0; tries < 40; ++tries) {
+      const auto u = static_cast<VertexId>(rng() % n);
+      const auto v = static_cast<VertexId>(rng() % n);
+      if (u == v || forest.connected(u, v)) continue;
+      if (rng() % 3 != 0) continue;  // keep several small trees around
+      forest.link(u, v);
+    }
+    // A chainable batch of links: valid against the evolving forest.
+    std::vector<std::pair<VertexId, VertexId>> batch;
+    etour::EulerForest probe = forest;
+    for (int tries = 0; tries < 60 && batch.size() < 6; ++tries) {
+      const auto u = static_cast<VertexId>(rng() % n);
+      const auto v = static_cast<VertexId>(rng() % n);
+      if (u == v || probe.connected(u, v)) continue;
+      probe.link(u, v);
+      batch.emplace_back(u, v);
+    }
+    if (batch.empty()) continue;
+
+    etour::EulerForest batched = forest;
+    batched.link_many(batch);
+
+    etour::EulerForest sequential = forest;
+    for (const auto& [u, v] : batch) sequential.link(u, v);
+
+    EXPECT_EQ(component_map(batched), component_map(sequential))
+        << "seed " << GetParam() << " round " << round;
+    auto keys = [](const etour::EulerForest& f) {
+      std::set<graph::EdgeKey> out;
+      for (const auto& [key, idx] : f.tree_edges()) out.insert(key);
+      return out;
+    };
+    EXPECT_EQ(keys(batched), keys(sequential));
+    for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+      EXPECT_EQ(batched.component_size(v), sequential.component_size(v));
+    }
+    std::string why;
+    EXPECT_TRUE(batched.validate(&why))
+        << "seed " << GetParam() << " round " << round << ": " << why;
+  }
+}
+
+TEST(KWayTransforms, CutManyTakesAdjacentAndNestedCutsAtOnce) {
+  // Cutting EVERY edge of a path and of a star exercises maximally
+  // nested and maximally adjacent cut intervals (every removed 4-entry
+  // group touches its neighbor's boundary).
+  for (const bool star : {false, true}) {
+    etour::EulerForest forest(8);
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    for (VertexId v = 1; v < 8; ++v) {
+      const VertexId parent = star ? 0 : v - 1;
+      forest.link(parent, v);
+      edges.emplace_back(parent, v);
+    }
+    etour::EulerForest sequential = forest;
+    std::vector<Word> new_comps;
+    for (std::size_t j = 0; j < edges.size(); ++j) {
+      new_comps.push_back(static_cast<Word>(100 + j));
+    }
+    forest.cut_many(edges, new_comps);
+    for (std::size_t j = 0; j < edges.size(); ++j) {
+      sequential.cut(edges[j].first, edges[j].second, new_comps[j]);
+    }
+    EXPECT_EQ(edges_snapshot(forest), edges_snapshot(sequential));
+    EXPECT_EQ(component_map(forest), component_map(sequential));
+    EXPECT_TRUE(forest.tree_edges().empty());
+    std::string why;
+    EXPECT_TRUE(forest.validate(&why)) << why;
+  }
+}
+
+TEST(KWayTransforms, CutManyRejectsDuplicateCuts) {
+  etour::EulerForest forest(4);
+  forest.link(0, 1);
+  forest.link(1, 2);
+  EXPECT_THROW(forest.cut_many({{0, 1}, {1, 0}}, {100, 101}),
+               std::logic_error);
+}
+
+TEST(KWayTransforms, LinkManyChainsThroughSingletons) {
+  // Singleton vertices may appear on either side of several links in one
+  // batch; the plan must track their adopted appearances.
+  etour::EulerForest batched(6);
+  batched.link_many({{0, 1}, {1, 2}, {2, 3}, {0, 4}, {5, 0}});
+  etour::EulerForest sequential(6);
+  for (const auto& [u, v] : std::vector<std::pair<VertexId, VertexId>>{
+           {0, 1}, {1, 2}, {2, 3}, {0, 4}, {5, 0}}) {
+    sequential.link(u, v);
+  }
+  EXPECT_EQ(component_map(batched), component_map(sequential));
+  EXPECT_EQ(batched.component_size(0), 6u);
+  std::string why;
+  EXPECT_TRUE(batched.validate(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KWayTransformTest,
+                         ::testing::Values(3, 14, 159, 2653));
 
 class RandomTreeTransformTest
     : public ::testing::TestWithParam<std::uint64_t> {};

@@ -204,10 +204,12 @@ void expect_identical(const core::DynamicForest& a,
 std::unique_ptr<core::DynamicForest> run_forest(
     harness::ExecutorKind kind, std::size_t batch_size,
     const graph::UpdateStream& stream, std::size_t n,
-    bool weighted = false) {
+    bool weighted = false,
+    core::BatchPolicy policy = core::BatchPolicy::kBatchDynamic) {
   auto forest =
       std::make_unique<core::DynamicForest>(core::DynForestConfig{
-          .n = n, .m_cap = 4 * n, .weighted = weighted});
+          .n = n, .m_cap = 4 * n, .weighted = weighted,
+          .batch_policy = policy});
   forest->preprocess(graph::WeightedEdgeList{});
   harness::DriverConfig config{.batch_size = batch_size,
                                .checkpoint_every = 0,
@@ -284,10 +286,10 @@ TEST(ExecutorDeterminism, PipelinedWeightedWavesMatchSerial) {
       graph::weighted_interleaved_delete_stream(n, 400, 6, 3, 23);
   const auto serial =
       run_forest(harness::ExecutorKind::kSerial, 16, stream, n,
-                 /*weighted=*/true);
+                 /*weighted=*/true, core::BatchPolicy::kWave);
   const auto pooled =
       run_forest(harness::ExecutorKind::kThreadPool, 16, stream, n,
-                 /*weighted=*/true);
+                 /*weighted=*/true, core::BatchPolicy::kWave);
   expect_identical(*serial, *pooled);
   expect_same_sched(*serial, *pooled);
   // The stream must actually have exercised the pipelined + grouped
@@ -305,10 +307,10 @@ TEST(ExecutorDeterminism, PipelinedWeightedWavesMatchSerial) {
 TEST(ExecutorDeterminism, CrossBatchCarriedWavesMatchSerial) {
   const std::size_t n = 96;
   const auto stream = graph::interleaved_delete_stream(n, 800, 32, 2, 23);
-  const auto serial =
-      run_forest(harness::ExecutorKind::kSerial, 16, stream, n);
-  const auto pooled =
-      run_forest(harness::ExecutorKind::kThreadPool, 16, stream, n);
+  const auto serial = run_forest(harness::ExecutorKind::kSerial, 16, stream,
+                                 n, false, core::BatchPolicy::kWave);
+  const auto pooled = run_forest(harness::ExecutorKind::kThreadPool, 16,
+                                 stream, n, false, core::BatchPolicy::kWave);
   expect_identical(*serial, *pooled);
   expect_same_sched(*serial, *pooled);
   EXPECT_GT(serial->batch_stats().batches_pipelined, 0u);
