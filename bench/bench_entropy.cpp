@@ -56,7 +56,13 @@ int main() {
     report("maximal matching (coord)", mm.cluster());
   }
   {
-    core::DynamicForest forest({.n = n, .m_cap = m_cap});
+    // Pin the batch policy the docs describe (it is also the config
+    // default, but the entropy profile differs per policy, so the bench
+    // must not drift if the default ever changes).
+    core::DynamicForest forest(
+        {.n = n,
+         .m_cap = m_cap,
+         .batch_policy = core::BatchPolicy::kBatchDynamic});
     forest.preprocess(graph::cycle(n));
     forest.cluster().metrics().reset();
     // The stream must outlast the adversary's build phase (n-1 path edges

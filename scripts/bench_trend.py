@@ -21,7 +21,16 @@ and fails when any workload regressed:
     small absolute slack for tiny counts);
   * replacement-cascade rounds per batch (cascade_rounds / batches, the
     batch-dynamic protocol's reconnection cost) grew by more than
-    --max-cascade-regress plus a small absolute slack.
+    --max-cascade-regress plus a small absolute slack;
+  * serving query rounds per batch (query_rounds_per_batch from
+    bench_serving — the read path is O(1) rounds by construction, so
+    like rounds/update this is deterministic) grew by more than
+    --max-query-rounds-regress;
+  * serving p99 query latency (p99_us) grew by more than
+    --max-p99-regress — latency is as noisy as wall-clock, so it gets
+    the same treatment: sub-floor rows (both sides under --min-p99-us)
+    are ignored unless the row grew PAST the floor, and rows whose
+    "cores" field changed are skipped.
 
 Rows are matched by (bench, name[, n]).  A missing baseline (first run,
 expired cache) passes with a notice — the save step repopulates it.  A
@@ -37,7 +46,8 @@ Usage:
       [--max-regress 0.25] [--min-seconds 0.25] \
       [--max-rounds-regress 0.05] [--max-hit-rate-drop 0.10] \
       [--min-attempts 20] [--max-deferred-growth 0.25] \
-      [--summary PATH]
+      [--max-query-rounds-regress 0.05] [--max-p99-regress 0.50] \
+      [--min-p99-us 200] [--summary PATH]
 """
 
 import argparse
@@ -103,6 +113,15 @@ def main(argv=None):
                     help="fail when replacement-cascade rounds per batch "
                          "grow by more than this fraction plus a slack of "
                          "0.25 rounds/batch (default 0.05)")
+    ap.add_argument("--max-query-rounds-regress", type=float, default=0.05,
+                    help="fail when serving query rounds per batch grow "
+                         "by more than this fraction (default 0.05)")
+    ap.add_argument("--max-p99-regress", type=float, default=0.50,
+                    help="fail when serving p99 query latency grows by "
+                         "more than this fraction (default 0.50)")
+    ap.add_argument("--min-p99-us", type=float, default=200.0,
+                    help="ignore p99 rows below this floor in "
+                         "microseconds (default 200)")
     ap.add_argument("--summary", default=None,
                     help="append a markdown comparison table to this file "
                          "(e.g. $GITHUB_STEP_SUMMARY)")
@@ -150,7 +169,8 @@ def main(argv=None):
             # gate — make that loss visible, like the missing-row notice.
             for metric in ("wall_seconds", "rounds_per_update",
                            "waves_pipelined", "deferred_updates",
-                           "cascade_rounds"):
+                           "cascade_rounds", "query_rounds_per_batch",
+                           "p99_us"):
                 if brow.get(metric) is not None and \
                         crow.get(metric) is None:
                     print(f"bench_trend: {name}: {label}: baseline has "
@@ -247,15 +267,54 @@ def main(argv=None):
                         (name, label, "cascade rounds/batch",
                          f"{bpb:.3f} -> {cpb:.3f}"))
 
+            # Serving query rounds per batch: the read path is O(1)
+            # rounds by construction, so this is as deterministic as
+            # rounds/update and gated just as tightly.
+            bq, cq = (brow.get("query_rounds_per_batch"),
+                      crow.get("query_rounds_per_batch"))
+            qrounds_note = "-"
+            if bq is not None and cq is not None:
+                qrounds_note = f"{bq:.2f} -> {cq:.2f}"
+                if bq > 0 and \
+                        cq > bq * (1.0 + args.max_query_rounds_regress):
+                    row_bad.append("query rounds/batch")
+                    regressions.append(
+                        (name, label, "query rounds/batch",
+                         f"{bq:.3f} -> {cq:.3f}"))
+
+            # Serving p99 query latency: noisy like wall-clock, so it
+            # gets the same noise floor (sub-floor rows ignored unless
+            # they grew past the floor) and the same cores-changed skip.
+            bp, cp = brow.get("p99_us"), crow.get("p99_us")
+            p99_note = "-"
+            if bp is not None and cp is not None:
+                if (bcores is not None and ccores is not None and
+                        bcores != ccores):
+                    p99_note = f"skipped (cores {bcores} -> {ccores})"
+                    print(f"bench_trend: {name}: {label}: core count "
+                          f"changed ({bcores} -> {ccores}) — p99 not "
+                          "compared")
+                elif bp >= args.min_p99_us or cp >= args.min_p99_us:
+                    p99_note = f"{bp:.0f}us -> {cp:.0f}us"
+                    if bp > 0 and cp > bp * (1.0 + args.max_p99_regress):
+                        row_bad.append("p99 latency")
+                        regressions.append(
+                            (name, label, "p99 latency",
+                             f"{bp:.1f}us -> {cp:.1f}us"))
+                else:
+                    p99_note = f"{bp:.0f}us -> {cp:.0f}us (sub-floor)"
+
             verdict = "REGRESSION: " + ", ".join(row_bad) if row_bad \
                 else "ok"
             marker = "  <-- REGRESSION" if row_bad else ""
             print(f"{name}: {label}: wall {wall_note}, r/u {rounds_note}, "
                   f"hit {rate_note}, deferred {deferred_note}, "
-                  f"cascade {cascade_note}{marker}")
+                  f"cascade {cascade_note}, q-rounds {qrounds_note}, "
+                  f"p99 {p99_note}{marker}")
             table.append((name.removeprefix("BENCH_").removesuffix(".json"),
                           label, wall_note, rounds_note, rate_note,
-                          deferred_note, cascade_note, verdict))
+                          deferred_note, cascade_note, qrounds_note,
+                          p99_note, verdict))
 
     if args.summary:
         with open(args.summary, "a") as f:
@@ -268,8 +327,9 @@ def main(argv=None):
                         "expired cache)._\n\n")
             else:
                 f.write("| bench | workload | wall | rounds/upd | "
-                        "pipe hit | deferred | cascade/batch | verdict |\n")
-                f.write("|---|---|---|---|---|---|---|---|\n")
+                        "pipe hit | deferred | cascade/batch | "
+                        "q-rounds/batch | p99 | verdict |\n")
+                f.write("|---|---|---|---|---|---|---|---|---|---|\n")
                 for row in table:
                     cells = " | ".join(str(c) for c in row)
                     f.write(f"| {cells} |\n")
@@ -286,7 +346,9 @@ def main(argv=None):
           f"{args.max_rounds_regress:.0%}, hit-rate drop "
           f"{args.max_hit_rate_drop:.2f}, deferred growth "
           f"{args.max_deferred_growth:.0%}, cascade growth "
-          f"{args.max_cascade_regress:.0%})")
+          f"{args.max_cascade_regress:.0%}, query rounds "
+          f"{args.max_query_rounds_regress:.0%}, p99 growth "
+          f"{args.max_p99_regress:.0%})")
     return 0
 
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the CI docs job.
+
+Scans markdown files for inline links (`[text](target)`), reference
+definitions (`[label]: target`) and wiki-style links (`[[target]]`),
+and fails when a relative target does not exist on disk or an anchor
+(`file.md#heading` / `#heading`) names no heading in the target file.
+
+External schemes (http/https/mailto) are NOT fetched — CI must not
+depend on the network — only their syntax is accepted.  Bare anchors
+are resolved against the file they appear in; GitHub's slug rules
+(lowercase, spaces to dashes, punctuation dropped, -N suffixes for
+duplicates) are approximated closely enough for the headings this repo
+writes.
+
+Usage:
+  check_links.py FILE.md [FILE.md ...]
+  check_links.py --root DIR        # every *.md under DIR (skips build*/)
+
+Exit codes: 0 clean, 1 dead links found, 2 no files to check.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# [text](target) — but not images' surrounding ! handling (an image's
+# relative src should exist on disk just the same).
+_INLINE = re.compile(r"\[(?:[^\]\[]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_WIKI = re.compile(r"\[\[([^\]|#]+)(?:#[^\]|]*)?(?:\|[^\]]*)?\]\]")
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+_INLINE_CODE = re.compile(r"`[^`\n]*`")
+
+
+def github_slug(heading, seen):
+    """Approximation of GitHub's heading-to-anchor slugger."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)        # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # strip links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    slug = text.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def anchors_of(path):
+    """Set of heading anchors of one markdown file."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    text = _FENCE.sub("", text)  # a '# comment' in a code fence is not a heading
+    seen = {}
+    return {github_slug(m.group(1), seen) for m in _HEADING.finditer(text)}
+
+
+def links_of(path):
+    """(target, line) pairs of every link in one markdown file."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    stripped = _FENCE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+    stripped = _INLINE_CODE.sub("", stripped)
+    out = []
+    for pattern in (_INLINE, _REFDEF, _WIKI):
+        for m in pattern.finditer(stripped):
+            line = stripped.count("\n", 0, m.start()) + 1
+            out.append((m.group(1), line))
+    return out
+
+
+def check_file(path, anchor_cache):
+    """List of (line, target, why) problems in one markdown file."""
+    problems = []
+    base = os.path.dirname(os.path.abspath(path))
+    for target, line in links_of(path):
+        if _SCHEME.match(target):
+            continue  # external scheme: syntax-only
+        ref, _, anchor = target.partition("#")
+        if ref:
+            dest = os.path.normpath(os.path.join(base, ref))
+            if not os.path.exists(dest):
+                problems.append((line, target, "file does not exist"))
+                continue
+        else:
+            dest = os.path.abspath(path)  # bare '#anchor'
+        if anchor:
+            if not os.path.isfile(dest) or not dest.endswith((".md", ".MD")):
+                continue  # anchors into non-markdown are not checkable
+            if dest not in anchor_cache:
+                anchor_cache[dest] = anchors_of(dest)
+            if anchor.lower() not in anchor_cache[dest]:
+                problems.append((line, target, "anchor not found"))
+    return problems
+
+
+def discover(root):
+    """Every tracked-looking *.md under root, build trees skipped."""
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith((".", "build")) and
+                       d not in ("node_modules", "_deps")]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="*", help="markdown files to check")
+    ap.add_argument("--root", default=None,
+                    help="check every *.md under this directory instead")
+    args = ap.parse_args(argv)
+
+    files = list(args.files)
+    if args.root:
+        files.extend(discover(args.root))
+    if not files:
+        print("check_links: no markdown files to check", file=sys.stderr)
+        return 2
+
+    anchor_cache = {}
+    dead = 0
+    for path in files:
+        for line, target, why in check_file(path, anchor_cache):
+            print(f"{path}:{line}: dead link '{target}' ({why})",
+                  file=sys.stderr)
+            dead += 1
+    if dead:
+        print(f"check_links: {dead} dead link(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_links: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

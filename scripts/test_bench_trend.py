@@ -23,7 +23,7 @@ _SPEC.loader.exec_module(bench_trend)
 
 def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
              xb_misses=None, deferred=None, n=None, cascade=None,
-             batches=None, cores=None):
+             batches=None, cores=None, qrounds=None, p99=None):
     row = {"name": name, "wall_seconds": wall}
     if n is not None:
         row["n"] = n
@@ -41,6 +41,10 @@ def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
         row["batches"] = batches if batches is not None else 100
     if cores is not None:
         row["cores"] = cores
+    if qrounds is not None:
+        row["query_rounds_per_batch"] = qrounds
+    if p99 is not None:
+        row["p99_us"] = p99
     return row
 
 
@@ -174,6 +178,73 @@ class BenchTrendTest(unittest.TestCase):
         self.assertEqual(self.gate(), 0)
         self.write(self.current, [make_row("w", cascade=100, batches=100)])
         self.assertEqual(self.gate(), 1)
+
+    def test_query_rounds_per_batch_regression_fails(self):
+        # The serving read path is O(1) rounds by construction, so this
+        # is deterministic and gated as tightly as rounds/update.
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", qrounds=6.0)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", qrounds=6.5)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 1)
+
+    def test_query_rounds_within_tolerance_passes(self):
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", qrounds=6.0)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", qrounds=6.2)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 0)
+
+    def test_p99_latency_regression_fails(self):
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", p99=1000.0)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", p99=2000.0)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 1)
+
+    def test_p99_within_noise_tolerance_passes(self):
+        # 30% latency growth is inside the 50% noise allowance.
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", p99=1000.0)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", p99=1300.0)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 0)
+
+    def test_sub_floor_p99_noise_is_ignored(self):
+        # A 2x swing on a sub-200us row is scheduler weather, but a row
+        # that grows PAST the floor is still gated.
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", p99=50.0)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", p99=100.0)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 0)
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", p99=900.0)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 1)
+
+    def test_p99_skipped_when_core_counts_differ(self):
+        # Latency measured on different hardware says nothing about the
+        # code — but the deterministic query-rounds gate still applies.
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", p99=1000.0,
+                             qrounds=6.0, cores=4)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", p99=4000.0,
+                             qrounds=6.0, cores=16)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 0)
 
     def test_wall_clock_skipped_when_core_counts_differ(self):
         # A 4-core baseline vs a 16-core runner: the 2x wall-clock swing

@@ -55,6 +55,16 @@ enum Tag : Word {
   kLinkGrant,
   kLinkBcast,
   kMergeDesc,
+  // Read-only query batches (answer_queries): path-weight queries are
+  // scattered to per-query coordinators, which broadcast the endpoints
+  // for the shard scans, fold the scan replies, broadcast the resolved
+  // tour intervals, fold the local path sums, and return the answers to
+  // the ingress.  Connectivity-only queries reuse kQuery/kQueryReply.
+  kQueryScanBcast,
+  kQueryScanReply,
+  kQuerySumBcast,
+  kQuerySumReply,
+  kQueryAnswer,
 };
 
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -811,6 +821,32 @@ std::optional<DynamicForest::EdgeRec> DynamicForest::path_max_local(
   return es.get(static_cast<std::size_t>(best_slot));
 }
 
+Weight DynamicForest::path_weight_local(MachineId m, Word comp, Word fx,
+                                        Word lx, Word fy, Word ly) const {
+  const EdgeShard& es = machines_[m].edges;
+  Weight sum = 0;
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    if (es.tree[i] == 0 || es.comp[i] != comp) continue;
+    const Word u_lo = std::min(es.iu1[i], es.iu2[i]);
+    const Word u_hi = std::max(es.iu1[i], es.iu2[i]);
+    const Word v_lo = std::min(es.iv1[i], es.iv2[i]);
+    const Word v_hi = std::max(es.iv1[i], es.iv2[i]);
+    Word f_c, l_c;
+    if (u_lo > v_lo) {
+      f_c = u_lo;
+      l_c = u_hi;
+    } else {
+      f_c = v_lo;
+      l_c = v_hi;
+    }
+    const bool anc_x = f_c <= fx && lx <= l_c;
+    const bool anc_y = f_c <= fy && ly <= l_c;
+    if (anc_x == anc_y) continue;  // not on the tree path
+    sum += es.w[i];
+  }
+  return sum;
+}
+
 void DynamicForest::insert_impl(VertexId x, VertexId y, Weight w) {
   Prep p = prepare(x, y);
   if (p.edge_exists) return;  // duplicate insertion is a no-op
@@ -894,21 +930,186 @@ void DynamicForest::erase(VertexId x, VertexId y) {
 }
 
 bool DynamicForest::connected(VertexId u, VertexId v) {
-  cluster_->begin_update();
-  cluster_->send(0, vertex_machine(u), kQuery, {u});
-  if (vertex_machine(v) != vertex_machine(u)) {
-    cluster_->send(0, vertex_machine(v), kQuery, {v});
+  const ReadQuery q{QueryKind::kConnected, u, v};
+  return answer_queries(std::span<const ReadQuery>(&q, 1))[0].connected;
+}
+
+std::vector<ReadAnswer> DynamicForest::answer_queries(
+    std::span<const ReadQuery> queries) {
+  std::vector<ReadAnswer> answers(queries.size());
+  if (queries.empty()) return answers;
+  // Chunk the batch so no machine's round traffic can exceed the S-word
+  // cap even in the worst case (every tree edge of every queried
+  // component on one machine): a connectivity query costs <= 6
+  // ingress-side words, a path-weight query up to ~19 words per scan
+  // reply at its coordinator, so they are budgeted 1 and 4 units
+  // against an S/16-unit chunk.  Rounds stay O(1) per chunk and the
+  // broker bounds batch sizes, so served batches are one chunk each.
+  const auto cap = static_cast<std::size_t>(cluster_->machine_capacity());
+  const std::size_t budget = std::max<std::size_t>(4, cap / 16);
+  auto unit_cost = [](const ReadQuery& q) -> std::size_t {
+    return q.kind == QueryKind::kPathWeight ? 4 : 1;
+  };
+  std::size_t begin = 0;
+  std::size_t units = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::size_t cost = unit_cost(queries[i]);
+    if (units + cost > budget && i > begin) {
+      answer_query_chunk(queries.subspan(begin, i - begin),
+                         std::span<ReadAnswer>(answers).subspan(begin,
+                                                                i - begin));
+      begin = i;
+      units = 0;
+    }
+    units += cost;
+  }
+  answer_query_chunk(queries.subspan(begin),
+                     std::span<ReadAnswer>(answers).subspan(begin));
+  return answers;
+}
+
+void DynamicForest::answer_query_chunk(std::span<const ReadQuery> qs,
+                                       std::span<ReadAnswer> out) {
+  const std::size_t mu = machines_.size();
+  cluster_->begin_query_batch();
+
+  // Plan host-side: unique connectivity endpoints grouped by their home
+  // machines, and one coordinator per path-weight query (round-robin,
+  // so scan-reply folds spread across the cluster).
+  std::vector<std::vector<VertexId>> lookups(mu);
+  std::set<VertexId> seen;
+  struct PathQ {
+    std::size_t pos;
+    MachineId coord;
+  };
+  std::vector<PathQ> paths;
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const ReadQuery& q = qs[i];
+    out[i] = ReadAnswer{};
+    if (q.u == q.v) {
+      out[i].connected = true;  // empty path, weight 0
+      continue;
+    }
+    if (q.kind == QueryKind::kPathWeight) {
+      paths.push_back({i, static_cast<MachineId>(paths.size() % mu)});
+      continue;  // the scan replies carry the component ids
+    }
+    for (const VertexId vtx : {q.u, q.v}) {
+      if (seen.insert(vtx).second) lookups[vertex_machine(vtx)].push_back(vtx);
+    }
+  }
+
+  // Round 1: the ingress scatters each connectivity endpoint to its
+  // home machine and each path query to its coordinator.
+  for (MachineId m = 0; m < mu; ++m) {
+    for (const VertexId vtx : lookups[m]) cluster_->send(0, m, kQuery, {vtx});
+  }
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    const ReadQuery& q = qs[paths[k].pos];
+    cluster_->send(0, paths[k].coord, kQueryScanBcast,
+                   {static_cast<Word>(k), q.u, q.v});
   }
   cluster_->finish_round();
-  const Word cu = machines_[vertex_machine(u)].vertices.at(u).comp;
-  const Word cv = machines_[vertex_machine(v)].vertices.at(v).comp;
-  cluster_->send(vertex_machine(u), 0, kQueryReply, {u, cu});
-  if (vertex_machine(v) != vertex_machine(u)) {
-    cluster_->send(vertex_machine(v), 0, kQueryReply, {v, cv});
+
+  // Round 2: home machines reply the component ids; path coordinators
+  // broadcast their queries' endpoints for the shard scans.
+  cluster_->for_each_machine([&](MachineId m) {
+    for (const VertexId vtx : lookups[m]) {
+      cluster_->send(m, 0, kQueryReply,
+                     {vtx, machines_[m].vertices.at(vtx).comp});
+    }
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      if (paths[k].coord != m) continue;
+      const ReadQuery& q = qs[paths[k].pos];
+      for (MachineId to = 0; to < mu; ++to) {
+        cluster_->send(m, to, kQueryScanBcast,
+                       {static_cast<Word>(k), q.u, q.v});
+      }
+    }
+  });
+  cluster_->finish_round();
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const ReadQuery& q = qs[i];
+    if (q.u == q.v || q.kind == QueryKind::kPathWeight) continue;
+    out[i].connected =
+        machines_[vertex_machine(q.u)].vertices.at(q.u).comp ==
+        machines_[vertex_machine(q.v)].vertices.at(q.v).comp;
+  }
+  if (paths.empty()) {
+    cluster_->end_query_batch(qs.size());
+    return;
+  }
+
+  // Round 3: every machine scans its shard once per path query and
+  // stages the f/l + component contributions to the query's coordinator.
+  std::vector<std::vector<EndpointScan>> scans(mu);
+  cluster_->for_each_machine([&](MachineId m) {
+    scans[m].resize(paths.size());
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      const ReadQuery& q = qs[paths[k].pos];
+      scans[m][k] = scan_endpoints(m, q.u, q.v);
+      std::vector<Word> reply = scan_reply(scans[m][k]);
+      if (!reply.empty()) {
+        reply.insert(reply.begin(), static_cast<Word>(k));
+        cluster_->send(m, paths[k].coord, kQueryScanReply, reply);
+      }
+    }
+  });
+  cluster_->finish_round();
+  std::vector<Prep> preps(paths.size());
+  {
+    std::vector<EndpointScan> column(mu);
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      for (MachineId m = 0; m < mu; ++m) column[m] = scans[m][k];
+      preps[k] = fold_scans(column);
+      out[paths[k].pos].connected = preps[k].cx == preps[k].cy;
+    }
+  }
+
+  // Round 4: coordinators broadcast the connected queries' resolved
+  // tour intervals for the local path sums.
+  cluster_->for_each_machine([&](MachineId m) {
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      if (paths[k].coord != m || !out[paths[k].pos].connected) continue;
+      const Prep& p = preps[k];
+      for (MachineId to = 0; to < mu; ++to) {
+        cluster_->send(m, to, kQuerySumBcast,
+                       {static_cast<Word>(k), p.cx, p.fx, p.lx, p.fy, p.ly});
+      }
+    }
+  });
+  cluster_->finish_round();
+
+  // Round 5: local path sums (ancestor-XOR criterion, summed) back to
+  // the coordinators.
+  std::vector<std::vector<Weight>> sums(mu);
+  cluster_->for_each_machine([&](MachineId m) {
+    sums[m].assign(paths.size(), 0);
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      if (!out[paths[k].pos].connected) continue;
+      const Prep& p = preps[k];
+      sums[m][k] = path_weight_local(m, p.cx, p.fx, p.lx, p.fy, p.ly);
+      if (sums[m][k] != 0) {
+        cluster_->send(m, paths[k].coord, kQuerySumReply,
+                       {static_cast<Word>(k), sums[m][k]});
+      }
+    }
+  });
+  cluster_->finish_round();
+
+  // Round 6: coordinators fold the sums and return the answers to the
+  // ingress.
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    ReadAnswer& a = out[paths[k].pos];
+    if (a.connected) {
+      for (MachineId m = 0; m < mu; ++m) a.path_weight += sums[m][k];
+    }
+    cluster_->send(paths[k].coord, 0, kQueryAnswer,
+                   {static_cast<Word>(k), a.connected ? Word{1} : Word{0},
+                    a.path_weight});
   }
   cluster_->finish_round();
-  cluster_->end_update();
-  return cu == cv;
+  cluster_->end_query_batch(qs.size());
 }
 
 // ---------------------------------------------------------------------------

@@ -149,6 +149,30 @@ struct DynForestConfig {
   bool speculate_deep = true;
 };
 
+/// What a read-only serving query asks of the forest.
+enum class QueryKind : std::uint8_t {
+  kConnected,   ///< are u and v in the same component?
+  kPathWeight,  ///< total weight of the tree path u..v (0 if disconnected)
+};
+
+/// One read-only query.  Answered purely from the distributed directory
+/// and edge records — no split/join/cascade participation, no state
+/// writes — so whole batches share a constant number of rounds
+/// (answer_queries).
+struct ReadQuery {
+  QueryKind kind = QueryKind::kConnected;
+  VertexId u = 0;
+  VertexId v = 0;
+};
+
+/// Answer to one ReadQuery.  path_weight is meaningful only for
+/// kPathWeight queries on connected endpoints; it is 0 otherwise (and 0
+/// for u == v, whose path is empty).
+struct ReadAnswer {
+  bool connected = false;
+  Weight path_weight = 0;
+};
+
 class DynamicForest {
  public:
   explicit DynamicForest(const DynForestConfig& config);
@@ -217,8 +241,24 @@ class DynamicForest {
     return batch_stats_;
   }
 
-  /// Connectivity query (2 rounds through the ingress).
+  /// Connectivity query: a one-element answer_queries batch (2 rounds
+  /// through the ingress, accounted as a query batch, not an update).
   bool connected(VertexId u, VertexId v);
+
+  /// Answers a batch of read-only queries in O(1) rounds, sharing the
+  /// round structure across the whole batch: one ingress scatter of the
+  /// endpoints to their home machines and one component-id reply round
+  /// for connectivity; path-weight queries add a coordinator-scattered
+  /// endpoint broadcast, a shard-scan reply round, an interval
+  /// broadcast, a local path-sum reply round (the path-max ancestor-XOR
+  /// criterion with + instead of max), and a coordinator-to-ingress
+  /// answer round.  The batch is internally chunked so no machine
+  /// exceeds its S-word round cap; every chunk is bracketed by
+  /// begin_query_batch()/end_query_batch(), so query rounds settle into
+  /// Metrics::query_aggregate() and NEVER touch the update accounting
+  /// (worst_rounds stays <= 6 regardless of batch size).  Reads only:
+  /// no machine state is written and cross-batch carries survive.
+  std::vector<ReadAnswer> answer_queries(std::span<const ReadQuery> queries);
 
   [[nodiscard]] std::size_t num_machines() const;
   [[nodiscard]] dmpc::Cluster& cluster() { return *cluster_; }
@@ -680,6 +720,15 @@ class DynamicForest {
   [[nodiscard]] std::optional<EdgeRec> path_max_local(MachineId m, Word comp,
                                                       Word fx, Word lx,
                                                       Word fy, Word ly) const;
+
+  /// Sum of this machine's tree-edge weights on the x..y path (the
+  /// path-max ancestor-XOR criterion, folded with + instead of max).
+  [[nodiscard]] Weight path_weight_local(MachineId m, Word comp, Word fx,
+                                         Word lx, Word fy, Word ly) const;
+
+  /// One comm-cap-safe chunk of answer_queries; writes answers in place.
+  void answer_query_chunk(std::span<const ReadQuery> queries,
+                          std::span<ReadAnswer> answers);
   /// Rounds 1-3 of a group run: scatter to coordinators (assigns
   /// split-off component ids, so the group is mutated), endpoint
   /// broadcasts, and the shard-scan replies folded into per-update

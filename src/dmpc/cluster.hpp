@@ -127,6 +127,15 @@ class Cluster {
   void begin_update() { metrics_.begin_update(); }
   UpdateRecord end_update() { return metrics_.end_update(); }
 
+  /// Brackets one read-only query batch (the serving layer's shared
+  /// directory lookups): rounds inside are recorded exactly like update
+  /// rounds but settle into Metrics::query_aggregate(), so the read
+  /// path never counts against the Table-1 update accounting.
+  void begin_query_batch() { metrics_.begin_query_batch(); }
+  UpdateRecord end_query_batch(std::uint64_t queries) {
+    return metrics_.end_query_batch(queries);
+  }
+
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   Metrics& metrics() { return metrics_; }
 

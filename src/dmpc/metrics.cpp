@@ -33,7 +33,9 @@ void Metrics::reset() {
   current_ = UpdateRecord{};
   last_update_ = UpdateRecord{};
   in_update_ = false;
+  in_query_ = false;
   aggregate_ = UpdateAggregate{};
+  query_agg_ = QueryAggregate{};
   pair_traffic_.clear();
 }
 

@@ -65,6 +65,26 @@ struct UpdateAggregate {
   }
 };
 
+/// Aggregate over read-only query batches (the serving layer's
+/// connected?/path-weight lookups).  Kept apart from UpdateAggregate so
+/// the O(1)-round read path never pollutes the Table-1 update
+/// accounting: a query batch is answered purely from the directory and
+/// must not count as an update, nor shift the update worst cases.
+struct QueryAggregate {
+  std::uint64_t batches = 0;  ///< query batches executed
+  std::uint64_t queries = 0;  ///< individual queries answered
+  std::uint64_t total_rounds = 0;
+  std::uint64_t worst_rounds = 0;  ///< max rounds of any one batch
+  std::uint64_t worst_active_machines = 0;
+  WordCount total_comm_words = 0;
+
+  [[nodiscard]] double mean_rounds_per_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(total_rounds) /
+                              static_cast<double>(batches);
+  }
+};
+
 /// Scheduling statistics of a batch-update planner: how apply_batch
 /// partitioned its batches into shared-round groups, how much fell back
 /// to the serial per-update protocols, and how much ran out of order.
@@ -162,6 +182,36 @@ class Metrics {
     return current_;
   }
 
+  /// Read-only query batches use the same per-round recording as
+  /// updates (record_round branches on in_update_) but settle into the
+  /// separate QueryAggregate: begin/end bracket one O(1)-round batch of
+  /// `queries` directory lookups.  Never nest with begin_update().
+  void begin_query_batch() {
+    current_ = UpdateRecord{};
+    in_update_ = true;
+    in_query_ = true;
+  }
+
+  UpdateRecord end_query_batch(std::uint64_t queries) {
+    in_update_ = false;
+    in_query_ = false;
+    ++query_agg_.batches;
+    query_agg_.queries += queries;
+    query_agg_.total_rounds += current_.rounds;
+    if (current_.rounds > query_agg_.worst_rounds) {
+      query_agg_.worst_rounds = current_.rounds;
+    }
+    if (current_.max_active_machines > query_agg_.worst_active_machines) {
+      query_agg_.worst_active_machines = current_.max_active_machines;
+    }
+    query_agg_.total_comm_words += current_.total_comm_words;
+    return current_;
+  }
+
+  /// Whether the rounds being recorded belong to a query batch (the
+  /// serving read path) rather than an update.
+  [[nodiscard]] bool in_query_batch() const { return in_query_; }
+
   void record_round(const RoundRecord& r) { record_rounds(r, 1); }
 
   /// Records `count` identical rounds at once (the Section 7 reduction
@@ -216,6 +266,9 @@ class Metrics {
     return current_.rounds;
   }
   [[nodiscard]] const UpdateAggregate& aggregate() const { return aggregate_; }
+  [[nodiscard]] const QueryAggregate& query_aggregate() const {
+    return query_agg_;
+  }
   [[nodiscard]] const UpdateRecord& last_update() const {
     return last_update_;
   }
@@ -247,7 +300,9 @@ class Metrics {
   UpdateRecord current_{};
   UpdateRecord last_update_{};
   bool in_update_ = false;
+  bool in_query_ = false;
   UpdateAggregate aggregate_{};
+  QueryAggregate query_agg_{};
   std::unordered_map<std::uint64_t, WordCount> pair_traffic_;
 };
 

@@ -1,6 +1,7 @@
 #include "graph/update_stream.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <set>
@@ -292,6 +293,108 @@ UpdateStream weighted_interleaved_delete_stream(std::size_t n,
     }
     for (const EdgeKey& k : burst) {
       out.push_back({UpdateKind::kInsert, k.u, k.v, path_weight.at(k)});
+    }
+  }
+  return out;
+}
+
+MixedStream zipfian_serving_stream(const ZipfianServingConfig& config) {
+  MixedStream out;
+  out.reserve(config.length);
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Contiguous vertex blocks [lo, hi), each wired into one component by
+  // the build-phase path below.
+  const std::size_t blocks =
+      std::max<std::size_t>(1, std::min(config.blocks, config.n / 2));
+  const std::size_t block_size = config.n / blocks;
+  std::vector<std::pair<VertexId, VertexId>> range(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto lo = static_cast<VertexId>(b * block_size);
+    const auto hi = static_cast<VertexId>(
+        b + 1 == blocks ? config.n : (b + 1) * block_size);
+    range[b] = {lo, hi};
+  }
+
+  // Zipf(s) block popularity: cumulative 1/(b+1)^s masses, sampled by
+  // binary search on a uniform draw.
+  std::vector<double> cdf(blocks);
+  double mass = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    mass += 1.0 / std::pow(static_cast<double>(b + 1), config.zipf_s);
+    cdf[b] = mass;
+  }
+  auto pick_block = [&]() -> std::size_t {
+    const double d = coin(rng) * mass;
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), d) - cdf.begin());
+  };
+  auto pick_vertex = [&](std::size_t b) -> VertexId {
+    std::uniform_int_distribution<VertexId> dist(range[b].first,
+                                                 range[b].second - 1);
+    return dist(rng);
+  };
+
+  // Build phase: a path through every block, so each block is one
+  // component and stays one (chord churn below never touches the path).
+  for (std::size_t b = 0; b < blocks && out.size() < config.length; ++b) {
+    for (VertexId u = range[b].first;
+         u + 1 < range[b].second && out.size() < config.length; ++u) {
+      out.push_back(
+          {MixedKind::kUpdate, u, u + 1, 1, UpdateKind::kInsert});
+    }
+  }
+
+  // Main phase: bursts of queries or chord updates, Zipf-skewed.
+  std::set<EdgeKey> chords;
+  auto query_op = [&]() -> MixedOp {
+    const std::size_t b = pick_block();
+    const VertexId u = pick_vertex(b);
+    const std::size_t b2 =
+        coin(rng) < config.cross_block_fraction ? pick_block() : b;
+    const VertexId v = pick_vertex(b2);
+    const MixedKind kind = coin(rng) < config.path_query_fraction
+                               ? MixedKind::kPathWeight
+                               : MixedKind::kConnected;
+    return {kind, u, v, 0, UpdateKind::kInsert};
+  };
+  auto update_op = [&]() -> MixedOp {
+    const std::size_t b = pick_block();
+    // Half the effective updates delete a present chord (when one
+    // exists), the rest insert a new one; path edges are off limits, so
+    // the block's component never fragments.
+    if (!chords.empty() && coin(rng) < 0.5) {
+      auto it = chords.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng() % static_cast<std::uint64_t>(chords.size())));
+      const EdgeKey k = *it;
+      chords.erase(it);
+      return {MixedKind::kUpdate, k.u, k.v, 0, UpdateKind::kDelete};
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const VertexId u = pick_vertex(b);
+      const VertexId v = pick_vertex(b);
+      if (u == v || (std::max(u, v) - std::min(u, v)) == 1) continue;
+      const EdgeKey k(u, v);
+      if (!chords.insert(k).second) continue;
+      return {MixedKind::kUpdate, k.u, k.v, 1, UpdateKind::kInsert};
+    }
+    // Dense corner: fall back to re-inserting a path edge — a no-op the
+    // consumers tolerate (apply_batch classifies it away).
+    std::uniform_int_distribution<VertexId> dist(range[b].first,
+                                                 range[b].second - 2);
+    const VertexId u = dist(rng);
+    return {MixedKind::kUpdate, u, u + 1, 1, UpdateKind::kInsert};
+  };
+  std::uniform_int_distribution<std::size_t> burst_len(
+      1, std::max<std::size_t>(1, 2 * config.burst - 1));
+  while (out.size() < config.length) {
+    const bool query_burst = coin(rng) < config.query_fraction;
+    const std::size_t len =
+        std::min(burst_len(rng), config.length - out.size());
+    for (std::size_t i = 0; i < len; ++i) {
+      out.push_back(query_burst ? query_op() : update_op());
     }
   }
   return out;

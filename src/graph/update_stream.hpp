@@ -88,6 +88,55 @@ UpdateStream weighted_interleaved_delete_stream(std::size_t n,
                                                 std::size_t chords_per_path,
                                                 std::uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Mixed query/update traffic (the serving layer's workload)
+// ---------------------------------------------------------------------------
+
+/// One operation of a mixed serving stream: a graph update or a
+/// read-only query (answered by serve::QueryBroker through
+/// core::DynamicForest::answer_queries).
+enum class MixedKind : std::uint8_t { kUpdate, kConnected, kPathWeight };
+
+struct MixedOp {
+  MixedKind kind = MixedKind::kConnected;
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight w = 1;                             ///< kUpdate inserts only
+  UpdateKind update = UpdateKind::kInsert;  ///< kUpdate ops only
+
+  /// The graph update carried by a kUpdate op.
+  [[nodiscard]] Update as_update() const { return {update, u, v, w}; }
+};
+
+using MixedStream = std::vector<MixedOp>;
+
+struct ZipfianServingConfig {
+  std::size_t n = std::size_t{1} << 16;  ///< vertices
+  std::size_t length = 1'000'000;        ///< total ops (build phase included)
+  /// Hot components: the vertex range is cut into this many contiguous
+  /// blocks, each wired into one component by a build-phase path; block
+  /// popularity is Zipf(zipf_s)-distributed, so a handful of components
+  /// absorb most of the traffic (skewed hot set).
+  std::size_t blocks = 64;
+  double zipf_s = 1.1;
+  double query_fraction = 0.95;       ///< target fraction of query ops
+  double path_query_fraction = 0.10;  ///< queries asking path weight
+  /// Queries picking their second endpoint from an independently drawn
+  /// block (usually a different component, so the answer is "not
+  /// connected").
+  double cross_block_fraction = 0.25;
+  std::size_t burst = 32;  ///< mean run length of same-kind ops (bursty)
+  std::uint64_t seed = 42;
+};
+
+/// Zipfian/bursty mixed query-update stream: a build phase wires every
+/// block into one component, then alternating bursts of queries and
+/// chord updates, all block choices Zipf-skewed.  Chord updates insert
+/// or delete non-path edges inside a block, so the hot components churn
+/// while the build paths keep each block connected.  Deterministic for
+/// a fixed config.
+MixedStream zipfian_serving_stream(const ZipfianServingConfig& config);
+
 /// Applies one update to g; returns false if it was a no-op (insert of a
 /// present edge / delete of an absent one).  The dynamic algorithms'
 /// insert/erase preconditions forbid no-ops, so shadow-graph consumers

@@ -145,6 +145,9 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
     // checkpoint and silently skips the final one.
     at_checkpoint = false;
     ++report_.batches;
+    for (const auto& fn : batch_commit_fns_) {
+      fn(report_.batches, lag_shadow_ ? *lag_shadow_ : shadow_);
+    }
     for (const auto& fn : batch_end_fns_) fn();
     if (config_.checkpoint_every != 0 &&
         ++batches_since_checkpoint >= config_.checkpoint_every) {

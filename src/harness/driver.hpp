@@ -270,6 +270,20 @@ class Driver {
     batch_end_fns_.push_back(std::move(fn));
   }
 
+  /// Called the moment a batch COMMITS — after the algorithms applied
+  /// it and the committed (lagged, in lookahead mode) shadow advanced,
+  /// before the on_batch_end hooks and any checkpoint.  `epoch` is the
+  /// number of committed batches so far and `committed` is the graph at
+  /// exactly that epoch: the serving layer's interleave point — a
+  /// QueryBroker drains its pending read-only query batch here, in the
+  /// bubble between two update stages, and stamps the answers with
+  /// `epoch` (snapshot consistency: a query never observes a
+  /// half-committed stage because the hook only fires between stages).
+  void on_batch_commit(
+      std::function<void(std::size_t, const graph::DynamicGraph&)> fn) {
+    batch_commit_fns_.push_back(std::move(fn));
+  }
+
   /// Polled after every checkpoint; when it returns true, run() returns
   /// early.  Lets gtest consumers abort on the first fatal assertion
   /// recorded inside a checkpoint callback (ASSERT_* only exits the
@@ -322,6 +336,8 @@ class Driver {
   std::vector<Handle> handles_;
   std::vector<CheckpointFn> checkpoint_fns_;
   std::vector<std::function<void()>> batch_end_fns_;
+  std::vector<std::function<void(std::size_t, const graph::DynamicGraph&)>>
+      batch_commit_fns_;
   std::function<bool()> stop_when_;
   DriverReport report_;
 };

@@ -1,0 +1,149 @@
+#include "serve/query_broker.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "harness/driver.hpp"
+
+namespace serve {
+
+std::optional<QueryId> ClientSession::connected(VertexId u, VertexId v) {
+  return broker_->submit_query({core::QueryKind::kConnected, u, v});
+}
+
+std::optional<QueryId> ClientSession::path_weight(VertexId u, VertexId v) {
+  return broker_->submit_query({core::QueryKind::kPathWeight, u, v});
+}
+
+std::optional<ServedAnswer> ClientSession::poll(QueryId id) {
+  return broker_->try_answer(id);
+}
+
+QueryBroker::QueryBroker(core::DynamicForest& forest, ServingConfig config)
+    : forest_(forest), config_(config) {}
+
+ClientSession QueryBroker::session() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions_opened;
+  }
+  return ClientSession(this);
+}
+
+std::optional<QueryId> QueryBroker::submit_query(const ReadQuery& query) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (pending_queries_.size() >= config_.max_pending_queries) {
+    ++stats_.queries_shed;
+    return std::nullopt;
+  }
+  const QueryId id = next_id_++;
+  pending_queries_.push_back({id, query, std::chrono::steady_clock::now()});
+  return id;
+}
+
+bool QueryBroker::submit_update(const graph::Update& update) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (pending_updates_.size() >= config_.max_pending_updates) {
+    ++stats_.updates_rejected;
+    return false;
+  }
+  pending_updates_.push_back(update);
+  ++stats_.updates_enqueued;
+  return true;
+}
+
+std::optional<ServedAnswer> QueryBroker::try_answer(QueryId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = answered_.find(id);
+  if (it == answered_.end()) return std::nullopt;
+  ServedAnswer out = it->second;
+  answered_.erase(it);
+  return out;
+}
+
+void QueryBroker::pump() {
+  // Stage 1: commit at most one update batch drained from the bounded
+  // queue.  apply_batch tolerates no-op updates (duplicate inserts,
+  // absent erases), so the raw queue is applied verbatim.
+  std::vector<graph::Update> batch;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    while (!pending_updates_.empty()) {
+      batch.push_back(pending_updates_.front());
+      pending_updates_.pop_front();
+    }
+  }
+  if (!batch.empty()) {
+    forest_.apply_batch(std::span<const graph::Update>(batch));
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+    ++stats_.update_batches;
+    stats_.updates_applied += batch.size();
+  }
+  // Stage 2: the bubble between update batches — answer the backlog.
+  drain_queries();
+}
+
+void QueryBroker::attach(harness::Driver& driver) {
+  driver.on_batch_commit(
+      [this](std::size_t epoch, const graph::DynamicGraph& /*committed*/) {
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          epoch_ = epoch;
+        }
+        drain_queries();
+      });
+}
+
+std::size_t QueryBroker::epoch() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+ServingStats QueryBroker::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void QueryBroker::drain_queries() {
+  std::vector<PendingQuery> backlog;
+  std::size_t epoch = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    backlog.swap(pending_queries_);
+    epoch = epoch_;
+  }
+  if (backlog.empty()) return;
+  std::vector<ReadQuery> queries;
+  queries.reserve(std::min(backlog.size(), config_.max_query_batch));
+  for (std::size_t off = 0; off < backlog.size();
+       off += config_.max_query_batch) {
+    const std::size_t len =
+        std::min(config_.max_query_batch, backlog.size() - off);
+    queries.clear();
+    for (std::size_t i = 0; i < len; ++i) {
+      queries.push_back(backlog[off + i].query);
+    }
+    // The shared O(1)-round lookup: pure reads, outside the lock — the
+    // pending state was swapped out, so submissions keep flowing.
+    const std::vector<ReadAnswer> answers =
+        forest_.answer_queries(std::span<const ReadQuery>(queries));
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < len; ++i) {
+      const PendingQuery& pq = backlog[off + i];
+      ServedAnswer served;
+      served.answer = answers[i];
+      served.epoch = epoch;
+      served.latency_us =
+          std::chrono::duration<double, std::micro>(now - pq.submitted)
+              .count();
+      answered_.emplace(pq.id, served);
+    }
+    ++stats_.query_batches;
+    stats_.queries_answered += len;
+  }
+}
+
+}  // namespace serve

@@ -1,0 +1,177 @@
+// Connectivity-as-a-service: a read-dominated serving layer over
+// DynamicForest.
+//
+// The QueryBroker accepts concurrent client sessions issuing
+// connected?(u,v) / path-weight queries, batches them into shared
+// O(1)-round directory lookups (DynamicForest::answer_queries — pure
+// reads, no split/join/cascade participation), and interleaves those
+// query batches with update stages:
+//
+//   * standalone mode: the broker owns a bounded update queue and a
+//     single-threaded pump() that alternates one update batch
+//     (apply_batch) with the drained query backlog;
+//   * driver-attached mode (attach()): the broker registers a
+//     harness::Driver::on_batch_commit hook and drains its query
+//     backlog in the bubble between two committed update batches, so
+//     serving rides the driver's pipeline without touching its
+//     scheduling.
+//
+// Snapshot consistency: query batches only ever run between update
+// batches (never inside one), and every answer is stamped with the
+// EPOCH — the number of committed update batches — it observed.  A
+// client can therefore replay an oracle to exactly that epoch and
+// compare; a query never observes a half-committed stage.  In
+// driver-attached lookahead mode the epoch counts COMMITTED batches
+// (the lagged shadow's position), not the filter shadow's read-ahead.
+//
+// Admission control / backpressure: the update queue is bounded
+// (submit_update returns false when full — the caller must retry or
+// slow down) and the query backlog sheds above max_pending_queries
+// (submit_query returns nullopt); both are counted in ServingStats.
+//
+// Threading: submit/poll/stats are thread-safe (one mutex, swap-out
+// under lock).  The protocol itself runs on whichever single thread
+// calls pump() — or the driver's thread via the commit hook — because
+// DynamicForest is not thread-safe; never run both concurrently.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dyn_forest.hpp"
+#include "graph/update_stream.hpp"
+
+namespace harness {
+class Driver;
+}  // namespace harness
+
+namespace serve {
+
+using core::ReadAnswer;
+using core::ReadQuery;
+using dmpc::VertexId;
+
+/// Monotonic per-broker ticket identifying a submitted query.
+using QueryId = std::uint64_t;
+
+struct ServingConfig {
+  /// Queries per shared directory lookup handed to answer_queries at
+  /// once.  Kept at or below the forest's own comm-cap chunking so one
+  /// served batch is one O(1)-round protocol instance.
+  std::size_t max_query_batch = 256;
+  /// Query backlog bound: submissions above this are shed (admission
+  /// control; ServingStats::queries_shed).
+  std::size_t max_pending_queries = 4096;
+  /// Update queue bound (standalone mode): submit_update returns false
+  /// above this (backpressure; ServingStats::updates_rejected).  A
+  /// zero capacity rejects every update — a read-only replica.
+  std::size_t max_pending_updates = 1024;
+};
+
+/// Serving-layer counters (see docs/METRICS.md).
+struct ServingStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t queries_answered = 0;
+  std::uint64_t query_batches = 0;   ///< shared directory lookups issued
+  std::uint64_t queries_shed = 0;    ///< admissions rejected at the backlog cap
+  std::uint64_t updates_enqueued = 0;
+  std::uint64_t updates_rejected = 0;  ///< bounced off the bounded queue
+  std::uint64_t updates_applied = 0;
+  std::uint64_t update_batches = 0;  ///< standalone pump() apply_batch calls
+};
+
+/// A delivered answer: the payload plus the snapshot token and the
+/// submit-to-answer latency.
+struct ServedAnswer {
+  ReadAnswer answer;
+  std::size_t epoch = 0;    ///< committed update batches when answered
+  double latency_us = 0.0;  ///< submit() to answer deposit, wall time
+};
+
+class QueryBroker;
+
+/// A client's handle on the broker: issues queries, polls answers.
+/// Sessions are cheap value handles; many may exist concurrently and
+/// each may live on its own thread (the broker serializes internally).
+class ClientSession {
+ public:
+  /// Shed (nullopt) when the broker's query backlog is saturated.
+  std::optional<QueryId> connected(VertexId u, VertexId v);
+  std::optional<QueryId> path_weight(VertexId u, VertexId v);
+
+  /// Non-blocking: the answer if the ticket has been served (the ticket
+  /// is consumed), nullopt while still pending.
+  std::optional<ServedAnswer> poll(QueryId id);
+
+ private:
+  friend class QueryBroker;
+  explicit ClientSession(QueryBroker* broker) : broker_(broker) {}
+  QueryBroker* broker_;
+};
+
+class QueryBroker {
+ public:
+  /// The forest is not owned and must outlive the broker.  Its updates
+  /// must flow EITHER through submit_update/pump (standalone) OR
+  /// through an attached driver — never both.
+  explicit QueryBroker(core::DynamicForest& forest, ServingConfig config = {});
+
+  /// Opens a client session (thread-safe).
+  ClientSession session();
+
+  /// Thread-safe admission: nullopt = shed (backlog at capacity).
+  std::optional<QueryId> submit_query(const ReadQuery& query);
+
+  /// Thread-safe bounded enqueue (standalone mode): false = queue full,
+  /// caller owns the retry (backpressure).
+  bool submit_update(const graph::Update& update);
+
+  /// Thread-safe poll; consumes the ticket when an answer is returned.
+  std::optional<ServedAnswer> try_answer(QueryId id);
+
+  /// One service iteration (standalone mode, single pump thread):
+  /// applies at most one bounded batch drained from the update queue,
+  /// advancing the epoch, then answers the entire pending query backlog
+  /// in max_query_batch-sized shared lookups.
+  void pump();
+
+  /// Driver-attached mode: drain the query backlog at every batch
+  /// commit, in the pipeline bubble between update stages.  The broker
+  /// adopts the driver's committed-batch count as its epoch.
+  void attach(harness::Driver& driver);
+
+  /// Committed-update-batch count = the snapshot token stamped on
+  /// answers issued now (thread-safe).
+  [[nodiscard]] std::size_t epoch() const;
+
+  [[nodiscard]] ServingStats stats() const;
+
+ private:
+  struct PendingQuery {
+    QueryId id;
+    ReadQuery query;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  /// Swaps the backlog out under the lock, runs the shared lookups
+  /// outside it, deposits stamped answers back under the lock.
+  void drain_queries();
+
+  core::DynamicForest& forest_;
+  ServingConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<PendingQuery> pending_queries_;
+  std::deque<graph::Update> pending_updates_;
+  std::unordered_map<QueryId, ServedAnswer> answered_;
+  QueryId next_id_ = 0;
+  std::size_t epoch_ = 0;
+  ServingStats stats_;
+};
+
+}  // namespace serve
