@@ -19,10 +19,15 @@ namespace bench {
 
 /// The CLI surface every bench main shares: `--json <path>` writes the
 /// machine-readable report, `--check` makes budget violations fatal
-/// (exit 1) for the CI bench job.
+/// (exit 1) for the CI bench job, and `--faults <seed>` adds a
+/// fault-injected phase to benches that support one (bench_serving):
+/// a seeded dmpc::FaultInjector Bernoulli schedule fails update
+/// protocols mid-flight while the recovery stack keeps serving.
 struct CliArgs {
   std::string json_path;
   bool check = false;
+  bool faults = false;
+  std::uint64_t faults_seed = 0;
 };
 
 inline CliArgs parse_cli(int argc, char** argv) {
@@ -33,11 +38,14 @@ inline CliArgs parse_cli(int argc, char** argv) {
       args.json_path = argv[++i];
     } else if (a == "--check") {
       args.check = true;
+    } else if (a == "--faults" && i + 1 < argc) {
+      args.faults = true;
+      args.faults_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       // Fail loudly: a typo in the CI invocation must not silently run
       // the bench with the budget gate disabled.
       std::fprintf(stderr, "%s: unrecognized argument '%s'\nusage: %s "
-                           "[--json <path>] [--check]\n",
+                           "[--json <path>] [--check] [--faults <seed>]\n",
                    argv[0], a.c_str(), argv[0]);
       std::exit(2);
     }

@@ -30,7 +30,15 @@ and fails when any workload regressed:
     --max-p99-regress — latency is as noisy as wall-clock, so it gets
     the same treatment: sub-floor rows (both sides under --min-p99-us)
     are ignored unless the row grew PAST the floor, and rows whose
-    "cores" field changed are skipped.
+    "cores" field changed are skipped;
+  * the fault-free undo-journal overhead (journal_overhead_pct from
+    bench_serving's atomic-on vs atomic-off A/B timing) exceeds
+    --max-journal-overhead percent.  This gate is ABSOLUTE — it binds
+    every current row that carries the metric even on the first run,
+    with no baseline to diff against — because the atomicity tax is a
+    standing budget, not a trend.  Rows whose atomic-off reference run
+    (journal_off_seconds) is under --min-journal-seconds are skipped
+    with a notice: a percentage of a near-zero wall time is weather.
 
 Rows are matched by (bench, name[, n]).  A missing baseline (first run,
 expired cache) passes with a notice — the save step repopulates it.  A
@@ -47,7 +55,8 @@ Usage:
       [--max-rounds-regress 0.05] [--max-hit-rate-drop 0.10] \
       [--min-attempts 20] [--max-deferred-growth 0.25] \
       [--max-query-rounds-regress 0.05] [--max-p99-regress 0.50] \
-      [--min-p99-us 200] [--summary PATH]
+      [--min-p99-us 200] [--max-journal-overhead 5.0] \
+      [--min-journal-seconds 0.5] [--summary PATH]
 """
 
 import argparse
@@ -122,6 +131,15 @@ def main(argv=None):
     ap.add_argument("--min-p99-us", type=float, default=200.0,
                     help="ignore p99 rows below this floor in "
                          "microseconds (default 200)")
+    ap.add_argument("--max-journal-overhead", type=float, default=5.0,
+                    help="fail when the fault-free undo-journal overhead "
+                         "(journal_overhead_pct, absolute — gated even "
+                         "without a baseline) exceeds this percent "
+                         "(default 5.0)")
+    ap.add_argument("--min-journal-seconds", type=float, default=0.5,
+                    help="skip the journal-overhead gate when the "
+                         "atomic-off reference run is shorter than this "
+                         "(default 0.5)")
     ap.add_argument("--summary", default=None,
                     help="append a markdown comparison table to this file "
                          "(e.g. $GITHUB_STEP_SUMMARY)")
@@ -145,13 +163,38 @@ def main(argv=None):
     table = []        # markdown rows
     compared = 0
     for name in names:
+        cur = load_rows(os.path.join(args.current, name))
+
+        # Absolute undo-journal overhead budget: unlike every trend
+        # above, this binds the CURRENT run on its own (the atomicity
+        # tax must stay under budget even on the first run, when there
+        # is no baseline to diff against).
+        for key, crow in sorted(cur.items(), key=lambda kv: str(kv[0])):
+            pct = crow.get("journal_overhead_pct")
+            if pct is None:
+                continue
+            label = key[0] if key[1] is None else f"{key[0]} (n={key[1]})"
+            off = crow.get("journal_off_seconds")
+            if off is not None and off < args.min_journal_seconds:
+                print(f"bench_trend: {name}: {label}: journal overhead "
+                      f"{pct:.2f}% not gated — atomic-off reference run "
+                      f"{off:.2f}s is under the {args.min_journal_seconds}s "
+                      "floor")
+                continue
+            print(f"{name}: {label}: journal overhead {pct:.2f}% "
+                  f"(budget {args.max_journal_overhead:.1f}%)")
+            if pct > args.max_journal_overhead:
+                regressions.append(
+                    (name, label, "journal overhead",
+                     f"{pct:.2f}% > {args.max_journal_overhead:.1f}% "
+                     "budget"))
+
         base_path = os.path.join(args.baseline, name)
         if not os.path.exists(base_path):
             print(f"bench_trend: no baseline for {name} "
                   "(first run or expired cache) — skipping")
             continue
         base = load_rows(base_path)
-        cur = load_rows(os.path.join(args.current, name))
         for key, brow in sorted(base.items(), key=lambda kv: str(kv[0])):
             if key not in cur:
                 # A renamed/removed workload silently losing coverage is
@@ -170,7 +213,7 @@ def main(argv=None):
             for metric in ("wall_seconds", "rounds_per_update",
                            "waves_pipelined", "deferred_updates",
                            "cascade_rounds", "query_rounds_per_batch",
-                           "p99_us"):
+                           "p99_us", "journal_overhead_pct"):
                 if brow.get(metric) is not None and \
                         crow.get(metric) is None:
                     print(f"bench_trend: {name}: {label}: baseline has "
@@ -348,7 +391,8 @@ def main(argv=None):
           f"{args.max_deferred_growth:.0%}, cascade growth "
           f"{args.max_cascade_regress:.0%}, query rounds "
           f"{args.max_query_rounds_regress:.0%}, p99 growth "
-          f"{args.max_p99_regress:.0%})")
+          f"{args.max_p99_regress:.0%}, journal overhead budget "
+          f"{args.max_journal_overhead:.1f}%)")
     return 0
 
 

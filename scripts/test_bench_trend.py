@@ -23,7 +23,8 @@ _SPEC.loader.exec_module(bench_trend)
 
 def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
              xb_misses=None, deferred=None, n=None, cascade=None,
-             batches=None, cores=None, qrounds=None, p99=None):
+             batches=None, cores=None, qrounds=None, p99=None,
+             journal_pct=None, journal_off=None):
     row = {"name": name, "wall_seconds": wall}
     if n is not None:
         row["n"] = n
@@ -45,6 +46,10 @@ def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
         row["query_rounds_per_batch"] = qrounds
     if p99 is not None:
         row["p99_us"] = p99
+    if journal_pct is not None:
+        row["journal_overhead_pct"] = journal_pct
+        row["journal_off_seconds"] = \
+            journal_off if journal_off is not None else 3.0
     return row
 
 
@@ -309,6 +314,61 @@ class BenchTrendTest(unittest.TestCase):
 
     def test_empty_current_dir_errors(self):
         self.assertEqual(self.gate(), 2)
+
+    def test_journal_overhead_over_budget_fails(self):
+        # The undo-journal atomicity tax has an absolute 5% budget.
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", journal_pct=1.0)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", journal_pct=7.5)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 1)
+
+    def test_journal_overhead_within_budget_passes(self):
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", journal_pct=1.0)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", journal_pct=4.9)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 0)
+
+    def test_journal_overhead_gated_without_baseline(self):
+        # The budget is absolute: the very first run (no baseline at
+        # all) must already hold the journal under 5%.
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", journal_pct=9.0)],
+                   bench="serving")
+        self.assertEqual(self.gate(), 1)
+
+    def test_journal_overhead_skipped_below_seconds_floor(self):
+        # A percentage of a 0.05s reference run is weather, not a tax —
+        # skipped with a notice instead of gated.
+        import contextlib
+        import io
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed", journal_pct=40.0,
+                             journal_off=0.05)],
+                   bench="serving")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            self.assertEqual(self.gate(), 0)
+        self.assertIn("not gated", out.getvalue())
+
+    def test_lost_journal_metric_prints_a_notice(self):
+        import contextlib
+        import io
+        self.write(self.baseline,
+                   [make_row("serving/zipfian-mixed", journal_pct=1.0)],
+                   bench="serving")
+        self.write(self.current,
+                   [make_row("serving/zipfian-mixed")], bench="serving")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            self.assertEqual(self.gate(), 0)
+        self.assertIn("lost it", out.getvalue())
+        self.assertIn("journal_overhead_pct", out.getvalue())
 
 
 if __name__ == "__main__":

@@ -131,6 +131,67 @@ void DynamicForest::release_edge_record(MachineId m) {
 }
 
 // ---------------------------------------------------------------------------
+// Atomic updates: the undo journal (config_.atomic_updates)
+// ---------------------------------------------------------------------------
+
+void DynamicForest::journal_begin() {
+  if (!config_.atomic_updates) return;
+  journal_mem_used_.resize(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    machines_[m].journal.clear();
+    machines_[m].journal_armed = true;
+    journal_mem_used_[m] = cluster_->memory(static_cast<MachineId>(m)).used();
+  }
+  journal_next_comp_id_ = next_comp_id_;
+  journal_batch_stats_ = batch_stats_;
+  journal_active_ = true;
+}
+
+void DynamicForest::journal_commit() {
+  if (!journal_active_) return;
+  for (MachineState& ms : machines_) ms.journal_armed = false;
+  journal_active_ = false;
+}
+
+void DynamicForest::journal_rollback() {
+  if (!journal_active_) return;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    MachineState& ms = machines_[m];
+    // Reverse replay: the EARLIEST pre-image of a key wins, so later
+    // duplicates are harmlessly overwritten on the way back.
+    for (auto it = ms.journal.edges.rbegin(); it != ms.journal.edges.rend();
+         ++it) {
+      if (it->existed) {
+        ms.edges.put(it->key, it->rec);
+      } else {
+        ms.edges.erase(it->key);
+      }
+    }
+    for (auto it = ms.journal.vertices.rbegin();
+         it != ms.journal.vertices.rend(); ++it) {
+      ms.vertices[it->v] = it->rec;
+    }
+    for (auto it = ms.journal.dirs.rbegin(); it != ms.journal.dirs.rend();
+         ++it) {
+      if (it->existed) {
+        ms.comp_sizes[it->comp] = it->size;
+      } else {
+        ms.comp_sizes.erase(it->comp);
+      }
+    }
+    ms.journal_armed = false;
+    cluster_->memory(static_cast<MachineId>(m))
+        .restore_used(journal_mem_used_[m]);
+  }
+  next_comp_id_ = journal_next_comp_id_;
+  batch_stats_ = journal_batch_stats_;
+  carry_.reset();  // the speculation read state that no longer exists
+  cluster_->drop_round_state();
+  cluster_->metrics().abort_update();
+  journal_active_ = false;
+}
+
+// ---------------------------------------------------------------------------
 // Preprocessing (Section 5 "Preprocessing" + 5.1 bucketization)
 // ---------------------------------------------------------------------------
 
@@ -424,6 +485,7 @@ void DynamicForest::apply_merge_local(MachineState& ms, const MergeBcast& mb) {
     // applies several replacement merges behind one barrier, and each
     // must leave the other splits' crossing records alone.
     if (es.crossing[i] != 0 && mb.resolve_crossing && es.comp[i] == mb.cx) {
+      ms.jlog_edge_slot(i);
       es.iu1[i] = es.u_in_subtree[i] != 0 ? ty_xform(es.iu1[i])
                                           : tx_xform(es.iu1[i]);
       es.iv1[i] = es.v_in_subtree[i] != 0 ? ty_xform(es.iv1[i])
@@ -440,12 +502,14 @@ void DynamicForest::apply_merge_local(MachineState& ms, const MergeBcast& mb) {
       continue;
     }
     if (es.comp[i] == mb.cy) {
+      ms.jlog_edge_slot(i);
       es.iu1[i] = ty_xform(es.iu1[i]);
       es.iu2[i] = es.tree[i] != 0 ? ty_xform(es.iu2[i]) : es.iu2[i];
       es.iv1[i] = ty_xform(es.iv1[i]);
       es.iv2[i] = es.tree[i] != 0 ? ty_xform(es.iv2[i]) : es.iv2[i];
       es.comp[i] = mb.cx;
     } else if (es.comp[i] == mb.cx) {
+      ms.jlog_edge_slot(i);
       es.iu1[i] = tx_xform(es.iu1[i]);
       es.iu2[i] = es.tree[i] != 0 ? tx_xform(es.iu2[i]) : es.iu2[i];
       es.iv1[i] = tx_xform(es.iv1[i]);
@@ -453,6 +517,9 @@ void DynamicForest::apply_merge_local(MachineState& ms, const MergeBcast& mb) {
     }
   }
   for (auto& [v, rec] : ms.vertices) {
+    if (rec.comp == mb.cy || rec.comp == mb.cx || v == mb.x || v == mb.y) {
+      ms.jlog_vertex(v, rec);
+    }
     if (rec.comp == mb.cy) {
       rec.cached_idx = ty_xform(rec.cached_idx);
       rec.comp = mb.cx;
@@ -478,6 +545,7 @@ void DynamicForest::apply_split_local(MachineState& ms, const SplitBcast& sb) {
     if (es.key_at(i) == cut_key) {
       continue;  // deleted by an explicit message next round
     }
+    ms.jlog_edge_slot(i);
     if (es.tree[i] != 0) {
       const bool inside = etour::split_in_subtree(es.iu1[i], sp);
       es.iu1[i] = xform(es.iu1[i]);
@@ -508,6 +576,7 @@ void DynamicForest::apply_split_local(MachineState& ms, const SplitBcast& sb) {
   }
   for (auto& [v, rec] : ms.vertices) {
     if (rec.comp != sb.comp) continue;
+    ms.jlog_vertex(v, rec);
     if (v == sb.parent) {
       rec.cached_idx = sb.cached_parent;
     } else if (v == sb.child) {
@@ -613,6 +682,7 @@ void DynamicForest::insert_nontree_record(const Prep& p, VertexId x,
   cluster_->send(0, m, kNewRecord,
                  {rec.u, rec.v, rec.comp, rec.w, rec.iu1, rec.iv1});
   cluster_->finish_round();
+  machines_[m].jlog_edge(edge_key(x, y));
   machines_[m].edges.put(edge_key(x, y), rec);
   charge_edge_record(m);
 }
@@ -632,9 +702,12 @@ void DynamicForest::link_components(const Prep& p, VertexId x, VertexId y,
                  {p.cx, p.size_cx + p.size_cy});
   cluster_->send(0, dir_machine(p.cy), kDirUpdate, {p.cy, 0});
   cluster_->finish_round();
+  machines_[em].jlog_edge(edge_key(x, y));
   machines_[em].edges.put(edge_key(x, y), rec);
   charge_edge_record(em);
+  machines_[dir_machine(p.cx)].jlog_dir(p.cx);
   machines_[dir_machine(p.cx)].comp_sizes[p.cx] = p.size_cx + p.size_cy;
+  machines_[dir_machine(p.cy)].jlog_dir(p.cy);
   machines_[dir_machine(p.cy)].comp_sizes.erase(p.cy);
   cluster_->memory(dir_machine(p.cy)).release(kDirRecWords);
 }
@@ -724,14 +797,18 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
     EdgeShard& des = machines_[em].edges;
     const std::size_t dslot =
         static_cast<std::size_t>(des.find(edge_key(x, y)));
+    machines_[em].jlog_edge_slot(dslot);
     EdgeRec drec = des.get(dslot);
     demote_record(drec, sb);
     des.set(dslot, drec);
   } else {
+    machines_[em].jlog_edge(edge_key(x, y));
     machines_[em].edges.erase(edge_key(x, y));
     release_edge_record(em);
   }
+  machines_[dir_machine(p.cx)].jlog_dir(p.cx);
   machines_[dir_machine(p.cx)].comp_sizes[p.cx] = rest_size;
+  machines_[dir_machine(sb.new_comp)].jlog_dir(sb.new_comp);
   machines_[dir_machine(sb.new_comp)].comp_sizes[sb.new_comp] = sub_size;
   cluster_->memory(dir_machine(sb.new_comp)).charge(kDirRecWords);
 
@@ -784,9 +861,12 @@ void DynamicForest::delete_tree_edge(const Prep& p, VertexId x, VertexId y,
                  {rp.cx, rp.size_cx + rp.size_cy});
   cluster_->send(0, dir_machine(rp.cy), kDirUpdate, {rp.cy, 0});
   cluster_->finish_round();
+  machines_[rm].jlog_edge(edge_key(a, b));
   machines_[rm].edges.put(edge_key(a, b),
                           make_tree_record(a, b, best->w, rp.cx, plan.ni));
+  machines_[dir_machine(rp.cx)].jlog_dir(rp.cx);
   machines_[dir_machine(rp.cx)].comp_sizes[rp.cx] = rp.size_cx + rp.size_cy;
+  machines_[dir_machine(rp.cy)].jlog_dir(rp.cy);
   machines_[dir_machine(rp.cy)].comp_sizes.erase(rp.cy);
   cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
 }
@@ -899,6 +979,7 @@ void DynamicForest::erase_impl(VertexId x, VertexId y) {
     const MachineId em = edge_machine(x, y);
     cluster_->send(0, em, kDeleteRecord, {EdgeKey(x, y).u, EdgeKey(x, y).v});
     cluster_->finish_round();
+    machines_[em].jlog_edge(edge_key(x, y));
     machines_[em].edges.erase(edge_key(x, y));
     release_edge_record(em);
     return;
@@ -915,7 +996,14 @@ void DynamicForest::insert(VertexId x, VertexId y, Weight w) {
     ++batch_stats_.cross_batch_misses;
   }
   cluster_->begin_update();
-  insert_impl(x, y, w);
+  journal_begin();
+  try {
+    insert_impl(x, y, w);
+  } catch (...) {
+    journal_rollback();
+    throw;
+  }
+  journal_commit();
   cluster_->end_update();
 }
 
@@ -925,7 +1013,14 @@ void DynamicForest::erase(VertexId x, VertexId y) {
     ++batch_stats_.cross_batch_misses;
   }
   cluster_->begin_update();
-  erase_impl(x, y);
+  journal_begin();
+  try {
+    erase_impl(x, y);
+  } catch (...) {
+    journal_rollback();
+    throw;
+  }
+  journal_commit();
   cluster_->end_update();
 }
 
@@ -968,8 +1063,11 @@ std::vector<ReadAnswer> DynamicForest::answer_queries(
   return answers;
 }
 
+// The read path writes no machine state, so a mid-chunk throw (the fault
+// injector never fires inside a query batch, but a genuine cap trip can)
+// only needs the network wiped and the metrics bracket closed.
 void DynamicForest::answer_query_chunk(std::span<const ReadQuery> qs,
-                                       std::span<ReadAnswer> out) {
+                                       std::span<ReadAnswer> out) try {
   const std::size_t mu = machines_.size();
   cluster_->begin_query_batch();
 
@@ -1110,6 +1208,10 @@ void DynamicForest::answer_query_chunk(std::span<const ReadQuery> qs,
   }
   cluster_->finish_round();
   cluster_->end_query_batch(qs.size());
+} catch (...) {
+  cluster_->drop_round_state();
+  cluster_->metrics().abort_update();
+  throw;
 }
 
 // ---------------------------------------------------------------------------
@@ -1664,17 +1766,21 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
     const Prep& p = preps[a];
     switch (op.kind) {
       case BatchOpKind::kMerge: {
+        machines_[op.coord].jlog_edge(edge_key(op.x, op.y));
         machines_[op.coord].edges.put(
             edge_key(op.x, op.y),
             make_tree_record(op.x, op.y, op.w, p.cx, plans[a].ni));
         charge_edge_record(op.coord);
+        machines_[dir_machine(p.cx)].jlog_dir(p.cx);
         machines_[dir_machine(p.cx)].comp_sizes[p.cx] =
             p.size_cx + p.size_cy;
+        machines_[dir_machine(p.cy)].jlog_dir(p.cy);
         machines_[dir_machine(p.cy)].comp_sizes.erase(p.cy);
         cluster_->memory(dir_machine(p.cy)).release(kDirRecWords);
         break;
       }
       case BatchOpKind::kNontreeInsert: {
+        machines_[op.coord].jlog_edge(edge_key(op.x, op.y));
         machines_[op.coord].edges.put(
             edge_key(op.x, op.y), make_nontree_record(p, op.x, op.y, op.w));
         charge_edge_record(op.coord);
@@ -1685,12 +1791,14 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
         // edge — the serial protocol does the same before demoting the
         // displaced edge, so a committing swap's own record competes in
         // its replacement search below.
+        machines_[op.coord].jlog_edge(edge_key(op.x, op.y));
         machines_[op.coord].edges.put(
             edge_key(op.x, op.y), make_nontree_record(p, op.x, op.y, op.w));
         charge_edge_record(op.coord);
         break;
       }
       case BatchOpKind::kNontreeDelete: {
+        machines_[op.coord].jlog_edge(edge_key(op.x, op.y));
         machines_[op.coord].edges.erase(edge_key(op.x, op.y));
         release_edge_record(op.coord);
         break;
@@ -1835,17 +1943,22 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
     const BatchOp& op = group[active[it.a]];
     const SplitPlan& sp = it.plan;
     if (it.demote) {
-      EdgeShard& hes = machines_[edge_machine(it.cut_u, it.cut_v)].edges;
+      const MachineId hm = edge_machine(it.cut_u, it.cut_v);
+      EdgeShard& hes = machines_[hm].edges;
       const std::size_t hslot =
           static_cast<std::size_t>(hes.find(edge_key(it.cut_u, it.cut_v)));
+      machines_[hm].jlog_edge_slot(hslot);
       EdgeRec hrec = hes.get(hslot);
       demote_record(hrec, sp.sb);
       hes.set(hslot, hrec);
     } else {
+      machines_[op.coord].jlog_edge(op.ekey);
       machines_[op.coord].edges.erase(op.ekey);
       release_edge_record(op.coord);
     }
+    machines_[dir_machine(sp.sb.comp)].jlog_dir(sp.sb.comp);
     machines_[dir_machine(sp.sb.comp)].comp_sizes[sp.sb.comp] = sp.rest_size;
+    machines_[dir_machine(sp.sb.new_comp)].jlog_dir(sp.sb.new_comp);
     machines_[dir_machine(sp.sb.new_comp)].comp_sizes[sp.sb.new_comp] =
         sp.sub_size;
     cluster_->memory(dir_machine(sp.sb.new_comp)).charge(kDirRecWords);
@@ -1990,11 +2103,14 @@ DynamicForest::GroupOutcome DynamicForest::run_group_commit(
     if (!repl[d].found) continue;
     const Prep& rp = repl[d].rp;
     const MachineId rm = edge_machine(repl[d].a, repl[d].b);
+    machines_[rm].jlog_edge(edge_key(repl[d].a, repl[d].b));
     machines_[rm].edges.put(
         edge_key(repl[d].a, repl[d].b),
         make_tree_record(repl[d].a, repl[d].b, repl[d].rec.w, rp.cx,
                          repl[d].plan.ni));
+    machines_[dir_machine(rp.cx)].jlog_dir(rp.cx);
     machines_[dir_machine(rp.cx)].comp_sizes[rp.cx] = rp.size_cx + rp.size_cy;
+    machines_[dir_machine(rp.cy)].jlog_dir(rp.cy);
     machines_[dir_machine(rp.cy)].comp_sizes.erase(rp.cy);
     cluster_->memory(dir_machine(rp.cy)).release(kDirRecWords);
   }
@@ -2192,6 +2308,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
   finish();
   // Behind round 1: a non-tree deletion only touches its own record.
   for (const std::size_t i : ntd) {
+    machines_[ops[i].coord].jlog_edge(ops[i].ekey);
     machines_[ops[i].coord].edges.erase(ops[i].ekey);
     release_edge_record(ops[i].coord);
   }
@@ -2269,6 +2386,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
     rec.w = op.w;
     rec.iu1 = vert_idx.at(rec.u);
     rec.iv1 = vert_idx.at(rec.v);
+    machines_[op.coord].jlog_edge(op.ekey);
     machines_[op.coord].edges.put(op.ekey, rec);
     charge_edge_record(op.coord);
   }
@@ -2630,6 +2748,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
         const SplitComp& sc = sit->second;
         const etour::KWaySplit& sp = *sc.split;
         if (cut_keys.count(es.key_at(s)) != 0) continue;  // erased below
+        machines_[m].jlog_edge_slot(s);
         if (es.tree[s] != 0) {
           // A surviving tree edge's 4 entries all live in one fragment.
           const std::size_t frag = sc.base + sp.fragment_of(es.iu1[s]);
@@ -2670,6 +2789,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
       }
       const auto mbit = comp_base.find(comp);
       if (mbit == comp_base.end()) continue;
+      machines_[m].jlog_edge_slot(s);
       const std::size_t base = mbit->second;
       if (es.tree[s] != 0) {
         es.iu1[s] = plan.map_index(base, es.iu1[s]);
@@ -2685,6 +2805,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
     for (auto& [v, rec] : machines_[m].vertices) {
       const auto sit = splits.find(rec.comp);
       if (sit != splits.end()) {
+        machines_[m].jlog_vertex(v, rec);
         const SplitComp& sc = sit->second;
         const etour::KWaySplit& sp = *sc.split;
         std::size_t frag;
@@ -2703,6 +2824,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
       }
       const auto mbit = comp_base.find(rec.comp);
       if (mbit == comp_base.end()) continue;
+      machines_[m].jlog_vertex(v, rec);
       rec.cached_idx = plan.resolve(mbit->second, rec.cached_idx);
       rec.comp = final_label(mbit->second);
     }
@@ -2710,6 +2832,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
   // Cut records vanish, merge edges become tree records at their
   // coordinators, and the directory applies the staged writes.
   for (const CutInfo& ci : cuts) {
+    machines_[ops[ci.op].coord].jlog_edge(ops[ci.op].ekey);
     machines_[ops[ci.op].coord].edges.erase(ops[ci.op].ekey);
     release_edge_record(ops[ci.op].coord);
   }
@@ -2717,11 +2840,13 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
     const BatchOp& op = ops[ma.op];
     const etour::MergeNewIndexes ni = plan.edge_indexes(ma.link_id);
     const Word label = final_label(comp_base.at(op.cx));
+    machines_[op.coord].jlog_edge(op.ekey);
     machines_[op.coord].edges.put(
         op.ekey, make_tree_record(op.x, op.y, op.w, label, ni));
     charge_edge_record(op.coord);
   }
   for (const auto& [label, size] : dir_writes) {
+    machines_[dir_machine(label)].jlog_dir(label);
     auto& dir = machines_[dir_machine(label)].comp_sizes;
     if (size == 0) {
       if (dir.erase(label) != 0) {
@@ -2738,9 +2863,14 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
   }
 }
 
+// Function-try-block: any mid-protocol throw (a fault-injected cap trip,
+// a crash) unwinds through journal_rollback, which restores the pre-batch
+// state and closes the metrics bracket; after journal_commit the rollback
+// is a no-op, so a late throw cannot replay a committed journal.
 void DynamicForest::apply_batch_dynamic(
-    std::span<const graph::Update> batch) {
+    std::span<const graph::Update> batch) try {
   cluster_->begin_update();
+  journal_begin();
   ++batch_stats_.batches;
   // Net-op compression (unweighted only): the observable state —
   // components, sizes, record set, forest weight — is path-independent
@@ -2839,7 +2969,11 @@ void DynamicForest::apply_batch_dynamic(
     }
     pending.swap(rest);
   }
+  journal_commit();
   cluster_->end_update();
+} catch (...) {
+  journal_rollback();
+  throw;
 }
 
 void DynamicForest::apply_batch(std::span<const graph::Update> batch) {
@@ -2873,18 +3007,20 @@ std::optional<DynamicForest::CarrySpec> DynamicForest::plan_cross_carry(
 }
 
 void DynamicForest::apply_batch(std::span<const graph::Update> batch,
-                                std::span<const graph::Update> lookahead) {
+                                std::span<const graph::Update> lookahead) try {
   if (batch.empty()) return;
   if (config_.batch_policy == BatchPolicy::kBatchDynamic) {
     // The batch-dynamic protocol drains the whole batch in a constant
     // number of stages and never leaves claims in flight at the batch
     // boundary, so the cross-batch lookahead has nothing to ride:
     // `lookahead` is ignored (batches_pipelined/cross_batch_misses stay
-    // untouched).
+    // untouched).  It rolls itself back on a throw; the catch below is
+    // then a no-op.
     apply_batch_dynamic(batch);
     return;
   }
   cluster_->begin_update();
+  journal_begin();
   ++batch_stats_.batches;
   std::vector<std::size_t> pending(batch.size());
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
@@ -3088,7 +3224,11 @@ void DynamicForest::apply_batch(std::span<const graph::Update> batch,
   if (pipeline && !lookahead.empty() && !carry_.has_value()) {
     ++batch_stats_.cross_batch_misses;
   }
+  journal_commit();
   cluster_->end_update();
+} catch (...) {
+  journal_rollback();
+  throw;
 }
 
 // ---------------------------------------------------------------------------

@@ -147,6 +147,17 @@ struct DynForestConfig {
   /// the deficit charge-back) applies.  Off = the PR 4 behavior, where
   /// only prepare rounds 1-3 speculate.
   bool speculate_deep = true;
+  /// Strong exception guarantee for updates: insert/erase/apply_batch
+  /// keep a per-machine undo journal (pre-images of every record,
+  /// vertex, and directory entry they touch, appended as they mutate)
+  /// and ANY mid-protocol throw — comm/memory cap trips, injected
+  /// faults — rolls the forest, the round buffer, and the metrics
+  /// stream back to the pre-update state before rethrowing.  The
+  /// journal is mutation-proportional (nothing is copied eagerly), so
+  /// its fault-free cost rides the update path at a few percent; off
+  /// restores the pre-journal behavior where a throw leaves the forest
+  /// half-transformed (benches use that to measure the overhead).
+  bool atomic_updates = true;
 };
 
 /// What a read-only serving query asks of the forest.
@@ -456,10 +467,84 @@ class DynamicForest {
     std::unordered_map<std::uint64_t, std::uint32_t> index_;
   };
 
+  /// One machine's undo journal: pre-images appended right before each
+  /// mutation, replayed in REVERSE on rollback (so a record touched at
+  /// several protocol sites settles back to its earliest pre-image).
+  /// Entries are logged without dedup — the log length is bounded by the
+  /// mutation work the protocol performs anyway, and reverse replay
+  /// makes duplicates harmless.  Arenas keep their capacity across
+  /// batches, so in steady state arming and logging never allocate.
+  struct MachineJournal {
+    struct EdgeEntry {
+      std::uint64_t key = 0;
+      bool existed = false;  ///< false: the mutation created it — undo erases
+      EdgeRec rec;           ///< pre-image when existed
+    };
+    struct VertexEntry {
+      VertexId v = dmpc::kNoVertex;
+      VertexRec rec;
+    };
+    struct DirEntry {
+      Word comp = -1;
+      bool existed = false;
+      Word size = 0;
+    };
+    std::vector<EdgeEntry> edges;
+    std::vector<VertexEntry> vertices;
+    std::vector<DirEntry> dirs;
+
+    void clear() {
+      edges.clear();
+      vertices.clear();
+      dirs.clear();
+    }
+  };
+
   struct MachineState {
     EdgeShard edges;
     std::unordered_map<VertexId, VertexRec> vertices;
     std::unordered_map<Word, Word> comp_sizes;  // directory shard
+    // Undo journal (see MachineJournal).  Written only by this machine's
+    // round task or by the orchestrator between barriers — exactly the
+    // executor contract the rest of the machine state lives under — so
+    // journaling is race-free without locks.
+    bool journal_armed = false;
+    MachineJournal journal;
+
+    /// Logs edge `key`'s pre-image (or its absence) before a put/erase.
+    void jlog_edge(std::uint64_t key) {
+      if (!journal_armed) return;
+      const std::ptrdiff_t s = edges.find(key);
+      if (s == EdgeShard::kNpos) {
+        journal.edges.push_back({key, false, EdgeRec{}});
+      } else {
+        journal.edges.push_back(
+            {key, true, edges.get(static_cast<std::size_t>(s))});
+      }
+    }
+    /// Logs a known-live slot's pre-image before in-place column writes
+    /// (the transform loops' path: no hash lookup on the hot path).
+    void jlog_edge_slot(std::size_t s) {
+      if (!journal_armed) return;
+      journal.edges.push_back({edges.key_at(s), true, edges.get(s)});
+    }
+    /// Logs vertex `v`'s pre-image before a record write.  Vertex
+    /// records exist for the lifetime of the forest, so there is no
+    /// created-by-the-mutation case.
+    void jlog_vertex(VertexId v, const VertexRec& rec) {
+      if (!journal_armed) return;
+      journal.vertices.push_back({v, rec});
+    }
+    /// Logs directory entry `comp`'s pre-image before a write or erase.
+    void jlog_dir(Word comp) {
+      if (!journal_armed) return;
+      const auto it = comp_sizes.find(comp);
+      if (it == comp_sizes.end()) {
+        journal.dirs.push_back({comp, false, 0});
+      } else {
+        journal.dirs.push_back({comp, true, it->second});
+      }
+    }
   };
 
   // Result of the prepare phase for an update touching (x, y).
@@ -795,6 +880,25 @@ class DynamicForest {
   void charge_edge_record(MachineId m);
   void release_edge_record(MachineId m);
 
+  // --- atomic updates (config_.atomic_updates) -----------------------------
+
+  /// Arms every machine's undo journal and snapshots the ingress-local
+  /// scalars (next_comp_id_, batch_stats_) plus each memory meter's
+  /// usage.  No machine state is copied — pre-images accrue lazily as
+  /// the protocol mutates (jlog_* above).
+  void journal_begin();
+  /// Disarms the journals after a successful update (the logs are kept
+  /// as arenas for the next one).
+  void journal_commit();
+  /// Rolls everything back after a mid-protocol throw: replays every
+  /// machine's journal in reverse, restores the meters and scalars,
+  /// drops the carried speculation and the round buffer's staged/inbox
+  /// state, and aborts the in-flight metrics update.  Restores the
+  /// exact pre-update record/vertex/directory CONTENT; EdgeShard slot
+  /// order may differ from the pre-update order (put/erase replay uses
+  /// swap-remove), which callers are already forbidden to rely on.
+  void journal_rollback();
+
   /// The installed round executor, reachable from const introspection
   /// helpers (validate, snapshots): RoundExecutor::run only schedules the
   /// supplied tasks, it does not touch the cluster state the const-ness
@@ -836,6 +940,11 @@ class DynamicForest {
   Word next_comp_id_;  // ingress-local state (machine 0)
   dmpc::BatchScheduleStats batch_stats_;
   std::optional<CarrySpec> carry_;
+  // journal_begin snapshots (valid while the journals are armed).
+  bool journal_active_ = false;
+  Word journal_next_comp_id_ = 0;
+  dmpc::BatchScheduleStats journal_batch_stats_;
+  std::vector<dmpc::WordCount> journal_mem_used_;
 
   static constexpr Word kEdgeRecWords = 12;
   static constexpr Word kVertexRecWords = 3;

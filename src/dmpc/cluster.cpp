@@ -16,10 +16,31 @@ void Cluster::set_executor(std::shared_ptr<RoundExecutor> executor) {
                        : std::make_shared<SerialExecutor>();
 }
 
+void Cluster::set_fault_injector(std::shared_ptr<FaultInjector> faults) {
+  faults_ = std::move(faults);
+}
+
 void Cluster::for_each_machine(const std::function<void(MachineId)>& work) {
+  if (faults_ && !metrics_.in_query_batch()) {
+    // Each dispatch is one injection point; the ordinal is drawn before
+    // the tasks fan out so the decision inside maybe_fail_task is a pure
+    // read, identical under every executor.
+    const std::uint64_t call = faults_->next_task_call();
+    FaultInjector* faults = faults_.get();
+    const std::size_t mu = memories_.size();
+    executor_->run(mu, [&work, faults, call, mu](std::size_t m) {
+      faults->maybe_fail_task(call, static_cast<MachineId>(m), mu);
+      work(static_cast<MachineId>(m));
+    });
+    return;
+  }
   executor_->run(memories_.size(), [&work](std::size_t m) {
     work(static_cast<MachineId>(m));
   });
+}
+
+void Cluster::maybe_inject_round_fault() {
+  if (faults_ && !metrics_.in_query_batch()) faults_->on_round_boundary();
 }
 
 void Cluster::check_machine(MachineId m, const char* what) const {
@@ -48,12 +69,14 @@ void Cluster::send(MachineId from, MachineId to, Word tag,
 }
 
 RoundRecord Cluster::finish_round() {
+  maybe_inject_round_fault();
   const RoundRecord rec = buffer_.deliver(capacity_, metrics_);
   metrics_.record_round(rec);
   return rec;
 }
 
 RoundRecord Cluster::finish_overlapped_round() {
+  maybe_inject_round_fault();
   const RoundRecord rec = buffer_.deliver(capacity_, metrics_);
   metrics_.record_overlapped_round(rec);
   return rec;

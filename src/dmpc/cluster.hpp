@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "dmpc/executor.hpp"
+#include "dmpc/fault.hpp"
 #include "dmpc/memory.hpp"
 #include "dmpc/message.hpp"
 #include "dmpc/metrics.hpp"
@@ -67,6 +68,22 @@ class Cluster {
   void set_executor(std::shared_ptr<RoundExecutor> executor);
   [[nodiscard]] RoundExecutor& executor() { return *executor_; }
   [[nodiscard]] const RoundExecutor& executor() const { return *executor_; }
+
+  /// Installs a fault injector (nullptr uninstalls).  Once installed,
+  /// every finish_round()/finish_overlapped_round() barrier and every
+  /// for_each_machine dispatch outside a query batch is an injection
+  /// point (see fault.hpp); query batches are never faulted, so the
+  /// read path stays available while updates fail and recover.
+  void set_fault_injector(std::shared_ptr<FaultInjector> faults);
+  [[nodiscard]] FaultInjector* fault_injector() const {
+    return faults_.get();
+  }
+
+  /// Recovery wipe after a mid-protocol throw: drops every staged
+  /// message and clears every inbox, so a retried protocol starts from
+  /// a quiet network.  Machine-local algorithm state is the caller's to
+  /// roll back (the forest's undo journal does that side).
+  void drop_round_state() { buffer_.reset(); }
 
   /// Runs work(m) for every machine, scheduled by the installed executor
   /// (possibly concurrently), and returns after all machines finished.
@@ -145,12 +162,16 @@ class Cluster {
 
  private:
   void check_machine(MachineId m, const char* what) const;
+  /// Consults the installed injector at a round barrier (no-op without
+  /// one, or inside a query batch).
+  void maybe_inject_round_fault();
 
   WordCount capacity_;
   std::vector<MemoryMeter> memories_;
   RoundBuffer buffer_;
   Metrics metrics_;
   std::shared_ptr<RoundExecutor> executor_;
+  std::shared_ptr<FaultInjector> faults_;
 };
 
 }  // namespace dmpc

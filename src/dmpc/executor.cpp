@@ -34,8 +34,13 @@ void ThreadPoolExecutor::drain(const std::function<void(std::size_t)>& work,
     try {
       work(i);
     } catch (...) {
+      // Lowest task index wins, matching SerialExecutor's index-order
+      // sweep: which thread throws first is timing, which task does not.
       std::lock_guard<std::mutex> lk(mu_);
-      if (!error_) error_ = std::current_exception();
+      if (!error_ || i < error_index_) {
+        error_ = std::current_exception();
+        error_index_ = i;
+      }
     }
   }
 }

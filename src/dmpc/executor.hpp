@@ -40,8 +40,9 @@ class RoundExecutor {
 
   /// Runs work(i) for every i in [0, count).  Calls may execute
   /// concurrently; the function returns only after all of them finished
-  /// (a barrier).  The first exception thrown by a task is rethrown here
-  /// after the barrier.
+  /// (a barrier).  When tasks throw, the exception of the LOWEST task
+  /// index is rethrown after the barrier — a deterministic choice, so
+  /// fault-injection runs surface the same error under every executor.
   virtual void run(std::size_t count,
                    const std::function<void(std::size_t)>& work) = 0;
 
@@ -131,6 +132,7 @@ class ThreadPoolExecutor final : public RoundExecutor {
   std::size_t pending_ = 0;       // ticketed workers still inside it
   bool stop_ = false;
   std::exception_ptr error_;
+  std::size_t error_index_ = 0;  ///< task index that produced error_
   // Shared claim counter for the current generation.  Plain size_t under
   // fetch-add semantics via std::atomic would also work; a dedicated
   // atomic keeps the hot path lock-free.

@@ -1,0 +1,108 @@
+#include "dmpc/fault.hpp"
+
+#include <cmath>
+
+#include "dmpc/cluster.hpp"
+#include "dmpc/memory.hpp"
+
+namespace dmpc {
+
+namespace {
+
+/// splitmix64: the same cheap, well-mixed hash the protocols use for
+/// collector placement.  Decisions are pure functions of its output.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed, double rate) : seed_(seed) {
+  if (rate >= 1.0) {
+    threshold_ = ~0ULL;
+  } else if (rate > 0.0) {
+    threshold_ = static_cast<std::uint64_t>(std::ldexp(rate, 64));
+  }
+}
+
+void FaultInjector::fail_at_round(std::uint64_t round, FaultKind kind,
+                                  MachineId machine) {
+  armed_ = true;
+  task_arm_ = false;
+  fire_at_ = rounds_ + round;
+  kind_ = kind;
+  machine_ = machine;
+  fired_ = false;
+}
+
+void FaultInjector::fail_in_task(std::uint64_t call, MachineId machine) {
+  armed_ = true;
+  task_arm_ = true;
+  fire_at_ = task_calls_ + call;
+  kind_ = FaultKind::kTask;
+  machine_ = machine;
+  fired_ = false;
+}
+
+void FaultInjector::disarm() {
+  armed_ = false;
+  fired_ = false;
+}
+
+void FaultInjector::raise(FaultKind kind, MachineId machine,
+                          std::uint64_t at) const {
+  const std::string where = " (injected: machine " + std::to_string(machine) +
+                            ", injection point " + std::to_string(at) + ")";
+  switch (kind) {
+    case FaultKind::kComm:
+      throw CommOverflowError("communication cap tripped" + where);
+    case FaultKind::kMemory:
+      throw MemoryOverflowError("machine memory overflow" + where);
+    case FaultKind::kTask:
+      throw InjectedFault("round task failed" + where);
+    case FaultKind::kCrash:
+      throw InjectedFault("machine crashed before the round barrier" + where);
+  }
+  throw InjectedFault("fault" + where);  // unreachable
+}
+
+void FaultInjector::on_round_boundary() {
+  const std::uint64_t at = rounds_++;
+  if (armed_ && !task_arm_ && at == fire_at_) {
+    fired_ = true;
+    armed_ = false;
+    ++injected_;
+    raise(kind_, machine_, at);
+  }
+  if (threshold_ != 0 && mix(seed_ ^ at) < threshold_) {
+    fired_ = true;
+    ++injected_;
+    // Alternate deterministically between a cap trip and a crash so the
+    // bench exercises both recovery entries.
+    raise(mix(seed_ ^ at ^ 0x5bf0'3635ULL) % 2 == 0 ? FaultKind::kComm
+                                                    : FaultKind::kCrash,
+          static_cast<MachineId>(mix(at) % 64), at);
+  }
+}
+
+std::uint64_t FaultInjector::next_task_call() { return task_calls_++; }
+
+void FaultInjector::maybe_fail_task(std::uint64_t call, MachineId machine,
+                                    std::size_t num_machines) {
+  if (!armed_.load(std::memory_order_relaxed) || !task_arm_ ||
+      call != fire_at_) {
+    return;
+  }
+  if (machine != machine_ % num_machines) return;
+  // Exactly one (call, machine) task of the dispatch reaches here, so
+  // injected_ has no concurrent writer; siblings only read armed_.
+  fired_.store(true, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_relaxed);
+  ++injected_;
+  raise(FaultKind::kTask, machine, call);
+}
+
+}  // namespace dmpc

@@ -1,0 +1,118 @@
+// Deterministic fault injection for the DMPC simulator.
+//
+// The model's hard caps (S words of memory, S words sent/received per
+// round) are enforced by throwing mid-protocol, and a production-shaped
+// deployment adds flaky workers and outright machine loss on top.  The
+// FaultInjector turns all of those into *reproducible* events: installed
+// on a Cluster (see Cluster::set_fault_injector), it observes every
+// round barrier and every for_each_machine dispatch and raises a fault
+// either at an explicitly armed injection point (the crash-consistency
+// sweep walks every one) or according to a seeded Bernoulli schedule
+// keyed on the injector's monotone counters (the fault-mode benches).
+//
+// Two properties the recovery stack depends on:
+//   * Determinism across executors: a decision is a pure function of
+//     (seed, counter, machine), never of thread timing, so the same
+//     schedule fires at the same protocol step under SerialExecutor and
+//     ThreadPoolExecutor alike.
+//   * Query transparency: the Cluster consults the injector only
+//     outside query batches (metrics().in_query_batch()), so the read
+//     path keeps answering from the last committed state while updates
+//     fail and recover around it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dmpc/types.hpp"
+
+namespace dmpc {
+
+/// Raised by injected task faults and machine crashes.  Comm/memory
+/// faults raise the genuine CommOverflowError / MemoryOverflowError so
+/// callers exercise exactly the handling a real cap trip would.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultKind : std::uint8_t {
+  kComm,    ///< per-round communication cap trip (CommOverflowError)
+  kMemory,  ///< machine memory cap trip (MemoryOverflowError)
+  kTask,    ///< one machine's round task throws (InjectedFault)
+  kCrash,   ///< machine loss observed at the round barrier (InjectedFault)
+};
+
+class FaultInjector {
+ public:
+  /// Seeded Bernoulli schedule: each observed round boundary fails with
+  /// probability `rate` (0 disables the schedule; the injector then only
+  /// fires explicitly armed one-shots).  The decision hashes (seed,
+  /// round counter), so a retried protocol sees fresh coin flips and a
+  /// bounded-rate schedule cannot pin one batch down forever.
+  explicit FaultInjector(std::uint64_t seed = 0, double rate = 0.0);
+
+  /// One-shot: the `round`-th round boundary observed from now (0 = the
+  /// very next finish_round) raises `kind`, which must be a barrier
+  /// fault (kComm, kMemory, or kCrash).  `machine` flavors the message.
+  void fail_at_round(std::uint64_t round, FaultKind kind,
+                     MachineId machine = 0);
+
+  /// One-shot: the `call`-th for_each_machine dispatch observed from now
+  /// (0 = the next one) raises InjectedFault from task `machine`
+  /// (wrapped modulo the actual machine count by the caller's task id).
+  void fail_in_task(std::uint64_t call, MachineId machine = 0);
+
+  /// Clears any armed one-shot (the Bernoulli schedule, if any, stays).
+  void disarm();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  /// Whether any fault fired since the last arm/disarm/reset.
+  [[nodiscard]] bool fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t faults_injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t rounds_observed() const { return rounds_; }
+  [[nodiscard]] std::uint64_t task_calls_observed() const {
+    return task_calls_;
+  }
+
+  // ---- Cluster-side hooks (not for algorithm code) ----------------------
+
+  /// Observes one round barrier; throws if the armed one-shot or the
+  /// Bernoulli schedule elects this boundary.
+  void on_round_boundary();
+
+  /// Observes one for_each_machine dispatch and returns its ordinal.
+  std::uint64_t next_task_call();
+
+  /// Called from inside task `machine` of dispatch `call` (possibly
+  /// concurrently for distinct machines); throws InjectedFault when the
+  /// armed one-shot elects this (call, machine).  The decision reads
+  /// state written before the dispatch; only the single elected task
+  /// writes, through the atomic armed_/fired_ flags.
+  void maybe_fail_task(std::uint64_t call, MachineId machine,
+                       std::size_t num_machines);
+
+ private:
+  [[noreturn]] void raise(FaultKind kind, MachineId machine,
+                          std::uint64_t at) const;
+
+  std::uint64_t seed_;
+  std::uint64_t threshold_ = 0;  ///< Bernoulli cut on a 64-bit hash
+  std::uint64_t rounds_ = 0;
+  std::uint64_t task_calls_ = 0;
+  std::uint64_t injected_ = 0;
+  // One-shot arm state.  armed_/fired_ are atomic because the elected
+  // task of a pool dispatch clears/sets them while sibling tasks of the
+  // SAME dispatch concurrently read armed_ in maybe_fail_task; every
+  // other access is from the single driving thread between dispatches.
+  std::atomic<bool> armed_{false};
+  bool task_arm_ = false;       ///< armed for a task call, not a barrier
+  std::uint64_t fire_at_ = 0;   ///< absolute counter value that fires
+  FaultKind kind_ = FaultKind::kComm;
+  MachineId machine_ = 0;
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace dmpc

@@ -41,6 +41,12 @@ class MemoryMeter {
     used_ = words > used_ ? 0 : used_ - words;
   }
 
+  /// Rewinds the usage counter to an externally snapshotted value (the
+  /// undo journal's rollback path).  The high-water mark is deliberately
+  /// left alone: an aborted attempt really did occupy that memory, and
+  /// the compliance checks must still see it.
+  void restore_used(WordCount words) { used_ = words; }
+
   [[nodiscard]] WordCount used() const { return used_; }
   [[nodiscard]] WordCount capacity() const { return capacity_; }
   [[nodiscard]] WordCount high_water() const { return high_water_; }

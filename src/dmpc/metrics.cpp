@@ -34,8 +34,10 @@ void Metrics::reset() {
   last_update_ = UpdateRecord{};
   in_update_ = false;
   in_query_ = false;
+  rounds_mark_ = 0;
   aggregate_ = UpdateAggregate{};
   query_agg_ = QueryAggregate{};
+  abort_agg_ = AbortAggregate{};
   pair_traffic_.clear();
 }
 

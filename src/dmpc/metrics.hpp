@@ -167,12 +167,24 @@ struct BatchScheduleStats {
   }
 };
 
+/// Aggregate over aborted updates/batches: work that threw mid-protocol
+/// and was rolled back.  Kept apart from UpdateAggregate so a fault
+/// never pollutes the Table-1 rounds/update numbers — the discarded
+/// rounds and traffic are still real work the simulation performed, so
+/// they are counted here instead of vanishing.
+struct AbortAggregate {
+  std::uint64_t aborts = 0;
+  std::uint64_t rounds_discarded = 0;
+  WordCount comm_words_discarded = 0;
+};
+
 /// Full metrics stream attached to a Cluster.
 class Metrics {
  public:
   void begin_update() {
     current_ = UpdateRecord{};
     in_update_ = true;
+    rounds_mark_ = rounds_.size();
   }
 
   UpdateRecord end_update() {
@@ -190,6 +202,7 @@ class Metrics {
     current_ = UpdateRecord{};
     in_update_ = true;
     in_query_ = true;
+    rounds_mark_ = rounds_.size();
   }
 
   UpdateRecord end_query_batch(std::uint64_t queries) {
@@ -211,6 +224,27 @@ class Metrics {
   /// Whether the rounds being recorded belong to a query batch (the
   /// serving read path) rather than an update.
   [[nodiscard]] bool in_query_batch() const { return in_query_; }
+
+  /// Aborts the in-flight update (or query batch) after a mid-protocol
+  /// throw: the partial UpdateRecord is discarded instead of settling
+  /// into the aggregates, its round entries are truncated from the
+  /// round list, and the discarded work is tallied separately in
+  /// abort_aggregate().  One caveat is deliberate: per-pair traffic of
+  /// the aborted rounds stays in pair_traffic() — those words really
+  /// crossed the network before the fault.
+  void abort_update() {
+    abort_agg_.aborts += 1;
+    abort_agg_.rounds_discarded += current_.rounds;
+    abort_agg_.comm_words_discarded += current_.total_comm_words;
+    if (rounds_.size() > rounds_mark_) rounds_.resize(rounds_mark_);
+    current_ = UpdateRecord{};
+    in_update_ = false;
+    in_query_ = false;
+  }
+
+  [[nodiscard]] const AbortAggregate& abort_aggregate() const {
+    return abort_agg_;
+  }
 
   void record_round(const RoundRecord& r) { record_rounds(r, 1); }
 
@@ -301,8 +335,10 @@ class Metrics {
   UpdateRecord last_update_{};
   bool in_update_ = false;
   bool in_query_ = false;
+  std::size_t rounds_mark_ = 0;  ///< rounds_.size() at begin_update
   UpdateAggregate aggregate_{};
   QueryAggregate query_agg_{};
+  AbortAggregate abort_agg_{};
   std::unordered_map<std::uint64_t, WordCount> pair_traffic_;
 };
 

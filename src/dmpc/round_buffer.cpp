@@ -14,6 +14,14 @@ void RoundBuffer::clear_staged() {
   }
 }
 
+void RoundBuffer::reset() {
+  clear_staged();
+  for (Inbox& in : inboxes_) {
+    in.words.clear();
+    in.msgs.clear();
+  }
+}
+
 RoundRecord RoundBuffer::deliver(WordCount capacity, Metrics& metrics) {
   const std::size_t mu = inboxes_.size();
   std::fill(sent_.begin(), sent_.end(), 0);

@@ -70,6 +70,14 @@ class RoundBuffer {
   /// from a single thread with no round tasks in flight.
   RoundRecord deliver(WordCount capacity, Metrics& metrics);
 
+  /// Recovery wipe: drops staged-but-undelivered messages AND clears
+  /// every inbox.  A fault between staging and the barrier leaves
+  /// shards populated (deliver()'s own failure path clears them, but an
+  /// injected task fault never reaches deliver), and a retried protocol
+  /// must not read a dead round's inboxes — so rollback resets both
+  /// sides.  Arena capacity is kept, like every other clear here.
+  void reset();
+
  private:
   struct StagedRec {
     MachineId to;

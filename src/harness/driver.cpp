@@ -1,6 +1,9 @@
 #include "harness/driver.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
 
 namespace harness {
 namespace {
@@ -13,6 +16,58 @@ void accumulate(dmpc::UpdateRecord& batch, const dmpc::UpdateRecord& up) {
   batch.max_active_machines =
       std::max(batch.max_active_machines, up.max_active_machines);
   batch.max_comm_words = std::max(batch.max_comm_words, up.max_comm_words);
+}
+
+/// Capped exponential backoff before retry `attempt` (0-based).
+void recovery_backoff(const DriverConfig& config, std::size_t attempt) {
+  if (config.recovery_backoff_base_us == 0) return;
+  const std::uint64_t shift = std::min<std::size_t>(attempt, 20);
+  const std::uint64_t us = std::min(config.recovery_backoff_cap_us,
+                                    config.recovery_backoff_base_us << shift);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+/// Bisect-and-retry recovery after a failed whole-batch apply (which the
+/// caller already counted): sub-batches are retried in batch order with
+/// backoff, split in half when retries run out, and abandoned as
+/// singletons.  `attempt(off, len)` applies b[off, off+len); `abandoned`
+/// is marked per dropped position.  Assumes the algorithm restores its
+/// pre-attempt state on every throw (the strong exception guarantee).
+template <typename Attempt>
+void recover_batch(const DriverConfig& config, std::size_t size,
+                   const Attempt& attempt, RecoveryStats& rs,
+                   std::vector<char>& abandoned) {
+  std::deque<std::pair<std::size_t, std::size_t>> segs;
+  segs.emplace_back(0, size);
+  while (!segs.empty()) {
+    const auto [off, len] = segs.front();
+    segs.pop_front();
+    bool committed = false;
+    for (std::size_t a = 0; a < std::max<std::size_t>(
+                                    1, config.recovery_max_retries) &&
+                            !committed;
+         ++a) {
+      recovery_backoff(config, a);
+      ++rs.retries;
+      try {
+        attempt(off, len);
+        committed = true;
+      } catch (...) {
+        ++rs.aborts;
+      }
+    }
+    if (committed) {
+      rs.updates_recovered += len;
+    } else if (len > 1) {
+      ++rs.bisections;
+      const std::size_t half = len / 2;
+      segs.emplace_front(off + half, len - half);
+      segs.emplace_front(off, half);
+    } else {
+      ++rs.updates_abandoned;
+      abandoned[off] = 1;
+    }
+  }
 }
 
 }  // namespace
@@ -102,15 +157,49 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
   bool stopped = false;
   const auto close_batch = [&](const std::vector<graph::Update>& b,
                                std::span<const graph::Update> next) {
+    // Positions dropped by recovery (exhausted retries), union across
+    // handles: they must not reach the shadows or later handles.  With
+    // several algorithms registered, handles processed BEFORE the one
+    // that abandoned have already applied the update — mixed
+    // registration only stays differential while nothing is abandoned.
+    std::vector<char> abandoned(b.size(), 0);
     for (std::size_t i = 0; i < handles_.size(); ++i) {
       const Handle& h = handles_[i];
+      RecoveryStats& rs = report_.algorithms[i].recovery;
       if (batching() && (h.apply_batch || h.apply_batch_ahead)) {
-        if (h.apply_batch_ahead && (lookahead || !h.apply_batch)) {
-          std::span<const graph::Update> ahead;
-          if (lookahead) ahead = next;
-          h.apply_batch_ahead(std::span<const graph::Update>(b), ahead);
+        const auto apply_span = [&](std::span<const graph::Update> seg,
+                                    std::span<const graph::Update> ahead) {
+          if (h.apply_batch_ahead && (lookahead || !h.apply_batch)) {
+            h.apply_batch_ahead(seg, ahead);
+          } else {
+            h.apply_batch(seg);
+          }
+        };
+        std::span<const graph::Update> ahead;
+        if (lookahead) ahead = next;
+        if (!config_.recover_failures) {
+          apply_span(std::span<const graph::Update>(b), ahead);
         } else {
-          h.apply_batch(std::span<const graph::Update>(b));
+          bool ok = true;
+          try {
+            apply_span(std::span<const graph::Update>(b), ahead);
+          } catch (...) {
+            ok = false;
+            ++rs.aborts;
+          }
+          if (!ok) {
+            // Retries run without the lookahead: the rollback dropped
+            // any carried speculation, and a clean sub-batch boundary
+            // is easier to reason about than a re-speculated one.
+            recover_batch(
+                config_, b.size(),
+                [&](std::size_t off, std::size_t len) {
+                  apply_span(std::span<const graph::Update>(b).subspan(off,
+                                                                       len),
+                             {});
+                },
+                rs, abandoned);
+          }
         }
         if (h.last_update) {
           report_.algorithms[i].batch_agg.absorb(h.last_update());
@@ -119,8 +208,32 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
         // report's copy current after every batch.
         if (h.sched_stats) report_.algorithms[i].sched = h.sched_stats();
       } else {
-        for (const graph::Update& up : b) {
-          h.apply(up);
+        for (std::size_t j = 0; j < b.size(); ++j) {
+          if (abandoned[j] != 0) continue;
+          const graph::Update& up = b[j];
+          if (!config_.recover_failures) {
+            h.apply(up);
+          } else {
+            // The per-update analogue: retry the lone update with
+            // backoff, abandon when retries run out.
+            bool ok = true;
+            try {
+              h.apply(up);
+            } catch (...) {
+              ok = false;
+              ++rs.aborts;
+            }
+            if (!ok) {
+              std::vector<char> one(1, 0);
+              recover_batch(
+                  config_, 1,
+                  [&](std::size_t, std::size_t) { h.apply(up); }, rs, one);
+              if (one[0] != 0) {
+                abandoned[j] = 1;
+                continue;
+              }
+            }
+          }
           if (h.last_update) {
             const dmpc::UpdateRecord rec = h.last_update();
             report_.algorithms[i].agg.absorb(rec);
@@ -133,10 +246,25 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
         }
       }
     }
-    report_.applied += b.size();
+    std::size_t dropped = 0;
+    for (const char a : abandoned) dropped += a != 0 ? 1 : 0;
+    report_.applied += b.size() - dropped;
+    if (dropped != 0) {
+      // The filter shadow ran ahead of the algorithms; peel the
+      // abandoned updates back out (newest first) so checkpoints and
+      // later filtering compare against what actually committed.
+      for (std::size_t j = b.size(); j-- > 0;) {
+        if (abandoned[j] == 0) continue;
+        if (b[j].kind == graph::UpdateKind::kInsert) {
+          shadow_.delete_edge(b[j].u, b[j].v);
+        } else {
+          shadow_.insert_edge(b[j].u, b[j].v);
+        }
+      }
+    }
     if (lag_shadow_) {
-      for (const graph::Update& up : b) {
-        graph::apply_update(*lag_shadow_, up);
+      for (std::size_t j = 0; j < b.size(); ++j) {
+        if (abandoned[j] == 0) graph::apply_update(*lag_shadow_, b[j]);
       }
     }
     // This close committed new state, so whatever checkpoint ran before

@@ -51,6 +51,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -164,6 +165,36 @@ struct DriverConfig {
   /// them).  Only effective when batching; per-update runs and plain
   /// BatchApplicable algorithms are unaffected.
   bool cross_batch_lookahead = true;
+  /// Recovery: when an algorithm's apply throws mid-batch (a fault-
+  /// injected cap trip, a crash), the driver assumes the algorithm
+  /// rolled itself back to the pre-batch state (DynamicForest's
+  /// atomic_updates journal provides exactly that) and retries — the
+  /// whole batch first, then bisected halves — with capped exponential
+  /// backoff between attempts.  An update whose singleton sub-batch
+  /// still fails after recovery_max_retries attempts is ABANDONED: it is
+  /// un-applied from the driver's shadow so checkpoints compare against
+  /// what actually committed.  Costs nothing on the fault-free path.
+  bool recover_failures = true;
+  /// Apply attempts per (sub-)batch before bisecting (or abandoning a
+  /// singleton).
+  std::size_t recovery_max_retries = 3;
+  /// Exponential backoff between retries: min(cap, base << attempt)
+  /// microseconds; base 0 disables sleeping (simulated faults are
+  /// deterministic, so waiting buys nothing in tests).
+  std::uint64_t recovery_backoff_base_us = 0;
+  std::uint64_t recovery_backoff_cap_us = 1000;
+};
+
+/// Failure-recovery counters, per registered algorithm (see
+/// docs/ROBUSTNESS.md).  All zero on a fault-free run.
+struct RecoveryStats {
+  std::uint64_t aborts = 0;      ///< apply attempts that threw
+  std::uint64_t retries = 0;     ///< re-attempts after the first failure
+  std::uint64_t bisections = 0;  ///< failed sub-batches split in half
+  /// Updates that committed despite riding at least one failed attempt.
+  std::uint64_t updates_recovered = 0;
+  /// Updates dropped after their singleton sub-batch exhausted retries.
+  std::uint64_t updates_abandoned = 0;
 };
 
 /// Per-registered-algorithm results of a run.
@@ -184,6 +215,8 @@ struct AlgorithmStats {
   /// apply_batch only): groups per batch, serial fallbacks, reorders.
   bool scheduled = false;
   dmpc::BatchScheduleStats sched;
+  /// Failure-recovery counters (DriverConfig::recover_failures).
+  RecoveryStats recovery;
 };
 
 struct DriverReport {

@@ -63,9 +63,71 @@ std::optional<ServedAnswer> QueryBroker::try_answer(QueryId id) {
 }
 
 void QueryBroker::pump() {
-  // Stage 1: commit at most one update batch drained from the bounded
-  // queue.  apply_batch tolerates no-op updates (duplicate inserts,
-  // absent erases), so the raw queue is applied verbatim.
+  // Stage 1: one update commit, or one recovery attempt in degraded
+  // mode.  Stage 2: the bubble between update batches — answer the
+  // backlog.  The order guarantees queries always see a fully committed
+  // epoch, degraded or not.
+  pump_updates();
+  drain_queries();
+}
+
+void QueryBroker::pump_updates() {
+  if (!recovery_queue_.empty()) {
+    // Degraded mode: ONE attempt on the front sub-batch, so the query
+    // backlog between attempts never starves.  The forest's journal
+    // restored the last committed epoch after every abort, so each
+    // attempt starts from clean state.
+    std::vector<graph::Update>& seg = recovery_queue_.front();
+    bool ok = true;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.degraded_intervals;
+      ++stats_.update_retries;
+    }
+    try {
+      forest_.apply_batch(std::span<const graph::Update>(seg));
+    } catch (...) {
+      ok = false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+      ++epoch_;
+      ++stats_.update_batches;
+      stats_.updates_applied += seg.size();
+      recovery_queue_.pop_front();
+      recovery_attempts_ = 0;
+    } else {
+      ++stats_.update_aborts;
+      if (++recovery_attempts_ >= config_.recovery_max_retries) {
+        recovery_attempts_ = 0;
+        if (seg.size() > 1) {
+          ++stats_.update_bisections;
+          const std::size_t half = seg.size() / 2;
+          std::vector<graph::Update> tail(seg.begin() +
+                                              static_cast<std::ptrdiff_t>(half),
+                                          seg.end());
+          seg.resize(half);
+          recovery_queue_.insert(recovery_queue_.begin() + 1,
+                                 std::move(tail));
+        } else {
+          ++stats_.updates_abandoned;
+          recovery_queue_.pop_front();
+        }
+      }
+    }
+    if (recovery_queue_.empty()) {
+      const double us = std::chrono::duration<double, std::micro>(
+                            now - degraded_since_)
+                            .count();
+      stats_.degraded_time_us += us;
+      stats_.worst_recovery_us = std::max(stats_.worst_recovery_us, us);
+    }
+    return;
+  }
+  // Healthy path: commit at most one update batch drained from the
+  // bounded queue.  apply_batch tolerates no-op updates (duplicate
+  // inserts, absent erases), so the raw queue is applied verbatim.
   std::vector<graph::Update> batch;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -74,15 +136,27 @@ void QueryBroker::pump() {
       pending_updates_.pop_front();
     }
   }
-  if (!batch.empty()) {
+  if (batch.empty()) return;
+  bool ok = true;
+  try {
     forest_.apply_batch(std::span<const graph::Update>(batch));
-    const std::lock_guard<std::mutex> lock(mu_);
+  } catch (...) {
+    ok = false;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
     ++epoch_;
     ++stats_.update_batches;
     stats_.updates_applied += batch.size();
+    return;
   }
-  // Stage 2: the bubble between update batches — answer the backlog.
-  drain_queries();
+  // Enter degraded mode: the failed epoch re-queues for bisection
+  // recovery on subsequent pumps while queries keep being answered from
+  // the epoch that did commit.
+  ++stats_.update_aborts;
+  degraded_since_ = std::chrono::steady_clock::now();
+  recovery_attempts_ = 0;
+  recovery_queue_.push_back(std::move(batch));
 }
 
 void QueryBroker::attach(harness::Driver& driver) {

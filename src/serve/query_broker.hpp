@@ -71,6 +71,11 @@ struct ServingConfig {
   /// above this (backpressure; ServingStats::updates_rejected).  A
   /// zero capacity rejects every update — a read-only replica.
   std::size_t max_pending_updates = 1024;
+  /// Apply attempts per failed (sub-)batch before it is bisected, or —
+  /// once it is a single update — abandoned.  Recovery runs one attempt
+  /// per pump(), so queries keep draining from the last committed epoch
+  /// between attempts (graceful degradation; see docs/ROBUSTNESS.md).
+  std::size_t recovery_max_retries = 3;
 };
 
 /// Serving-layer counters (see docs/METRICS.md).
@@ -83,6 +88,15 @@ struct ServingStats {
   std::uint64_t updates_rejected = 0;  ///< bounced off the bounded queue
   std::uint64_t updates_applied = 0;
   std::uint64_t update_batches = 0;  ///< standalone pump() apply_batch calls
+  // Failure recovery (standalone mode; a driver-attached broker leaves
+  // recovery to harness::Driver).  All zero on a fault-free run.
+  std::uint64_t update_aborts = 0;      ///< apply attempts that threw
+  std::uint64_t update_retries = 0;     ///< degraded-mode re-attempts
+  std::uint64_t update_bisections = 0;  ///< failed sub-batches split in half
+  std::uint64_t updates_abandoned = 0;  ///< dropped after exhausting retries
+  std::uint64_t degraded_intervals = 0;  ///< pump()s spent in degraded mode
+  double degraded_time_us = 0;     ///< total wall time the epoch lagged
+  double worst_recovery_us = 0;    ///< longest single degraded interval
 };
 
 /// A delivered answer: the payload plus the snapshot token and the
@@ -138,6 +152,15 @@ class QueryBroker {
   /// applies at most one bounded batch drained from the update queue,
   /// advancing the epoch, then answers the entire pending query backlog
   /// in max_query_batch-sized shared lookups.
+  ///
+  /// Graceful degradation: when the apply throws mid-protocol the
+  /// forest's undo journal restores the last committed epoch, the batch
+  /// re-queues, and the broker enters DEGRADED mode — every subsequent
+  /// pump() makes ONE recovery attempt (retrying, then bisecting the
+  /// failed batch per recovery_max_retries) and still answers the whole
+  /// query backlog against the last committed epoch.  The epoch only
+  /// advances as recovered sub-batches commit; queries are never shed
+  /// because of a failing update.
   void pump();
 
   /// Driver-attached mode: drain the query backlog at every batch
@@ -161,6 +184,9 @@ class QueryBroker {
   /// Swaps the backlog out under the lock, runs the shared lookups
   /// outside it, deposits stamped answers back under the lock.
   void drain_queries();
+  /// pump()'s update stage: one committed batch, or — in degraded mode —
+  /// one recovery attempt on the re-queued work.
+  void pump_updates();
 
   core::DynamicForest& forest_;
   ServingConfig config_;
@@ -172,6 +198,11 @@ class QueryBroker {
   QueryId next_id_ = 0;
   std::size_t epoch_ = 0;
   ServingStats stats_;
+  /// Degraded mode (pump thread only): failed update batches awaiting
+  /// recovery, in submission order; non-empty IS the mode flag.
+  std::deque<std::vector<graph::Update>> recovery_queue_;
+  std::size_t recovery_attempts_ = 0;  ///< on the current front sub-batch
+  std::chrono::steady_clock::time_point degraded_since_;
 };
 
 }  // namespace serve

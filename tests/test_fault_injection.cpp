@@ -1,0 +1,536 @@
+// Crash-consistency and recovery tests for the fault-tolerance layer:
+//
+//  * the every-injection-point sweep: a one-shot fault armed at EVERY
+//    round boundary (and, on alternating batches, at every
+//    for_each_machine dispatch) of every batch must roll the forest back
+//    to exactly its pre-batch state — the undo journal's strong
+//    exception guarantee — across both executors and both batch
+//    policies, on delete-heavy and weighted streams;
+//  * Driver recovery: a seeded Bernoulli fault schedule must converge —
+//    retries/bisections commit every update (none abandoned) and every
+//    checkpoint matches the no-fault oracle;
+//  * the serving layer's graceful degradation: a failed update epoch
+//    re-queues while queries keep answering from the committed epoch;
+//  * determinism plumbing: ThreadPoolExecutor rethrows the LOWEST task
+//    index's exception, and Metrics::abort_update keeps aborted work out
+//    of the update aggregate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dyn_forest.hpp"
+#include "dmpc/cluster.hpp"
+#include "dmpc/executor.hpp"
+#include "dmpc/fault.hpp"
+#include "dmpc/memory.hpp"
+#include "dmpc/metrics.hpp"
+#include "graph/graph.hpp"
+#include "graph/update_stream.hpp"
+#include "harness/driver.hpp"
+#include "oracle/oracles.hpp"
+#include "serve/query_broker.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using core::BatchPolicy;
+using core::DynamicForest;
+using core::DynForestConfig;
+using dmpc::FaultInjector;
+using dmpc::FaultKind;
+using graph::Update;
+using graph::UpdateKind;
+using graph::VertexId;
+
+// Everything observable about a forest, in canonical form.  tree_edges()
+// returns records in shard-slot order, which rollback does NOT preserve
+// (reverse replay re-inserts via swap-remove shards), so the edge list
+// is sorted before comparing.
+struct ForestState {
+  std::vector<VertexId> components;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  core::Weight weight = 0;
+
+  bool operator==(const ForestState&) const = default;
+};
+
+ForestState capture(const DynamicForest& forest) {
+  ForestState s;
+  s.components = forest.component_snapshot();
+  s.edges = forest.tree_edges();
+  std::sort(s.edges.begin(), s.edges.end());
+  s.weight = forest.forest_weight();
+  return s;
+}
+
+// Splits a stream into no-op-free batches of `batch_size` (tracking a
+// shadow graph so the batch protocols' preconditions hold).
+std::vector<std::vector<Update>> make_batches(std::size_t n,
+                                              const graph::UpdateStream& stream,
+                                              std::size_t batch_size) {
+  graph::DynamicGraph shadow(n);
+  std::vector<std::vector<Update>> batches(1);
+  for (const Update& up : stream) {
+    if (!graph::apply_update(shadow, up)) continue;
+    batches.back().push_back(up);
+    if (batches.back().size() == batch_size) batches.emplace_back();
+  }
+  if (batches.back().empty()) batches.pop_back();
+  return batches;
+}
+
+// The tentpole sweep: walk every batch of the stream; per batch, arm a
+// one-shot fault at injection point 0, 1, 2, ... (even batches sweep
+// round boundaries with kinds cycling comm/memory/crash, odd batches
+// sweep for_each_machine dispatches) until the armed point lies beyond
+// the batch's protocol and the attempt commits.  Every faulted attempt
+// must throw and leave the forest exactly at its pre-batch snapshot.
+void sweep_every_injection_point(const DynForestConfig& config,
+                                 bool thread_pool,
+                                 const graph::UpdateStream& stream,
+                                 std::size_t batch_size) {
+  DynamicForest forest(config);
+  forest.preprocess(graph::EdgeList{});
+  if (thread_pool) {
+    // serial_cutoff 1: small test clusters must still go through the
+    // pool, or this sweep would silently degenerate to the serial case.
+    forest.cluster().set_executor(
+        std::make_shared<dmpc::ThreadPoolExecutor>(4, /*serial_cutoff=*/1));
+  }
+  auto faults = std::make_shared<FaultInjector>();
+  forest.cluster().set_fault_injector(faults);
+
+  constexpr FaultKind kBarrierKinds[] = {FaultKind::kComm, FaultKind::kMemory,
+                                         FaultKind::kCrash};
+  const auto batches = make_batches(config.n, stream, batch_size);
+  ASSERT_GE(batches.size(), 4u) << "stream too short to exercise the sweep";
+  graph::DynamicGraph shadow(config.n);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const std::span<const Update> batch(batches[b]);
+    const bool sweep_tasks = (b % 2) == 1;
+    const ForestState before = capture(forest);
+    bool committed = false;
+    for (std::uint64_t at = 0; !committed; ++at) {
+      ASSERT_LT(at, 5000u) << "batch " << b << " never ran fault-free";
+      if (sweep_tasks) {
+        faults->fail_in_task(at, static_cast<dmpc::MachineId>(at % 5));
+      } else {
+        faults->fail_at_round(at, kBarrierKinds[at % 3],
+                              static_cast<dmpc::MachineId>(at % 7));
+      }
+      try {
+        forest.apply_batch(batch);
+        committed = true;
+        faults->disarm();  // the armed point was past the protocol's end
+      } catch (const std::exception& e) {
+        ASSERT_TRUE(faults->fired())
+            << "non-injected failure at point " << at << " of batch " << b
+            << ": " << e.what();
+        ASSERT_EQ(capture(forest), before)
+            << "rollback mismatch after "
+            << (sweep_tasks ? "dispatch " : "round ") << at << " of batch "
+            << b;
+        std::string why;
+        ASSERT_TRUE(forest.validate(&why))
+            << "invalid state after point " << at << " of batch " << b << ": "
+            << why;
+      }
+      if (testing::Test::HasFatalFailure()) return;
+    }
+    for (const Update& up : batches[b]) graph::apply_update(shadow, up);
+    ASSERT_EQ(forest.component_snapshot(),
+              oracle::connected_components(shadow))
+        << "post-commit divergence after batch " << b;
+    std::string why;
+    ASSERT_TRUE(forest.validate(&why)) << "after batch " << b << ": " << why;
+  }
+}
+
+DynForestConfig sweep_config(bool weighted, BatchPolicy policy) {
+  DynForestConfig config;
+  config.n = 32;
+  config.m_cap = 160;
+  config.weighted = weighted;
+  config.batch_policy = policy;
+  return config;
+}
+
+graph::UpdateStream sweep_stream(std::size_t n, bool weighted) {
+  return weighted
+             ? graph::weighted_interleaved_delete_stream(n, 48, 3, 2, 17)
+             : graph::interleaved_delete_stream(n, 48, 3, 2, 17);
+}
+
+TEST(FaultSweep, BatchDynamicDeleteHeavy) {
+  const auto config = sweep_config(false, BatchPolicy::kBatchDynamic);
+  sweep_every_injection_point(config, false, sweep_stream(config.n, false), 6);
+  sweep_every_injection_point(config, true, sweep_stream(config.n, false), 6);
+}
+
+TEST(FaultSweep, BatchDynamicWeighted) {
+  const auto config = sweep_config(true, BatchPolicy::kBatchDynamic);
+  sweep_every_injection_point(config, false, sweep_stream(config.n, true), 6);
+  sweep_every_injection_point(config, true, sweep_stream(config.n, true), 6);
+}
+
+TEST(FaultSweep, WaveDeleteHeavy) {
+  const auto config = sweep_config(false, BatchPolicy::kWave);
+  sweep_every_injection_point(config, false, sweep_stream(config.n, false), 6);
+  sweep_every_injection_point(config, true, sweep_stream(config.n, false), 6);
+}
+
+TEST(FaultSweep, WaveWeighted) {
+  const auto config = sweep_config(true, BatchPolicy::kWave);
+  sweep_every_injection_point(config, false, sweep_stream(config.n, true), 6);
+  sweep_every_injection_point(config, true, sweep_stream(config.n, true), 6);
+}
+
+// Serial (non-batch) insert/erase journal and roll back too.
+TEST(FaultSweep, SerialEraseRollsBack) {
+  DynamicForest forest(DynForestConfig{.n = 12, .m_cap = 48});
+  forest.preprocess(graph::EdgeList{});
+  auto faults = std::make_shared<FaultInjector>();
+  forest.cluster().set_fault_injector(faults);
+  forest.insert(0, 1);
+  forest.insert(1, 2);
+  forest.insert(3, 4);
+  const ForestState before = capture(forest);
+  for (std::uint64_t r = 0;; ++r) {
+    ASSERT_LT(r, 200u);
+    faults->fail_at_round(r, FaultKind::kCrash);
+    try {
+      forest.erase(1, 2);
+      faults->disarm();
+      break;
+    } catch (const std::exception&) {
+      ASSERT_TRUE(faults->fired());
+      ASSERT_EQ(capture(forest), before) << "serial erase, round " << r;
+      ASSERT_TRUE(forest.validate());
+    }
+  }
+  EXPECT_FALSE(forest.connected(1, 2));
+  EXPECT_TRUE(forest.connected(0, 1));
+}
+
+// With atomic_updates off the journal never arms and the fault-free
+// behavior is unchanged.
+TEST(FaultSweep, AtomicUpdatesOffStillCommitsCleanly) {
+  DynForestConfig config{.n = 16, .m_cap = 64};
+  config.atomic_updates = false;
+  DynamicForest forest(config);
+  forest.preprocess(graph::EdgeList{});
+  forest.insert(0, 1);
+  forest.insert(1, 2);
+  forest.erase(0, 1);
+  EXPECT_TRUE(forest.validate());
+  EXPECT_TRUE(forest.connected(1, 2));
+  EXPECT_FALSE(forest.connected(0, 1));
+}
+
+// Driver recovery: a Bernoulli fault schedule aborts batches throughout
+// the run; retry + bisection must commit every update (none abandoned)
+// and every checkpoint must match the oracle on the driver's shadow.
+TEST(DriverRecovery, BernoulliScheduleConverges) {
+  constexpr std::size_t kN = 48;
+  DynamicForest forest(DynForestConfig{.n = kN, .m_cap = 400});
+  forest.preprocess(graph::EdgeList{});
+  auto faults = std::make_shared<FaultInjector>(/*seed=*/11, /*rate=*/0.03);
+  forest.cluster().set_fault_injector(faults);
+
+  harness::DriverConfig dconfig;
+  dconfig.batch_size = 8;
+  dconfig.checkpoint_every = 4;
+  dconfig.recovery_max_retries = 6;
+  harness::Driver driver(kN, dconfig);
+  driver.add("forest", forest);
+  driver.on_checkpoint([&](const harness::Checkpoint& cp) {
+    ASSERT_EQ(forest.component_snapshot(),
+              oracle::connected_components(cp.shadow))
+        << "diverged at step " << cp.step;
+  });
+  test_util::stop_on_fatal_failure(driver);
+
+  const auto stream = graph::interleaved_delete_stream(kN, 480, 4, 2, 23);
+  const harness::DriverReport& report = driver.run(stream);
+  const harness::AlgorithmStats* stats = report.find("forest");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->recovery.aborts, 0u)
+      << "rate 0.03 across " << faults->rounds_observed()
+      << " observed boundaries should have tripped at least once";
+  EXPECT_EQ(stats->recovery.updates_abandoned, 0u);
+  EXPECT_GE(stats->recovery.updates_recovered, 1u);
+  // Every driver-observed abort was one forest-side rollback.
+  EXPECT_EQ(forest.cluster().metrics().abort_aggregate().aborts,
+            stats->recovery.aborts);
+}
+
+// An unrecoverable update is abandoned, un-applied from the driver's
+// shadow, and counted — the driver still terminates coherently.
+TEST(DriverRecovery, AbandonsUnrecoverableUpdates) {
+  constexpr std::size_t kN = 12;
+  DynamicForest forest(DynForestConfig{.n = kN, .m_cap = 48});
+  forest.preprocess(graph::EdgeList{});
+  // rate 1.0: EVERY round boundary faults, so nothing can ever commit.
+  forest.cluster().set_fault_injector(
+      std::make_shared<FaultInjector>(/*seed=*/3, /*rate=*/1.0));
+
+  harness::DriverConfig dconfig;
+  dconfig.batch_size = 4;
+  dconfig.recovery_max_retries = 2;
+  dconfig.checkpoint_every = 0;
+  dconfig.final_checkpoint = false;
+  harness::Driver driver(kN, dconfig);
+  driver.add("forest", forest);
+  graph::UpdateStream stream;
+  for (VertexId v = 0; v + 1 < 8; ++v) {
+    stream.push_back({UpdateKind::kInsert, v, v + 1, 1});
+  }
+  const harness::DriverReport& report = driver.run(stream);
+  const harness::AlgorithmStats* stats = report.find("forest");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->recovery.updates_abandoned, 7u);
+  EXPECT_GT(stats->recovery.bisections, 0u);
+  EXPECT_EQ(stats->recovery.updates_recovered, 0u);
+  EXPECT_EQ(report.applied, 0u);
+  // The abandoned inserts were rolled back out of the driver's shadow.
+  EXPECT_EQ(driver.shadow().num_edges(), 0u);
+  // The forest never committed anything either (connectivity queries run
+  // as query batches, which the injector never touches).
+  for (VertexId v = 0; v + 1 < 8; ++v) {
+    EXPECT_FALSE(forest.connected(v, v + 1));
+  }
+  EXPECT_TRUE(forest.validate());
+}
+
+// Standalone serving: a failed update epoch re-queues for recovery while
+// queries keep answering from the last committed epoch.
+TEST(ServingDegradation, QueriesAnswerThroughUpdateFailure) {
+  constexpr std::size_t kN = 16;
+  DynamicForest forest(DynForestConfig{.n = kN, .m_cap = 64});
+  forest.preprocess(graph::EdgeList{});
+  serve::QueryBroker broker(forest);
+  serve::ClientSession client = broker.session();
+
+  // Healthy epoch: a committed chain 0-1-2.
+  ASSERT_TRUE(broker.submit_update({UpdateKind::kInsert, 0, 1, 1}));
+  ASSERT_TRUE(broker.submit_update({UpdateKind::kInsert, 1, 2, 1}));
+  broker.pump();
+  ASSERT_EQ(broker.epoch(), 1u);
+
+  // Arm a one-shot crash for the next update protocol, then submit an
+  // update and a query into the same pump.
+  auto faults = std::make_shared<FaultInjector>();
+  forest.cluster().set_fault_injector(faults);
+  faults->fail_at_round(0, FaultKind::kCrash);
+  ASSERT_TRUE(broker.submit_update({UpdateKind::kInsert, 2, 3, 1}));
+  const auto q1 = client.connected(0, 2);
+  ASSERT_TRUE(q1.has_value());
+  broker.pump();  // the update aborts; the query must still be answered
+  const auto a1 = client.poll(*q1);
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_TRUE(a1->answer.connected);
+  EXPECT_EQ(a1->epoch, 1u) << "answered from the committed epoch";
+  serve::ServingStats stats = broker.stats();
+  EXPECT_EQ(stats.update_aborts, 1u);
+  EXPECT_EQ(broker.epoch(), 1u);
+
+  // The fault was one-shot: the next pump recovers the re-queued batch
+  // and the epoch advances.
+  const auto q2 = client.connected(2, 3);
+  ASSERT_TRUE(q2.has_value());
+  broker.pump();
+  const auto a2 = client.poll(*q2);
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_TRUE(a2->answer.connected);
+  EXPECT_EQ(a2->epoch, 2u);
+  stats = broker.stats();
+  EXPECT_EQ(stats.update_retries, 1u);
+  EXPECT_EQ(stats.updates_abandoned, 0u);
+  EXPECT_EQ(stats.degraded_intervals, 1u);
+  EXPECT_GT(stats.worst_recovery_us, 0.0);
+  EXPECT_EQ(stats.queries_answered, 2u);
+  EXPECT_TRUE(forest.validate());
+}
+
+// A batch whose front sub-batch keeps failing is bisected down to a
+// singleton, which is abandoned; the rest commits and the broker leaves
+// degraded mode.
+TEST(ServingDegradation, BisectsAndAbandonsPoisonedUpdate) {
+  constexpr std::size_t kN = 16;
+  DynamicForest forest(DynForestConfig{.n = kN, .m_cap = 64});
+  forest.preprocess(graph::EdgeList{});
+  serve::ServingConfig sconfig;
+  sconfig.recovery_max_retries = 1;  // bisect on the first failure
+  serve::QueryBroker broker(forest, sconfig);
+
+  auto faults = std::make_shared<FaultInjector>();
+  forest.cluster().set_fault_injector(faults);
+  ASSERT_TRUE(broker.submit_update({UpdateKind::kInsert, 0, 1, 1}));
+  ASSERT_TRUE(broker.submit_update({UpdateKind::kInsert, 1, 2, 1}));
+  ASSERT_TRUE(broker.submit_update({UpdateKind::kInsert, 2, 3, 1}));
+  ASSERT_TRUE(broker.submit_update({UpdateKind::kInsert, 3, 4, 1}));
+
+  // Fault every attempt until the front sub-batch has been bisected down
+  // to a singleton (4 -> 2+2 -> 1+1) and that singleton is abandoned;
+  // then stop arming and let the rest of the recovery queue drain
+  // fault-free.
+  std::uint64_t pumps = 0;
+  while (broker.stats().updates_abandoned == 0 && pumps < 32) {
+    faults->fail_at_round(0, FaultKind::kComm);
+    broker.pump();
+    ++pumps;
+  }
+  faults->disarm();
+  for (int i = 0; i < 8; ++i) broker.pump();
+
+  const serve::ServingStats stats = broker.stats();
+  EXPECT_EQ(stats.updates_abandoned, 1u);
+  EXPECT_GE(stats.update_bisections, 2u);
+  EXPECT_EQ(stats.updates_applied, 3u);
+  EXPECT_TRUE(forest.validate());
+}
+
+// The injector never fires inside a query batch: reads stay available
+// even under a certain-fault schedule.
+TEST(ServingDegradation, QueryBatchesAreNeverFaulted) {
+  constexpr std::size_t kN = 12;
+  DynamicForest forest(DynForestConfig{.n = kN, .m_cap = 48});
+  forest.preprocess(graph::EdgeList{});
+  forest.insert(0, 1);
+  forest.cluster().set_fault_injector(
+      std::make_shared<FaultInjector>(/*seed=*/5, /*rate=*/1.0));
+  const std::vector<core::ReadQuery> queries = {
+      {core::QueryKind::kConnected, 0, 1},
+      {core::QueryKind::kConnected, 0, 2},
+  };
+  const auto answers =
+      forest.answer_queries(std::span<const core::ReadQuery>(queries));
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(answers[0].connected);
+  EXPECT_FALSE(answers[1].connected);
+}
+
+// ThreadPoolExecutor must rethrow the exception of the LOWEST task
+// index, matching SerialExecutor's in-order sweep, no matter which
+// worker thread happens to throw first.
+TEST(ExecutorDeterminism, LowestTaskIndexExceptionWins) {
+  dmpc::ThreadPoolExecutor pool(4, /*serial_cutoff=*/1);
+  dmpc::SerialExecutor serial;
+  for (int trial = 0; trial < 25; ++trial) {
+    for (dmpc::RoundExecutor* exec :
+         {static_cast<dmpc::RoundExecutor*>(&pool),
+          static_cast<dmpc::RoundExecutor*>(&serial)}) {
+      try {
+        exec->run(16, [](std::size_t i) {
+          if (i == 3 || i == 7 || i == 11) {
+            throw std::runtime_error("task " + std::to_string(i));
+          }
+        });
+        FAIL() << exec->name() << " should have rethrown";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task 3") << exec->name();
+      }
+    }
+  }
+}
+
+// Aborted work stays out of the update aggregate and lands in the abort
+// aggregate; the per-round stream truncates back to the update's start.
+TEST(MetricsAbort, AbortedUpdateIsExcluded) {
+  dmpc::Metrics metrics;
+  dmpc::RoundRecord rec;
+  rec.active_machines = 2;
+  rec.comm_words = 10;
+  rec.messages = 1;
+  metrics.begin_update();
+  metrics.record_round(rec);
+  metrics.end_update();
+  ASSERT_EQ(metrics.aggregate().updates, 1u);
+  ASSERT_EQ(metrics.rounds().size(), 1u);
+
+  metrics.begin_update();
+  metrics.record_round(rec);
+  metrics.record_round(rec);
+  metrics.abort_update();
+
+  EXPECT_EQ(metrics.aggregate().updates, 1u) << "aborts must not aggregate";
+  EXPECT_EQ(metrics.rounds().size(), 1u) << "aborted rounds must truncate";
+  EXPECT_EQ(metrics.abort_aggregate().aborts, 1u);
+  EXPECT_EQ(metrics.abort_aggregate().rounds_discarded, 2u);
+  EXPECT_EQ(metrics.abort_aggregate().comm_words_discarded, 20u);
+  // The bracket is closed: a fresh update opens and settles normally.
+  metrics.begin_update();
+  metrics.record_round(rec);
+  metrics.end_update();
+  EXPECT_EQ(metrics.aggregate().updates, 2u);
+  EXPECT_EQ(metrics.rounds().size(), 2u);
+}
+
+// The injector's one-shot semantics and exception-type mapping, on a
+// bare cluster.
+TEST(FaultInjectorUnit, OneShotsFireExactlyOnceWithMappedTypes) {
+  dmpc::Cluster cluster(4, 4096);
+  auto faults = std::make_shared<FaultInjector>();
+  cluster.set_fault_injector(faults);
+
+  cluster.begin_update();
+  faults->fail_at_round(1, FaultKind::kComm);
+  EXPECT_NO_THROW(cluster.finish_round());
+  EXPECT_THROW(cluster.finish_round(), dmpc::CommOverflowError);
+  EXPECT_TRUE(faults->fired());
+  EXPECT_FALSE(faults->armed());
+  EXPECT_NO_THROW(cluster.finish_round());  // one-shot: fired, now inert
+  cluster.metrics().abort_update();
+
+  cluster.begin_update();
+  faults->fail_at_round(0, FaultKind::kMemory);
+  EXPECT_THROW(cluster.finish_round(), dmpc::MemoryOverflowError);
+  cluster.metrics().abort_update();
+
+  cluster.begin_update();
+  faults->fail_at_round(0, FaultKind::kCrash);
+  EXPECT_THROW(cluster.finish_round(), dmpc::InjectedFault);
+  cluster.metrics().abort_update();
+
+  cluster.begin_update();
+  faults->fail_in_task(0, 2);
+  EXPECT_THROW(cluster.for_each_machine([](dmpc::MachineId) {}),
+               dmpc::InjectedFault);
+  EXPECT_NO_THROW(cluster.for_each_machine([](dmpc::MachineId) {}));
+  EXPECT_EQ(faults->faults_injected(), 4u);
+  cluster.metrics().abort_update();
+}
+
+TEST(FaultInjectorUnit, BernoulliScheduleIsSeedDeterministic) {
+  FaultInjector a(/*seed=*/42, /*rate=*/0.3);
+  FaultInjector b(/*seed=*/42, /*rate=*/0.3);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    bool threw_a = false;
+    bool threw_b = false;
+    try {
+      a.on_round_boundary();
+    } catch (const std::exception&) {
+      threw_a = true;
+    }
+    try {
+      b.on_round_boundary();
+    } catch (const std::exception&) {
+      threw_b = true;
+    }
+    EXPECT_EQ(threw_a, threw_b) << "boundary " << i;
+    fired += threw_a ? 1 : 0;
+  }
+  EXPECT_EQ(a.faults_injected(), fired);
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, 200u);
+}
+
+}  // namespace
