@@ -13,18 +13,23 @@
 #include <vector>
 
 #include "dmpc/metrics.hpp"
+#include "dmpc/trace.hpp"
 #include "harness/driver.hpp"
 
 namespace bench {
 
 /// The CLI surface every bench main shares: `--json <path>` writes the
 /// machine-readable report, `--check` makes budget violations fatal
-/// (exit 1) for the CI bench job, and `--faults <seed>` adds a
+/// (exit 1) for the CI bench job, `--faults <seed>` adds a
 /// fault-injected phase to benches that support one (bench_serving):
 /// a seeded dmpc::FaultInjector Bernoulli schedule fails update
-/// protocols mid-flight while the recovery stack keeps serving.
+/// protocols mid-flight while the recovery stack keeps serving, and
+/// `--trace <path>` writes a dmpc::Tracer Chrome-trace JSON of a traced
+/// section (benches pick a representative one so the timed CI rows stay
+/// unperturbed; see docs/OBSERVABILITY.md).
 struct CliArgs {
   std::string json_path;
+  std::string trace_path;
   bool check = false;
   bool faults = false;
   std::uint64_t faults_seed = 0;
@@ -36,6 +41,8 @@ inline CliArgs parse_cli(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      args.trace_path = argv[++i];
     } else if (a == "--check") {
       args.check = true;
     } else if (a == "--faults" && i + 1 < argc) {
@@ -44,13 +51,49 @@ inline CliArgs parse_cli(int argc, char** argv) {
     } else {
       // Fail loudly: a typo in the CI invocation must not silently run
       // the bench with the budget gate disabled.
-      std::fprintf(stderr, "%s: unrecognized argument '%s'\nusage: %s "
-                           "[--json <path>] [--check] [--faults <seed>]\n",
+      std::fprintf(stderr,
+                   "%s: unrecognized argument '%s'\nusage: %s "
+                   "[--json <path>] [--check] [--faults <seed>] "
+                   "[--trace <path>]\n",
                    argv[0], a.c_str(), argv[0]);
       std::exit(2);
     }
   }
   return args;
+}
+
+/// Writes a tracer's Chrome-trace JSON to `path` and prints a one-look
+/// attribution summary (per-phase wall share and the dominant per-round
+/// phase — the full table is `scripts/trace_report.py <path>`).
+inline void write_trace(const dmpc::Tracer& tracer, const std::string& path) {
+  tracer.write_chrome_json(path);
+  std::uint64_t sum_wall = 0;
+  for (const dmpc::PhaseTotals& t : tracer.phase_totals()) {
+    sum_wall += t.wall_ns;
+  }
+  std::printf("\ntrace written to %s (%zu events", path.c_str(),
+              tracer.events().size());
+  if (tracer.dropped_events() > 0) {
+    std::printf(", %llu dropped",
+                static_cast<unsigned long long>(tracer.dropped_events()));
+  }
+  std::printf(")\n");
+  for (std::size_t p = 0; p < dmpc::kTracePhaseCount; ++p) {
+    const dmpc::PhaseTotals& t = tracer.phase_totals()[p];
+    if (t.spans == 0 && t.rounds + t.overlapped_rounds + t.charged_rounds == 0)
+      continue;
+    std::printf("  %-18s spans=%-6llu rounds=%-8llu wall=%8.3f ms (%.1f%%)\n",
+                dmpc::trace_phase_name(static_cast<dmpc::TracePhase>(p)),
+                static_cast<unsigned long long>(t.spans),
+                static_cast<unsigned long long>(t.rounds + t.overlapped_rounds +
+                                                t.charged_rounds),
+                static_cast<double>(t.wall_ns) / 1e6,
+                sum_wall == 0 ? 0.0
+                              : 100.0 * static_cast<double>(t.wall_ns) /
+                                    static_cast<double>(sum_wall));
+  }
+  std::printf("  dominant per-round phase: %s\n",
+              dmpc::trace_phase_name(tracer.dominant_phase()));
 }
 
 /// Seconds elapsed while running `fn` (wall clock, for the JSON rows).

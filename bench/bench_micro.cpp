@@ -59,7 +59,8 @@ struct ForestRun {
 };
 
 ForestRun run_forest(const std::shared_ptr<dmpc::RoundExecutor>& exec,
-                     const graph::UpdateStream& stream) {
+                     const graph::UpdateStream& stream,
+                     bool with_disabled_tracer = false) {
   ForestRun out;
   // Pinned to the wave scheduler: this bench measures the executor's
   // cost on the replacement-scan rounds the pool parallelizes.  The
@@ -70,6 +71,11 @@ ForestRun run_forest(const std::shared_ptr<dmpc::RoundExecutor>& exec,
                               .m_cap = 4 * kForestN,
                               .batch_policy = core::BatchPolicy::kWave});
   forest.cluster().set_executor(exec);
+  // Installed-but-disabled: the per-barrier cost every traced build pays
+  // even when no one is tracing — the off-path overhead contract.
+  if (with_disabled_tracer) {
+    forest.cluster().set_tracer(std::make_shared<dmpc::Tracer>());
+  }
   out.preprocess_seconds =
       bench::timed_seconds([&] { forest.preprocess(graph::cycle(kForestN)); });
   // Separate the update phase from preprocessing in the aggregate.
@@ -87,6 +93,42 @@ ForestRun run_forest(const std::shared_ptr<dmpc::RoundExecutor>& exec,
   out.sched = forest.batch_stats();
   out.weight = forest.forest_weight();
   return out;
+}
+
+/// One interleaved tracing A/B pass: per-mode wall-clock sums over
+/// alternating batches of ONE forest run (see the call site for the
+/// design).
+struct TraceAB {
+  double on_seconds = 0;
+  double off_seconds = 0;
+};
+
+TraceAB paired_trace_overhead(const graph::UpdateStream& stream,
+                              bool traced_even_batches) {
+  TraceAB ab;
+  // ONE forest, alternating the installed-but-disabled tracer per
+  // batch: comparing two forest instances instead picks up their
+  // allocation-layout difference (measured at ±5% — bigger than the
+  // budget), while here everything but the tracer install is shared.
+  core::DynamicForest forest({.n = kForestN,
+                              .m_cap = 4 * kForestN,
+                              .batch_policy = core::BatchPolicy::kWave});
+  forest.cluster().set_executor(std::make_shared<dmpc::SerialExecutor>());
+  const auto tracer = std::make_shared<dmpc::Tracer>();
+  forest.preprocess(graph::cycle(kForestN));
+  const std::size_t start = stream.size() - kForestUpdates;
+  for (std::size_t i = 0; i < kForestUpdates; i += kForestBatch) {
+    const std::span<const graph::Update> batch(stream.data() + start + i,
+                                               kForestBatch);
+    const bool traced =
+        ((i / kForestBatch) % 2 == 0) == traced_even_batches;
+    forest.cluster().set_tracer(traced ? tracer : nullptr);
+    const double s =
+        bench::timed_seconds([&] { forest.apply_batch(batch); });
+    (traced ? ab.on_seconds : ab.off_seconds) += s;
+  }
+  forest.cluster().set_tracer(nullptr);
+  return ab;
 }
 
 /// The determinism contract: every counter the simulator reports must be
@@ -213,6 +255,38 @@ int main(int argc, char** argv) {
       .u64("cores", cores)
       .num("speedup", speedup)
       .flag("within_budget", pool1_ok && poolmax_ok);
+
+  // --- Tracing-disabled overhead on the pooled-forest row ---------------
+  // The observability contract (docs/OBSERVABILITY.md): an
+  // installed-but-disabled tracer costs one pointer/flag check per
+  // barrier and per dispatch.  A 1% budget is far below the run-to-run
+  // wall-clock swing of a shared runner, so the A/B alternates the
+  // tracer install per BATCH within one forest run: every batch of the
+  // same instance is timed separately with the disabled tracer
+  // installed on odd or even batches, so any drift slower than one
+  // ~100 ms batch hits both modes equally and cancels, and there is no
+  // second forest instance to contribute a layout bias.  Two passes
+  // with the parity crossed (odd-traced, then even-traced), per-mode
+  // sums over both — a systematically heavier parity class lands on
+  // each mode once.  Serial executor (pool wake/join jitter would
+  // drown the signal); bench_trend.py gates trace_overhead_pct < 1%
+  // absolute with a seconds noise floor.
+  const TraceAB ab_a =
+      paired_trace_overhead(stream, /*traced_even_batches=*/true);
+  const TraceAB ab_b =
+      paired_trace_overhead(stream, /*traced_even_batches=*/false);
+  const double trace_on = ab_a.on_seconds + ab_b.on_seconds;
+  const double trace_off = ab_a.off_seconds + ab_b.off_seconds;
+  const double trace_pct =
+      trace_off > 0.0 ? (trace_on / trace_off - 1.0) * 100.0 : 0.0;
+  std::printf("\ntracing-disabled overhead: %.2f%% (tracer installed "
+              "%.3fs / none %.3fs, serial executor)\n",
+              trace_pct, trace_on, trace_off);
+  json.row("dynforest_trace_overhead_n131072")
+      .u64("cores", cores)
+      .num("trace_overhead_pct", trace_pct)
+      .num("trace_on_seconds", trace_on)
+      .num("trace_off_seconds", trace_off);
 
   if (!args.json_path.empty() && !json.write(args.json_path, ok)) {
     std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());

@@ -84,16 +84,23 @@ void print_series(const char* name, std::size_t n,
 /// deletions included), so rounds/update drops below the per-update
 /// protocol's constant as N grows while the state stays byte-identical
 /// to the serial run.
-void run_batched_connectivity(std::size_t n) {
+void run_batched_connectivity(
+    std::size_t n, const std::shared_ptr<dmpc::Tracer>& tracer = nullptr) {
   core::DynamicForest forest({.n = n, .m_cap = 4 * n});
   forest.preprocess(graph::EdgeList{});
   harness::DriverConfig config{.batch_size = 16, .checkpoint_every = 0};
   config.executor = harness::ExecutorKind::kThreadPool;
   harness::Driver driver(n, config);
   driver.add("alg", forest);
+  if (tracer != nullptr) {
+    forest.cluster().set_tracer(tracer);
+    driver.set_tracer(tracer);
+    tracer->set_enabled(true);
+  }
   const double wall = bench::timed_seconds([&] {
     driver.run(graph::random_stream(n, 4 * kStream, 0.75, 16));
   });
+  if (tracer != nullptr) tracer->set_enabled(false);
   const auto& report = driver.report();
   const auto& agg = report.find("alg")->batch_agg;
   const double rpu = bench::rounds_per_update(report, "alg");
@@ -190,9 +197,16 @@ int main(int argc, char** argv) {
   // and the batched path is the one whose wall-clock story matters
   // (pooled folds + SoA scans), so it alone is swept toward n = 10^6.
   std::printf("Batched connectivity, large n:\n");
+  // `--trace` answers the ROADMAP's "profile whatever still dominates
+  // per-round at n=10^6" follow-up: only the n=2^20 point is traced, so
+  // the smaller timed rows stay unperturbed.
+  const auto tracer = cli.trace_path.empty()
+                          ? nullptr
+                          : std::make_shared<dmpc::Tracer>();
   for (const std::size_t n : {65536u, 262144u, 1048576u}) {
-    run_batched_connectivity(n);
+    run_batched_connectivity(n, n == 1048576u ? tracer : nullptr);
   }
+  if (tracer != nullptr) bench::write_trace(*tracer, cli.trace_path);
   std::printf("\n");
   std::printf("Shapes to read off: rounds flat everywhere; comm/sqrtN\n"
               "roughly constant for the sqrt(N) algorithms; (2+eps) and the\n"

@@ -301,6 +301,27 @@ int main(int argc, char** argv) {
     gate(fstats.queries_shed == 0, "queries shed during the fault phase");
   }
 
+  // Phase 4 (--trace <path>): a dedicated short serving run with the
+  // tracer enabled — fresh forest, same Zipfian shape, 200k ops — so
+  // the timed phases above (whose rows feed the latency trend gates)
+  // never run instrumented.  The broker's epoch spans and the forest's
+  // protocol/query phases land on the same trace.
+  if (!args.trace_path.empty()) {
+    graph::ZipfianServingConfig ttraffic = traffic;
+    ttraffic.length = 200'000;
+    const graph::MixedStream tstream = graph::zipfian_serving_stream(ttraffic);
+    core::DynamicForest tf({.n = ttraffic.n,
+                            .m_cap = std::size_t{1} << 16,
+                            .batch_policy = core::BatchPolicy::kBatchDynamic});
+    tf.preprocess(graph::EdgeList{});
+    const auto tracer = std::make_shared<dmpc::Tracer>();
+    tf.cluster().set_tracer(tracer);
+    tracer->set_enabled(true);
+    (void)run_standalone(tf, tstream, 256);
+    tracer->set_enabled(false);
+    bench::write_trace(*tracer, args.trace_path);
+  }
+
   if (!args.json_path.empty()) {
     // Latency and wall-clock measured on different hardware say nothing
     // about the code, so stamp the core count for the trend gate's skip.

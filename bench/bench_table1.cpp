@@ -211,6 +211,19 @@ int main(int argc, char** argv) {
   // of independent tree-edge deletions it must serialize.
   bench::print_batch_header(
       "batched connectivity (independent updates share rounds)");
+  // --trace: every batched row below runs instrumented and lands on one
+  // shared trace (the per-update Table-1 rows above stay untraced).  CI
+  // never passes --trace here, so the timed rows that feed the trend
+  // gates are only perturbed on manual captures.
+  std::shared_ptr<dmpc::Tracer> tracer;
+  if (!cli.trace_path.empty()) tracer = std::make_shared<dmpc::Tracer>();
+  const auto install_tracer = [&](core::DynamicForest& forest,
+                                  harness::Driver& driver) {
+    if (tracer == nullptr) return;
+    forest.cluster().set_tracer(tracer);
+    driver.set_tracer(tracer);
+    tracer->set_enabled(true);
+  };
   auto run_connectivity = [&](std::size_t batch_size,
                               harness::ExecutorKind executor,
                               core::BatchPolicy policy,
@@ -224,6 +237,7 @@ int main(int argc, char** argv) {
     config.executor = executor;
     harness::Driver driver(kN, config);
     driver.add("connectivity", forest);
+    install_tracer(forest, driver);
     *wall_seconds = bench::timed_seconds([&] { driver.run(stream); });
     return driver.report();
   };
@@ -339,6 +353,7 @@ int main(int argc, char** argv) {
                                  .weighted = true};
     harness::Driver driver(kN, config);
     driver.add("mst", mst);
+    install_tracer(mst, driver);
     *wall_seconds = bench::timed_seconds([&] { driver.run(stream); });
     return driver.report();
   };
@@ -419,6 +434,7 @@ int main(int argc, char** argv) {
     config.cross_batch_lookahead = pipelined;
     harness::Driver driver(kN, config);
     driver.add("forest", forest);
+    install_tracer(forest, driver);
     *wall_seconds = bench::timed_seconds([&] { driver.run(stream); });
     return driver.report();
   };
@@ -464,6 +480,8 @@ int main(int argc, char** argv) {
       "the paper's sqrt(N)-updates-share-rounds observation made\n"
       "measurable; the delete-heavy rows show the out-of-order scheduler\n"
       "batching the tree-edge deletions the prefix planner serializes.\n");
+
+  if (tracer != nullptr) bench::write_trace(*tracer, cli.trace_path);
 
   if (!cli.json_path.empty() &&
       !json.write(cli.json_path, g_within_budget)) {

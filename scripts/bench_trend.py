@@ -38,7 +38,14 @@ and fails when any workload regressed:
     with no baseline to diff against — because the atomicity tax is a
     standing budget, not a trend.  Rows whose atomic-off reference run
     (journal_off_seconds) is under --min-journal-seconds are skipped
-    with a notice: a percentage of a near-zero wall time is weather.
+    with a notice: a percentage of a near-zero wall time is weather;
+  * the tracing-disabled overhead (trace_overhead_pct from bench_micro's
+    installed-but-disabled tracer vs no-tracer A/B timing) exceeds
+    --max-trace-overhead percent.  Same ABSOLUTE treatment as the
+    journal gate — the observability layer's off-path cost is a
+    standing budget (docs/OBSERVABILITY.md) — with the same noise
+    floor: rows whose no-tracer reference run (trace_off_seconds) is
+    under --min-trace-seconds are skipped with a notice.
 
 Rows are matched by (bench, name[, n]).  A missing baseline (first run,
 expired cache) passes with a notice — the save step repopulates it.  A
@@ -56,7 +63,8 @@ Usage:
       [--min-attempts 20] [--max-deferred-growth 0.25] \
       [--max-query-rounds-regress 0.05] [--max-p99-regress 0.50] \
       [--min-p99-us 200] [--max-journal-overhead 5.0] \
-      [--min-journal-seconds 0.5] [--summary PATH]
+      [--min-journal-seconds 0.5] [--max-trace-overhead 1.0] \
+      [--min-trace-seconds 0.5] [--summary PATH]
 """
 
 import argparse
@@ -140,6 +148,15 @@ def main(argv=None):
                     help="skip the journal-overhead gate when the "
                          "atomic-off reference run is shorter than this "
                          "(default 0.5)")
+    ap.add_argument("--max-trace-overhead", type=float, default=1.0,
+                    help="fail when the tracing-disabled overhead "
+                         "(trace_overhead_pct, absolute — gated even "
+                         "without a baseline) exceeds this percent "
+                         "(default 1.0)")
+    ap.add_argument("--min-trace-seconds", type=float, default=0.5,
+                    help="skip the trace-overhead gate when the "
+                         "no-tracer reference run is shorter than this "
+                         "(default 0.5)")
     ap.add_argument("--summary", default=None,
                     help="append a markdown comparison table to this file "
                          "(e.g. $GITHUB_STEP_SUMMARY)")
@@ -189,6 +206,30 @@ def main(argv=None):
                      f"{pct:.2f}% > {args.max_journal_overhead:.1f}% "
                      "budget"))
 
+        # Absolute tracing-disabled overhead budget (bench_micro's
+        # tracer-installed vs no-tracer A/B): the observability layer's
+        # off path must stay under --max-trace-overhead percent, first
+        # run included.
+        for key, crow in sorted(cur.items(), key=lambda kv: str(kv[0])):
+            pct = crow.get("trace_overhead_pct")
+            if pct is None:
+                continue
+            label = key[0] if key[1] is None else f"{key[0]} (n={key[1]})"
+            off = crow.get("trace_off_seconds")
+            if off is not None and off < args.min_trace_seconds:
+                print(f"bench_trend: {name}: {label}: trace overhead "
+                      f"{pct:.2f}% not gated — no-tracer reference run "
+                      f"{off:.2f}s is under the {args.min_trace_seconds}s "
+                      "floor")
+                continue
+            print(f"{name}: {label}: trace overhead {pct:.2f}% "
+                  f"(budget {args.max_trace_overhead:.1f}%)")
+            if pct > args.max_trace_overhead:
+                regressions.append(
+                    (name, label, "trace overhead",
+                     f"{pct:.2f}% > {args.max_trace_overhead:.1f}% "
+                     "budget"))
+
         base_path = os.path.join(args.baseline, name)
         if not os.path.exists(base_path):
             print(f"bench_trend: no baseline for {name} "
@@ -213,7 +254,8 @@ def main(argv=None):
             for metric in ("wall_seconds", "rounds_per_update",
                            "waves_pipelined", "deferred_updates",
                            "cascade_rounds", "query_rounds_per_batch",
-                           "p99_us", "journal_overhead_pct"):
+                           "p99_us", "journal_overhead_pct",
+                           "trace_overhead_pct"):
                 if brow.get(metric) is not None and \
                         crow.get(metric) is None:
                     print(f"bench_trend: {name}: {label}: baseline has "
@@ -392,7 +434,8 @@ def main(argv=None):
           f"{args.max_cascade_regress:.0%}, query rounds "
           f"{args.max_query_rounds_regress:.0%}, p99 growth "
           f"{args.max_p99_regress:.0%}, journal overhead budget "
-          f"{args.max_journal_overhead:.1f}%)")
+          f"{args.max_journal_overhead:.1f}%, trace overhead budget "
+          f"{args.max_trace_overhead:.1f}%)")
     return 0
 
 

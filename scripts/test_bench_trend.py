@@ -24,7 +24,8 @@ _SPEC.loader.exec_module(bench_trend)
 def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
              xb_misses=None, deferred=None, n=None, cascade=None,
              batches=None, cores=None, qrounds=None, p99=None,
-             journal_pct=None, journal_off=None):
+             journal_pct=None, journal_off=None, trace_pct=None,
+             trace_off=None):
     row = {"name": name, "wall_seconds": wall}
     if n is not None:
         row["n"] = n
@@ -50,6 +51,10 @@ def make_row(name, wall=1.0, rounds=None, hits=None, misses=None,
         row["journal_overhead_pct"] = journal_pct
         row["journal_off_seconds"] = \
             journal_off if journal_off is not None else 3.0
+    if trace_pct is not None:
+        row["trace_overhead_pct"] = trace_pct
+        row["trace_off_seconds"] = \
+            trace_off if trace_off is not None else 3.0
     return row
 
 
@@ -355,6 +360,58 @@ class BenchTrendTest(unittest.TestCase):
         with contextlib.redirect_stdout(out):
             self.assertEqual(self.gate(), 0)
         self.assertIn("not gated", out.getvalue())
+
+    def test_trace_overhead_over_budget_fails(self):
+        # The tracing-disabled off path has an absolute 1% budget.
+        self.write(self.current,
+                   [make_row("dynforest_trace_overhead_n131072",
+                             trace_pct=1.8)],
+                   bench="micro")
+        self.assertEqual(self.gate(), 1)
+
+    def test_trace_overhead_within_budget_passes(self):
+        self.write(self.current,
+                   [make_row("dynforest_trace_overhead_n131072",
+                             trace_pct=0.4)],
+                   bench="micro")
+        self.assertEqual(self.gate(), 0)
+
+    def test_trace_overhead_skipped_below_seconds_floor(self):
+        # A percentage of a 0.1s reference run is weather — skipped
+        # with a notice instead of gated.
+        import contextlib
+        import io
+        self.write(self.current,
+                   [make_row("dynforest_trace_overhead_n131072",
+                             trace_pct=25.0, trace_off=0.1)],
+                   bench="micro")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            self.assertEqual(self.gate(), 0)
+        self.assertIn("not gated", out.getvalue())
+
+    def test_trace_overhead_budget_flag_raises_ceiling(self):
+        self.write(self.current,
+                   [make_row("dynforest_trace_overhead_n131072",
+                             trace_pct=1.8)],
+                   bench="micro")
+        self.assertEqual(self.gate("--max-trace-overhead", "2.5"), 0)
+
+    def test_lost_trace_metric_prints_a_notice(self):
+        import contextlib
+        import io
+        self.write(self.baseline,
+                   [make_row("dynforest_trace_overhead_n131072",
+                             trace_pct=0.3)],
+                   bench="micro")
+        self.write(self.current,
+                   [make_row("dynforest_trace_overhead_n131072")],
+                   bench="micro")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            self.assertEqual(self.gate(), 0)
+        self.assertIn("lost it", out.getvalue())
+        self.assertIn("trace_overhead_pct", out.getvalue())
 
     def test_lost_journal_metric_prints_a_notice(self):
         import contextlib

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "dmpc/primitives.hpp"
+#include "dmpc/trace.hpp"
 #include "etour/tour_builder.hpp"
 #include "oracle/dsu.hpp"
 
@@ -1069,6 +1070,7 @@ std::vector<ReadAnswer> DynamicForest::answer_queries(
 void DynamicForest::answer_query_chunk(std::span<const ReadQuery> qs,
                                        std::span<ReadAnswer> out) try {
   const std::size_t mu = machines_.size();
+  dmpc::PhaseScope phase(cluster_->tracer(), dmpc::TracePhase::kQueryBatch);
   cluster_->begin_query_batch();
 
   // Plan host-side: unique connectivity endpoints grouped by their home
@@ -1406,6 +1408,8 @@ DynamicForest::WavePlan DynamicForest::plan_wave(
 DynamicForest::GroupPrep DynamicForest::run_group_prepare(
     std::vector<BatchOp>& group, bool overlapped) {
   const MachineId mu = static_cast<MachineId>(machines_.size());
+  dmpc::PhaseScope phase(cluster_->tracer(),
+                         dmpc::TracePhase::kScatterClassify);
   GroupPrep gp;
   // Overlapped mode: this is the NEXT wave's read-only prepare riding
   // the current wave's commit rounds, so deliveries are accounted as
@@ -1509,6 +1513,12 @@ std::uint64_t DynamicForest::run_group_dir(std::vector<BatchOp>& group,
   if (active.empty() || !(gp.any_merge || gp.any_delete || gp.any_pathmax)) {
     return 0;
   }
+  // Path-max probes share these two rounds with the directory traffic;
+  // the trace attributes the pair to whichever is present (path-max
+  // dominates the scan work when any probe rides along).
+  dmpc::PhaseScope phase(cluster_->tracer(),
+                         gp.any_pathmax ? dmpc::TracePhase::kPathMax
+                                        : dmpc::TracePhase::kDirectory);
   std::uint64_t rounds = 0;
   const auto finish = [&] {
     ++rounds;
@@ -1611,6 +1621,7 @@ std::uint64_t DynamicForest::run_group_dir(std::vector<BatchOp>& group,
 DynamicForest::GroupOutcome DynamicForest::run_group_commit(
     std::vector<BatchOp>& group, GroupPrep& gp) {
   const MachineId mu = static_cast<MachineId>(machines_.size());
+  dmpc::PhaseScope phase(cluster_->tracer(), dmpc::TracePhase::kWaveCommit);
   GroupOutcome out;
   const auto finish = [&] {
     ++out.rounds;
@@ -2238,6 +2249,10 @@ DynamicForest::StagePlan DynamicForest::plan_stage(
 void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
   const MachineId mu = static_cast<MachineId>(machines_.size());
   const dmpc::WordCount cap = cluster_->machine_capacity();
+  // The O(1)-round protocol's sections are linear, not nested, so one
+  // scope walks the phase taxonomy with next() as the rounds progress.
+  dmpc::PhaseScope phase(cluster_->tracer(),
+                         dmpc::TracePhase::kScatterClassify);
   std::uint64_t rounds = 0;
   // Multi-source broadcast with per-sender chunking: a sender whose
   // staged broadcast words would overflow its round budget flushes the
@@ -2313,6 +2328,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
     release_edge_record(ops[i].coord);
   }
   if (dels.empty() && mrgs.empty() && nti.empty()) return;
+  phase.next(dmpc::TracePhase::kDirectory);
 
   // ---- Round 2: directory replies, cached-index replies, and cut
   // descriptor broadcasts ----------------------------------------------
@@ -2391,6 +2407,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
     charge_edge_record(op.coord);
   }
   if (dels.empty() && mrgs.empty()) return;
+  phase.next(dmpc::TracePhase::kKWaySplit);
 
   // Every machine now holds every cut descriptor: the k-way transform of
   // each split component is constructed once from shared data.
@@ -2432,6 +2449,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
   // `app` at the owner and rebroadcast by each cut's coordinator.
   std::map<std::pair<Word, VertexId>, std::pair<Word, Word>> fixes;
   if (!dels.empty()) {
+    phase.next(dmpc::TracePhase::kCascade);
     const std::uint64_t cascade_start = rounds;
     std::map<Word, std::vector<VertexId>> cut_verts;
     for (const CutInfo& ci : cuts) {
@@ -2618,6 +2636,7 @@ void DynamicForest::run_stage_kway(std::vector<BatchOp>& ops) {
     batch_stats_.cascade_rounds += rounds - cascade_start;
     batch_stats_.cascade_links += links.size();
   }
+  phase.next(dmpc::TracePhase::kKWayJoin);
 
   // ---- Shared fragment universe + k-way join plan ---------------------
   // Fragment ids: split components ascending (fragment 0 keeps the old

@@ -20,23 +20,45 @@ void Cluster::set_fault_injector(std::shared_ptr<FaultInjector> faults) {
   faults_ = std::move(faults);
 }
 
+void Cluster::set_tracer(std::shared_ptr<Tracer> tracer) {
+  tracer_ = std::move(tracer);
+}
+
 void Cluster::for_each_machine(const std::function<void(MachineId)>& work) {
+  // Task windows go into per-machine tracer slots (one writer per slot)
+  // and are flushed at the barrier in machine order, so the trace's
+  // event sequence is identical under every executor.
+  Tracer* tracer = tracer_ && tracer_->enabled() ? tracer_.get() : nullptr;
+  const std::size_t mu = memories_.size();
+  if (tracer != nullptr) tracer->begin_dispatch(mu);
   if (faults_ && !metrics_.in_query_batch()) {
     // Each dispatch is one injection point; the ordinal is drawn before
     // the tasks fan out so the decision inside maybe_fail_task is a pure
     // read, identical under every executor.
     const std::uint64_t call = faults_->next_task_call();
     FaultInjector* faults = faults_.get();
-    const std::size_t mu = memories_.size();
-    executor_->run(mu, [&work, faults, call, mu](std::size_t m) {
+    executor_->run(mu, [&work, faults, call, mu, tracer](std::size_t m) {
       faults->maybe_fail_task(call, static_cast<MachineId>(m), mu);
+      if (tracer != nullptr) {
+        const std::uint64_t begin = tracer->now_ns();
+        work(static_cast<MachineId>(m));
+        tracer->record_task(m, begin, tracer->now_ns());
+        return;
+      }
       work(static_cast<MachineId>(m));
     });
-    return;
+  } else {
+    executor_->run(mu, [&work, tracer](std::size_t m) {
+      if (tracer != nullptr) {
+        const std::uint64_t begin = tracer->now_ns();
+        work(static_cast<MachineId>(m));
+        tracer->record_task(m, begin, tracer->now_ns());
+        return;
+      }
+      work(static_cast<MachineId>(m));
+    });
   }
-  executor_->run(memories_.size(), [&work](std::size_t m) {
-    work(static_cast<MachineId>(m));
-  });
+  if (tracer != nullptr) tracer->flush_dispatch();
 }
 
 void Cluster::maybe_inject_round_fault() {
@@ -72,6 +94,9 @@ RoundRecord Cluster::finish_round() {
   maybe_inject_round_fault();
   const RoundRecord rec = buffer_.deliver(capacity_, metrics_);
   metrics_.record_round(rec);
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->record_round(TraceRoundKind::kReal, rec);
+  }
   return rec;
 }
 
@@ -79,6 +104,9 @@ RoundRecord Cluster::finish_overlapped_round() {
   maybe_inject_round_fault();
   const RoundRecord rec = buffer_.deliver(capacity_, metrics_);
   metrics_.record_overlapped_round(rec);
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->record_round(TraceRoundKind::kOverlapped, rec);
+  }
   return rec;
 }
 

@@ -43,6 +43,7 @@
 #include "dmpc/message.hpp"
 #include "dmpc/metrics.hpp"
 #include "dmpc/round_buffer.hpp"
+#include "dmpc/trace.hpp"
 #include "dmpc/types.hpp"
 
 namespace dmpc {
@@ -78,6 +79,15 @@ class Cluster {
   [[nodiscard]] FaultInjector* fault_injector() const {
     return faults_.get();
   }
+
+  /// Installs a tracer (nullptr uninstalls).  Every barrier records a
+  /// round span and every for_each_machine dispatch records per-machine
+  /// task windows while the tracer is enabled; without one — or with it
+  /// disabled — the cost is a single pointer/flag check (see trace.hpp
+  /// for the overhead contract).  Shared ownership so the driver and
+  /// serving layers can annotate the same trace.
+  void set_tracer(std::shared_ptr<Tracer> tracer);
+  [[nodiscard]] Tracer* tracer() const { return tracer_.get(); }
 
   /// Recovery wipe after a mid-protocol throw: drops every staged
   /// message and clears every inbox, so a retried protocol starts from
@@ -135,7 +145,12 @@ class Cluster {
   /// O(1)-round black boxes (sorting, searching, prefix sums; Goodrich et
   /// al. [19]); the caller supplies the round's activity and traffic so the
   /// accounting stays honest.
-  void charge_round(const RoundRecord& rec) { metrics_.record_round(rec); }
+  void charge_round(const RoundRecord& rec) {
+    metrics_.record_round(rec);
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->record_round(TraceRoundKind::kCharged, rec);
+    }
+  }
 
   /// Memory meter of machine `m`.
   MemoryMeter& memory(MachineId m);
@@ -172,6 +187,7 @@ class Cluster {
   Metrics metrics_;
   std::shared_ptr<RoundExecutor> executor_;
   std::shared_ptr<FaultInjector> faults_;
+  std::shared_ptr<Tracer> tracer_;
 };
 
 }  // namespace dmpc

@@ -163,12 +163,17 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
     // that abandoned have already applied the update — mixed
     // registration only stays differential while nothing is abandoned.
     std::vector<char> abandoned(b.size(), 0);
+    dmpc::PhaseScope batch_phase(tracer_.get(), dmpc::TracePhase::kBatch);
     for (std::size_t i = 0; i < handles_.size(); ++i) {
       const Handle& h = handles_[i];
       RecoveryStats& rs = report_.algorithms[i].recovery;
       if (batching() && (h.apply_batch || h.apply_batch_ahead)) {
         const auto apply_span = [&](std::span<const graph::Update> seg,
                                     std::span<const graph::Update> ahead) {
+          // A non-empty lookahead means this apply also plans (and
+          // overlaps) the next batch's first rounds.
+          dmpc::PhaseScope pipeline(!ahead.empty() ? tracer_.get() : nullptr,
+                                    dmpc::TracePhase::kPipeline);
           if (h.apply_batch_ahead && (lookahead || !h.apply_batch)) {
             h.apply_batch_ahead(seg, ahead);
           } else {
@@ -191,6 +196,8 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
             // Retries run without the lookahead: the rollback dropped
             // any carried speculation, and a clean sub-batch boundary
             // is easier to reason about than a re-speculated one.
+            dmpc::PhaseScope recovery(tracer_.get(),
+                                      dmpc::TracePhase::kRecovery);
             recover_batch(
                 config_, b.size(),
                 [&](std::size_t off, std::size_t len) {
@@ -225,6 +232,8 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
             }
             if (!ok) {
               std::vector<char> one(1, 0);
+              dmpc::PhaseScope recovery(tracer_.get(),
+                                        dmpc::TracePhase::kRecovery);
               recover_batch(
                   config_, 1,
                   [&](std::size_t, std::size_t) { h.apply(up); }, rs, one);
@@ -246,6 +255,9 @@ const DriverReport& Driver::run(const graph::UpdateStream& stream) {
         }
       }
     }
+    // The batch span ends here: commit hooks (the serving layer's epoch
+    // pump) and checkpoints that follow are not batch-apply work.
+    batch_phase.close();
     std::size_t dropped = 0;
     for (const char a : abandoned) dropped += a != 0 ? 1 : 0;
     report_.applied += b.size() - dropped;

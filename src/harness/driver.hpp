@@ -63,6 +63,7 @@
 
 #include "dmpc/executor.hpp"
 #include "dmpc/metrics.hpp"
+#include "dmpc/trace.hpp"
 #include "dmpc/types.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -317,6 +318,16 @@ class Driver {
     batch_commit_fns_.push_back(std::move(fn));
   }
 
+  /// Installs a tracer for driver-level spans (nullptr uninstalls): one
+  /// `batch` span per closed batch, a nested `pipeline` span when the
+  /// batch is applied with a cross-batch lookahead, and a `recovery`
+  /// span around each bisect-and-retry episode.  Callers who also want
+  /// round/phase spans install the same tracer on the registered
+  /// algorithms' clusters (Cluster::set_tracer).
+  void set_tracer(std::shared_ptr<dmpc::Tracer> tracer) {
+    tracer_ = std::move(tracer);
+  }
+
   /// Polled after every checkpoint; when it returns true, run() returns
   /// early.  Lets gtest consumers abort on the first fatal assertion
   /// recorded inside a checkpoint callback (ASSERT_* only exits the
@@ -366,6 +377,7 @@ class Driver {
   /// callbacks get this lagged copy, advanced as batches actually close.
   std::unique_ptr<graph::DynamicGraph> lag_shadow_;
   std::shared_ptr<dmpc::ThreadPoolExecutor> pool_;  // shared across clusters
+  std::shared_ptr<dmpc::Tracer> tracer_;
   std::vector<Handle> handles_;
   std::vector<CheckpointFn> checkpoint_fns_;
   std::vector<std::function<void()>> batch_end_fns_;

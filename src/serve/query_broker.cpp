@@ -4,6 +4,7 @@
 #include <span>
 #include <utility>
 
+#include "dmpc/trace.hpp"
 #include "harness/driver.hpp"
 
 namespace serve {
@@ -85,6 +86,9 @@ void QueryBroker::pump_updates() {
       ++stats_.update_retries;
     }
     try {
+      // Inside the try so an aborted attempt closes as an aborted span.
+      dmpc::PhaseScope epoch_phase(forest_.cluster().tracer(),
+                                   dmpc::TracePhase::kEpoch);
       forest_.apply_batch(std::span<const graph::Update>(seg));
     } catch (...) {
       ok = false;
@@ -139,6 +143,8 @@ void QueryBroker::pump_updates() {
   if (batch.empty()) return;
   bool ok = true;
   try {
+    dmpc::PhaseScope epoch_phase(forest_.cluster().tracer(),
+                                 dmpc::TracePhase::kEpoch);
     forest_.apply_batch(std::span<const graph::Update>(batch));
   } catch (...) {
     ok = false;
